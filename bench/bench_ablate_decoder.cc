@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation: weighted union-find vs greedy DEM decoding on the d = 3
+ * surface code, where both apply.  Compares logical error rates and
+ * throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+
+#include "core/table.hh"
+#include "core/units.hh"
+#include "qec/memory_experiment.hh"
+#include "qec/surface_circuit.hh"
+
+namespace {
+
+using namespace hetarch;
+using namespace hetarch::units;
+
+qec::CircuitNoise
+noiseModel(double p2)
+{
+    qec::CircuitNoise noise;
+    noise.p2 = p2;
+    noise.p1 = p2 / 10.0;
+    noise.dataT1 = noise.dataT2 = 0.5 * ms;
+    noise.ancT1 = noise.ancT2 = 0.5 * ms;
+    return noise;
+}
+
+void
+BM_DecodeShot(benchmark::State& state)
+{
+    const bool use_uf = state.range(0) == 0;
+    const auto circ = qec::surfaceMemoryZ(3, 3, noiseModel(5e-3));
+    Rng rng(3);
+    for (auto _ : state) {
+        auto res = qec::runMemoryExperiment(
+            circ, 256, 3,
+            use_uf ? qec::DecoderKind::UnionFind
+                   : qec::DecoderKind::GreedyDem,
+            rng);
+        benchmark::DoNotOptimize(res);
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_DecodeShot)->Arg(0)->Arg(1);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::cout << "\n=== Ablation: union-find vs greedy DEM decoder "
+                 "(surface d=3) ===\n";
+    TextTable t({"p2", "p_L(union-find)", "p_L(greedy-dem)"});
+    for (double p2 : {2e-3, 5e-3, 1e-2}) {
+        const auto circ = qec::surfaceMemoryZ(3, 3, noiseModel(p2));
+        Rng rng_a(11), rng_b(11);
+        const auto uf = qec::runMemoryExperiment(
+            circ, 20000, 3, qec::DecoderKind::UnionFind, rng_a);
+        const auto gd = qec::runMemoryExperiment(
+            circ, 20000, 3, qec::DecoderKind::GreedyDem, rng_b);
+        t.addRow({formatSci(p2, 2), formatSci(uf.perRound(), 3),
+                  formatSci(gd.perRound(), 3)});
+    }
+    t.print(std::cout);
+    std::cout.flush();
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

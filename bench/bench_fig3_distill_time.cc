@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Paper Fig. 3: best output-register EP infidelity over time for the
+ * heterogeneous (Ts = 12.5 ms) and homogeneous (0.5 ms) distillation
+ * modules, plus DEJMPS microbenchmarks.
+ */
+
+#include "bench_util.hh"
+#include "core/units.hh"
+#include "distill/dejmps.hh"
+#include "distill/module_sim.hh"
+
+namespace {
+
+using namespace hetarch;
+using namespace hetarch::units;
+
+void
+BM_DejmpsClosedForm(benchmark::State& state)
+{
+    const auto w = distill::BellDiag::werner(0.05);
+    for (auto _ : state) {
+        auto out = distill::dejmps(w, w);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_DejmpsClosedForm);
+
+void
+BM_DistillationEventSim100us(benchmark::State& state)
+{
+    distill::DistillConfig cfg;
+    cfg.ts = 12.5 * ms;
+    cfg.epRate = 1.0 * MHz;
+    cfg.seed = 9;
+    for (auto _ : state) {
+        auto res = distill::simulateDistillation(cfg, 100.0 * us);
+        benchmark::DoNotOptimize(res);
+    }
+}
+BENCHMARK(BM_DistillationEventSim100us);
+
+} // namespace
+
+HETARCH_BENCH_MAIN(
+    "Fig. 3: distillation infidelity over time (het Ts=12.5ms vs hom)",
+    hetarch::dse::fig3DistillationTrace(hetarch::bench::runScale()))

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Paper Fig. 4: distilled-EP production rate (F >= 0.995) vs raw EP
+ * generation rate for several storage coherence times.
+ */
+
+#include "bench_util.hh"
+#include "core/units.hh"
+#include "distill/module_sim.hh"
+
+namespace {
+
+using namespace hetarch;
+using namespace hetarch::units;
+
+void
+BM_EventSimHighRate(benchmark::State& state)
+{
+    distill::DistillConfig cfg;
+    cfg.ts = 2.5 * ms;
+    cfg.epRate = 10.0 * MHz;
+    cfg.seed = 11;
+    for (auto _ : state) {
+        auto res = distill::simulateDistillation(cfg, 1.0 * ms);
+        benchmark::DoNotOptimize(res);
+    }
+}
+BENCHMARK(BM_EventSimHighRate);
+
+} // namespace
+
+HETARCH_BENCH_MAIN(
+    "Fig. 4: distilled-EP rate vs generation rate and Ts",
+    hetarch::dse::fig4DistillationRate(hetarch::bench::runScale()))

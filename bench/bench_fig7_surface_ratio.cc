@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Paper Fig. 7: surface-code logical error per cycle for distances
+ * 5..18 as a function of the data/ancilla coherence ratio.
+ */
+
+#include "bench_util.hh"
+#include "core/units.hh"
+#include "qec/surface_circuit.hh"
+#include "stab/dem.hh"
+
+namespace {
+
+using namespace hetarch;
+using namespace hetarch::units;
+
+void
+BM_CircuitGeneration(benchmark::State& state)
+{
+    qec::CircuitNoise noise;
+    const auto d = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        auto circ = qec::surfaceMemoryZ(d, d, noise);
+        benchmark::DoNotOptimize(circ);
+    }
+}
+BENCHMARK(BM_CircuitGeneration)->Arg(5)->Arg(13)->Arg(18);
+
+} // namespace
+
+HETARCH_BENCH_MAIN(
+    "Fig. 7: surface-code logical error vs distance and Tcd/Tca",
+    hetarch::dse::fig7SurfaceRatio(hetarch::bench::runScale()))

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Paper Fig. 9: QEC-code performance on the Universal Error Correction
+ * module as a function of storage coherence Ts.
+ */
+
+#include "bench_util.hh"
+#include "core/units.hh"
+#include "qec/css_code.hh"
+#include "uec/assignment.hh"
+#include "uec/uec_circuit.hh"
+
+namespace {
+
+using namespace hetarch;
+using namespace hetarch::units;
+
+void
+BM_AssignmentOptimization(benchmark::State& state)
+{
+    const auto code = qec::makeColorCode(5);
+    for (auto _ : state) {
+        auto a = uec::optimizeAssignment(code);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_AssignmentOptimization);
+
+void
+BM_UecCircuitGeneration(benchmark::State& state)
+{
+    const auto code = qec::makeReedMuller15();
+    const auto a = uec::roundRobinAssignment(code);
+    uec::UecNoise noise;
+    for (auto _ : state) {
+        auto circ = uec::uecMemoryZ(code, a, 3, noise);
+        benchmark::DoNotOptimize(circ);
+    }
+}
+BENCHMARK(BM_UecCircuitGeneration);
+
+} // namespace
+
+HETARCH_BENCH_MAIN(
+    "Fig. 9: QEC codes on the universal error correction module vs Ts",
+    hetarch::dse::fig9UecTsSweep(hetarch::bench::runScale()))

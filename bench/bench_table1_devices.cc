@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Paper Table 1: near-term superconducting device properties, plus
+ * microbenchmarks of the device-derived idle channels.
+ */
+
+#include "bench_util.hh"
+#include "core/units.hh"
+#include "dm/channels.hh"
+#include "dm/density_matrix.hh"
+#include "dm/gates.hh"
+
+namespace {
+
+using namespace hetarch;
+using namespace hetarch::units;
+
+void
+BM_IdleChannelConstruction(benchmark::State& state)
+{
+    for (auto _ : state) {
+        auto kraus = dm::channels::idleChannel(1.0 * us, 300.0 * us,
+                                               550.0 * us);
+        benchmark::DoNotOptimize(kraus);
+    }
+}
+BENCHMARK(BM_IdleChannelConstruction);
+
+void
+BM_IdleChannelApplication(benchmark::State& state)
+{
+    dm::DensityMatrix rho(2);
+    rho.applyUnitary(dm::gates::H(), {0});
+    rho.applyUnitary(dm::gates::cnot(), {0, 1});
+    const auto kraus =
+        dm::channels::idleChannel(1.0 * us, 300.0 * us, 550.0 * us);
+    for (auto _ : state) {
+        auto copy = rho;
+        copy.applyKraus(kraus, {0});
+        benchmark::DoNotOptimize(copy);
+    }
+}
+BENCHMARK(BM_IdleChannelApplication);
+
+} // namespace
+
+HETARCH_BENCH_MAIN("Table 1: superconducting device catalog",
+                   hetarch::dse::table1Devices())

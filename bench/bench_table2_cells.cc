@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Paper Table 2: standard cells with design-rule status and
+ * density-matrix characterization, plus characterization throughput.
+ */
+
+#include "bench_util.hh"
+#include "cells/characterize.hh"
+#include "cells/design_rules.hh"
+#include "cells/standard_cells.hh"
+#include "devices/device.hh"
+
+namespace {
+
+using namespace hetarch;
+
+void
+BM_CharacterizeRegister(benchmark::State& state)
+{
+    const auto cell = cells::makeRegister(
+        devices::multimodeResonator3D(), devices::fixedFrequencyTransmon());
+    for (auto _ : state) {
+        auto ch = cells::characterizeRegister(cell);
+        benchmark::DoNotOptimize(ch);
+    }
+}
+BENCHMARK(BM_CharacterizeRegister);
+
+void
+BM_CharacterizeSeqOp(benchmark::State& state)
+{
+    const auto cell = cells::makeSeqOp(devices::multimodeResonator3D(),
+                                       devices::fixedFrequencyTransmon());
+    for (auto _ : state) {
+        auto ch = cells::characterizeSeqOp(cell);
+        benchmark::DoNotOptimize(ch);
+    }
+}
+BENCHMARK(BM_CharacterizeSeqOp);
+
+void
+BM_DesignRuleCheck(benchmark::State& state)
+{
+    const auto cell = cells::makeUsc(devices::multimodeResonator3D(),
+                                     devices::fixedFrequencyTransmon());
+    for (auto _ : state) {
+        auto report = cells::checkDesignRules(cell, 1);
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(BM_DesignRuleCheck);
+
+} // namespace
+
+HETARCH_BENCH_MAIN("Table 2: quantum standard cells",
+                   hetarch::dse::table2Cells())

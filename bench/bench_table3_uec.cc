@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Paper Table 3: pseudothresholds and heterogeneous-vs-homogeneous
+ * logical error rates of the five codes.
+ */
+
+#include "bench_util.hh"
+#include "qec/css_code.hh"
+#include "uec/lattice_baseline.hh"
+
+namespace {
+
+using namespace hetarch;
+
+void
+BM_LatticeEmbedding(benchmark::State& state)
+{
+    const auto code = qec::makeReedMuller15();
+    for (auto _ : state) {
+        auto emb = uec::embedOnLattice(code);
+        benchmark::DoNotOptimize(emb);
+    }
+}
+BENCHMARK(BM_LatticeEmbedding);
+
+void
+BM_LatticeCircuitGeneration(benchmark::State& state)
+{
+    const auto code = qec::makeColorCode(5);
+    const auto emb = uec::embedOnLattice(code);
+    uec::LatticeNoise noise;
+    for (auto _ : state) {
+        auto circ = uec::latticeMemoryZ(code, emb, 3, noise);
+        benchmark::DoNotOptimize(circ);
+    }
+}
+BENCHMARK(BM_LatticeCircuitGeneration);
+
+} // namespace
+
+HETARCH_BENCH_MAIN(
+    "Table 3: UEC (het, Ts=50ms) vs homogeneous lattice",
+    hetarch::dse::table3UecComparison(hetarch::bench::runScale()))

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Paper Table 4: code-teleportation logical error probabilities for
+ * all code pairs, heterogeneous vs homogeneous.
+ */
+
+#include "bench_util.hh"
+#include "teleport/code_teleport.hh"
+
+namespace {
+
+using namespace hetarch;
+
+void
+BM_ComposeLogicalErrors(benchmark::State& state)
+{
+    std::vector<double> errs(64, 1e-3);
+    for (auto _ : state) {
+        auto e = teleport::composeLogicalErrors(errs);
+        benchmark::DoNotOptimize(e);
+    }
+}
+BENCHMARK(BM_ComposeLogicalErrors);
+
+} // namespace
+
+HETARCH_BENCH_MAIN(
+    "Table 4: code-teleportation error matrix (het vs hom)",
+    hetarch::dse::table4CtMatrix(hetarch::bench::runScale()))

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared scaffolding for the benchmark/reproduction binaries: each
+ * binary prints its paper artifact (table or figure data series) and
+ * then runs its google-benchmark microbenchmarks.
+ *
+ * Set HETARCH_QUICK=1 to run the experiments at reduced shot counts.
+ */
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+
+#include "dse/experiments.hh"
+
+namespace hetarch {
+namespace bench {
+
+/** Scale from the environment: quick mode for smoke runs. */
+inline dse::RunScale
+runScale()
+{
+    dse::RunScale scale;
+    if (std::getenv("HETARCH_QUICK"))
+        scale.shotScale = 0.05;
+    return scale;
+}
+
+/** Print one experiment table under a banner. */
+inline void
+printArtifact(const char* title, const TextTable& table)
+{
+    std::cout << "\n=== " << title << " ===\n";
+    table.print(std::cout);
+    std::cout.flush();
+}
+
+} // namespace bench
+} // namespace hetarch
+
+/** Standard main: print the artifact, then run microbenchmarks. */
+#define HETARCH_BENCH_MAIN(TITLE, TABLE_EXPR)                            \
+    int main(int argc, char** argv)                                     \
+    {                                                                    \
+        ::hetarch::bench::printArtifact(TITLE, TABLE_EXPR);             \
+        ::benchmark::Initialize(&argc, argv);                           \
+        ::benchmark::RunSpecifiedBenchmarks();                          \
+        return 0;                                                        \
+    }

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Scenario: planning a code-teleportation bridge between a compute
+ * region (surface code, fast Cliffords) and a magic region (Reed-
+ * Muller, transversal T) — the paper's Section 4.3 motivation.
+ *
+ * Reports the CT resource-state error budget component by component so
+ * an architect can see where the budget goes, and how much storage
+ * coherence buys.
+ */
+
+#include <iostream>
+
+#include "core/table.hh"
+#include "core/units.hh"
+#include "qec/css_code.hh"
+#include "teleport/code_teleport.hh"
+
+int
+main()
+{
+    using namespace hetarch;
+    using namespace hetarch::units;
+
+    const auto compute_code = qec::makeRotatedSurface(3);
+    const auto magic_code = qec::makeReedMuller15();
+    std::cout << "Code-teleportation planner: " << compute_code.name
+              << " <-> " << magic_code.name << "\n\n";
+
+    TextTable t({"Ts(ms)", "arch", "CT_error", "cat", "prep_A", "prep_B",
+                 "transversal", "EP_ok"});
+    for (double ts_ms : {2.0, 10.0, 50.0}) {
+        for (bool het : {true, false}) {
+            teleport::CtConfig cfg;
+            cfg.ts = ts_ms * ms;
+            cfg.heterogeneous = het;
+            cfg.shots = 2000;
+            cfg.seed = 99;
+            const auto r = teleport::prepareCtState(compute_code,
+                                                    magic_code, cfg);
+            t.addRow({formatFixed(ts_ms, 0), het ? "het" : "hom",
+                      formatFixed(r.errorProbability, 3),
+                      formatFixed(r.catError, 3),
+                      formatFixed(r.prepErrorA, 3),
+                      formatFixed(r.prepErrorB, 3),
+                      formatFixed(r.transversalError, 3),
+                      r.epTargetMet ? "yes" : "NO"});
+        }
+    }
+    t.print(std::cout);
+
+    const auto mod = teleport::buildCodeTeleportModule(50.0 * ms);
+    std::cout << "\nmodule inventory: " << mod.subModules().size()
+              << " sub-modules, " << mod.qubitCapacity()
+              << " physical qubit capacity, " << mod.controlLines()
+              << " control lines\n";
+    std::cout << "reading: the homogeneous rows lose most of their "
+                 "budget to CAT idling and logical-state preparation;\n"
+                 "storage-backed cells recover both, which is the "
+                 "paper's Table 4 conclusion.\n";
+    return 0;
+}

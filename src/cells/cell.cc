@@ -1,0 +1,127 @@
+#include "cells/cell.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace hetarch {
+namespace cells {
+
+std::size_t
+StandardCell::addDevice(CellDevice device)
+{
+    device.model.validate();
+    devs.push_back(std::move(device));
+    return devs.size() - 1;
+}
+
+void
+StandardCell::addCoupling(std::size_t a, std::size_t b)
+{
+    HETARCH_ASSERT(a < devs.size() && b < devs.size(),
+                   "coupling endpoint out of range");
+    HETARCH_ASSERT(a != b, "no self-coupling");
+    for (const auto& e : edges) {
+        if ((e.a == a && e.b == b) || (e.a == b && e.b == a))
+            HETARCH_FATAL(cellName, ": duplicate coupling ", a, "-", b);
+    }
+    edges.push_back({a, b});
+}
+
+void
+StandardCell::addSubCell(SubCell sub)
+{
+    for (auto d : sub.devices)
+        HETARCH_ASSERT(d < devs.size(), "sub-cell device out of range");
+    subs.push_back(std::move(sub));
+}
+
+int
+StandardCell::degree(std::size_t i) const
+{
+    int n = 0;
+    for (const auto& e : edges)
+        if (e.a == i || e.b == i)
+            ++n;
+    return n;
+}
+
+int
+StandardCell::totalDegree(std::size_t i) const
+{
+    return degree(i) + devs[i].externalPorts;
+}
+
+std::vector<std::size_t>
+StandardCell::neighbors(std::size_t i) const
+{
+    std::vector<std::size_t> out;
+    for (const auto& e : edges) {
+        if (e.a == i)
+            out.push_back(e.b);
+        else if (e.b == i)
+            out.push_back(e.a);
+    }
+    return out;
+}
+
+bool
+StandardCell::isConnected() const
+{
+    if (devs.empty())
+        return true;
+    std::vector<bool> seen(devs.size(), false);
+    std::vector<std::size_t> stack{0};
+    seen[0] = true;
+    std::size_t count = 1;
+    while (!stack.empty()) {
+        const auto v = stack.back();
+        stack.pop_back();
+        for (auto w : neighbors(v)) {
+            if (!seen[w]) {
+                seen[w] = true;
+                ++count;
+                stack.push_back(w);
+            }
+        }
+    }
+    return count == devs.size();
+}
+
+std::size_t
+StandardCell::readoutCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(devs.begin(), devs.end(),
+                      [](const CellDevice& d) { return d.readout; }));
+}
+
+double
+StandardCell::footprintArea() const
+{
+    double area = 0.0;
+    for (const auto& d : devs)
+        area += d.model.footprint.area();
+    return area;
+}
+
+int
+StandardCell::controlLines() const
+{
+    int lines = 0;
+    for (const auto& d : devs)
+        lines += d.model.control.total();
+    return lines;
+}
+
+int
+StandardCell::qubitCapacity() const
+{
+    int cap = 0;
+    for (const auto& d : devs)
+        cap += d.model.modes;
+    return cap;
+}
+
+} // namespace cells
+} // namespace hetarch

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Quantum standard cells: physical architectures assembled from devices
+ * and optimized for a small set of operations (paper Section 3.2).
+ *
+ * A StandardCell is a labelled coupling graph over device instances,
+ * plus declared readout sites and sub-cell grouping.  Cells are checked
+ * against the design rules DR1-DR4 (design_rules.hh) and characterized
+ * by exact density-matrix simulation (characterize.hh).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "devices/device.hh"
+
+namespace hetarch {
+namespace cells {
+
+/** One device instance inside a cell. */
+struct CellDevice
+{
+    devices::DeviceModel model;
+    std::string label;       ///< e.g. "storage0", "parity-ancilla"
+    bool readout = false;    ///< has readout circuitry attached
+    /** Couplings reserved for connections to *other* cells/modules. */
+    int externalPorts = 0;
+};
+
+/** Undirected coupling between two devices of a cell. */
+struct Coupling
+{
+    std::size_t a = 0;
+    std::size_t b = 0;
+};
+
+/** A named group of devices forming a sub-cell (e.g. one Register). */
+struct SubCell
+{
+    std::string name;
+    std::vector<std::size_t> devices;
+};
+
+/**
+ * A standard cell: devices + couplings + sub-cell structure.
+ */
+class StandardCell
+{
+  public:
+    explicit StandardCell(std::string name_in) : cellName(std::move(name_in))
+    {
+    }
+
+    const std::string& name() const { return cellName; }
+
+    /** Add a device; returns its index. */
+    std::size_t addDevice(CellDevice device);
+    /** Couple two devices (indices must exist, no self-coupling). */
+    void addCoupling(std::size_t a, std::size_t b);
+    /** Declare a sub-cell grouping. */
+    void addSubCell(SubCell sub);
+
+    const std::vector<CellDevice>& deviceList() const { return devs; }
+    const std::vector<Coupling>& couplings() const { return edges; }
+    const std::vector<SubCell>& subCells() const { return subs; }
+
+    /** Number of couplings incident to device @p i (internal only). */
+    int degree(std::size_t i) const;
+    /** Internal degree plus reserved external ports. */
+    int totalDegree(std::size_t i) const;
+    /** Indices of devices coupled to @p i. */
+    std::vector<std::size_t> neighbors(std::size_t i) const;
+    /** True when a path of couplings connects every pair of devices. */
+    bool isConnected() const;
+
+    /** Count of devices with readout. */
+    std::size_t readoutCount() const;
+
+    /** Total physical footprint (sum of device areas, mm^2). */
+    double footprintArea() const;
+    /** Total control lines (sum of device control overheads). */
+    int controlLines() const;
+    /** Total qubit capacity (sum of device modes). */
+    int qubitCapacity() const;
+
+  private:
+    std::string cellName;
+    std::vector<CellDevice> devs;
+    std::vector<Coupling> edges;
+    std::vector<SubCell> subs;
+};
+
+} // namespace cells
+} // namespace hetarch

@@ -1,0 +1,85 @@
+#include "cells/design_rules.hh"
+
+#include <sstream>
+
+namespace hetarch {
+namespace cells {
+
+namespace {
+
+void
+violate(DrcReport& report, int rule, const std::string& msg)
+{
+    report.violations.push_back({rule, msg});
+}
+
+} // namespace
+
+DrcReport
+checkDesignRules(const StandardCell& cell, std::size_t required_readouts)
+{
+    DrcReport report;
+    const auto& devs = cell.deviceList();
+
+    for (std::size_t i = 0; i < devs.size(); ++i) {
+        const auto& dev = devs[i];
+        const int total = cell.totalDegree(i);
+
+        if (dev.model.role == devices::DeviceRole::Compute) {
+            // DR1: compute fan-out bounded by 4.
+            if (total > 4) {
+                std::ostringstream os;
+                os << cell.name() << ": compute device '" << dev.label
+                   << "' has " << total << " connections (max 4)";
+                violate(report, 1, os.str());
+            }
+            // DR3: also bounded by the device's own connectivity budget.
+            if (total > dev.model.connectivity) {
+                std::ostringstream os;
+                os << cell.name() << ": device '" << dev.label
+                   << "' exceeds its connectivity budget ("
+                   << total << " > " << dev.model.connectivity << ")";
+                violate(report, 3, os.str());
+            }
+        } else {
+            // DR2: storage couples to exactly one compute device.
+            const auto nbrs = cell.neighbors(i);
+            std::size_t compute_links = 0;
+            for (auto n : nbrs)
+                if (devs[n].model.role == devices::DeviceRole::Compute)
+                    ++compute_links;
+            if (compute_links != 1 || nbrs.size() != 1 ||
+                dev.externalPorts != 0) {
+                std::ostringstream os;
+                os << cell.name() << ": storage device '" << dev.label
+                   << "' must couple to exactly one compute device";
+                violate(report, 2, os.str());
+            }
+            if (dev.readout) {
+                std::ostringstream os;
+                os << cell.name() << ": storage device '" << dev.label
+                   << "' cannot have direct readout";
+                violate(report, 2, os.str());
+            }
+        }
+    }
+
+    // DR3: connectivity must reflect use - the cell graph is connected.
+    if (!cell.isConnected()) {
+        violate(report, 3,
+                cell.name() + ": cell coupling graph is disconnected");
+    }
+
+    // DR4: minimal readout.
+    if (cell.readoutCount() > required_readouts) {
+        std::ostringstream os;
+        os << cell.name() << ": " << cell.readoutCount()
+           << " readout devices but operations need only "
+           << required_readouts;
+        violate(report, 4, os.str());
+    }
+    return report;
+}
+
+} // namespace cells
+} // namespace hetarch

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Design rules for planar superconducting standard cells (paper
+ * Section 3.2):
+ *
+ *   DR1  Compute devices connect to at most 4 other devices.
+ *   DR2  Storage devices connect to exactly 1 compute device.
+ *   DR3  Device connectivity reflects intended use: the cell graph is
+ *        connected and carries no couplings beyond the declared device
+ *        connectivity budget.
+ *   DR4  Compute devices with readout are minimal: no more readout
+ *        sites than the cell's declared measurement needs.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cells/cell.hh"
+
+namespace hetarch {
+namespace cells {
+
+/** One design-rule violation. */
+struct DrcViolation
+{
+    int rule = 0;         ///< 1..4
+    std::string message;
+};
+
+/** Result of a design-rule check. */
+struct DrcReport
+{
+    std::vector<DrcViolation> violations;
+    bool clean() const { return violations.empty(); }
+};
+
+/**
+ * Check a cell against DR1-DR4.
+ *
+ * @param required_readouts how many measurement sites the cell's
+ *        declared operations need (DR4 compares against this).
+ */
+DrcReport checkDesignRules(const StandardCell& cell,
+                           std::size_t required_readouts);
+
+} // namespace cells
+} // namespace hetarch

@@ -1,0 +1,109 @@
+#include "cells/standard_cells.hh"
+
+#include "core/logging.hh"
+
+namespace hetarch {
+namespace cells {
+
+using devices::DeviceModel;
+using devices::DeviceRole;
+
+StandardCell
+makeRegister(const DeviceModel& storage, const DeviceModel& compute)
+{
+    HETARCH_ASSERT(storage.role == DeviceRole::Storage,
+                   "Register needs a storage device");
+    HETARCH_ASSERT(compute.role == DeviceRole::Compute,
+                   "Register needs a compute device");
+    StandardCell cell("Register");
+    const auto s = cell.addDevice({storage, "storage", false, 0});
+    const auto c = cell.addDevice({compute, "io-compute", false, 3});
+    cell.addCoupling(s, c);
+    return cell;
+}
+
+StandardCell
+makeParCheck(const DeviceModel& compute)
+{
+    StandardCell cell("ParCheck");
+    auto plain = compute;
+    plain.hasReadout = false;
+    const auto a = cell.addDevice({plain, "gate-compute", false, 3});
+    const auto b = cell.addDevice({compute, "readout-compute", true, 3});
+    cell.addCoupling(a, b);
+    return cell;
+}
+
+namespace {
+
+/** Add one Register sub-cell to @p cell; returns its compute index. */
+std::size_t
+addRegisterSub(StandardCell& cell, const DeviceModel& storage,
+               const DeviceModel& compute, int compute_external_ports,
+               const std::string& suffix)
+{
+    auto s = cell.addDevice(
+        {storage, "storage" + suffix, false, 0});
+    auto c = cell.addDevice(
+        {compute, "io-compute" + suffix, false, compute_external_ports});
+    cell.addCoupling(s, c);
+    cell.addSubCell({"Register" + suffix, {s, c}});
+    return c;
+}
+
+} // namespace
+
+StandardCell
+makeSeqOp(const DeviceModel& storage, const DeviceModel& compute)
+{
+    StandardCell cell("SeqOp");
+    // Register computes each have 1 free external port: the internal
+    // triangle uses 3 of their 4 allowed couplings (DR1).
+    const auto c0 = addRegisterSub(cell, storage, compute, 1, "0");
+    const auto c1 = addRegisterSub(cell, storage, compute, 1, "1");
+    const auto p = cell.addDevice({compute, "parity-compute", true, 1});
+    cell.addCoupling(c0, c1);
+    cell.addCoupling(c0, p);
+    cell.addCoupling(c1, p);
+    return cell;
+}
+
+StandardCell
+makeUsc(const DeviceModel& storage, const DeviceModel& compute)
+{
+    StandardCell cell("USC");
+    const auto c0 = addRegisterSub(cell, storage, compute, 1, "0");
+    const auto c1 = addRegisterSub(cell, storage, compute, 1, "1");
+    const auto c2 = addRegisterSub(cell, storage, compute, 1, "2");
+    const auto p = cell.addDevice({compute, "ancilla-compute", true, 1});
+    cell.addCoupling(c0, p);
+    cell.addCoupling(c1, p);
+    cell.addCoupling(c2, p);
+    return cell;
+}
+
+StandardCell
+makeUscExt(const DeviceModel& storage, const DeviceModel& compute)
+{
+    StandardCell cell("USC-EXT");
+    const auto c0 = addRegisterSub(cell, storage, compute, 1, "0");
+    const auto c1 = addRegisterSub(cell, storage, compute, 1, "1");
+    // Two external ports let USC-EXT chain between a USC and another
+    // USC-EXT while respecting DR1.
+    const auto p = cell.addDevice({compute, "ancilla-compute", true, 2});
+    cell.addCoupling(c0, p);
+    cell.addCoupling(c1, p);
+    return cell;
+}
+
+std::vector<StandardCell>
+table2Cells()
+{
+    const auto storage = devices::multimodeResonator3D();
+    const auto compute = devices::fixedFrequencyTransmon();
+    return {makeRegister(storage, compute), makeParCheck(compute),
+            makeSeqOp(storage, compute), makeUsc(storage, compute)};
+}
+
+} // namespace cells
+} // namespace hetarch

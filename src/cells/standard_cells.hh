@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The quantum standard cells of paper Table 2: Register, ParCheck,
+ * SeqOp, USC and USC-EXT, parameterized by the compute and storage
+ * device models they are assembled from.
+ */
+
+#pragma once
+
+#include "cells/cell.hh"
+
+namespace hetarch {
+namespace cells {
+
+/**
+ * Register: a storage device coupled to one compute device that
+ * manages input/output (DR2), with up to three external connections
+ * from the compute device and no readout (DR4).
+ */
+StandardCell makeRegister(const devices::DeviceModel& storage,
+                          const devices::DeviceModel& compute);
+
+/**
+ * ParCheck: two coupled compute devices optimized for one/two-qubit
+ * gates; one has readout for parity checks.  Up to three external
+ * connections from each device.
+ */
+StandardCell makeParCheck(const devices::DeviceModel& compute);
+
+/**
+ * SeqOp: two Register sub-cells whose compute devices are coupled to
+ * each other and to a readout-equipped parity-check compute device
+ * (a triangle), optimized for long runs of sequential two-qubit
+ * operations between stored qubits (CAT-state generation).
+ */
+StandardCell makeSeqOp(const devices::DeviceModel& storage,
+                       const devices::DeviceModel& compute);
+
+/**
+ * USC (universal stabilizer cell): three Register sub-cells around a
+ * central readout-equipped compute device holding the ancilla for
+ * serialized stabilizer checks.
+ */
+StandardCell makeUsc(const devices::DeviceModel& storage,
+                     const devices::DeviceModel& compute);
+
+/**
+ * USC-EXT: the two-Register extension cell that chains onto a USC to
+ * extend the universal error-correction module to larger codes.
+ */
+StandardCell makeUscExt(const devices::DeviceModel& storage,
+                        const devices::DeviceModel& compute);
+
+/** All Table 2 cells built from the default device catalog. */
+std::vector<StandardCell> table2Cells();
+
+} // namespace cells
+} // namespace hetarch

@@ -1,0 +1,33 @@
+#include "core/logging.hh"
+
+namespace hetarch {
+namespace detail {
+
+[[noreturn]] void
+fatalImpl(const char* file, int line, const std::string& msg)
+{
+    std::cerr << "fatal: " << msg << " (" << file << ":" << line << ")\n";
+    std::exit(1);
+}
+
+[[noreturn]] void
+panicImpl(const char* file, int line, const std::string& msg)
+{
+    std::cerr << "panic: " << msg << " (" << file << ":" << line << ")\n";
+    std::abort();
+}
+
+void
+warnImpl(const std::string& msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+void
+informImpl(const std::string& msg)
+{
+    std::cout << "info: " << msg << "\n";
+}
+
+} // namespace detail
+} // namespace hetarch

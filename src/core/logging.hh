@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 convention: fatal() is for user error (bad
+ * configuration, invalid arguments) and exits cleanly; panic() is for
+ * internal invariant violations (a HetArch bug) and aborts.  warn() and
+ * inform() report conditions without stopping the program.
+ */
+
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hetarch {
+
+namespace detail {
+
+/** Stream-compose a message from parts. */
+template <typename... Args>
+std::string
+composeMessage(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void fatalImpl(const char* file, int line, const std::string& msg);
+[[noreturn]] void panicImpl(const char* file, int line, const std::string& msg);
+void warnImpl(const std::string& msg);
+void informImpl(const std::string& msg);
+
+} // namespace detail
+
+/**
+ * Terminate because the *user* asked for something invalid (bad
+ * configuration, out-of-range parameter).  Exits with status 1.
+ */
+#define HETARCH_FATAL(...) \
+    ::hetarch::detail::fatalImpl(__FILE__, __LINE__, \
+        ::hetarch::detail::composeMessage(__VA_ARGS__))
+
+/**
+ * Terminate because an internal invariant was violated (a HetArch bug).
+ * Calls abort() so a core dump / debugger can inspect the state.
+ */
+#define HETARCH_PANIC(...) \
+    ::hetarch::detail::panicImpl(__FILE__, __LINE__, \
+        ::hetarch::detail::composeMessage(__VA_ARGS__))
+
+/** Assert an internal invariant; panics with the condition text on failure. */
+#define HETARCH_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::hetarch::detail::panicImpl(__FILE__, __LINE__, \
+                ::hetarch::detail::composeMessage("assertion failed: " #cond \
+                                                  " ", ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    detail::warnImpl(detail::composeMessage(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    detail::informImpl(detail::composeMessage(std::forward<Args>(args)...));
+}
+
+} // namespace hetarch

@@ -1,0 +1,95 @@
+#include "core/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hetarch {
+
+void
+RunningStats::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    ++n;
+    const double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+}
+
+double
+RunningStats::variance() const
+{
+    return n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::stderrOfMean() const
+{
+    return n > 0 ? stddev() / std::sqrt(static_cast<double>(n)) : 0.0;
+}
+
+void
+TrialCounter::add(bool success)
+{
+    ++total;
+    if (success)
+        ++hits;
+}
+
+void
+TrialCounter::add(std::uint64_t successes_in, std::uint64_t trials_in)
+{
+    hits += successes_in;
+    total += trials_in;
+}
+
+double
+TrialCounter::rate() const
+{
+    return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+}
+
+namespace {
+
+constexpr double z95 = 1.959963984540054;
+
+double
+wilsonEdge(double p, double n, int sign)
+{
+    const double z2 = z95 * z95;
+    const double denom = 1.0 + z2 / n;
+    const double centre = p + z2 / (2.0 * n);
+    const double spread = z95 * std::sqrt(p * (1.0 - p) / n +
+                                          z2 / (4.0 * n * n));
+    return (centre + sign * spread) / denom;
+}
+
+} // namespace
+
+double
+TrialCounter::wilsonLow() const
+{
+    if (total == 0)
+        return 0.0;
+    return std::max(0.0, wilsonEdge(rate(), static_cast<double>(total), -1));
+}
+
+double
+TrialCounter::wilsonHigh() const
+{
+    if (total == 0)
+        return 1.0;
+    return std::min(1.0, wilsonEdge(rate(), static_cast<double>(total), +1));
+}
+
+} // namespace hetarch

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Statistics accumulators for Monte-Carlo experiments.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hetarch {
+
+/**
+ * Streaming mean/variance accumulator (Welford's algorithm).
+ */
+class RunningStats
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Number of samples seen so far. */
+    std::size_t count() const { return n; }
+    /** Sample mean; 0 if empty. */
+    double mean() const { return n ? mu : 0.0; }
+    /** Unbiased sample variance; 0 with fewer than two samples. */
+    double variance() const;
+    /** Sample standard deviation. */
+    double stddev() const;
+    /** Standard error of the mean. */
+    double stderrOfMean() const;
+    /** Smallest sample seen. */
+    double min() const { return lo; }
+    /** Largest sample seen. */
+    double max() const { return hi; }
+
+  private:
+    std::size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * Bernoulli trial counter with Wilson-score confidence intervals —
+ * the right tool for logical-error-rate estimates.
+ */
+class TrialCounter
+{
+  public:
+    /** Record one trial. */
+    void add(bool success);
+    /** Record a batch. */
+    void add(std::uint64_t successes_in, std::uint64_t trials_in);
+
+    std::uint64_t trials() const { return total; }
+    std::uint64_t successes() const { return hits; }
+    /** Point estimate of the success probability. */
+    double rate() const;
+    /** Lower edge of the Wilson 95% interval. */
+    double wilsonLow() const;
+    /** Upper edge of the Wilson 95% interval. */
+    double wilsonHigh() const;
+
+  private:
+    std::uint64_t hits = 0;
+    std::uint64_t total = 0;
+};
+
+} // namespace hetarch

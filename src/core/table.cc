@@ -1,0 +1,87 @@
+#include "core/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "core/logging.hh"
+
+namespace hetarch {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : head(std::move(headers))
+{
+    HETARCH_ASSERT(!head.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != head.size()) {
+        HETARCH_FATAL("row has ", row.size(), " cells, expected ",
+                      head.size());
+    }
+    body.push_back(std::move(row));
+}
+
+void
+TextTable::print(std::ostream& os) const
+{
+    std::vector<std::size_t> width(head.size());
+    for (std::size_t c = 0; c < head.size(); ++c)
+        width[c] = head[c].size();
+    for (const auto& row : body)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+               << row[c];
+        }
+        os << "\n";
+    };
+
+    emit(head);
+    std::size_t rule = 0;
+    for (auto w : width)
+        rule += w + 2;
+    os << std::string(rule, '-') << "\n";
+    for (const auto& row : body)
+        emit(row);
+}
+
+void
+TextTable::printCsv(std::ostream& os) const
+{
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            os << row[c];
+        }
+        os << "\n";
+    };
+    emit(head);
+    for (const auto& row : body)
+        emit(row);
+}
+
+std::string
+formatSci(double v, int digits)
+{
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(digits - 1) << v;
+    return os.str();
+}
+
+std::string
+formatFixed(double v, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << v;
+    return os.str();
+}
+
+} // namespace hetarch

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal aligned-text table and CSV writer used by the benchmark
+ * harnesses to print paper-style tables.
+ */
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hetarch {
+
+/**
+ * Collects rows of strings and renders them as an aligned text table
+ * or CSV.  Numeric cells should be pre-formatted by the caller (see
+ * formatSci / formatFixed).
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> row);
+
+    /** Number of data rows. */
+    std::size_t rows() const { return body.size(); }
+
+    /** Render with aligned columns and a header rule. */
+    void print(std::ostream& os) const;
+
+    /** Render as CSV (no quoting; cells must not contain commas). */
+    void printCsv(std::ostream& os) const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+/** Format a double in scientific notation with @p digits significant digits. */
+std::string formatSci(double v, int digits = 3);
+
+/** Format a double with fixed @p decimals decimal places. */
+std::string formatFixed(double v, int decimals = 4);
+
+} // namespace hetarch

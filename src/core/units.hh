@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Physical units used throughout HetArch.
+ *
+ * Internally all times are double-precision *nanoseconds* and all rates
+ * are events per nanosecond (i.e. GHz).  These helpers make intent
+ * explicit at call sites: `12.5 * units::ms` instead of `12.5e6`.
+ */
+
+#pragma once
+
+namespace hetarch {
+namespace units {
+
+// --- time, base unit: nanosecond -----------------------------------------
+inline constexpr double ns = 1.0;
+inline constexpr double us = 1e3 * ns;
+inline constexpr double ms = 1e6 * ns;
+inline constexpr double second = 1e9 * ns;
+
+// --- rates, base unit: per-nanosecond (GHz) -------------------------------
+inline constexpr double GHz = 1.0;
+inline constexpr double MHz = 1e-3 * GHz;
+inline constexpr double kHz = 1e-6 * GHz;
+inline constexpr double Hz = 1e-9 * GHz;
+
+// --- lengths, base unit: millimetre ---------------------------------------
+inline constexpr double mm = 1.0;
+inline constexpr double um = 1e-3 * mm;
+
+/** Convert a time in ns to microseconds (for printing). */
+inline constexpr double toUs(double t_ns) { return t_ns / us; }
+/** Convert a time in ns to milliseconds (for printing). */
+inline constexpr double toMs(double t_ns) { return t_ns / ms; }
+
+} // namespace units
+} // namespace hetarch

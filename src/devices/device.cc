@@ -1,0 +1,168 @@
+#include "devices/device.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace hetarch {
+namespace devices {
+
+using namespace units;
+
+void
+DeviceModel::validate() const
+{
+    if (t1 <= 0.0 || t2 <= 0.0)
+        HETARCH_FATAL(name, ": coherence times must be positive");
+    if (t2 > 2.0 * t1 + 1e-9)
+        HETARCH_FATAL(name, ": unphysical T2 > 2*T1");
+    if (modes < 1)
+        HETARCH_FATAL(name, ": capacity must be >= 1 qubit");
+    if (role == DeviceRole::Storage && connectivity != 1)
+        HETARCH_FATAL(name, ": storage devices couple to exactly one "
+                            "compute device (DR2)");
+}
+
+DeviceModel
+fixedFrequencyTransmon()
+{
+    DeviceModel d;
+    d.name = "fixed-frequency-transmon";
+    d.role = DeviceRole::Compute;
+    d.t1 = 300.0 * us;
+    d.t2 = 550.0 * us;
+    d.readoutTime = 1.0 * us;
+    d.hasReadout = true;
+    d.gateTime1q = 40.0;
+    d.gateTime2q = 100.0;
+    d.gateError = 1e-3;
+    d.connectivity = 4;
+    d.control = {1, 0, 1};
+    d.footprint = {2.0 * mm, 2.0 * mm, 0.0};
+    d.notes = "e.g. transmon";
+    return d;
+}
+
+DeviceModel
+fluxTunableQubit()
+{
+    DeviceModel d;
+    d.name = "flux-tunable-qubit";
+    d.role = DeviceRole::Compute;
+    d.t1 = 800.0 * us;
+    d.t2 = 200.0 * us;
+    d.readoutTime = 1.0 * us;
+    d.hasReadout = true;
+    d.gateTime1q = 40.0;
+    d.gateTime2q = 100.0;
+    d.gateError = 1e-3;
+    d.connectivity = 4;
+    d.control = {1, 1, 1};
+    d.footprint = {2.0 * mm, 2.0 * mm, 0.0};
+    d.notes = "e.g. fluxonium";
+    return d;
+}
+
+DeviceModel
+quantumMemory3D()
+{
+    DeviceModel d;
+    d.name = "3d-quantum-memory";
+    d.role = DeviceRole::Storage;
+    d.t1 = 25.0 * units::ms;
+    d.t2 = 30.0 * units::ms;
+    d.hasReadout = false;
+    d.gateTime2q = 1.0 * us; // SWAP
+    d.gateError = 1e-2;
+    d.connectivity = 1;
+    d.modes = 1;
+    d.footprint = {50.0 * mm, 0.5 * mm, 1.0 * mm};
+    d.notes = "requires 2D/3D integration";
+    return d;
+}
+
+DeviceModel
+multimodeResonator3D()
+{
+    DeviceModel d;
+    d.name = "3d-multimode-resonator";
+    d.role = DeviceRole::Storage;
+    d.t1 = 2.0 * units::ms;
+    d.t2 = 2.5 * units::ms;
+    d.hasReadout = false;
+    d.gateTime2q = 400.0; // SWAP
+    d.gateError = 1e-2;
+    d.connectivity = 1;
+    d.modes = 10;
+    d.footprint = {100.0 * mm, 100.0 * mm, 10.0 * mm};
+    d.notes = "requires 2D/3D integration";
+    return d;
+}
+
+DeviceModel
+onChipMultimodeResonator()
+{
+    DeviceModel d;
+    d.name = "on-chip-multimode-resonator";
+    d.role = DeviceRole::Storage;
+    d.t1 = 1.0 * units::ms;
+    d.t2 = 1.0 * units::ms;
+    d.hasReadout = false;
+    d.gateTime2q = 100.0; // SWAP
+    d.gateError = 1e-2;
+    d.connectivity = 1;
+    d.modes = 10;
+    d.footprint = {5.0 * mm, 5.0 * mm, 0.0};
+    d.notes = "no demonstration yet";
+    return d;
+}
+
+std::vector<DeviceModel>
+table1Catalog()
+{
+    return {fixedFrequencyTransmon(), fluxTunableQubit(),
+            quantumMemory3D(), multimodeResonator3D(),
+            onChipMultimodeResonator()};
+}
+
+DeviceModel
+storageWithCoherence(double ts_ns, int modes)
+{
+    DeviceModel d = multimodeResonator3D();
+    d.name = "storage-ts-" + std::to_string(ts_ns / units::ms) + "ms";
+    d.t1 = ts_ns;
+    d.t2 = ts_ns;
+    d.modes = modes;
+    return d;
+}
+
+DeviceModel
+computeWithCoherence(double tc_ns)
+{
+    DeviceModel d = fixedFrequencyTransmon();
+    d.name = "compute-tc-" + std::to_string(tc_ns / units::ms) + "ms";
+    d.t1 = tc_ns;
+    d.t2 = tc_ns;
+    return d;
+}
+
+DeviceModel
+perturbedDevice(const DeviceModel& nominal, double sigma, Rng& rng)
+{
+    HETARCH_ASSERT(sigma >= 0.0 && sigma < 1.0,
+                   "variability sigma out of range");
+    DeviceModel out = nominal;
+    auto jitter = [&](double value) {
+        // Log-normal with median = nominal value.
+        return value * std::exp(sigma * rng.normal());
+    };
+    out.t1 = jitter(nominal.t1);
+    out.t2 = std::min(jitter(nominal.t2), 2.0 * out.t1);
+    out.gateError = jitter(nominal.gateError);
+    out.name = nominal.name + "-sampled";
+    return out;
+}
+
+} // namespace devices
+} // namespace hetarch

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Superconducting device models (paper Table 1).
+ *
+ * Devices are the atomic layer of the HetArch hierarchy: physical
+ * elements that store and manipulate quantum information, labeled with
+ * coherence, gate, connectivity, control-overhead and footprint
+ * properties.  Standard cells are assembled from these descriptors
+ * subject to the design rules (src/cells/design_rules.hh).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rng.hh"
+#include "core/units.hh"
+
+namespace hetarch {
+namespace devices {
+
+/** Functional classification used by the design rules. */
+enum class DeviceRole : std::uint8_t
+{
+    Compute, ///< fast gates, high connectivity, single-qubit capacity
+    Storage, ///< long coherence, 1 connection, multi-qubit capacity
+};
+
+/** Physical footprint in millimetres (depth 0 for planar devices). */
+struct Footprint
+{
+    double x_mm = 0.0;
+    double y_mm = 0.0;
+    double z_mm = 0.0;
+
+    double area() const { return x_mm * y_mm; }
+};
+
+/** Control wiring required to operate a device. */
+struct ControlOverhead
+{
+    int chargeLines = 0;
+    int fluxLines = 0;
+    int readoutLines = 0;
+
+    int total() const { return chargeLines + fluxLines + readoutLines; }
+};
+
+/** One device model (a row of Table 1). */
+struct DeviceModel
+{
+    std::string name;
+    DeviceRole role = DeviceRole::Compute;
+
+    double t1 = 0.0;            ///< amplitude-damping time, ns
+    double t2 = 0.0;            ///< dephasing time, ns
+    double readoutTime = 0.0;   ///< ns; 0 when no native readout
+    bool hasReadout = false;
+
+    double gateTime1q = 0.0;    ///< ns (0 when gate set lacks 1q gates)
+    double gateTime2q = 0.0;    ///< ns (SWAP time for storage devices)
+    double gateError = 0.0;     ///< average gate infidelity
+
+    int connectivity = 0;       ///< max couplings
+    int modes = 1;              ///< qubit capacity (multimode storage)
+
+    ControlOverhead control;
+    Footprint footprint;
+    std::string notes;
+
+    /** Sanity constraints: T2 <= 2*T1, positive times. */
+    void validate() const;
+};
+
+/** Fixed-frequency transmon qubit (compute). */
+DeviceModel fixedFrequencyTransmon();
+/** Flux-tunable qubit, e.g. fluxonium (compute). */
+DeviceModel fluxTunableQubit();
+/** 3D quantum memory cavity (storage, 25 ms). */
+DeviceModel quantumMemory3D();
+/** 3D multimode resonator, 10 modes (storage, 2 ms). */
+DeviceModel multimodeResonator3D();
+/** Projected on-chip multimode resonator (storage, 1 ms). */
+DeviceModel onChipMultimodeResonator();
+
+/** All Table 1 devices, in paper order. */
+std::vector<DeviceModel> table1Catalog();
+
+/**
+ * A storage device variant with the given per-mode coherence time —
+ * the Ts axis swept throughout Section 4 (0.5 ms ... 50 ms).
+ */
+DeviceModel storageWithCoherence(double ts_ns, int modes = 10);
+
+/** A compute device variant with the given coherence time (Tc = T1 = T2). */
+DeviceModel computeWithCoherence(double tc_ns);
+
+/**
+ * Fabrication-variability model (paper Section 5: device variability
+ * acts like p-cells in classical design).  Coherence times and gate
+ * error are jittered log-normally with relative spread @p sigma;
+ * the T2 <= 2*T1 constraint is re-imposed after sampling.
+ */
+DeviceModel perturbedDevice(const DeviceModel& nominal, double sigma,
+                            Rng& rng);
+
+} // namespace devices
+} // namespace hetarch

@@ -1,0 +1,209 @@
+#include "distill/dejmps.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+#include "dm/gates.hh"
+#include "qec/noise_model.hh"
+
+namespace hetarch {
+namespace distill {
+
+using dm::DensityMatrix;
+using linalg::Complex;
+
+void
+BellDiag::normalize()
+{
+    const double s = sum();
+    HETARCH_ASSERT(s > 1e-15, "cannot normalize zero Bell-diagonal state");
+    a /= s;
+    b /= s;
+    c /= s;
+    d /= s;
+}
+
+BellDiag
+BellDiag::werner(double infidelity)
+{
+    HETARCH_ASSERT(infidelity >= 0.0 && infidelity <= 0.75,
+                   "Werner infidelity out of range");
+    BellDiag out;
+    out.a = 1.0 - infidelity;
+    out.b = out.c = out.d = infidelity / 3.0;
+    return out;
+}
+
+DensityMatrix
+BellDiag::toDensityMatrix() const
+{
+    const double s = 1.0 / std::sqrt(2.0);
+    // Basis indices (little endian, q0 = Alice): |q1 q0>.
+    const std::vector<std::vector<Complex>> kets = {
+        {Complex(s, 0), Complex(0, 0), Complex(0, 0), Complex(s, 0)},  // Phi+
+        {Complex(0, 0), Complex(s, 0), Complex(s, 0), Complex(0, 0)},  // Psi+
+        {Complex(0, 0), Complex(s, 0), Complex(-s, 0), Complex(0, 0)}, // Psi-
+        {Complex(s, 0), Complex(0, 0), Complex(0, 0), Complex(-s, 0)}, // Phi-
+    };
+    const double coeff[4] = {a, b, c, d};
+    DensityMatrix out(2);
+    auto& m = out.matrix();
+    m = linalg::Matrix(4, 4);
+    for (int k = 0; k < 4; ++k) {
+        for (std::size_t i = 0; i < 4; ++i)
+            for (std::size_t j = 0; j < 4; ++j)
+                m(i, j) += Complex(coeff[k], 0.0) * kets[k][i] *
+                           std::conj(kets[k][j]);
+    }
+    return out;
+}
+
+BellDiag
+BellDiag::fromDensityMatrix(const DensityMatrix& rho)
+{
+    HETARCH_ASSERT(rho.numQubits() == 2, "expected a 2-qubit state");
+    const double s = 1.0 / std::sqrt(2.0);
+    const std::vector<std::vector<Complex>> kets = {
+        {Complex(s, 0), Complex(0, 0), Complex(0, 0), Complex(s, 0)},
+        {Complex(0, 0), Complex(s, 0), Complex(s, 0), Complex(0, 0)},
+        {Complex(0, 0), Complex(s, 0), Complex(-s, 0), Complex(0, 0)},
+        {Complex(s, 0), Complex(0, 0), Complex(0, 0), Complex(-s, 0)},
+    };
+    BellDiag out;
+    out.a = rho.fidelityWithKet(kets[0]);
+    out.b = rho.fidelityWithKet(kets[1]);
+    out.c = rho.fidelityWithKet(kets[2]);
+    out.d = rho.fidelityWithKet(kets[3]);
+    return out;
+}
+
+namespace {
+
+/** Apply a one-sided Pauli channel to Bell-diagonal coefficients. */
+BellDiag
+applyPauliSide(const BellDiag& in, const qec::PauliIdle& p)
+{
+    const double pi = 1.0 - p.px - p.py - p.pz;
+    BellDiag out;
+    // X swaps (a,b) and (c,d); Y swaps (a,c) and (b,d);
+    // Z swaps (a,d) and (b,c).
+    out.a = pi * in.a + p.px * in.b + p.py * in.c + p.pz * in.d;
+    out.b = pi * in.b + p.px * in.a + p.py * in.d + p.pz * in.c;
+    out.c = pi * in.c + p.px * in.d + p.py * in.a + p.pz * in.b;
+    out.d = pi * in.d + p.px * in.c + p.py * in.b + p.pz * in.a;
+    return out;
+}
+
+} // namespace
+
+BellDiag
+decay(const BellDiag& state, double t_ns, double t1_a, double t2_a,
+      double t1_b, double t2_b)
+{
+    if (t_ns <= 0.0)
+        return state;
+    BellDiag out = applyPauliSide(state, qec::idleTwirl(t_ns, t1_a, t2_a));
+    out = applyPauliSide(out, qec::idleTwirl(t_ns, t1_b, t2_b));
+    return out;
+}
+
+BellDiag
+decaySymmetric(const BellDiag& state, double t_ns, double t1, double t2)
+{
+    return decay(state, t_ns, t1, t2, t1, t2);
+}
+
+DejmpsOutcome
+dejmps(const BellDiag& p1, const BellDiag& p2)
+{
+    // The Rx(+-pi/2) rotations exchange the Psi- and Phi- components
+    // of both inputs; the bilateral CNOT then combines amplitude bits
+    // on the target pair (the parity check) and phase bits on the kept
+    // pair.  This is why iterating the map converges: the Phi-
+    // component that one round builds up is routed into the checked
+    // slot of the next round.
+    const double n = (p1.a + p1.c) * (p2.a + p2.c) +
+                     (p1.b + p1.d) * (p2.b + p2.d);
+    DejmpsOutcome out;
+    out.successProb = n;
+    if (n <= 1e-15)
+        return out;
+    out.output.a = (p1.a * p2.a + p1.c * p2.c) / n;
+    out.output.b = (p1.b * p2.b + p1.d * p2.d) / n;
+    out.output.c = (p1.b * p2.d + p1.d * p2.b) / n;
+    out.output.d = (p1.a * p2.c + p1.c * p2.a) / n;
+    return out;
+}
+
+BellDiag
+twirlToWerner(const BellDiag& state)
+{
+    BellDiag out;
+    out.a = state.a;
+    out.b = out.c = out.d = (1.0 - state.a) / 3.0;
+    return out;
+}
+
+DejmpsOutcome
+bbpssw(const BellDiag& pair1, const BellDiag& pair2)
+{
+    // Twirl, then run the same bilateral parity check; the output is
+    // reported in Werner form (the protocol twirls again before the
+    // next round anyway).
+    const auto out = dejmps(twirlToWerner(pair1), twirlToWerner(pair2));
+    DejmpsOutcome werner;
+    werner.successProb = out.successProb;
+    werner.output = twirlToWerner(out.output);
+    return werner;
+}
+
+DejmpsOutcome
+dejmpsExact(const DensityMatrix& pair1, const DensityMatrix& pair2)
+{
+    using namespace dm::gates;
+    HETARCH_ASSERT(pair1.numQubits() == 2 && pair2.numQubits() == 2,
+                   "dejmpsExact expects two 2-qubit states");
+
+    // Layout: q0 = A1, q1 = B1 (kept pair); q2 = A2, q3 = B2.
+    DensityMatrix joint = DensityMatrix::tensor(pair1, pair2);
+
+    // Alice rotates her qubits by Rx(pi/2), Bob by Rx(-pi/2).
+    const auto rx_p = rx(M_PI / 2.0);
+    const auto rx_m = rx(-M_PI / 2.0);
+    joint.applyUnitary(rx_p, {0});
+    joint.applyUnitary(rx_p, {2});
+    joint.applyUnitary(rx_m, {1});
+    joint.applyUnitary(rx_m, {3});
+
+    // Bilateral CNOTs: pair1 controls, pair2 targets.
+    joint.applyUnitary(cnot(), {0, 2});
+    joint.applyUnitary(cnot(), {1, 3});
+
+    // Postselect the two matching-outcome branches.
+    DejmpsOutcome out;
+    DensityMatrix acc(2);
+    acc.matrix() = linalg::Matrix(4, 4);
+    double total = 0.0;
+    for (bool outcome : {false, true}) {
+        DensityMatrix branch = joint;
+        const double pa = branch.postselectZ(2, outcome);
+        if (pa <= 1e-15)
+            continue;
+        const double pb = branch.postselectZ(3, outcome);
+        const double p = pa * pb;
+        if (p <= 1e-15)
+            continue;
+        DensityMatrix kept = branch.partialTrace({0, 1});
+        acc.matrix() += kept.matrix() * Complex(p, 0.0);
+        total += p;
+    }
+    out.successProb = total;
+    if (total > 1e-15) {
+        acc.matrix() *= Complex(1.0 / total, 0.0);
+        out.output = BellDiag::fromDensityMatrix(acc);
+    }
+    return out;
+}
+
+} // namespace distill
+} // namespace hetarch

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * DEJMPS entanglement distillation (Deutsch et al., PRL 77, 2818).
+ *
+ * Two implementations are provided:
+ *  - a closed-form fast path on Bell-diagonal states (the form the
+ *    event-driven module simulator uses), and
+ *  - an exact 4-qubit density-matrix implementation used as the
+ *    reference in tests and the ablation bench.
+ */
+
+#pragma once
+
+#include "dm/density_matrix.hh"
+
+namespace hetarch {
+namespace distill {
+
+/**
+ * A two-qubit state diagonal in the Bell basis:
+ *   a |Phi+>, b |Psi+>, c |Psi->, d |Phi->.
+ * The Bell fidelity is the coefficient a.
+ */
+struct BellDiag
+{
+    double a = 1.0;
+    double b = 0.0;
+    double c = 0.0;
+    double d = 0.0;
+
+    double fidelity() const { return a; }
+    double infidelity() const { return 1.0 - a; }
+    double sum() const { return a + b + c + d; }
+
+    /** Renormalize so the coefficients sum to 1. */
+    void normalize();
+
+    /** Werner state with Bell fidelity 1 - eps. */
+    static BellDiag werner(double infidelity);
+
+    /** Convert to an exact 2-qubit density matrix. */
+    dm::DensityMatrix toDensityMatrix() const;
+
+    /**
+     * Extract Bell-diagonal coefficients from a density matrix (the
+     * Bell-basis diagonal; exact for Bell-diagonal states, a twirl
+     * projection otherwise).
+     */
+    static BellDiag fromDensityMatrix(const dm::DensityMatrix& rho);
+};
+
+/**
+ * Idle decay of a Bell pair whose two halves decohere with (t1_a,
+ * t2_a) and (t1_b, t2_b) for time @p t_ns, in the Pauli-twirl
+ * approximation (which keeps the state Bell diagonal).
+ */
+BellDiag decay(const BellDiag& state, double t_ns, double t1_a,
+               double t2_a, double t1_b, double t2_b);
+
+/** Symmetric decay: both halves with coherence (t1, t2). */
+BellDiag decaySymmetric(const BellDiag& state, double t_ns, double t1,
+                        double t2);
+
+/** Result of one DEJMPS round. */
+struct DejmpsOutcome
+{
+    BellDiag output;        ///< post-selected output pair
+    double successProb = 0; ///< probability the parity check passes
+};
+
+/** Closed-form DEJMPS round on two Bell-diagonal pairs. */
+DejmpsOutcome dejmps(const BellDiag& pair1, const BellDiag& pair2);
+
+/**
+ * Exact density-matrix DEJMPS: builds the 4-qubit state
+ * pair1 (x) pair2, applies the DEJMPS local rotations and bilateral
+ * CNOTs, postselects on matching parity outcomes, and returns the kept
+ * pair and the success probability.
+ */
+DejmpsOutcome dejmpsExact(const dm::DensityMatrix& pair1,
+                          const dm::DensityMatrix& pair2);
+
+/**
+ * BBPSSW round (Bennett et al., PRL 76, 722): both pairs are twirled
+ * to Werner form before the bilateral parity check.  Converges more
+ * slowly than DEJMPS (the twirl discards the coefficient structure
+ * DEJMPS exploits) — kept as the comparison protocol.
+ */
+DejmpsOutcome bbpssw(const BellDiag& pair1, const BellDiag& pair2);
+
+/** Twirl a Bell-diagonal state to Werner form (preserves fidelity). */
+BellDiag twirlToWerner(const BellDiag& state);
+
+} // namespace distill
+} // namespace hetarch

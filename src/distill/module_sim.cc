@@ -1,0 +1,251 @@
+#include "distill/module_sim.hh"
+
+#include <algorithm>
+
+#include "cells/standard_cells.hh"
+#include "core/logging.hh"
+#include "core/rng.hh"
+#include "devices/device.hh"
+
+namespace hetarch {
+namespace distill {
+
+double
+DistillConfig::computePhase() const
+{
+    // Two local parity-check halves run in parallel (classical
+    // communication is neglected, as in the paper).  The kept pair is
+    // unloaded, rotated, entangled with the sacrificed pair, and
+    // stored back before the sacrificed pair's readout completes.
+    const double swaps = heterogeneous ? 2.0 * swapTime : 0.0;
+    return swaps + rotTime + gateTime;
+}
+
+double
+DistillConfig::distillDuration() const
+{
+    return computePhase() + readoutTime;
+}
+
+double
+DistillResult::distilledRatePerMs() const
+{
+    return horizon > 0.0
+               ? static_cast<double>(distilled) / (horizon / units::ms)
+               : 0.0;
+}
+
+namespace {
+
+/** One EP held in a memory, with lazy decay bookkeeping. */
+struct StoredPair
+{
+    BellDiag state;
+    double lastUpdate = 0.0;
+    /** Number of successful distillation rounds folded in. */
+    int rung = 0;
+};
+
+/** Advance a stored pair to @p now at memory coherence @p t_mem. */
+void
+advance(StoredPair& pair, double now, double t_mem)
+{
+    if (now > pair.lastUpdate) {
+        pair.state = decaySymmetric(pair.state, now - pair.lastUpdate,
+                                    t_mem, t_mem);
+        pair.lastUpdate = now;
+    }
+}
+
+} // namespace
+
+DistillResult
+simulateDistillation(const DistillConfig& config, double horizon_ns,
+                     double trace_interval_ns)
+{
+    HETARCH_ASSERT(horizon_ns > 0.0, "horizon must be positive");
+    Rng rng(config.seed);
+
+    const double t_mem = config.heterogeneous ? config.ts : config.tc;
+    const double t_op = config.distillDuration();
+
+    std::vector<StoredPair> input;
+    std::vector<StoredPair> output;
+
+    DistillResult result;
+    result.horizon = horizon_ns;
+
+    double next_arrival = rng.exponential(config.epRate);
+    // Distiller occupancy: when busy, the two consumed input slots are
+    // already removed; completion applies the outcome.
+    double busy_until = -1.0;
+    BellDiag pending_output;
+    double pending_success = 0.0;
+
+    double next_trace = 0.0;
+
+    auto record_trace = [&](double now) {
+        double best = 1.0;
+        for (auto& pair : output) {
+            advance(pair, now, t_mem);
+            best = std::min(best, pair.state.infidelity());
+        }
+        result.trace.push_back({now, best});
+    };
+
+    int pending_rung = 0;
+
+    auto try_start_distillation = [&](double now) {
+        if (busy_until >= 0.0 || input.size() < 2)
+            return;
+        for (auto& pair : input)
+            advance(pair, now, t_mem);
+        // Entanglement-pumping schedule (paper priorities 1 and 3):
+        // pair equals with equals, preferring the highest rung that
+        // has two pairs, so each round roughly squares the infidelity
+        // instead of creeping toward a mixed-rung fixed point.
+        std::sort(input.begin(), input.end(),
+                  [](const StoredPair& x, const StoredPair& y) {
+                      if (x.rung != y.rung)
+                          return x.rung > y.rung;
+                      return x.state.fidelity() > y.state.fidelity();
+                  });
+        for (std::size_t i = 0; i + 1 < input.size(); ++i) {
+            if (input[i].rung != input[i + 1].rung)
+                continue;
+            // The kept pair decays at compute coherence during the
+            // gate phase, then idles in memory while the sacrificed
+            // pair is read out (the sacrificed pair's outcome is fixed
+            // once measured).
+            BellDiag p1 = decaySymmetric(input[i].state,
+                                         config.computePhase(),
+                                         config.tc, config.tc);
+            p1 = decaySymmetric(p1, config.readoutTime, t_mem, t_mem);
+            const BellDiag p2 = decaySymmetric(input[i + 1].state,
+                                               config.computePhase(),
+                                               config.tc, config.tc);
+            const auto outcome = config.protocol == Protocol::Dejmps
+                                     ? dejmps(p1, p2)
+                                     : bbpssw(p1, p2);
+            if (outcome.output.fidelity() <=
+                input[i].state.fidelity())
+                continue; // this rung would not improve; try lower
+            pending_rung = input[i].rung + 1;
+            input.erase(input.begin() + static_cast<std::ptrdiff_t>(i),
+                        input.begin() + static_cast<std::ptrdiff_t>(i) +
+                            2);
+            busy_until = now + t_op;
+            pending_output = outcome.output;
+            pending_success = outcome.successProb;
+            ++result.attempts;
+            return;
+        }
+    };
+
+    double now = 0.0;
+    while (now < horizon_ns) {
+        // Next event: arrival, distiller completion, or trace tick.
+        double next = next_arrival;
+        if (busy_until >= 0.0)
+            next = std::min(next, busy_until);
+        next = std::min(next, next_trace);
+        now = next;
+        if (now >= horizon_ns)
+            break;
+
+        if (busy_until >= 0.0 && now == busy_until) {
+            busy_until = -1.0;
+            if (rng.bernoulli(pending_success)) {
+                if (pending_output.fidelity() >= config.targetFidelity) {
+                    // Priority 2: move to the output memory.
+                    ++result.distilled;
+                    if (output.size() >= config.outputCapacity) {
+                        // Replace the stalest output pair.
+                        std::size_t worst = 0;
+                        for (std::size_t i = 1; i < output.size(); ++i) {
+                            advance(output[i], now, t_mem);
+                            if (output[i].state.fidelity() <
+                                output[worst].state.fidelity())
+                                worst = i;
+                        }
+                        output.erase(output.begin() +
+                                     static_cast<std::ptrdiff_t>(worst));
+                    }
+                    output.push_back({pending_output, now});
+                    record_trace(now);
+                } else {
+                    // Partially distilled pair returns to the input
+                    // memory for another round (priority 1).
+                    if (input.size() < config.inputCapacity)
+                        input.push_back(
+                            {pending_output, now, pending_rung});
+                }
+            } else {
+                ++result.failures;
+            }
+            try_start_distillation(now);
+        } else if (now == next_arrival) {
+            next_arrival = now + rng.exponential(config.epRate);
+            ++result.rawGenerated;
+            // A slot stays reserved for the in-flight pair so a
+            // successful round never overflows the memory.
+            const std::size_t in_flight = busy_until >= 0.0 ? 1 : 0;
+            if (input.size() + in_flight < config.inputCapacity) {
+                ++result.rawAccepted;
+                input.push_back(
+                    {BellDiag::werner(config.epInfidelity), now, 0});
+                try_start_distillation(now);
+            } else if (!input.empty()) {
+                // Memory full: replace the worst stored pair when the
+                // fresh EP is better (keeps the memory from silting up
+                // with decayed pairs).
+                std::size_t worst = 0;
+                for (std::size_t i = 0; i < input.size(); ++i) {
+                    advance(input[i], now, t_mem);
+                    if (input[i].state.fidelity() <
+                        input[worst].state.fidelity())
+                        worst = i;
+                }
+                if (input[worst].state.fidelity() <
+                    1.0 - config.epInfidelity) {
+                    ++result.rawAccepted;
+                    input[worst] =
+                        {BellDiag::werner(config.epInfidelity), now, 0};
+                    try_start_distillation(now);
+                }
+            }
+        }
+        if (now >= next_trace) {
+            record_trace(now);
+            next_trace += trace_interval_ns;
+        }
+    }
+    record_trace(horizon_ns);
+    return result;
+}
+
+module::Module
+buildDistillationModule(double ts_ns)
+{
+    const auto storage = devices::storageWithCoherence(ts_ns, 3);
+    const auto compute = devices::fixedFrequencyTransmon();
+
+    module::Module input("input-memory");
+    input.addCell(cells::makeRegister(storage, compute));
+    input.addCell(cells::makeRegister(storage, compute));
+
+    module::Module distil("distillation");
+    distil.addCell(cells::makeParCheck(compute));
+
+    module::Module output("output-memory");
+    output.addCell(cells::makeRegister(storage, compute));
+
+    module::Module top("entanglement-distillation");
+    top.addSubModule(std::move(input));
+    top.addSubModule(std::move(distil));
+    top.addSubModule(std::move(output));
+    return top;
+}
+
+} // namespace distill
+} // namespace hetarch

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Event-driven simulation of the entanglement-distillation module
+ * (paper Section 4.1, Figs. 1, 3, 4).
+ *
+ * The module comprises an input memory (Register cells), a ParCheck
+ * distillation cell, and an output memory (Register cell).  Entangled
+ * pairs (EPs) arrive stochastically (Poisson), decay in memory, and a
+ * greedy scheduler drives DEJMPS rounds with the paper's priorities:
+ *   (1) re-distill stored pairs when it improves fidelity,
+ *   (2) move pairs that reached the target to the output memory,
+ *   (3) distill newly arrived pairs,
+ *   (4) store incoming pairs.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/units.hh"
+#include "distill/dejmps.hh"
+#include "module/module.hh"
+
+namespace hetarch {
+namespace distill {
+
+/** Which two-pair purification protocol the module runs. */
+enum class Protocol
+{
+    Dejmps, ///< the paper's protocol (DEJMPS)
+    Bbpssw, ///< Werner-twirled comparison protocol
+};
+
+/** Configuration of a distillation-module simulation. */
+struct DistillConfig
+{
+    /** Purification protocol (paper: DEJMPS). */
+    Protocol protocol = Protocol::Dejmps;
+
+    /** Storage coherence per mode (T1 = T2 = Ts). */
+    double ts = 12.5 * units::ms;
+    /** Compute coherence (T1 = T2 = Tc). */
+    double tc = 0.5 * units::ms;
+    /**
+     * Heterogeneous: idle pairs live in storage devices at Ts.
+     * Homogeneous baseline: everything idles at Tc (set het=false).
+     */
+    bool heterogeneous = true;
+
+    /** Mean EP generation rate (events per ns). */
+    double epRate = 1.0 * units::MHz;
+    /** Infidelity of freshly generated (Werner) EPs. */
+    double epInfidelity = 0.05;
+    /** Output threshold fidelity. */
+    double targetFidelity = 0.995;
+
+    /** Input memory capacity (2 Registers x 3 modes in the paper). */
+    std::size_t inputCapacity = 6;
+    /** Output memory capacity (1 Register x 3 modes). */
+    std::size_t outputCapacity = 3;
+
+    /**
+     * Storage<->compute SWAP duration (paper Section 4: all two-qubit
+     * gates including SWAPs take 100 ns).
+     */
+    double swapTime = 100.0;
+    /** Two-qubit gate time. */
+    double gateTime = 100.0;
+    /** Single-qubit rotation time. */
+    double rotTime = 40.0;
+    /** Readout duration. */
+    double readoutTime = 1.0 * units::us;
+
+    std::uint64_t seed = 1;
+
+    /**
+     * Time the kept pair spends on compute devices per attempt
+     * (unload, rotation, CNOT, store back).
+     */
+    double computePhase() const;
+    /** Total occupancy of the ParCheck per attempt (incl. readout). */
+    double distillDuration() const;
+};
+
+/** A point of the best-output-infidelity trace (Fig. 3). */
+struct TracePoint
+{
+    double time = 0.0;             ///< ns
+    double bestInfidelity = 1.0;   ///< best EP in the output register
+};
+
+/** Aggregate result of one simulation run. */
+struct DistillResult
+{
+    std::vector<TracePoint> trace;
+    std::size_t rawGenerated = 0;   ///< EPs arriving at the module
+    std::size_t rawAccepted = 0;    ///< EPs stored (not overflowed)
+    std::size_t distilled = 0;      ///< pairs that reached the target
+    std::size_t attempts = 0;       ///< DEJMPS rounds executed
+    std::size_t failures = 0;       ///< DEJMPS rounds that failed
+    double horizon = 0.0;           ///< simulated time, ns
+
+    /** Distilled pairs per millisecond (Fig. 4 y-axis). */
+    double distilledRatePerMs() const;
+};
+
+/** Run one simulation to @p horizon_ns. */
+DistillResult simulateDistillation(const DistillConfig& config,
+                                   double horizon_ns,
+                                   double trace_interval_ns = 500.0);
+
+/**
+ * The distillation module as a HetArch module-hierarchy object
+ * (Fig. 1): input memory sub-module (2 Registers), distillation
+ * sub-module (ParCheck), output memory sub-module (1 Register).
+ */
+module::Module buildDistillationModule(double ts_ns);
+
+} // namespace distill
+} // namespace hetarch

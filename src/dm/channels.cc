@@ -1,0 +1,134 @@
+#include "dm/channels.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+#include "dm/gates.hh"
+
+namespace hetarch {
+namespace dm {
+namespace channels {
+
+std::vector<Matrix>
+amplitudeDamping(double p)
+{
+    HETARCH_ASSERT(p >= 0.0 && p <= 1.0, "damping probability out of range");
+    const double keep = std::sqrt(1.0 - p);
+    const double leak = std::sqrt(p);
+    return {
+        Matrix{{1, 0}, {0, keep}},
+        Matrix{{0, leak}, {0, 0}},
+    };
+}
+
+std::vector<Matrix>
+phaseDamping(double lambda)
+{
+    HETARCH_ASSERT(lambda >= 0.0 && lambda <= 1.0,
+                   "dephasing parameter out of range");
+    const double keep = std::sqrt(1.0 - lambda);
+    const double leak = std::sqrt(lambda);
+    return {
+        Matrix{{1, 0}, {0, keep}},
+        Matrix{{0, 0}, {0, leak}},
+    };
+}
+
+double
+pureDephasingRate(double t1_ns, double t2_ns)
+{
+    HETARCH_ASSERT(t1_ns > 0.0 && t2_ns > 0.0, "coherence times must be > 0");
+    const double rate = 1.0 / t2_ns - 0.5 / t1_ns;
+    if (rate < -1e-12) {
+        HETARCH_FATAL("unphysical coherence pair T1=", t1_ns, "ns, T2=",
+                      t2_ns, "ns (requires T2 <= 2*T1)");
+    }
+    return rate > 0.0 ? rate : 0.0;
+}
+
+std::vector<Matrix>
+idleChannel(double t_ns, double t1_ns, double t2_ns)
+{
+    HETARCH_ASSERT(t_ns >= 0.0, "idle duration must be non-negative");
+    const double p_amp = 1.0 - std::exp(-t_ns / t1_ns);
+    const double gphi = pureDephasingRate(t1_ns, t2_ns);
+    // Off-diagonals should pick up e^{-gphi * t} from pure dephasing;
+    // phaseDamping(lambda) multiplies them by sqrt(1 - lambda).
+    const double lambda = 1.0 - std::exp(-2.0 * gphi * t_ns);
+
+    const auto amp = amplitudeDamping(p_amp);
+    const auto deph = phaseDamping(lambda);
+    std::vector<Matrix> out;
+    out.reserve(amp.size() * deph.size());
+    for (const auto& d : deph)
+        for (const auto& a : amp)
+            out.push_back(d * a);
+    return out;
+}
+
+std::vector<Matrix>
+depolarizing1(double p)
+{
+    HETARCH_ASSERT(p >= 0.0 && p <= 1.0, "depolarizing p out of range");
+    using namespace gates;
+    const double keep = std::sqrt(1.0 - p);
+    const double err = std::sqrt(p / 3.0);
+    return {
+        I() * Complex(keep, 0.0),
+        X() * Complex(err, 0.0),
+        Y() * Complex(err, 0.0),
+        Z() * Complex(err, 0.0),
+    };
+}
+
+std::vector<Matrix>
+depolarizing2(double p)
+{
+    HETARCH_ASSERT(p >= 0.0 && p <= 1.0, "depolarizing p out of range");
+    using namespace gates;
+    const std::vector<const Matrix*> paulis{&I(), &X(), &Y(), &Z()};
+    std::vector<Matrix> out;
+    out.reserve(16);
+    const double keep = std::sqrt(1.0 - p);
+    const double err = std::sqrt(p / 15.0);
+    for (std::size_t a = 0; a < 4; ++a) {
+        for (std::size_t b = 0; b < 4; ++b) {
+            const double w = (a == 0 && b == 0) ? keep : err;
+            out.push_back(linalg::kron(*paulis[b], *paulis[a]) *
+                          Complex(w, 0.0));
+        }
+    }
+    return out;
+}
+
+std::vector<Matrix>
+bitFlip(double p)
+{
+    using namespace gates;
+    return {I() * Complex(std::sqrt(1.0 - p), 0.0),
+            X() * Complex(std::sqrt(p), 0.0)};
+}
+
+std::vector<Matrix>
+phaseFlip(double p)
+{
+    using namespace gates;
+    return {I() * Complex(std::sqrt(1.0 - p), 0.0),
+            Z() * Complex(std::sqrt(p), 0.0)};
+}
+
+bool
+isTracePreserving(const std::vector<Matrix>& kraus, double tol)
+{
+    if (kraus.empty())
+        return false;
+    const std::size_t d = kraus.front().rows();
+    Matrix acc(d, d);
+    for (const auto& k : kraus)
+        acc += k.dagger() * k;
+    return acc.maxAbsDiff(Matrix::identity(d)) <= tol;
+}
+
+} // namespace channels
+} // namespace dm
+} // namespace hetarch

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Kraus-operator noise channels.
+ *
+ * Device decoherence is modeled with the standard T1 (amplitude
+ * damping) / T2 (total dephasing) picture.  idleChannel(t, T1, T2)
+ * composes amplitude damping with the pure-dephasing remainder so that
+ * populations relax with T1 and coherences decay with T2; it agrees
+ * with integrating the corresponding Lindblad equation (verified in
+ * tests/dm/lindblad_test.cc).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hh"
+
+namespace hetarch {
+namespace dm {
+
+using linalg::Matrix;
+
+namespace channels {
+
+/** Amplitude damping with decay probability p = 1 - e^{-t/T1}. */
+std::vector<Matrix> amplitudeDamping(double p);
+
+/**
+ * Phase damping parameterized so that off-diagonals shrink by
+ * sqrt(1 - lambda).
+ */
+std::vector<Matrix> phaseDamping(double lambda);
+
+/**
+ * Combined idle-decoherence channel over duration @p t_ns for a device
+ * with the given T1/T2 (both in ns).  Requires T2 <= 2*T1.
+ */
+std::vector<Matrix> idleChannel(double t_ns, double t1_ns, double t2_ns);
+
+/** Single-qubit depolarizing channel with error probability p. */
+std::vector<Matrix> depolarizing1(double p);
+
+/** Two-qubit depolarizing channel with error probability p. */
+std::vector<Matrix> depolarizing2(double p);
+
+/** Bit-flip channel: X with probability p. */
+std::vector<Matrix> bitFlip(double p);
+
+/** Phase-flip channel: Z with probability p. */
+std::vector<Matrix> phaseFlip(double p);
+
+/**
+ * Pure-dephasing rate gamma_phi = 1/T2 - 1/(2 T1) implied by a T1/T2
+ * pair (in 1/ns).  Fatal if T2 > 2*T1 (unphysical).
+ */
+double pureDephasingRate(double t1_ns, double t2_ns);
+
+/** Verify sum_i K_i^dagger K_i = I to within @p tol. */
+bool isTracePreserving(const std::vector<Matrix>& kraus, double tol = 1e-10);
+
+} // namespace channels
+} // namespace dm
+} // namespace hetarch

@@ -1,0 +1,304 @@
+#include "dm/density_matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace hetarch {
+namespace dm {
+
+namespace {
+
+/** True when @p x is a power of two. */
+bool
+isPow2(std::size_t x)
+{
+    return x && (x & (x - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+std::size_t
+log2Exact(std::size_t x)
+{
+    std::size_t n = 0;
+    while ((static_cast<std::size_t>(1) << n) < x)
+        ++n;
+    return n;
+}
+
+} // namespace
+
+DensityMatrix::DensityMatrix(std::size_t num_qubits)
+    : nq(num_qubits), rho(static_cast<std::size_t>(1) << num_qubits,
+                          static_cast<std::size_t>(1) << num_qubits)
+{
+    HETARCH_ASSERT(num_qubits <= 12, "density matrix too large: ",
+                   num_qubits, " qubits");
+    rho(0, 0) = Complex(1.0, 0.0);
+}
+
+DensityMatrix
+DensityMatrix::fromKet(const std::vector<Complex>& amplitudes)
+{
+    HETARCH_ASSERT(isPow2(amplitudes.size()), "ket length must be 2^n");
+    const std::size_t n = log2Exact(amplitudes.size());
+    DensityMatrix out(n);
+    const std::size_t d = amplitudes.size();
+    double norm2 = 0.0;
+    for (const auto& a : amplitudes)
+        norm2 += std::norm(a);
+    HETARCH_ASSERT(norm2 > 0.0, "ket must be nonzero");
+    for (std::size_t i = 0; i < d; ++i)
+        for (std::size_t j = 0; j < d; ++j)
+            out.rho(i, j) = amplitudes[i] * std::conj(amplitudes[j]) / norm2;
+    return out;
+}
+
+DensityMatrix
+DensityMatrix::bellPair(double infidelity)
+{
+    HETARCH_ASSERT(infidelity >= 0.0 && infidelity <= 0.75,
+                   "Bell infidelity out of range: ", infidelity);
+    const double s = 1.0 / std::sqrt(2.0);
+    DensityMatrix out =
+        fromKet({Complex(s, 0), Complex(0, 0), Complex(0, 0), Complex(s, 0)});
+    if (infidelity > 0.0) {
+        // Werner mixing: F = (1 - w) * 1 + w * 1/4  =>  w = 4/3 * eps.
+        const double w = 4.0 / 3.0 * infidelity;
+        out.rho *= Complex(1.0 - w, 0.0);
+        for (std::size_t i = 0; i < 4; ++i)
+            out.rho(i, i) += Complex(w / 4.0, 0.0);
+    }
+    return out;
+}
+
+DensityMatrix
+DensityMatrix::tensor(const DensityMatrix& a, const DensityMatrix& b)
+{
+    DensityMatrix out(a.nq + b.nq);
+    // Little-endian: a occupies low-order bits, so in kron() terms the
+    // high-order factor is b.
+    out.rho = linalg::kron(b.rho, a.rho);
+    return out;
+}
+
+Matrix
+DensityMatrix::embed(const Matrix& op,
+                     const std::vector<std::size_t>& qubits) const
+{
+    const std::size_t k = qubits.size();
+    HETARCH_ASSERT(op.rows() == (static_cast<std::size_t>(1) << k) &&
+                   op.cols() == op.rows(),
+                   "operator shape does not match qubit count");
+    for (auto q : qubits)
+        HETARCH_ASSERT(q < nq, "qubit index ", q, " out of range");
+
+    const std::size_t d = dim();
+    Matrix full(d, d);
+
+    // Mask of target bits and the list of non-target bit positions.
+    std::size_t target_mask = 0;
+    for (auto q : qubits)
+        target_mask |= static_cast<std::size_t>(1) << q;
+
+    std::vector<std::size_t> rest_bits;
+    for (std::size_t q = 0; q < nq; ++q)
+        if (!(target_mask & (static_cast<std::size_t>(1) << q)))
+            rest_bits.push_back(q);
+
+    const std::size_t sub_dim = static_cast<std::size_t>(1) << k;
+    const std::size_t rest_dim = static_cast<std::size_t>(1) << rest_bits.size();
+
+    // expand(sub, rest) scatters a k-bit subspace index and an (n-k)-bit
+    // environment index into a full n-bit basis index.
+    auto expand = [&](std::size_t sub, std::size_t rest) {
+        std::size_t idx = 0;
+        for (std::size_t b = 0; b < k; ++b)
+            if (sub & (static_cast<std::size_t>(1) << b))
+                idx |= static_cast<std::size_t>(1) << qubits[b];
+        for (std::size_t b = 0; b < rest_bits.size(); ++b)
+            if (rest & (static_cast<std::size_t>(1) << b))
+                idx |= static_cast<std::size_t>(1) << rest_bits[b];
+        return idx;
+    };
+
+    for (std::size_t r = 0; r < rest_dim; ++r) {
+        for (std::size_t si = 0; si < sub_dim; ++si) {
+            const std::size_t row = expand(si, r);
+            for (std::size_t sj = 0; sj < sub_dim; ++sj) {
+                const Complex v = op(si, sj);
+                if (v == Complex(0.0, 0.0))
+                    continue;
+                full(row, expand(sj, r)) = v;
+            }
+        }
+    }
+    return full;
+}
+
+void
+DensityMatrix::applyUnitary(const Matrix& u,
+                            const std::vector<std::size_t>& qubits)
+{
+    const Matrix full = embed(u, qubits);
+    rho = full * rho * full.dagger();
+}
+
+void
+DensityMatrix::applyKraus(const std::vector<Matrix>& kraus,
+                          const std::vector<std::size_t>& qubits)
+{
+    HETARCH_ASSERT(!kraus.empty(), "empty Kraus set");
+    Matrix acc(dim(), dim());
+    for (const auto& k : kraus) {
+        const Matrix full = embed(k, qubits);
+        acc += full * rho * full.dagger();
+    }
+    rho = std::move(acc);
+}
+
+double
+DensityMatrix::probOne(std::size_t qubit) const
+{
+    HETARCH_ASSERT(qubit < nq, "qubit out of range");
+    const std::size_t bit = static_cast<std::size_t>(1) << qubit;
+    double p = 0.0;
+    for (std::size_t i = 0; i < dim(); ++i)
+        if (i & bit)
+            p += rho(i, i).real();
+    return std::clamp(p, 0.0, 1.0);
+}
+
+bool
+DensityMatrix::measureZ(std::size_t qubit, Rng& rng)
+{
+    const double p1 = probOne(qubit);
+    const bool outcome = rng.bernoulli(p1);
+    postselectZ(qubit, outcome);
+    return outcome;
+}
+
+double
+DensityMatrix::postselectZ(std::size_t qubit, bool outcome)
+{
+    HETARCH_ASSERT(qubit < nq, "qubit out of range");
+    const std::size_t bit = static_cast<std::size_t>(1) << qubit;
+    const double p = outcome ? probOne(qubit) : 1.0 - probOne(qubit);
+
+    // Zero out all elements inconsistent with the outcome.
+    for (std::size_t i = 0; i < dim(); ++i) {
+        for (std::size_t j = 0; j < dim(); ++j) {
+            const bool i_ok = (static_cast<bool>(i & bit) == outcome);
+            const bool j_ok = (static_cast<bool>(j & bit) == outcome);
+            if (!i_ok || !j_ok)
+                rho(i, j) = Complex(0.0, 0.0);
+        }
+    }
+    if (p < 1e-15) {
+        // Outcome was (numerically) impossible; leave maximally mixed.
+        rho = Matrix::identity(dim());
+        rho *= Complex(1.0 / static_cast<double>(dim()), 0.0);
+        return 0.0;
+    }
+    rho *= Complex(1.0 / p, 0.0);
+    return p;
+}
+
+DensityMatrix
+DensityMatrix::partialTrace(const std::vector<std::size_t>& keep) const
+{
+    for (auto q : keep)
+        HETARCH_ASSERT(q < nq, "qubit out of range in partialTrace");
+
+    std::size_t keep_mask = 0;
+    for (auto q : keep)
+        keep_mask |= static_cast<std::size_t>(1) << q;
+
+    std::vector<std::size_t> traced_bits;
+    for (std::size_t q = 0; q < nq; ++q)
+        if (!(keep_mask & (static_cast<std::size_t>(1) << q)))
+            traced_bits.push_back(q);
+
+    const std::size_t keep_dim = static_cast<std::size_t>(1) << keep.size();
+    const std::size_t env_dim =
+        static_cast<std::size_t>(1) << traced_bits.size();
+
+    auto expand = [&](std::size_t kept, std::size_t env) {
+        std::size_t idx = 0;
+        for (std::size_t b = 0; b < keep.size(); ++b)
+            if (kept & (static_cast<std::size_t>(1) << b))
+                idx |= static_cast<std::size_t>(1) << keep[b];
+        for (std::size_t b = 0; b < traced_bits.size(); ++b)
+            if (env & (static_cast<std::size_t>(1) << b))
+                idx |= static_cast<std::size_t>(1) << traced_bits[b];
+        return idx;
+    };
+
+    DensityMatrix out(keep.size());
+    out.rho = Matrix(keep_dim, keep_dim);
+    for (std::size_t i = 0; i < keep_dim; ++i)
+        for (std::size_t j = 0; j < keep_dim; ++j) {
+            Complex sum(0.0, 0.0);
+            for (std::size_t e = 0; e < env_dim; ++e)
+                sum += rho(expand(i, e), expand(j, e));
+            out.rho(i, j) = sum;
+        }
+    return out;
+}
+
+double
+DensityMatrix::purity() const
+{
+    return (rho * rho).trace().real();
+}
+
+double
+DensityMatrix::fidelityWithKet(const std::vector<Complex>& amplitudes) const
+{
+    HETARCH_ASSERT(amplitudes.size() == dim(),
+                   "ket length does not match register");
+    // <psi|rho|psi>
+    Complex acc(0.0, 0.0);
+    for (std::size_t i = 0; i < dim(); ++i) {
+        Complex row(0.0, 0.0);
+        for (std::size_t j = 0; j < dim(); ++j)
+            row += rho(i, j) * amplitudes[j];
+        acc += std::conj(amplitudes[i]) * row;
+    }
+    return std::clamp(acc.real(), 0.0, 1.0);
+}
+
+double
+DensityMatrix::bellFidelity() const
+{
+    HETARCH_ASSERT(nq == 2, "bellFidelity requires a 2-qubit state");
+    const double s = 1.0 / std::sqrt(2.0);
+    return fidelityWithKet({Complex(s, 0), Complex(0, 0),
+                            Complex(0, 0), Complex(s, 0)});
+}
+
+double
+DensityMatrix::expectation(const Matrix& observable,
+                           const std::vector<std::size_t>& qubits) const
+{
+    const Matrix full = embed(observable, qubits);
+    return (full * rho).trace().real();
+}
+
+double
+DensityMatrix::traceReal() const
+{
+    return rho.trace().real();
+}
+
+void
+DensityMatrix::normalize()
+{
+    const double t = traceReal();
+    HETARCH_ASSERT(t > 1e-15, "cannot normalize zero-trace state");
+    rho *= Complex(1.0 / t, 0.0);
+}
+
+} // namespace dm
+} // namespace hetarch

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Exact density-matrix simulation of small qubit registers.
+ *
+ * This is the workhorse of standard-cell characterization: cells contain
+ * 2-6 qubits, and their operations are characterized by evolving the
+ * exact density matrix under gates and noise channels and extracting
+ * fidelities from the result (HetArch paper, Sections 2 and 3.2).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hh"
+#include "linalg/matrix.hh"
+
+namespace hetarch {
+namespace dm {
+
+using linalg::Complex;
+using linalg::Matrix;
+
+/**
+ * Density matrix over n qubits with little-endian basis indexing
+ * (qubit q is bit q of the basis index).
+ */
+class DensityMatrix
+{
+  public:
+    /** All-|0> state on @p num_qubits qubits. */
+    explicit DensityMatrix(std::size_t num_qubits);
+
+    /** Pure state rho = |psi><psi| from an amplitude vector. */
+    static DensityMatrix fromKet(const std::vector<Complex>& amplitudes);
+
+    /**
+     * Two-qubit Bell state (|00> + |11>)/sqrt(2), optionally with
+     * *infidelity* eps mixed in as a Werner state:
+     * rho = (1-eps') |Phi+><Phi+| + eps' I/4 with eps' = 4 eps / 3 so
+     * that the Bell fidelity is exactly 1 - eps.
+     */
+    static DensityMatrix bellPair(double infidelity = 0.0);
+
+    /** Tensor product: @p a occupies the low-order qubits. */
+    static DensityMatrix tensor(const DensityMatrix& a,
+                                const DensityMatrix& b);
+
+    std::size_t numQubits() const { return nq; }
+    std::size_t dim() const { return static_cast<std::size_t>(1) << nq; }
+
+    /** Underlying matrix (read-only). */
+    const Matrix& matrix() const { return rho; }
+    /** Underlying matrix (mutable; caller must preserve validity). */
+    Matrix& matrix() { return rho; }
+
+    /**
+     * Apply a k-qubit unitary to the given qubits.  @p qubits lists the
+     * register qubits corresponding to the gate's own tensor factors,
+     * first entry = gate's low-order bit.
+     */
+    void applyUnitary(const Matrix& u, const std::vector<std::size_t>& qubits);
+
+    /** Apply a Kraus channel {K_i} to the given qubits. */
+    void applyKraus(const std::vector<Matrix>& kraus,
+                    const std::vector<std::size_t>& qubits);
+
+    /** Probability of measuring @p qubit in |1> (Z basis). */
+    double probOne(std::size_t qubit) const;
+
+    /**
+     * Projective Z measurement of @p qubit: collapses the state,
+     * renormalizes, and returns the outcome.
+     */
+    bool measureZ(std::size_t qubit, Rng& rng);
+
+    /**
+     * Postselect @p qubit on the given outcome; returns the probability
+     * of that outcome.  State is renormalized (unless probability is
+     * ~0, in which case the state is left maximally mixed and 0.0 is
+     * returned).
+     */
+    double postselectZ(std::size_t qubit, bool outcome);
+
+    /** Discard all qubits except @p keep (partial trace), reindexing. */
+    DensityMatrix partialTrace(const std::vector<std::size_t>& keep) const;
+
+    /** Tr(rho^2); 1 for pure states. */
+    double purity() const;
+
+    /** <psi|rho|psi> for a pure target given as amplitudes. */
+    double fidelityWithKet(const std::vector<Complex>& amplitudes) const;
+
+    /**
+     * Fidelity with the Bell state (|00> + |11>)/sqrt(2); requires a
+     * 2-qubit state.
+     */
+    double bellFidelity() const;
+
+    /** Expectation value of a Hermitian observable on a subset. */
+    double expectation(const Matrix& observable,
+                       const std::vector<std::size_t>& qubits) const;
+
+    /** Trace of the density matrix (should be ~1). */
+    double traceReal() const;
+
+    /** Renormalize so the trace is exactly 1. */
+    void normalize();
+
+    /**
+     * Embed a k-qubit operator into the full register space given the
+     * target qubits (exposed for the Lindblad solver).
+     */
+    Matrix embed(const Matrix& op,
+                 const std::vector<std::size_t>& qubits) const;
+
+  private:
+    std::size_t nq;
+    Matrix rho;
+};
+
+} // namespace dm
+} // namespace hetarch

@@ -1,0 +1,167 @@
+#include "dm/gates.hh"
+
+#include <cmath>
+
+namespace hetarch {
+namespace dm {
+namespace gates {
+
+namespace {
+const Complex i1(0.0, 1.0);
+} // namespace
+
+const Matrix&
+I()
+{
+    static const Matrix m{{1, 0}, {0, 1}};
+    return m;
+}
+
+const Matrix&
+X()
+{
+    static const Matrix m{{0, 1}, {1, 0}};
+    return m;
+}
+
+const Matrix&
+Y()
+{
+    static const Matrix m{{0, -i1}, {i1, 0}};
+    return m;
+}
+
+const Matrix&
+Z()
+{
+    static const Matrix m{{1, 0}, {0, -1}};
+    return m;
+}
+
+const Matrix&
+H()
+{
+    static const double s = 1.0 / std::sqrt(2.0);
+    static const Matrix m{{s, s}, {s, -s}};
+    return m;
+}
+
+const Matrix&
+S()
+{
+    static const Matrix m{{1, 0}, {0, i1}};
+    return m;
+}
+
+const Matrix&
+Sdg()
+{
+    static const Matrix m{{1, 0}, {0, -i1}};
+    return m;
+}
+
+const Matrix&
+T()
+{
+    static const Matrix m{{1, 0},
+                          {0, std::exp(i1 * (M_PI / 4.0))}};
+    return m;
+}
+
+Matrix
+rx(double theta)
+{
+    const double c = std::cos(theta / 2.0);
+    const double s = std::sin(theta / 2.0);
+    return Matrix{{c, -i1 * s}, {-i1 * s, c}};
+}
+
+Matrix
+ry(double theta)
+{
+    const double c = std::cos(theta / 2.0);
+    const double s = std::sin(theta / 2.0);
+    return Matrix{{c, -s}, {s, c}};
+}
+
+Matrix
+rz(double theta)
+{
+    return Matrix{{std::exp(-i1 * (theta / 2.0)), 0},
+                  {0, std::exp(i1 * (theta / 2.0))}};
+}
+
+const Matrix&
+cnot()
+{
+    // Control = qubit 0 (low bit), target = qubit 1.
+    // Basis order |q1 q0>: 00, 01, 10, 11 -> indices 0,1,2,3.
+    // Control set means low bit = 1 (indices 1 and 3), which swap.
+    static const Matrix m{{1, 0, 0, 0},
+                          {0, 0, 0, 1},
+                          {0, 0, 1, 0},
+                          {0, 1, 0, 0}};
+    return m;
+}
+
+const Matrix&
+cz()
+{
+    static const Matrix m{{1, 0, 0, 0},
+                          {0, 1, 0, 0},
+                          {0, 0, 1, 0},
+                          {0, 0, 0, -1}};
+    return m;
+}
+
+const Matrix&
+swapGate()
+{
+    static const Matrix m{{1, 0, 0, 0},
+                          {0, 0, 1, 0},
+                          {0, 1, 0, 0},
+                          {0, 0, 0, 1}};
+    return m;
+}
+
+const Matrix&
+iswap()
+{
+    static const Matrix m{{1, 0, 0, 0},
+                          {0, 0, i1, 0},
+                          {0, i1, 0, 0},
+                          {0, 0, 0, 1}};
+    return m;
+}
+
+const Matrix&
+proj0()
+{
+    static const Matrix m{{1, 0}, {0, 0}};
+    return m;
+}
+
+const Matrix&
+proj1()
+{
+    static const Matrix m{{0, 0}, {0, 1}};
+    return m;
+}
+
+const Matrix&
+sigmaMinus()
+{
+    static const Matrix m{{0, 1}, {0, 0}};
+    return m;
+}
+
+const Matrix&
+sigmaPlus()
+{
+    static const Matrix m{{0, 0}, {1, 0}};
+    return m;
+}
+
+} // namespace gates
+} // namespace dm
+} // namespace hetarch

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Standard gate and Pauli matrices.
+ *
+ * Convention used throughout HetArch: computational basis states are
+ * indexed little-endian, i.e. qubit q corresponds to bit q of the basis
+ * index (qubit 0 is the least significant bit).  For multi-qubit gates
+ * the *first* qubit argument is the first tensor factor acting on the
+ * lowest-order bits of the gate's own index; see
+ * DensityMatrix::applyUnitary for the embedding rule.
+ */
+
+#pragma once
+
+#include "linalg/matrix.hh"
+
+namespace hetarch {
+namespace dm {
+
+using linalg::Complex;
+using linalg::Matrix;
+
+namespace gates {
+
+/** 2x2 identity. */
+const Matrix& I();
+/** Pauli X. */
+const Matrix& X();
+/** Pauli Y. */
+const Matrix& Y();
+/** Pauli Z. */
+const Matrix& Z();
+/** Hadamard. */
+const Matrix& H();
+/** Phase gate S = diag(1, i). */
+const Matrix& S();
+/** Inverse phase gate. */
+const Matrix& Sdg();
+/** T gate = diag(1, e^{i pi/4}). */
+const Matrix& T();
+
+/** Rotation about X by angle theta. */
+Matrix rx(double theta);
+/** Rotation about Y by angle theta. */
+Matrix ry(double theta);
+/** Rotation about Z by angle theta. */
+Matrix rz(double theta);
+
+/** CNOT with qubit 0 (low bit of the 4x4 index) as control. */
+const Matrix& cnot();
+/** Controlled-Z. */
+const Matrix& cz();
+/** SWAP. */
+const Matrix& swapGate();
+/** iSWAP. */
+const Matrix& iswap();
+
+/** Single-qubit projector |0><0|. */
+const Matrix& proj0();
+/** Single-qubit projector |1><1|. */
+const Matrix& proj1();
+/** Lowering operator sigma_minus = |0><1|. */
+const Matrix& sigmaMinus();
+/** Raising operator sigma_plus = |1><0|. */
+const Matrix& sigmaPlus();
+
+} // namespace gates
+} // namespace dm
+} // namespace hetarch

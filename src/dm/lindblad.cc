@@ -1,0 +1,99 @@
+#include "dm/lindblad.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+#include "dm/channels.hh"
+#include "dm/gates.hh"
+
+namespace hetarch {
+namespace dm {
+
+LindbladSolver::LindbladSolver(std::size_t num_qubits,
+                               const std::vector<HamiltonianTerm>& hamiltonian,
+                               const std::vector<CollapseOp>& collapse)
+    : nq(num_qubits)
+{
+    DensityMatrix scratch(nq); // used only for its embed() helper
+    const std::size_t d = scratch.dim();
+
+    hFull = Matrix(d, d);
+    for (const auto& term : hamiltonian) {
+        HETARCH_ASSERT(term.op.isHermitian(1e-9),
+                       "Hamiltonian term must be Hermitian");
+        hFull += scratch.embed(term.op, term.qubits);
+        hasHamiltonian = true;
+    }
+
+    for (const auto& c : collapse) {
+        HETARCH_ASSERT(c.rate >= 0.0, "collapse rate must be non-negative");
+        if (c.rate == 0.0)
+            continue;
+        const Matrix full = scratch.embed(c.op, c.qubits);
+        const double root = std::sqrt(c.rate);
+        ls.push_back(full * Complex(root, 0.0));
+        ldagl.push_back(full.dagger() * full * Complex(c.rate, 0.0));
+    }
+}
+
+LindbladSolver
+LindbladSolver::freeDecay(std::size_t num_qubits,
+                          const std::vector<double>& t1_ns,
+                          const std::vector<double>& t2_ns)
+{
+    HETARCH_ASSERT(t1_ns.size() == num_qubits && t2_ns.size() == num_qubits,
+                   "freeDecay needs one T1/T2 per qubit");
+    std::vector<CollapseOp> collapse;
+    for (std::size_t q = 0; q < num_qubits; ++q) {
+        collapse.push_back({gates::sigmaMinus(), {q}, 1.0 / t1_ns[q]});
+        const double gphi = channels::pureDephasingRate(t1_ns[q], t2_ns[q]);
+        if (gphi > 0.0)
+            collapse.push_back({gates::Z(), {q}, gphi / 2.0});
+    }
+    return LindbladSolver(num_qubits, {}, collapse);
+}
+
+Matrix
+LindbladSolver::derivative(const Matrix& rho) const
+{
+    const std::size_t d = rho.rows();
+    Matrix out(d, d);
+
+    if (hasHamiltonian) {
+        // -i [H, rho]
+        out += linalg::commutator(hFull, rho) * Complex(0.0, -1.0);
+    }
+    for (std::size_t k = 0; k < ls.size(); ++k) {
+        out += ls[k] * rho * ls[k].dagger();
+        out -= linalg::anticommutator(ldagl[k], rho) * Complex(0.5, 0.0);
+    }
+    return out;
+}
+
+void
+LindbladSolver::evolve(DensityMatrix& state, double t_ns,
+                       double max_dt_ns) const
+{
+    HETARCH_ASSERT(state.numQubits() == nq,
+                   "state size does not match solver");
+    HETARCH_ASSERT(t_ns >= 0.0 && max_dt_ns > 0.0, "bad evolve arguments");
+    if (t_ns == 0.0)
+        return;
+
+    const auto steps =
+        static_cast<std::size_t>(std::ceil(t_ns / max_dt_ns));
+    const double dt = t_ns / static_cast<double>(steps);
+
+    Matrix& rho = state.matrix();
+    for (std::size_t s = 0; s < steps; ++s) {
+        const Matrix k1 = derivative(rho);
+        const Matrix k2 = derivative(rho + k1 * Complex(dt / 2.0, 0.0));
+        const Matrix k3 = derivative(rho + k2 * Complex(dt / 2.0, 0.0));
+        const Matrix k4 = derivative(rho + k3 * Complex(dt, 0.0));
+        rho += (k1 + k2 * Complex(2.0, 0.0) + k3 * Complex(2.0, 0.0) + k4) *
+               Complex(dt / 6.0, 0.0);
+    }
+}
+
+} // namespace dm
+} // namespace hetarch

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Lindblad master-equation solver.
+ *
+ * Integrates
+ *   d rho / dt = -i [H, rho]
+ *                + sum_k gamma_k (L_k rho L_k^dag
+ *                                 - 1/2 {L_k^dag L_k, rho})
+ * with classic fixed-step RK4.  hbar = 1; times in ns, rates in 1/ns.
+ *
+ * The solver exists for two reasons: (1) continuous-time device physics
+ * (driven gates with decoherence *during* the gate) that the discrete
+ * Kraus channels cannot express, and (2) as an independent reference the
+ * Kraus idle channel is validated against.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "dm/density_matrix.hh"
+
+namespace hetarch {
+namespace dm {
+
+/** One collapse (jump) operator with its rate, acting on given qubits. */
+struct CollapseOp
+{
+    Matrix op;                       ///< single- or multi-qubit operator
+    std::vector<std::size_t> qubits; ///< register qubits it acts on
+    double rate;                     ///< gamma_k in 1/ns
+};
+
+/** One Hamiltonian term acting on a subset of the register. */
+struct HamiltonianTerm
+{
+    Matrix op;                       ///< Hermitian operator
+    std::vector<std::size_t> qubits; ///< register qubits it acts on
+};
+
+/**
+ * Fixed-step RK4 Lindblad integrator over a qubit register.
+ *
+ * Operators are embedded into the full register space once at setup so
+ * the inner RK4 loop is pure matrix arithmetic.
+ */
+class LindbladSolver
+{
+  public:
+    /**
+     * @param num_qubits register size
+     * @param hamiltonian Hamiltonian terms (may be empty for free decay)
+     * @param collapse collapse operators with rates
+     */
+    LindbladSolver(std::size_t num_qubits,
+                   const std::vector<HamiltonianTerm>& hamiltonian,
+                   const std::vector<CollapseOp>& collapse);
+
+    /**
+     * Convenience: free decay of every qubit with per-qubit T1/T2
+     * (vectors of length num_qubits, in ns).
+     */
+    static LindbladSolver freeDecay(std::size_t num_qubits,
+                                    const std::vector<double>& t1_ns,
+                                    const std::vector<double>& t2_ns);
+
+    /**
+     * Evolve @p state in place for duration @p t_ns using steps of at
+     * most @p max_dt_ns.
+     */
+    void evolve(DensityMatrix& state, double t_ns,
+                double max_dt_ns = 10.0) const;
+
+    /** Right-hand side of the master equation (exposed for tests). */
+    Matrix derivative(const Matrix& rho) const;
+
+  private:
+    std::size_t nq;
+    Matrix hFull;                    ///< summed, embedded Hamiltonian
+    bool hasHamiltonian = false;
+    /// Precomputed embedded collapse pieces: sqrt(gamma)*L and L^dag L * gamma
+    std::vector<Matrix> ls;          ///< sqrt(gamma_k) L_k (embedded)
+    std::vector<Matrix> ldagl;       ///< gamma_k L_k^dag L_k (embedded)
+};
+
+} // namespace dm
+} // namespace hetarch

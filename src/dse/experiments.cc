@@ -1,0 +1,323 @@
+#include "dse/experiments.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cells/characterize.hh"
+#include "cells/design_rules.hh"
+#include "cells/standard_cells.hh"
+#include "core/units.hh"
+#include "devices/device.hh"
+#include "distill/module_sim.hh"
+#include "qec/css_code.hh"
+#include "qec/memory_experiment.hh"
+#include "teleport/code_teleport.hh"
+#include "uec/experiment.hh"
+
+namespace hetarch {
+namespace dse {
+
+using namespace units;
+
+namespace {
+
+std::size_t
+scaled(double base, const RunScale& scale)
+{
+    return static_cast<std::size_t>(
+        std::max(100.0, base * scale.shotScale));
+}
+
+} // namespace
+
+TextTable
+table1Devices()
+{
+    TextTable t({"device", "role", "T1(ms)", "T2(ms)", "gate", "error",
+                 "conn", "modes", "ctrl", "area(mm^2)"});
+    for (const auto& d : devices::table1Catalog()) {
+        t.addRow({d.name,
+                  d.role == devices::DeviceRole::Compute ? "compute"
+                                                         : "storage",
+                  formatFixed(units::toMs(d.t1), 1),
+                  formatFixed(units::toMs(d.t2), 1),
+                  formatFixed(d.gateTime2q, 0) + "ns",
+                  formatSci(d.gateError, 2),
+                  std::to_string(d.connectivity),
+                  std::to_string(d.modes),
+                  std::to_string(d.control.total()),
+                  formatFixed(d.footprint.area(), 1)});
+    }
+    return t;
+}
+
+TextTable
+table2Cells()
+{
+    TextTable t({"cell", "devices", "couplings", "readouts", "drc",
+                 "op", "duration(ns)", "error"});
+    const auto storage = devices::multimodeResonator3D();
+    const auto compute = devices::fixedFrequencyTransmon();
+
+    auto add_cell = [&](const cells::StandardCell& cell,
+                        const cells::CellCharacterization& ch) {
+        const bool clean =
+            cells::checkDesignRules(cell, cell.readoutCount()).clean();
+        bool first = true;
+        for (const auto& op : ch.ops) {
+            t.addRow({first ? cell.name() : "",
+                      first ? std::to_string(cell.deviceList().size())
+                            : "",
+                      first ? std::to_string(cell.couplings().size())
+                            : "",
+                      first ? std::to_string(cell.readoutCount()) : "",
+                      first ? (clean ? "pass" : "FAIL") : "", op.name,
+                      formatFixed(op.duration, 0),
+                      formatSci(op.errorRate, 3)});
+            first = false;
+        }
+    };
+
+    const auto reg = cells::makeRegister(storage, compute);
+    add_cell(reg, cells::characterizeRegister(reg));
+    const auto pc = cells::makeParCheck(compute);
+    add_cell(pc, cells::characterizeParCheck(pc));
+    const auto seqop = cells::makeSeqOp(storage, compute);
+    add_cell(seqop, cells::characterizeSeqOp(seqop));
+    const auto usc = cells::makeUsc(storage, compute);
+    add_cell(usc, cells::characterizeUsc(usc));
+    const auto usc_ext = cells::makeUscExt(storage, compute);
+    add_cell(usc_ext, cells::characterizeUsc(usc_ext));
+    return t;
+}
+
+TextTable
+fig3DistillationTrace(const RunScale& scale)
+{
+    TextTable t({"time(us)", "het_best_infidelity", "hom_best_infidelity"});
+
+    auto run = [&](bool het) {
+        distill::DistillConfig cfg;
+        cfg.heterogeneous = het;
+        cfg.ts = het ? 12.5 * ms : cfg.tc;
+        cfg.epRate = 1.0 * MHz;
+        cfg.epInfidelity = 0.05;
+        cfg.seed = scale.seed;
+        return distill::simulateDistillation(cfg, 100.0 * us,
+                                             2.0 * us);
+    };
+    const auto het = run(true);
+    const auto hom = run(false);
+
+    // Resample both traces on a common 2 us grid.
+    auto value_at = [](const distill::DistillResult& res, double t) {
+        double best = 1.0;
+        for (const auto& p : res.trace) {
+            if (p.time <= t)
+                best = p.bestInfidelity;
+            else
+                break;
+        }
+        return best;
+    };
+    for (double time = 0.0; time <= 100.0 * us; time += 2.0 * us) {
+        t.addRow({formatFixed(units::toUs(time), 0),
+                  formatFixed(value_at(het, time), 5),
+                  formatFixed(value_at(hom, time), 5)});
+    }
+    return t;
+}
+
+TextTable
+fig4DistillationRate(const RunScale& scale)
+{
+    TextTable t({"gen_rate(kHz)", "Ts(ms)", "arch", "distilled_per_ms"});
+    const std::vector<double> rates_khz = {100,  200,  500,  1000,
+                                           2000, 5000, 10000};
+    const std::vector<double> ts_ms = {0.5, 1.0, 2.5, 5.0};
+
+    for (double rate : rates_khz) {
+        for (double ts : ts_ms) {
+            distill::DistillConfig cfg;
+            cfg.ts = ts * ms;
+            cfg.epRate = rate * kHz;
+            cfg.epInfidelity = 0.03;
+            cfg.seed = scale.seed;
+            const auto res = distill::simulateDistillation(
+                cfg, scale.shotScale * 5.0 * ms);
+            t.addRow({formatFixed(rate, 0), formatFixed(ts, 1), "het",
+                      formatFixed(res.distilledRatePerMs(), 2)});
+        }
+        distill::DistillConfig hom;
+        hom.heterogeneous = false;
+        hom.ts = hom.tc;
+        hom.epRate = rate * kHz;
+        hom.epInfidelity = 0.03;
+        hom.seed = scale.seed;
+        const auto res =
+            distill::simulateDistillation(hom, scale.shotScale * 5.0 * ms);
+        t.addRow({formatFixed(rate, 0), formatFixed(0.5, 1), "hom",
+                  formatFixed(res.distilledRatePerMs(), 2)});
+    }
+    return t;
+}
+
+TextTable
+fig6SurfaceAlpha(const RunScale& scale)
+{
+    TextTable t({"alpha", "series", "logical_error_per_cycle"});
+    const std::size_t d = 13;
+    const double base = 0.1 * ms;
+    const std::vector<double> alphas = {1, 2, 3, 4, 5, 6, 8};
+    const auto shots = scaled(2000, scale);
+
+    for (double alpha : alphas) {
+        qec::CircuitNoise noise;
+        noise.p2 = 1e-2;
+        noise.p1 = 1e-3;
+        noise.dataT1 = noise.dataT2 = base * alpha;
+        noise.ancT1 = noise.ancT2 = base;
+        const double p_data = qec::surfaceLogicalErrorPerRound(
+            d, d, noise, shots, scale.seed + static_cast<int>(alpha));
+        t.addRow({formatFixed(alpha, 0), "Tcd=alpha*100us",
+                  formatSci(p_data, 3)});
+
+        noise.dataT1 = noise.dataT2 = base;
+        noise.ancT1 = noise.ancT2 = base * alpha;
+        const double p_anc = qec::surfaceLogicalErrorPerRound(
+            d, d, noise, shots,
+            scale.seed + 100 + static_cast<int>(alpha));
+        t.addRow({formatFixed(alpha, 0), "Tca=alpha*100us",
+                  formatSci(p_anc, 3)});
+    }
+    return t;
+}
+
+TextTable
+fig7SurfaceRatio(const RunScale& scale)
+{
+    TextTable t({"distance", "Tcd/Tca", "logical_error_per_cycle"});
+    const double base = 0.1 * ms;
+    const std::vector<std::size_t> distances = {5, 7, 9, 11, 13, 15, 18};
+    const std::vector<double> ratios = {1, 2, 3, 5, 8};
+    const auto shots = scaled(1000, scale);
+
+    for (std::size_t d : distances) {
+        for (double ratio : ratios) {
+            qec::CircuitNoise noise;
+            noise.p2 = 1e-2;
+            noise.p1 = 1e-3;
+            noise.dataT1 = noise.dataT2 = base * ratio;
+            noise.ancT1 = noise.ancT2 = base;
+            const double p = qec::surfaceLogicalErrorPerRound(
+                d, d, noise, shots,
+                scale.seed + d * 10 + static_cast<std::size_t>(ratio));
+            t.addRow({std::to_string(d), formatFixed(ratio, 0),
+                      formatSci(p, 3)});
+        }
+    }
+    return t;
+}
+
+TextTable
+fig9UecTsSweep(const RunScale& scale)
+{
+    TextTable t({"code", "Ts(ms)", "logical_error_per_round"});
+    const std::vector<double> ts_ms = {0.5, 1, 2, 5, 10, 20, 50};
+    const auto shots = scaled(3000, scale);
+
+    for (const auto& code : qec::paperCodeZoo()) {
+        for (double ts : ts_ms) {
+            const double p = uec::uecLogicalErrorPerRound(
+                code, ts * ms, 3, shots,
+                scale.seed + static_cast<std::uint64_t>(ts * 7));
+            t.addRow({code.name, formatFixed(ts, 1), formatSci(p, 3)});
+        }
+    }
+    return t;
+}
+
+TextTable
+table3UecComparison(const RunScale& scale)
+{
+    TextTable t({"code", "pseudothreshold", "het(Ts=50ms)", "hom",
+                 "reduction"});
+    const auto shots = scaled(4000, scale);
+    for (const auto& code : qec::paperCodeZoo()) {
+        const double pt =
+            uec::pseudothreshold(code, scaled(3000, scale), scale.seed);
+        const double het = uec::uecLogicalErrorPerRound(
+            code, 50.0 * ms, 3, shots, scale.seed + 1);
+        const double hom = uec::homogeneousLogicalErrorPerRound(
+            code, 3, shots, scale.seed + 2);
+        t.addRow({code.name,
+                  pt > 0 ? formatFixed(pt, 4) : "-",
+                  formatFixed(het, 4), formatFixed(hom, 4),
+                  het > 0 ? formatFixed(hom / het, 2) + "x" : "-"});
+    }
+    return t;
+}
+
+TextTable
+fig12CtTsSweep(const RunScale& scale)
+{
+    TextTable t({"pair", "Ts(ms)", "ct_error_probability"});
+    const auto sc3 = qec::makeRotatedSurface(3);
+    const auto sc4 = qec::makeRotatedSurface(4);
+    const auto rm = qec::makeReedMuller15();
+    const auto cc = qec::makeColorCode(5);
+
+    const std::vector<std::pair<std::string,
+                                std::pair<qec::CssCode, qec::CssCode>>>
+        pairs = {{"SC3&RM", {sc3, rm}},
+                 {"SC3&SC4", {sc3, sc4}},
+                 {"17QCC&SC4", {cc, sc4}}};
+    const std::vector<double> ts_ms = {1, 2, 5, 10, 20, 35, 50};
+
+    for (const auto& [name, codes] : pairs) {
+        for (double ts : ts_ms) {
+            teleport::CtConfig cfg;
+            cfg.ts = ts * ms;
+            cfg.shots = scaled(2000, scale);
+            cfg.seed = scale.seed + static_cast<std::uint64_t>(ts);
+            const auto res = teleport::prepareCtState(
+                codes.first, codes.second, cfg);
+            t.addRow({name, formatFixed(ts, 1),
+                      formatFixed(res.errorProbability, 3)});
+        }
+    }
+    return t;
+}
+
+TextTable
+table4CtMatrix(const RunScale& scale)
+{
+    TextTable t({"codeA", "codeB", "het", "hom", "reduction"});
+    const auto zoo = qec::paperCodeZoo();
+    const std::vector<std::string> names = {"RM", "17QCC", "ST", "SC3",
+                                            "SC4"};
+    for (std::size_t i = 0; i < zoo.size(); ++i) {
+        for (std::size_t j = i + 1; j < zoo.size(); ++j) {
+            teleport::CtConfig cfg;
+            cfg.shots = scaled(2000, scale);
+            cfg.seed = scale.seed + i * 31 + j;
+            cfg.heterogeneous = true;
+            const auto het = teleport::prepareCtState(zoo[i], zoo[j], cfg);
+            cfg.heterogeneous = false;
+            const auto hom = teleport::prepareCtState(zoo[i], zoo[j], cfg);
+            t.addRow({names[i], names[j],
+                      formatFixed(het.errorProbability, 3),
+                      formatFixed(hom.errorProbability, 3),
+                      het.errorProbability > 0
+                          ? formatFixed(hom.errorProbability /
+                                            het.errorProbability,
+                                        2) +
+                                "x"
+                          : "-"});
+        }
+    }
+    return t;
+}
+
+} // namespace dse
+} // namespace hetarch

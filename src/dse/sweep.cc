@@ -1,0 +1,99 @@
+#include "dse/sweep.hh"
+
+#include "core/logging.hh"
+
+namespace hetarch {
+namespace dse {
+
+Sweep&
+Sweep::parameter(const std::string& name, std::vector<double> values)
+{
+    HETARCH_ASSERT(!values.empty(), "parameter '", name,
+                   "' needs at least one value");
+    for (const auto& [existing, _] : params)
+        if (existing == name)
+            HETARCH_FATAL("duplicate sweep parameter '", name, "'");
+    params.push_back({name, std::move(values)});
+    return *this;
+}
+
+std::size_t
+Sweep::size() const
+{
+    std::size_t n = params.empty() ? 0 : 1;
+    for (const auto& [_, values] : params)
+        n *= values.size();
+    return n;
+}
+
+std::vector<std::pair<DesignPoint, Metrics>>
+Sweep::run(const std::function<Metrics(const DesignPoint&)>& fn) const
+{
+    HETARCH_ASSERT(!params.empty(), "sweep has no parameters");
+    std::vector<std::pair<DesignPoint, Metrics>> results;
+    std::vector<std::size_t> idx(params.size(), 0);
+
+    while (true) {
+        DesignPoint point;
+        for (std::size_t p = 0; p < params.size(); ++p)
+            point[params[p].first] = params[p].second[idx[p]];
+        results.push_back({point, fn(point)});
+
+        // Odometer increment, last parameter fastest.
+        std::size_t p = params.size();
+        while (p-- > 0) {
+            if (++idx[p] < params[p].second.size())
+                break;
+            idx[p] = 0;
+            if (p == 0)
+                return results;
+        }
+    }
+}
+
+TextTable
+Sweep::tabulate(const std::vector<std::pair<DesignPoint, Metrics>>& results)
+{
+    HETARCH_ASSERT(!results.empty(), "no sweep results to tabulate");
+    std::vector<std::string> headers;
+    for (const auto& [name, _] : results.front().first)
+        headers.push_back(name);
+    for (const auto& [name, _] : results.front().second)
+        headers.push_back(name);
+
+    TextTable t(headers);
+    for (const auto& [point, metrics] : results) {
+        std::vector<std::string> row;
+        for (const auto& [_, value] : point)
+            row.push_back(formatSci(value, 4));
+        for (const auto& [_, value] : metrics)
+            row.push_back(formatSci(value, 4));
+        t.addRow(row);
+    }
+    return t;
+}
+
+DesignPoint
+Sweep::argmin(const std::vector<std::pair<DesignPoint, Metrics>>& results,
+              const std::string& metric)
+{
+    HETARCH_ASSERT(!results.empty(), "no sweep results");
+    const DesignPoint* best_point = nullptr;
+    double best = 0.0;
+    for (const auto& [point, metrics] : results) {
+        for (const auto& [name, value] : metrics) {
+            if (name != metric)
+                continue;
+            if (!best_point || value < best) {
+                best_point = &point;
+                best = value;
+            }
+        }
+    }
+    if (!best_point)
+        HETARCH_FATAL("metric '", metric, "' not found in sweep results");
+    return *best_point;
+}
+
+} // namespace dse
+} // namespace hetarch

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Generic parameter-sweep engine for heterogeneous design-space
+ * exploration.
+ *
+ * A Sweep is a cartesian grid over named numeric parameters; each grid
+ * point is passed to an evaluation function returning one or more
+ * named metrics.  Results land in a TextTable (printable or CSV) and
+ * can be queried for the optimum of a metric.  All paper experiments
+ * are expressible this way; dse/experiments.cc uses purpose-built
+ * loops where row formats must match the paper exactly.
+ */
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/table.hh"
+
+namespace hetarch {
+namespace dse {
+
+/** One point of the design space: parameter name -> value. */
+using DesignPoint = std::map<std::string, double>;
+
+/** Metrics produced by evaluating a design point. */
+using Metrics = std::vector<std::pair<std::string, double>>;
+
+/** Cartesian-grid sweep definition. */
+class Sweep
+{
+  public:
+    /** Add a swept parameter with its grid values. */
+    Sweep& parameter(const std::string& name,
+                     std::vector<double> values);
+
+    /** Number of grid points. */
+    std::size_t size() const;
+
+    /**
+     * Evaluate @p fn at every grid point; returns all results.  Rows
+     * are visited in lexicographic grid order (first parameter slowest).
+     */
+    std::vector<std::pair<DesignPoint, Metrics>>
+    run(const std::function<Metrics(const DesignPoint&)>& fn) const;
+
+    /** Render results as a table (parameters, then metrics). */
+    static TextTable tabulate(
+        const std::vector<std::pair<DesignPoint, Metrics>>& results);
+
+    /**
+     * Grid point minimizing the named metric; fatal when the metric is
+     * absent or there are no results.
+     */
+    static DesignPoint argmin(
+        const std::vector<std::pair<DesignPoint, Metrics>>& results,
+        const std::string& metric);
+
+  private:
+    std::vector<std::pair<std::string, std::vector<double>>> params;
+};
+
+} // namespace dse
+} // namespace hetarch

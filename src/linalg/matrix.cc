@@ -1,0 +1,237 @@
+#include "linalg/matrix.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace hetarch {
+namespace linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : nRows(rows), nCols(cols), data(rows * cols, Complex(0.0, 0.0))
+{
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<Complex>> init)
+{
+    nRows = init.size();
+    nCols = nRows ? init.begin()->size() : 0;
+    data.reserve(nRows * nCols);
+    for (const auto& row : init) {
+        HETARCH_ASSERT(row.size() == nCols,
+                       "ragged initializer list for Matrix");
+        for (const auto& v : row)
+            data.push_back(v);
+    }
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = Complex(1.0, 0.0);
+    return m;
+}
+
+Matrix
+Matrix::zeros(std::size_t rows, std::size_t cols)
+{
+    return Matrix(rows, cols);
+}
+
+Matrix&
+Matrix::operator+=(const Matrix& other)
+{
+    HETARCH_ASSERT(nRows == other.nRows && nCols == other.nCols,
+                   "matrix shape mismatch in +=");
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] += other.data[i];
+    return *this;
+}
+
+Matrix&
+Matrix::operator-=(const Matrix& other)
+{
+    HETARCH_ASSERT(nRows == other.nRows && nCols == other.nCols,
+                   "matrix shape mismatch in -=");
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] -= other.data[i];
+    return *this;
+}
+
+Matrix&
+Matrix::operator*=(Complex scalar)
+{
+    for (auto& v : data)
+        v *= scalar;
+    return *this;
+}
+
+Matrix
+Matrix::operator+(const Matrix& other) const
+{
+    Matrix out = *this;
+    out += other;
+    return out;
+}
+
+Matrix
+Matrix::operator-(const Matrix& other) const
+{
+    Matrix out = *this;
+    out -= other;
+    return out;
+}
+
+Matrix
+Matrix::operator*(const Matrix& other) const
+{
+    HETARCH_ASSERT(nCols == other.nRows, "matrix shape mismatch in *");
+    Matrix out(nRows, other.nCols);
+    // ikj loop order keeps the inner loop contiguous in both inputs.
+    for (std::size_t i = 0; i < nRows; ++i) {
+        for (std::size_t k = 0; k < nCols; ++k) {
+            const Complex aik = (*this)(i, k);
+            if (aik == Complex(0.0, 0.0))
+                continue;
+            const Complex* brow = other.raw() + k * other.nCols;
+            Complex* orow = out.raw() + i * out.nCols;
+            for (std::size_t j = 0; j < other.nCols; ++j)
+                orow[j] += aik * brow[j];
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::operator*(Complex scalar) const
+{
+    Matrix out = *this;
+    out *= scalar;
+    return out;
+}
+
+Matrix
+Matrix::dagger() const
+{
+    Matrix out(nCols, nRows);
+    for (std::size_t r = 0; r < nRows; ++r)
+        for (std::size_t c = 0; c < nCols; ++c)
+            out(c, r) = std::conj((*this)(r, c));
+    return out;
+}
+
+Matrix
+Matrix::transpose() const
+{
+    Matrix out(nCols, nRows);
+    for (std::size_t r = 0; r < nRows; ++r)
+        for (std::size_t c = 0; c < nCols; ++c)
+            out(c, r) = (*this)(r, c);
+    return out;
+}
+
+Matrix
+Matrix::conjugate() const
+{
+    Matrix out = *this;
+    for (auto& v : out.data)
+        v = std::conj(v);
+    return out;
+}
+
+Complex
+Matrix::trace() const
+{
+    HETARCH_ASSERT(nRows == nCols, "trace of non-square matrix");
+    Complex t(0.0, 0.0);
+    for (std::size_t i = 0; i < nRows; ++i)
+        t += (*this)(i, i);
+    return t;
+}
+
+double
+Matrix::frobeniusNorm() const
+{
+    double s = 0.0;
+    for (const auto& v : data)
+        s += std::norm(v);
+    return std::sqrt(s);
+}
+
+double
+Matrix::maxAbsDiff(const Matrix& other) const
+{
+    HETARCH_ASSERT(nRows == other.nRows && nCols == other.nCols,
+                   "matrix shape mismatch in maxAbsDiff");
+    double m = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        m = std::max(m, std::abs(data[i] - other.data[i]));
+    return m;
+}
+
+bool
+Matrix::isHermitian(double tol) const
+{
+    if (nRows != nCols)
+        return false;
+    return maxAbsDiff(dagger()) <= tol;
+}
+
+bool
+Matrix::isUnitary(double tol) const
+{
+    if (nRows != nCols)
+        return false;
+    return ((*this) * dagger()).maxAbsDiff(identity(nRows)) <= tol;
+}
+
+Matrix
+operator*(Complex scalar, const Matrix& m)
+{
+    return m * scalar;
+}
+
+Matrix
+kron(const Matrix& a, const Matrix& b)
+{
+    Matrix out(a.rows() * b.rows(), a.cols() * b.cols());
+    for (std::size_t ar = 0; ar < a.rows(); ++ar) {
+        for (std::size_t ac = 0; ac < a.cols(); ++ac) {
+            const Complex av = a(ar, ac);
+            if (av == Complex(0.0, 0.0))
+                continue;
+            for (std::size_t br = 0; br < b.rows(); ++br)
+                for (std::size_t bc = 0; bc < b.cols(); ++bc)
+                    out(ar * b.rows() + br, ac * b.cols() + bc) =
+                        av * b(br, bc);
+        }
+    }
+    return out;
+}
+
+Matrix
+kronAll(const std::vector<Matrix>& factors)
+{
+    HETARCH_ASSERT(!factors.empty(), "kronAll of empty list");
+    Matrix out = factors.front();
+    for (std::size_t i = 1; i < factors.size(); ++i)
+        out = kron(out, factors[i]);
+    return out;
+}
+
+Matrix
+commutator(const Matrix& a, const Matrix& b)
+{
+    return a * b - b * a;
+}
+
+Matrix
+anticommutator(const Matrix& a, const Matrix& b)
+{
+    return a * b + b * a;
+}
+
+} // namespace linalg
+} // namespace hetarch

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Dense complex matrix type used by the density-matrix simulator.
+ *
+ * The matrices that HetArch characterizes are small (standard cells of
+ * 2-6 qubits, so at most 64x64 for density matrices of 6 qubits are
+ * avoided; the largest routine use is 2^5 x 2^5), so a simple row-major
+ * dense representation with straightforward O(n^3) multiplication is
+ * both adequate and easy to verify.
+ */
+
+#pragma once
+
+#include <complex>
+#include <initializer_list>
+#include <vector>
+
+namespace hetarch {
+namespace linalg {
+
+using Complex = std::complex<double>;
+
+/** Row-major dense complex matrix. */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** Zero-initialized rows x cols matrix. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** Build from a nested initializer list (row major). */
+    Matrix(std::initializer_list<std::initializer_list<Complex>> init);
+
+    /** n x n identity. */
+    static Matrix identity(std::size_t n);
+    /** rows x cols of zeros. */
+    static Matrix zeros(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return nRows; }
+    std::size_t cols() const { return nCols; }
+    bool empty() const { return data.empty(); }
+
+    /** Unchecked element access. */
+    Complex& operator()(std::size_t r, std::size_t c)
+    {
+        return data[r * nCols + c];
+    }
+    Complex operator()(std::size_t r, std::size_t c) const
+    {
+        return data[r * nCols + c];
+    }
+
+    /** Raw storage (row-major), for tight inner loops. */
+    Complex* raw() { return data.data(); }
+    const Complex* raw() const { return data.data(); }
+
+    Matrix& operator+=(const Matrix& other);
+    Matrix& operator-=(const Matrix& other);
+    Matrix& operator*=(Complex scalar);
+
+    Matrix operator+(const Matrix& other) const;
+    Matrix operator-(const Matrix& other) const;
+    Matrix operator*(const Matrix& other) const;
+    Matrix operator*(Complex scalar) const;
+
+    /** Conjugate transpose. */
+    Matrix dagger() const;
+    /** Plain transpose. */
+    Matrix transpose() const;
+    /** Elementwise complex conjugate. */
+    Matrix conjugate() const;
+
+    /** Sum of diagonal entries. */
+    Complex trace() const;
+    /** Frobenius norm. */
+    double frobeniusNorm() const;
+    /** Largest elementwise |a_ij - b_ij|. */
+    double maxAbsDiff(const Matrix& other) const;
+
+    /** True when within tol of the conjugate transpose. */
+    bool isHermitian(double tol = 1e-10) const;
+    /** True when U * U^dagger is within tol of identity. */
+    bool isUnitary(double tol = 1e-10) const;
+
+  private:
+    std::size_t nRows = 0;
+    std::size_t nCols = 0;
+    std::vector<Complex> data;
+};
+
+/** Scalar on the left. */
+Matrix operator*(Complex scalar, const Matrix& m);
+
+/** Kronecker (tensor) product a (x) b. */
+Matrix kron(const Matrix& a, const Matrix& b);
+
+/** Kronecker product of a list, left to right. */
+Matrix kronAll(const std::vector<Matrix>& factors);
+
+/** Commutator [a, b] = ab - ba. */
+Matrix commutator(const Matrix& a, const Matrix& b);
+
+/** Anticommutator {a, b} = ab + ba. */
+Matrix anticommutator(const Matrix& a, const Matrix& b);
+
+} // namespace linalg
+} // namespace hetarch

@@ -1,0 +1,102 @@
+#include "module/module.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace hetarch {
+namespace module {
+
+double
+composeErrors(const std::vector<double>& errors)
+{
+    double keep = 1.0;
+    for (auto e : errors) {
+        HETARCH_ASSERT(e >= 0.0 && e <= 1.0, "error rate out of range");
+        keep *= 1.0 - e;
+    }
+    return 1.0 - keep;
+}
+
+double
+serialDuration(const std::vector<double>& durations)
+{
+    double total = 0.0;
+    for (auto d : durations)
+        total += d;
+    return total;
+}
+
+double
+parallelDuration(const std::vector<double>& durations)
+{
+    double longest = 0.0;
+    for (auto d : durations)
+        longest = std::max(longest, d);
+    return longest;
+}
+
+std::size_t
+Module::addCell(cells::StandardCell cell)
+{
+    cellInstances.push_back(std::move(cell));
+    return cellInstances.size() - 1;
+}
+
+std::size_t
+Module::addSubModule(Module sub)
+{
+    subs.push_back(std::move(sub));
+    return subs.size() - 1;
+}
+
+void
+Module::addOp(ModuleOp op)
+{
+    opTable.push_back(std::move(op));
+}
+
+const ModuleOp&
+Module::op(const std::string& name) const
+{
+    for (const auto& o : opTable)
+        if (o.name == name)
+            return o;
+    HETARCH_FATAL(moduleName, ": no module op named '", name, "'");
+}
+
+double
+Module::footprintArea() const
+{
+    double area = 0.0;
+    for (const auto& c : cellInstances)
+        area += c.footprintArea();
+    for (const auto& s : subs)
+        area += s.footprintArea();
+    return area;
+}
+
+int
+Module::controlLines() const
+{
+    int lines = 0;
+    for (const auto& c : cellInstances)
+        lines += c.controlLines();
+    for (const auto& s : subs)
+        lines += s.controlLines();
+    return lines;
+}
+
+int
+Module::qubitCapacity() const
+{
+    int cap = 0;
+    for (const auto& c : cellInstances)
+        cap += c.qubitCapacity();
+    for (const auto& s : subs)
+        cap += s.qubitCapacity();
+    return cap;
+}
+
+} // namespace module
+} // namespace hetarch

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Module layer of the HetArch hierarchy.
+ *
+ * Modules execute algorithm-level subroutines (entanglement
+ * distillation, error correction, code teleportation).  A module is a
+ * composition of standard cells and sub-modules; its performance is
+ * characterized *phenomenologically*: operation durations add along
+ * the critical path and independent error rates compose as
+ * 1 - prod(1 - e_i), instead of simulating the joint density matrix
+ * (paper Section 2 — this is what keeps evaluation tractable).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cells/characterize.hh"
+#include "cells/cell.hh"
+
+namespace hetarch {
+namespace module {
+
+/** A characterized module-level operation. */
+struct ModuleOp
+{
+    std::string name;
+    double duration = 0.0;  ///< ns, critical path
+    double errorRate = 0.0; ///< composed error probability
+};
+
+/** Compose independent error probabilities: 1 - prod(1 - e_i). */
+double composeErrors(const std::vector<double>& errors);
+
+/** Sum of durations (serial schedule). */
+double serialDuration(const std::vector<double>& durations);
+
+/** Max of durations (parallel schedule). */
+double parallelDuration(const std::vector<double>& durations);
+
+/**
+ * A module: named collection of cells and sub-modules with an exported
+ * operation table.
+ */
+class Module
+{
+  public:
+    explicit Module(std::string name_in) : moduleName(std::move(name_in)) {}
+
+    const std::string& name() const { return moduleName; }
+
+    /** Add a standard cell instance; returns its index. */
+    std::size_t addCell(cells::StandardCell cell);
+    /** Nest a sub-module; returns its index. */
+    std::size_t addSubModule(Module sub);
+    /** Export a characterized operation. */
+    void addOp(ModuleOp op);
+
+    const std::vector<cells::StandardCell>& cellList() const
+    {
+        return cellInstances;
+    }
+    const std::vector<Module>& subModules() const { return subs; }
+    const std::vector<ModuleOp>& ops() const { return opTable; }
+
+    /** Lookup an exported op by name; fatal when missing. */
+    const ModuleOp& op(const std::string& name) const;
+
+    /** Aggregate footprint of all cells and sub-modules (mm^2). */
+    double footprintArea() const;
+    /** Aggregate control lines. */
+    int controlLines() const;
+    /** Aggregate qubit capacity. */
+    int qubitCapacity() const;
+
+  private:
+    std::string moduleName;
+    std::vector<cells::StandardCell> cellInstances;
+    std::vector<Module> subs;
+    std::vector<ModuleOp> opTable;
+};
+
+} // namespace module
+} // namespace hetarch

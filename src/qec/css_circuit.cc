@@ -1,0 +1,73 @@
+#include "qec/css_circuit.hh"
+
+#include "core/logging.hh"
+#include "qec/surface_circuit.hh" // kTagZ / kTagX
+
+namespace hetarch {
+namespace qec {
+
+stab::Circuit
+codeCapacityMemoryZ(const CssCode& code, std::size_t rounds, double p_x,
+                    double p_z)
+{
+    HETARCH_ASSERT(rounds >= 1, "need at least one round");
+    const auto n = static_cast<std::uint32_t>(code.n);
+    const auto n_z = code.zChecks.size();
+    const auto n_x = code.xChecks.size();
+    // Ancillas: one per Z check then one per X check.
+    stab::Circuit circ(code.n + n_z + n_x);
+
+    std::vector<std::size_t> prev_z(n_z, SIZE_MAX);
+    std::vector<std::size_t> prev_x(n_x, SIZE_MAX);
+
+    for (std::size_t round = 0; round < rounds; ++round) {
+        for (std::uint32_t q = 0; q < n; ++q) {
+            circ.xError(q, p_x);
+            circ.zError(q, p_z);
+        }
+        // Z checks: ancilla in |0>, CNOT data -> ancilla, measure.
+        for (std::size_t c = 0; c < n_z; ++c) {
+            const auto anc = n + static_cast<std::uint32_t>(c);
+            for (auto q : code.zChecks[c])
+                circ.cx(q, anc);
+            const auto m = circ.measureReset(anc);
+            if (prev_z[c] == SIZE_MAX)
+                circ.detector({m}, kTagZ);
+            else
+                circ.detector({prev_z[c], m}, kTagZ);
+            prev_z[c] = m;
+        }
+        // X checks: ancilla in |+>, CNOT ancilla -> data, measure X.
+        for (std::size_t c = 0; c < n_x; ++c) {
+            const auto anc =
+                n + static_cast<std::uint32_t>(n_z + c);
+            circ.h(anc);
+            for (auto q : code.xChecks[c])
+                circ.cx(anc, q);
+            circ.h(anc);
+            const auto m = circ.measureReset(anc);
+            if (prev_x[c] != SIZE_MAX)
+                circ.detector({prev_x[c], m}, kTagX);
+            prev_x[c] = m;
+        }
+    }
+
+    std::vector<std::size_t> data_meas(code.n);
+    for (std::uint32_t q = 0; q < n; ++q)
+        data_meas[q] = circ.measure(q);
+    for (std::size_t c = 0; c < n_z; ++c) {
+        std::vector<std::size_t> refs;
+        for (auto q : code.zChecks[c])
+            refs.push_back(data_meas[q]);
+        refs.push_back(prev_z[c]);
+        circ.detector(refs, kTagZ);
+    }
+    std::vector<std::size_t> logical;
+    for (auto q : code.logicalZ)
+        logical.push_back(data_meas[q]);
+    circ.observableInclude(0, logical);
+    return circ;
+}
+
+} // namespace qec
+} // namespace hetarch

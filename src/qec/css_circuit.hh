@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Simple code-capacity syndrome-extraction circuits for arbitrary CSS
+ * codes.  Used for decoder validation and as the noiseless-extraction
+ * baseline; the UEC module builds its own *device-level* serialized
+ * circuits (src/uec/).
+ */
+
+#pragma once
+
+#include "qec/css_code.hh"
+#include "stab/circuit.hh"
+
+namespace hetarch {
+namespace qec {
+
+/**
+ * Memory-Z code-capacity experiment: data qubits start in |0..0>, each
+ * round applies independent X errors with probability @p p_x (and
+ * optional Z errors @p p_z, which are invisible to the Z memory but
+ * exercise X checks), followed by perfect syndrome extraction of the
+ * Z checks.  X checks are extracted too (needed for CSS codes whose X
+ * syndrome informs Y-error decoding) starting from round 2.
+ * Ends with a transversal Z readout and the logical-Z observable.
+ *
+ * Detectors are tagged kTagZ / kTagX.
+ */
+stab::Circuit codeCapacityMemoryZ(const CssCode& code, std::size_t rounds,
+                                  double p_x, double p_z = 0.0);
+
+} // namespace qec
+} // namespace hetarch

@@ -1,0 +1,350 @@
+#include "qec/css_code.hh"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+
+#include "core/logging.hh"
+#include "qec/gf2.hh"
+
+namespace hetarch {
+namespace qec {
+
+namespace {
+
+/** Parity of |a ^ b| restricted to the intersection. */
+bool
+oddOverlap(const std::vector<std::uint32_t>& a,
+           const std::vector<std::uint32_t>& b)
+{
+    std::size_t common = 0;
+    for (auto qa : a)
+        for (auto qb : b)
+            if (qa == qb)
+                ++common;
+    return common & 1;
+}
+
+/** Exhaustive min weight over support + span(group). */
+std::size_t
+minCosetWeight(const std::vector<std::uint32_t>& rep,
+               const std::vector<std::vector<std::uint32_t>>& group,
+               std::size_t n)
+{
+    HETARCH_ASSERT(group.size() <= 20,
+                   "coset enumeration limited to 2^20 elements");
+    std::vector<std::uint64_t> base((n + 63) / 64, 0);
+    for (auto q : rep)
+        base[q >> 6] ^= std::uint64_t(1) << (q & 63);
+
+    std::vector<std::vector<std::uint64_t>> gens;
+    for (const auto& g : group) {
+        std::vector<std::uint64_t> v(base.size(), 0);
+        for (auto q : g)
+            v[q >> 6] ^= std::uint64_t(1) << (q & 63);
+        gens.push_back(std::move(v));
+    }
+
+    std::size_t best = SIZE_MAX;
+    const std::size_t total = std::size_t(1) << gens.size();
+    std::vector<std::uint64_t> cur = base;
+    // Gray-code walk so each step toggles one generator.
+    std::size_t prev_gray = 0;
+    for (std::size_t i = 0; i < total; ++i) {
+        const std::size_t gray = i ^ (i >> 1);
+        const std::size_t diff = gray ^ prev_gray;
+        if (diff) {
+            const auto g = static_cast<std::size_t>(
+                std::countr_zero(static_cast<std::uint64_t>(diff)));
+            for (std::size_t w = 0; w < cur.size(); ++w)
+                cur[w] ^= gens[g][w];
+        }
+        prev_gray = gray;
+        std::size_t weight = 0;
+        for (auto w : cur)
+            weight += static_cast<std::size_t>(std::popcount(w));
+        best = std::min(best, weight);
+    }
+    return best;
+}
+
+} // namespace
+
+std::size_t
+CssCode::numLogical() const
+{
+    const auto hx = Gf2Matrix::fromSupports(xChecks, n);
+    const auto hz = Gf2Matrix::fromSupports(zChecks, n);
+    return n - hx.rank() - hz.rank();
+}
+
+void
+CssCode::validate() const
+{
+    HETARCH_ASSERT(n > 0, "code has no qubits");
+    for (const auto& xc : xChecks)
+        for (const auto& zc : zChecks)
+            if (oddOverlap(xc, zc))
+                HETARCH_FATAL(name, ": X and Z checks anticommute");
+
+    const auto hx = Gf2Matrix::fromSupports(xChecks, n);
+    const auto hz = Gf2Matrix::fromSupports(zChecks, n);
+    if (hx.rank() != xChecks.size())
+        HETARCH_FATAL(name, ": dependent X checks");
+    if (hz.rank() != zChecks.size())
+        HETARCH_FATAL(name, ": dependent Z checks");
+    if (numLogical() != 1)
+        HETARCH_FATAL(name, ": expected k=1, got k=", numLogical());
+
+    // Logical Z commutes with X checks, is not a Z stabilizer.
+    for (const auto& xc : xChecks)
+        if (oddOverlap(logicalZ, xc))
+            HETARCH_FATAL(name, ": logical Z anticommutes with an X check");
+    for (const auto& zc : zChecks)
+        if (oddOverlap(logicalX, zc))
+            HETARCH_FATAL(name, ": logical X anticommutes with a Z check");
+    if (hz.inRowSpace(logicalZ))
+        HETARCH_FATAL(name, ": logical Z is a stabilizer");
+    if (hx.inRowSpace(logicalX))
+        HETARCH_FATAL(name, ": logical X is a stabilizer");
+    if (!oddOverlap(logicalX, logicalZ))
+        HETARCH_FATAL(name, ": logicals do not anticommute");
+}
+
+std::size_t
+CssCode::minLogicalZWeight() const
+{
+    return minCosetWeight(logicalZ, zChecks, n);
+}
+
+std::size_t
+CssCode::minLogicalXWeight() const
+{
+    return minCosetWeight(logicalX, xChecks, n);
+}
+
+void
+computeLogicals(CssCode& code)
+{
+    const auto hx = Gf2Matrix::fromSupports(code.xChecks, code.n);
+    const auto hz = Gf2Matrix::fromSupports(code.zChecks, code.n);
+
+    // Logical Z candidates: ker(Hx) minus rowspace(Hz).
+    std::vector<std::vector<std::uint32_t>> z_cands;
+    for (auto& v : hx.nullspaceBasis())
+        if (!hz.inRowSpace(v))
+            z_cands.push_back(std::move(v));
+    HETARCH_ASSERT(!z_cands.empty(), code.name, ": no logical Z found");
+    code.logicalZ = z_cands.front();
+
+    // Logical X: ker(Hz) minus rowspace(Hx), anticommuting with logical Z.
+    std::vector<std::vector<std::uint32_t>> x_cands;
+    for (auto& v : hz.nullspaceBasis())
+        if (!hx.inRowSpace(v))
+            x_cands.push_back(std::move(v));
+    HETARCH_ASSERT(!x_cands.empty(), code.name, ": no logical X found");
+
+    for (const auto& v : x_cands) {
+        if (oddOverlap(v, code.logicalZ)) {
+            code.logicalX = v;
+            return;
+        }
+    }
+    // Try pairwise sums as a fallback (k > 1 bases can need mixing).
+    for (std::size_t i = 0; i < x_cands.size(); ++i) {
+        for (std::size_t j = i + 1; j < x_cands.size(); ++j) {
+            std::vector<std::uint32_t> sum;
+            std::set_symmetric_difference(
+                x_cands[i].begin(), x_cands[i].end(), x_cands[j].begin(),
+                x_cands[j].end(), std::back_inserter(sum));
+            if (oddOverlap(sum, code.logicalZ) && !hx.inRowSpace(sum)) {
+                code.logicalX = sum;
+                return;
+            }
+        }
+    }
+    HETARCH_FATAL(code.name, ": no anticommuting logical X found");
+}
+
+CssCode
+makeRepetition(std::size_t distance)
+{
+    HETARCH_ASSERT(distance >= 2, "repetition distance must be >= 2");
+    CssCode code;
+    code.name = "repetition-" + std::to_string(distance);
+    code.n = distance;
+    code.distance = distance;
+    for (std::uint32_t i = 0; i + 1 < distance; ++i)
+        code.zChecks.push_back({i, i + 1});
+    code.logicalZ = {0};
+    for (std::uint32_t i = 0; i < distance; ++i)
+        code.logicalX.push_back(i);
+    return code;
+}
+
+CssCode
+makeSteane()
+{
+    CssCode code;
+    code.name = "steane";
+    code.n = 7;
+    code.distance = 3;
+    // Classical [7,4,3] Hamming parity checks.
+    const std::vector<std::vector<std::uint32_t>> checks = {
+        {3, 4, 5, 6},
+        {1, 2, 5, 6},
+        {0, 2, 4, 6},
+    };
+    code.xChecks = checks;
+    code.zChecks = checks;
+    code.logicalX = {0, 1, 2, 3, 4, 5, 6};
+    code.logicalZ = {0, 1, 2, 3, 4, 5, 6};
+    return code;
+}
+
+CssCode
+makeReedMuller15()
+{
+    CssCode code;
+    code.name = "reed-muller-15";
+    code.n = 15;
+    code.distance = 3;
+    // Qubit q (0-based) corresponds to the 4-bit vector q+1.
+    auto bit_set = [](std::uint32_t v, int b) { return (v >> b) & 1; };
+    // X checks: the four weight-8 first-order generators.
+    for (int b = 0; b < 4; ++b) {
+        std::vector<std::uint32_t> sup;
+        for (std::uint32_t q = 0; q < 15; ++q)
+            if (bit_set(q + 1, b))
+                sup.push_back(q);
+        code.xChecks.push_back(sup);
+    }
+    // Z checks: the same four plus the six weight-4 second-order terms.
+    code.zChecks = code.xChecks;
+    for (int b1 = 0; b1 < 4; ++b1) {
+        for (int b2 = b1 + 1; b2 < 4; ++b2) {
+            std::vector<std::uint32_t> sup;
+            for (std::uint32_t q = 0; q < 15; ++q)
+                if (bit_set(q + 1, b1) && bit_set(q + 1, b2))
+                    sup.push_back(q);
+            code.zChecks.push_back(sup);
+        }
+    }
+    for (std::uint32_t q = 0; q < 15; ++q) {
+        code.logicalX.push_back(q);
+        code.logicalZ.push_back(q);
+    }
+    return code;
+}
+
+CssCode
+makeColorCode(std::size_t distance)
+{
+    HETARCH_ASSERT(distance >= 3 && distance % 2 == 1,
+                   "color code distance must be odd and >= 3");
+    CssCode code;
+    code.name = "color-" + std::to_string(distance);
+    code.distance = distance;
+
+    // Triangular patch of the 6.6.6 lattice: sites (r, c) with
+    // 0 <= c <= r <= 3(d-1)/2.  A site is a plaquette centre when
+    // (r + c) % 3 == 2, otherwise a qubit.
+    const long rmax = static_cast<long>(3 * (distance - 1) / 2);
+    std::map<std::pair<long, long>, std::uint32_t> qubit_index;
+    auto is_site = [&](long r, long c) {
+        return r >= 0 && c >= 0 && c <= r && r <= rmax;
+    };
+    auto is_plaquette = [&](long r, long c) { return (r + c) % 3 == 2; };
+
+    for (long r = 0; r <= rmax; ++r) {
+        for (long c = 0; c <= r; ++c) {
+            if (!is_plaquette(r, c)) {
+                const auto idx =
+                    static_cast<std::uint32_t>(qubit_index.size());
+                qubit_index[{r, c}] = idx;
+            }
+        }
+    }
+    code.n = qubit_index.size();
+
+    static const long offsets[6][2] = {
+        {-1, -1}, {-1, 0}, {0, 1}, {1, 1}, {1, 0}, {0, -1}};
+    for (long r = 0; r <= rmax; ++r) {
+        for (long c = 0; c <= r; ++c) {
+            if (!is_plaquette(r, c))
+                continue;
+            std::vector<std::uint32_t> sup;
+            for (const auto& off : offsets) {
+                const long nr = r + off[0], nc = c + off[1];
+                if (is_site(nr, nc) && !is_plaquette(nr, nc))
+                    sup.push_back(qubit_index.at({nr, nc}));
+            }
+            std::sort(sup.begin(), sup.end());
+            HETARCH_ASSERT(sup.size() == 4 || sup.size() == 6,
+                           "color plaquette with unexpected weight ",
+                           sup.size());
+            code.xChecks.push_back(sup);
+            code.zChecks.push_back(sup);
+        }
+    }
+    computeLogicals(code);
+    return code;
+}
+
+CssCode
+makeRotatedSurface(std::size_t distance)
+{
+    HETARCH_ASSERT(distance >= 2, "surface distance must be >= 2");
+    const auto d = static_cast<long>(distance);
+    CssCode code;
+    code.name = "surface-" + std::to_string(distance);
+    code.n = distance * distance;
+    code.distance = distance;
+
+    auto qubit = [&](long r, long c) {
+        return static_cast<std::uint32_t>(r * d + c);
+    };
+    auto valid = [&](long r, long c) {
+        return r >= 0 && r < d && c >= 0 && c < d;
+    };
+
+    for (long i = 0; i <= d; ++i) {
+        for (long j = 0; j <= d; ++j) {
+            std::vector<std::uint32_t> sup;
+            for (const auto& [dr, dc] :
+                 std::vector<std::pair<long, long>>{
+                     {-1, -1}, {-1, 0}, {0, -1}, {0, 0}}) {
+                if (valid(i + dr, j + dc))
+                    sup.push_back(qubit(i + dr, j + dc));
+            }
+            const bool is_x = (i + j) % 2 == 0;
+            if (sup.size() == 4) {
+                std::sort(sup.begin(), sup.end());
+                (is_x ? code.xChecks : code.zChecks).push_back(sup);
+            } else if (sup.size() == 2) {
+                // Boundary halves: X on top/bottom, Z on left/right.
+                const bool top_bottom = (i == 0 || i == d);
+                if ((is_x && top_bottom) || (!is_x && !top_bottom)) {
+                    std::sort(sup.begin(), sup.end());
+                    (is_x ? code.xChecks : code.zChecks).push_back(sup);
+                }
+            }
+        }
+    }
+    // Logical Z along row 0; logical X along column 0.
+    for (long c = 0; c < d; ++c)
+        code.logicalZ.push_back(qubit(0, c));
+    for (long r = 0; r < d; ++r)
+        code.logicalX.push_back(qubit(r, 0));
+    return code;
+}
+
+std::vector<CssCode>
+paperCodeZoo()
+{
+    return {makeReedMuller15(), makeColorCode(5), makeSteane(),
+            makeRotatedSurface(3), makeRotatedSurface(4)};
+}
+
+} // namespace qec
+} // namespace hetarch

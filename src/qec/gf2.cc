@@ -1,0 +1,163 @@
+#include "qec/gf2.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/logging.hh"
+
+namespace hetarch {
+namespace qec {
+
+Gf2Matrix::Gf2Matrix(std::size_t rows, std::size_t cols)
+    : nCols(cols), nWords((cols + 63) / 64),
+      body(rows, std::vector<std::uint64_t>(nWords, 0))
+{
+}
+
+Gf2Matrix
+Gf2Matrix::fromSupports(
+    const std::vector<std::vector<std::uint32_t>>& supports,
+    std::size_t cols)
+{
+    Gf2Matrix m(supports.size(), cols);
+    for (std::size_t r = 0; r < supports.size(); ++r)
+        for (auto c : supports[r])
+            m.set(r, c, true);
+    return m;
+}
+
+bool
+Gf2Matrix::get(std::size_t r, std::size_t c) const
+{
+    return (body[r][c >> 6] >> (c & 63)) & 1;
+}
+
+void
+Gf2Matrix::set(std::size_t r, std::size_t c, bool v)
+{
+    HETARCH_ASSERT(c < nCols, "column out of range");
+    const std::uint64_t mask = std::uint64_t(1) << (c & 63);
+    if (v)
+        body[r][c >> 6] |= mask;
+    else
+        body[r][c >> 6] &= ~mask;
+}
+
+void
+Gf2Matrix::xorRow(std::size_t dst, std::size_t src)
+{
+    for (std::size_t w = 0; w < nWords; ++w)
+        body[dst][w] ^= body[src][w];
+}
+
+void
+Gf2Matrix::appendRow(const std::vector<std::uint32_t>& support)
+{
+    body.emplace_back(nWords, 0);
+    for (auto c : support)
+        set(body.size() - 1, c, true);
+}
+
+namespace {
+
+/**
+ * In-place row echelon reduction.  Returns the pivot column of each
+ * pivot row (in order).
+ */
+std::vector<std::size_t>
+echelonize(std::vector<std::vector<std::uint64_t>>& m, std::size_t n_cols)
+{
+    std::vector<std::size_t> pivots;
+    std::size_t row = 0;
+    for (std::size_t col = 0; col < n_cols && row < m.size(); ++col) {
+        const std::size_t w = col >> 6;
+        const std::uint64_t mask = std::uint64_t(1) << (col & 63);
+        std::size_t pivot = row;
+        while (pivot < m.size() && !(m[pivot][w] & mask))
+            ++pivot;
+        if (pivot == m.size())
+            continue;
+        std::swap(m[row], m[pivot]);
+        for (std::size_t r = 0; r < m.size(); ++r) {
+            if (r != row && (m[r][w] & mask)) {
+                for (std::size_t k = 0; k < m[r].size(); ++k)
+                    m[r][k] ^= m[row][k];
+            }
+        }
+        pivots.push_back(col);
+        ++row;
+    }
+    return pivots;
+}
+
+} // namespace
+
+std::size_t
+Gf2Matrix::rank() const
+{
+    auto copy = body;
+    return echelonize(copy, nCols).size();
+}
+
+std::vector<std::vector<std::uint32_t>>
+Gf2Matrix::nullspaceBasis() const
+{
+    auto copy = body;
+    const auto pivots = echelonize(copy, nCols);
+
+    std::vector<bool> is_pivot(nCols, false);
+    for (auto p : pivots)
+        is_pivot[p] = true;
+
+    std::vector<std::vector<std::uint32_t>> basis;
+    for (std::size_t free_col = 0; free_col < nCols; ++free_col) {
+        if (is_pivot[free_col])
+            continue;
+        // Vector with 1 at free_col; pivot columns solve the system.
+        std::vector<std::uint32_t> vec{
+            static_cast<std::uint32_t>(free_col)};
+        for (std::size_t r = 0; r < pivots.size(); ++r) {
+            const std::size_t c = free_col;
+            if ((copy[r][c >> 6] >> (c & 63)) & 1)
+                vec.push_back(static_cast<std::uint32_t>(pivots[r]));
+        }
+        std::sort(vec.begin(), vec.end());
+        basis.push_back(std::move(vec));
+    }
+    return basis;
+}
+
+bool
+Gf2Matrix::inRowSpace(const std::vector<std::uint32_t>& vec) const
+{
+    auto copy = body;
+    echelonize(copy, nCols);
+
+    std::vector<std::uint64_t> v(nWords, 0);
+    for (auto c : vec) {
+        HETARCH_ASSERT(c < nCols, "column out of range");
+        v[c >> 6] ^= std::uint64_t(1) << (c & 63);
+    }
+    // Reduce v against the echelon rows.
+    for (const auto& row : copy) {
+        // Find the leading column of this row.
+        std::size_t lead = nCols;
+        for (std::size_t w = 0; w < nWords && lead == nCols; ++w) {
+            if (row[w])
+                lead = (w << 6) +
+                       static_cast<std::size_t>(std::countr_zero(row[w]));
+        }
+        if (lead == nCols)
+            continue;
+        if ((v[lead >> 6] >> (lead & 63)) & 1)
+            for (std::size_t w = 0; w < nWords; ++w)
+                v[w] ^= row[w];
+    }
+    for (auto w : v)
+        if (w)
+            return false;
+    return true;
+}
+
+} // namespace qec
+} // namespace hetarch

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Dense GF(2) linear algebra on bit-packed rows.
+ *
+ * Used to derive logical operators of CSS codes, check linear
+ * independence of stabilizer generators, and enumerate minimum-weight
+ * logical representatives.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hetarch {
+namespace qec {
+
+/** Dense GF(2) matrix; each row is a bit-packed vector of @p cols bits. */
+class Gf2Matrix
+{
+  public:
+    Gf2Matrix() = default;
+    Gf2Matrix(std::size_t rows, std::size_t cols);
+
+    /** Build from explicit support lists (row -> set columns). */
+    static Gf2Matrix fromSupports(
+        const std::vector<std::vector<std::uint32_t>>& supports,
+        std::size_t cols);
+
+    std::size_t rows() const { return body.size(); }
+    std::size_t cols() const { return nCols; }
+
+    bool get(std::size_t r, std::size_t c) const;
+    void set(std::size_t r, std::size_t c, bool v);
+
+    /** XOR row @p src into row @p dst. */
+    void xorRow(std::size_t dst, std::size_t src);
+
+    /** Append a row given by its support. */
+    void appendRow(const std::vector<std::uint32_t>& support);
+
+    /** Rank via Gaussian elimination (on a copy). */
+    std::size_t rank() const;
+
+    /**
+     * Nullspace basis: all v with M v = 0, returned as support lists.
+     */
+    std::vector<std::vector<std::uint32_t>> nullspaceBasis() const;
+
+    /**
+     * True when @p vec (as support) lies in the row space.
+     */
+    bool inRowSpace(const std::vector<std::uint32_t>& vec) const;
+
+  private:
+    std::size_t nCols = 0;
+    std::size_t nWords = 0;
+    std::vector<std::vector<std::uint64_t>> body;
+};
+
+} // namespace qec
+} // namespace hetarch

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * End-to-end memory-experiment harness: circuit -> detector error
+ * model -> Monte-Carlo sampling -> decoding -> logical error rate.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.hh"
+#include "qec/noise_model.hh"
+#include "stab/circuit.hh"
+
+namespace hetarch {
+namespace qec {
+
+/** Result of a decoded Monte-Carlo memory experiment. */
+struct MemoryResult
+{
+    std::size_t shots = 0;
+    std::size_t failures = 0;
+    std::size_t rounds = 1;
+
+    /** Logical error probability per shot. */
+    double perShot() const
+    {
+        return shots ? static_cast<double>(failures) /
+                           static_cast<double>(shots)
+                     : 0.0;
+    }
+    /**
+     * Logical error rate per round, from
+     * P_shot = (1 - (1 - 2 p_round)^rounds) / 2.
+     */
+    double perRound() const;
+};
+
+/** Decoder selection for runMemoryExperiment. */
+enum class DecoderKind
+{
+    /** Weighted union-find on the tagged matching graphs. */
+    UnionFind,
+    /** Greedy DEM decoder (handles hyperedge mechanisms). */
+    GreedyDem,
+};
+
+/**
+ * Sample @p shots shots of @p circuit, decode each, and count logical
+ * failures of observable 0.
+ *
+ * For DecoderKind::UnionFind the circuit's detectors must be tagged
+ * (kTagZ/kTagX); both graphs are decoded and their observable
+ * predictions combined.
+ */
+MemoryResult runMemoryExperiment(const stab::Circuit& circuit,
+                                 std::size_t shots, std::size_t rounds,
+                                 DecoderKind decoder, Rng& rng);
+
+/**
+ * Convenience: logical error per cycle of the rotated surface code
+ * memory-Z experiment (Figs. 6 and 7 of the paper).
+ */
+double surfaceLogicalErrorPerRound(std::size_t distance,
+                                   std::size_t rounds,
+                                   const CircuitNoise& noise,
+                                   std::size_t shots, std::uint64_t seed);
+
+} // namespace qec
+} // namespace hetarch

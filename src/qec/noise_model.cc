@@ -1,0 +1,26 @@
+#include "qec/noise_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace hetarch {
+namespace qec {
+
+PauliIdle
+idleTwirl(double t_ns, double t1_ns, double t2_ns)
+{
+    HETARCH_ASSERT(t_ns >= 0.0 && t1_ns > 0.0 && t2_ns > 0.0,
+                   "bad idleTwirl arguments");
+    const double p_amp = 1.0 - std::exp(-t_ns / t1_ns);
+    const double p_deph = 1.0 - std::exp(-t_ns / t2_ns);
+    PauliIdle out;
+    out.px = p_amp / 4.0;
+    out.py = p_amp / 4.0;
+    out.pz = std::max(0.0, p_deph / 2.0 - p_amp / 4.0);
+    return out;
+}
+
+} // namespace qec
+} // namespace hetarch

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Circuit-level noise parameterization.
+ *
+ * Decoherence during idle periods is converted to a Pauli channel via
+ * the standard Pauli twirl of amplitude+phase damping:
+ *   px = py = (1 - e^{-t/T1}) / 4
+ *   pz = (1 - e^{-t/T2}) / 2 - (1 - e^{-t/T1}) / 4
+ * Gates carry depolarizing noise; measurement may flip classically.
+ * Times follow the paper's Section 4 defaults: 100 ns two-qubit gates,
+ * 40 ns single-qubit gates, 1 us error-free readout.
+ */
+
+#pragma once
+
+#include "core/units.hh"
+
+namespace hetarch {
+namespace qec {
+
+/** Pauli-twirled idle channel probabilities. */
+struct PauliIdle
+{
+    double px = 0.0;
+    double py = 0.0;
+    double pz = 0.0;
+};
+
+/** Twirl T1/T2 decay over duration @p t_ns into Pauli probabilities. */
+PauliIdle idleTwirl(double t_ns, double t1_ns, double t2_ns);
+
+/** Full circuit-noise parameter set for syndrome-extraction circuits. */
+struct CircuitNoise
+{
+    // Device coherences (ns).  "Data" and "ancilla" let the surface
+    // code study (Section 4.2.1) make the two compute classes
+    // heterogeneous; for storage-backed modules dataT1/T2 describe the
+    // storage device.
+    double dataT1 = 100.0 * units::us;
+    double dataT2 = 100.0 * units::us;
+    double ancT1 = 100.0 * units::us;
+    double ancT2 = 100.0 * units::us;
+
+    // Operation durations (ns).
+    double t1q = 40.0;
+    double t2q = 100.0;
+    double tMeas = 1.0 * units::us;
+
+    // Gate error rates (depolarizing).
+    double p1 = 1e-3;
+    double p2 = 1e-2;
+
+    // Classical measurement flip probability (paper: error-free).
+    double pMeasFlip = 0.0;
+
+    /** Idle twirl for a data qubit over @p t_ns. */
+    PauliIdle dataIdle(double t_ns) const
+    {
+        return idleTwirl(t_ns, dataT1, dataT2);
+    }
+    /** Idle twirl for an ancilla qubit over @p t_ns. */
+    PauliIdle ancIdle(double t_ns) const
+    {
+        return idleTwirl(t_ns, ancT1, ancT2);
+    }
+};
+
+} // namespace qec
+} // namespace hetarch

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Rotated-surface-code memory-experiment circuit generator.
+ *
+ * Produces the standard d-round memory-Z experiment with the four-step
+ * syndrome-extraction dance, heterogeneous data/ancilla coherence, and
+ * detector annotations, mirroring what the paper drives Stim with in
+ * Section 4.2.1 (Figs. 6 and 7).
+ *
+ * Detector tags: kTagZ marks detectors of Z-type stabilizers (they
+ * catch X errors — the graph that carries the logical-Z observable),
+ * kTagX marks X-type stabilizer detectors.
+ */
+
+#pragma once
+
+#include "qec/noise_model.hh"
+#include "stab/circuit.hh"
+
+namespace hetarch {
+namespace qec {
+
+inline constexpr std::uint32_t kTagZ = 0;
+inline constexpr std::uint32_t kTagX = 1;
+
+/** Which logical basis a memory experiment protects. */
+enum class MemoryBasis
+{
+    Z, ///< prepare/measure logical Z (|0_L>)
+    X, ///< prepare/measure logical X (|+_L>)
+};
+
+/**
+ * Build a memory experiment on the rotated surface code.
+ *
+ * @param distance code distance d (data qubits d*d)
+ * @param rounds number of noisy syndrome-extraction rounds
+ * @param noise circuit noise parameters
+ * @param basis logical basis under test
+ */
+stab::Circuit surfaceMemory(std::size_t distance, std::size_t rounds,
+                            const CircuitNoise& noise, MemoryBasis basis);
+
+/** Memory-Z convenience wrapper (the paper's Figs. 6-7 experiment). */
+stab::Circuit surfaceMemoryZ(std::size_t distance, std::size_t rounds,
+                             const CircuitNoise& noise);
+
+} // namespace qec
+} // namespace hetarch

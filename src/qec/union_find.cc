@@ -1,0 +1,376 @@
+#include "qec/union_find.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/logging.hh"
+
+namespace hetarch {
+namespace qec {
+
+namespace {
+
+/** Combine probabilities of two independent mechanisms with the same
+ * effect: exactly one of them firing. */
+double
+combineP(double a, double b)
+{
+    return a * (1.0 - b) + b * (1.0 - a);
+}
+
+std::int32_t
+weightFromProbability(double p)
+{
+    p = std::clamp(p, 1e-12, 0.5);
+    const double llr = std::log((1.0 - p) / p);
+    const auto w = static_cast<std::int32_t>(std::lround(llr));
+    return 2 * std::clamp(w, 1, 30);
+}
+
+} // namespace
+
+DecodingGraph
+DecodingGraph::fromDem(const stab::DetectorErrorModel& dem,
+                       const std::vector<std::uint32_t>& tags,
+                       std::uint32_t wanted_tag, bool carries_observables)
+{
+    HETARCH_ASSERT(tags.size() == dem.numDetectors,
+                   "tag list size mismatch");
+    DecodingGraph g;
+    g.det2node.assign(dem.numDetectors, -1);
+    for (std::size_t d = 0; d < dem.numDetectors; ++d) {
+        if (tags[d] == wanted_tag)
+            g.det2node[d] = static_cast<std::int32_t>(g.nNodes++);
+    }
+
+    // key = (u, v) with boundary encoded as -1; candidate obs variants
+    // tracked with their probabilities so the dominant one wins.
+    struct Candidate
+    {
+        double p = 0.0;
+        std::map<std::uint32_t, double> byObs;
+    };
+    std::map<std::pair<std::int32_t, std::int32_t>, Candidate> edge_map;
+
+    auto add_edge = [&](std::int32_t u, std::int32_t v, double p,
+                        std::uint32_t obs) {
+        if (u > v)
+            std::swap(u, v);
+        auto& cand = edge_map[{u, v}];
+        cand.p = combineP(cand.p, p);
+        cand.byObs[obs] += p;
+    };
+
+    std::vector<const stab::ErrorMechanism*> deferred;
+    for (const auto& mech : dem.mechanisms) {
+        std::vector<std::int32_t> nodes;
+        for (auto d : mech.detectors)
+            if (g.det2node[d] >= 0)
+                nodes.push_back(g.det2node[d]);
+        if (nodes.empty())
+            continue;
+        const std::uint32_t obs =
+            carries_observables ? mech.observables : 0;
+        if (nodes.size() == 1) {
+            add_edge(-1, nodes[0], mech.probability, obs);
+        } else if (nodes.size() == 2) {
+            add_edge(nodes[0], nodes[1], mech.probability, obs);
+        } else {
+            deferred.push_back(&mech);
+        }
+    }
+
+    // Decompose >2-detector mechanisms onto existing elementary edges.
+    auto has_key = [&](std::int32_t u, std::int32_t v) {
+        if (u > v)
+            std::swap(u, v);
+        return edge_map.count({u, v}) > 0;
+    };
+    for (const auto* mech : deferred) {
+        std::vector<std::int32_t> rest;
+        for (auto d : mech->detectors)
+            if (g.det2node[d] >= 0)
+                rest.push_back(g.det2node[d]);
+        bool clean = true;
+        while (rest.size() >= 2) {
+            bool found = false;
+            for (std::size_t i = 0; i < rest.size() && !found; ++i) {
+                for (std::size_t j = i + 1; j < rest.size() && !found;
+                     ++j) {
+                    if (has_key(rest[i], rest[j])) {
+                        // Reuse the elementary edge's own observable
+                        // mask: the decomposition parity works out
+                        // because the elementary mechanisms exist.
+                        auto& cand = edge_map[{std::min(rest[i], rest[j]),
+                                               std::max(rest[i], rest[j])}];
+                        cand.p = combineP(cand.p, mech->probability);
+                        rest.erase(rest.begin() +
+                                   static_cast<std::ptrdiff_t>(j));
+                        rest.erase(rest.begin() +
+                                   static_cast<std::ptrdiff_t>(i));
+                        found = true;
+                    }
+                }
+            }
+            if (!found) {
+                // Fallback: pair the two closest ids.
+                add_edge(rest[0], rest[1], mech->probability, 0);
+                rest.erase(rest.begin(), rest.begin() + 2);
+                clean = false;
+            }
+        }
+        if (rest.size() == 1) {
+            if (has_key(-1, rest[0])) {
+                auto& cand = edge_map[{-1, rest[0]}];
+                cand.p = combineP(cand.p, mech->probability);
+            } else {
+                add_edge(-1, rest[0], mech->probability,
+                         carries_observables ? mech->observables : 0);
+                clean = false;
+            }
+        }
+        if (!clean)
+            ++g.undecomposed;
+    }
+
+    g.inc.assign(g.nNodes, {});
+    for (const auto& [key, cand] : edge_map) {
+        GraphEdge e;
+        // key is (min, max), so a boundary (-1) always lands in first.
+        e.u = key.second;
+        e.v = key.first;
+        e.probability = cand.p;
+        double best_p = -1.0;
+        for (const auto& [obs, p] : cand.byObs) {
+            if (p > best_p) {
+                best_p = p;
+                e.observables = obs;
+            }
+        }
+        e.weight = weightFromProbability(cand.p);
+        const auto id = static_cast<std::int32_t>(g.edgeList.size());
+        g.edgeList.push_back(e);
+        g.inc[static_cast<std::size_t>(e.u)].push_back(id);
+        if (e.v >= 0)
+            g.inc[static_cast<std::size_t>(e.v)].push_back(id);
+    }
+    return g;
+}
+
+std::vector<std::uint8_t>
+DecodingGraph::projectSyndrome(
+    const std::vector<std::uint8_t>& detectors) const
+{
+    HETARCH_ASSERT(detectors.size() == det2node.size(),
+                   "syndrome size mismatch");
+    std::vector<std::uint8_t> out(nNodes, 0);
+    for (std::size_t d = 0; d < detectors.size(); ++d)
+        if (det2node[d] >= 0)
+            out[static_cast<std::size_t>(det2node[d])] = detectors[d];
+    return out;
+}
+
+UnionFindDecoder::UnionFindDecoder(const DecodingGraph& graph)
+    : g(graph)
+{
+}
+
+std::uint32_t
+UnionFindDecoder::decode(const std::vector<std::uint8_t>& syndrome) const
+{
+    const std::size_t n = g.numNodes();
+    HETARCH_ASSERT(syndrome.size() == n, "syndrome size mismatch");
+    const std::size_t boundary = n; // virtual boundary node id
+
+    // --- union-find state -------------------------------------------
+    std::vector<std::int32_t> parent(n + 1);
+    for (std::size_t i = 0; i <= n; ++i)
+        parent[i] = static_cast<std::int32_t>(i);
+    std::vector<std::uint8_t> odd(n + 1, 0);
+    std::vector<std::uint8_t> touches_boundary(n + 1, 0);
+    touches_boundary[boundary] = 1;
+
+    auto find = [&](std::size_t x) {
+        while (parent[x] != static_cast<std::int32_t>(x)) {
+            parent[x] = parent[static_cast<std::size_t>(parent[x])];
+            x = static_cast<std::size_t>(parent[x]);
+        }
+        return x;
+    };
+
+    std::vector<std::int32_t> grown(g.edges().size(), 0);
+    // Frontier edge lists per root and cluster member lists.
+    std::vector<std::vector<std::int32_t>> frontier(n + 1);
+    std::vector<std::vector<std::int32_t>> members(n + 1);
+    std::vector<std::uint8_t> materialized(n + 1, 0);
+
+    std::vector<std::size_t> worklist;
+    for (std::size_t v = 0; v < n; ++v) {
+        members[v] = {static_cast<std::int32_t>(v)};
+        if (syndrome[v]) {
+            odd[v] = 1;
+            frontier[v] = g.incidence()[v];
+            materialized[v] = 1;
+            worklist.push_back(v);
+        }
+    }
+    members[boundary] = {static_cast<std::int32_t>(boundary)};
+    materialized[boundary] = 1;
+
+    auto unite = [&](std::size_t a, std::size_t b) {
+        std::size_t ra = find(a), rb = find(b);
+        if (ra == rb)
+            return ra;
+        // Union by member count.
+        if (members[ra].size() < members[rb].size())
+            std::swap(ra, rb);
+        parent[rb] = static_cast<std::int32_t>(ra);
+        odd[ra] ^= odd[rb];
+        touches_boundary[ra] |= touches_boundary[rb];
+        members[ra].insert(members[ra].end(), members[rb].begin(),
+                           members[rb].end());
+        members[rb].clear();
+        frontier[ra].insert(frontier[ra].end(), frontier[rb].begin(),
+                            frontier[rb].end());
+        frontier[rb].clear();
+        return ra;
+    };
+
+    // --- growth ------------------------------------------------------
+    // Round-robin: grow every active cluster's frontier by one unit
+    // until all clusters are neutral (even parity or boundary-touching).
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        std::vector<std::size_t> roots;
+        for (auto v : worklist) {
+            const auto r = find(v);
+            if (odd[r] && !touches_boundary[r])
+                roots.push_back(r);
+        }
+        std::sort(roots.begin(), roots.end());
+        roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+        if (roots.empty())
+            break;
+
+        for (auto r : roots) {
+            if (find(r) != r || !odd[r] || touches_boundary[r])
+                continue; // merged or neutralized earlier this sweep
+            std::vector<std::int32_t> keep;
+            auto edges_now = frontier[r];
+            frontier[r].clear();
+            for (auto eid : edges_now) {
+                const auto& e = g.edges()[static_cast<std::size_t>(eid)];
+                if (grown[static_cast<std::size_t>(eid)] >= e.weight) {
+                    continue; // already fully grown and merged
+                }
+                grown[static_cast<std::size_t>(eid)] += 2;
+                progress = true;
+                if (grown[static_cast<std::size_t>(eid)] >= e.weight) {
+                    const std::size_t a = static_cast<std::size_t>(e.u);
+                    const std::size_t b =
+                        e.v < 0 ? boundary : static_cast<std::size_t>(e.v);
+                    // Materialize far endpoints' incident edges.
+                    for (std::size_t endpoint : {a, b}) {
+                        if (endpoint != boundary &&
+                            !materialized[endpoint]) {
+                            materialized[endpoint] = 1;
+                            const auto er = find(endpoint);
+                            frontier[er].insert(
+                                frontier[er].end(),
+                                g.incidence()[endpoint].begin(),
+                                g.incidence()[endpoint].end());
+                        }
+                    }
+                    const auto nr = unite(unite(a, b), r);
+                    worklist.push_back(nr);
+                } else {
+                    keep.push_back(eid);
+                }
+            }
+            const auto r2 = find(r);
+            frontier[r2].insert(frontier[r2].end(), keep.begin(),
+                                keep.end());
+        }
+    }
+
+    // --- peeling ------------------------------------------------------
+    // For each cluster, build a spanning forest of fully grown edges
+    // and peel from the leaves, emitting correction edges.
+    std::uint32_t correction = 0;
+    std::vector<std::uint8_t> defect(n + 1, 0);
+    for (std::size_t v = 0; v < n; ++v)
+        defect[v] = syndrome[v];
+
+    // Adjacency restricted to fully grown edges.
+    std::vector<std::size_t> cluster_of(n + 1, SIZE_MAX);
+    std::vector<std::size_t> roots;
+    for (std::size_t v = 0; v <= n; ++v) {
+        if (find(v) == v && !members[v].empty())
+            roots.push_back(v);
+    }
+    for (auto r : roots)
+        for (auto m : members[r])
+            cluster_of[static_cast<std::size_t>(m)] = r;
+
+    std::vector<std::vector<std::pair<std::size_t, std::size_t>>> adj(
+        n + 1); // node -> (neighbor, edge id)
+    for (std::size_t eid = 0; eid < g.edges().size(); ++eid) {
+        if (grown[eid] < g.edges()[eid].weight)
+            continue;
+        const auto& e = g.edges()[eid];
+        const std::size_t a = static_cast<std::size_t>(e.u);
+        const std::size_t b =
+            e.v < 0 ? boundary : static_cast<std::size_t>(e.v);
+        adj[a].push_back({b, eid});
+        adj[b].push_back({a, eid});
+    }
+
+    std::vector<std::uint8_t> visited(n + 1, 0);
+    for (auto r : roots) {
+        // Pick a tree root: boundary if in this cluster, else r itself.
+        std::size_t tree_root = r;
+        if (touches_boundary[r]) {
+            for (auto m : members[r]) {
+                if (static_cast<std::size_t>(m) == boundary) {
+                    tree_root = boundary;
+                    break;
+                }
+            }
+        }
+        if (visited[tree_root])
+            continue;
+        // BFS spanning tree.
+        std::vector<std::size_t> order;
+        std::vector<std::pair<std::size_t, std::size_t>> parent_edge(
+            n + 1, {SIZE_MAX, SIZE_MAX});
+        visited[tree_root] = 1;
+        order.push_back(tree_root);
+        for (std::size_t head = 0; head < order.size(); ++head) {
+            const auto u = order[head];
+            for (const auto& [w, eid] : adj[u]) {
+                if (!visited[w]) {
+                    visited[w] = 1;
+                    parent_edge[w] = {u, eid};
+                    order.push_back(w);
+                }
+            }
+        }
+        // Peel leaves-first (reverse BFS order).
+        for (std::size_t k = order.size(); k-- > 1;) {
+            const auto v = order[k];
+            if (defect[v]) {
+                const auto [p, eid] = parent_edge[v];
+                correction ^= g.edges()[eid].observables;
+                defect[v] = 0;
+                defect[p] ^= 1;
+            }
+        }
+        defect[boundary] = 0; // boundary absorbs anything
+    }
+    return correction;
+}
+
+} // namespace qec
+} // namespace hetarch

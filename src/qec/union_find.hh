@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Weighted union-find decoder (Delfosse–Nickerson) over a decoding
+ * graph derived from a detector error model.
+ *
+ * The graph is built per detector class (tag): for the surface code,
+ * Z-stabilizer detectors form the graph that catches X errors and
+ * carries the logical-Z observable.  Mechanisms with one detector in
+ * the class become boundary edges; with two, ordinary edges; with more
+ * than two, they are decomposed onto existing elementary edges (the
+ * same convention Stim/PyMatching use for Y-type correlations).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stab/dem.hh"
+
+namespace hetarch {
+namespace qec {
+
+/** One edge of the decoding graph. */
+struct GraphEdge
+{
+    std::int32_t u = -1;     ///< node id
+    std::int32_t v = -1;     ///< node id, or -1 for the boundary
+    double probability = 0.0;
+    std::uint32_t observables = 0; ///< logical mask flipped by this edge
+    std::int32_t weight = 1;       ///< integer growth weight
+};
+
+/** Matching graph over one detector class. */
+class DecodingGraph
+{
+  public:
+    /**
+     * Build from a DEM keeping only detectors whose tag equals
+     * @p wanted_tag.  @p tags is indexed by detector id.
+     *
+     * @p carries_observables: whether logical flips are attributed to
+     * this graph.  In a memory-Z experiment only X-type errors flip the
+     * logical, and they are caught by the Z-stabilizer graph — so that
+     * graph carries the observables and the X-stabilizer graph must
+     * not (Y-error mechanisms span both graphs and would otherwise
+     * double-attribute their logical flip).
+     */
+    static DecodingGraph fromDem(const stab::DetectorErrorModel& dem,
+                                 const std::vector<std::uint32_t>& tags,
+                                 std::uint32_t wanted_tag,
+                                 bool carries_observables = true);
+
+    /** Number of (kept) detector nodes. */
+    std::size_t numNodes() const { return nNodes; }
+    const std::vector<GraphEdge>& edges() const { return edgeList; }
+    /** Edge ids incident to a node. */
+    const std::vector<std::vector<std::int32_t>>& incidence() const
+    {
+        return inc;
+    }
+    /** Map from global detector id to node id (-1 when filtered out). */
+    const std::vector<std::int32_t>& detectorToNode() const
+    {
+        return det2node;
+    }
+    /** Mechanisms that could not be decomposed onto elementary edges. */
+    std::size_t undecomposedCount() const { return undecomposed; }
+
+    /** Project a full detector event vector onto this graph's nodes. */
+    std::vector<std::uint8_t>
+    projectSyndrome(const std::vector<std::uint8_t>& detectors) const;
+
+  private:
+    std::size_t nNodes = 0;
+    std::vector<GraphEdge> edgeList;
+    std::vector<std::vector<std::int32_t>> inc;
+    std::vector<std::int32_t> det2node;
+    std::size_t undecomposed = 0;
+};
+
+/**
+ * Union-find decoder.  Construct once per graph, then decode many
+ * syndromes.
+ */
+class UnionFindDecoder
+{
+  public:
+    explicit UnionFindDecoder(const DecodingGraph& graph);
+
+    /**
+     * Decode one syndrome (bit per node).  Returns the predicted
+     * logical-observable mask of the correction.
+     */
+    std::uint32_t decode(const std::vector<std::uint8_t>& syndrome) const;
+
+  private:
+    const DecodingGraph& g;
+};
+
+} // namespace qec
+} // namespace hetarch

@@ -1,0 +1,230 @@
+#include "stab/circuit.hh"
+
+#include <sstream>
+
+#include "core/logging.hh"
+
+namespace hetarch {
+namespace stab {
+
+Circuit::Circuit(std::size_t num_qubits)
+    : nq(num_qubits)
+{
+}
+
+void
+Circuit::ensureQubit(std::size_t q)
+{
+    if (q >= nq)
+        nq = q + 1;
+}
+
+void
+Circuit::pushUnary(OpCode code, std::uint32_t q)
+{
+    ensureQubit(q);
+    opList.push_back({code, {q}, {}, 0});
+}
+
+void
+Circuit::pushPair(OpCode code, std::uint32_t a, std::uint32_t b)
+{
+    HETARCH_ASSERT(a != b, "two-qubit op needs distinct qubits");
+    ensureQubit(a);
+    ensureQubit(b);
+    opList.push_back({code, {a, b}, {}, 0});
+}
+
+void Circuit::h(std::uint32_t q) { pushUnary(OpCode::H, q); }
+void Circuit::s(std::uint32_t q) { pushUnary(OpCode::S, q); }
+void Circuit::sdg(std::uint32_t q) { pushUnary(OpCode::SDG, q); }
+void Circuit::x(std::uint32_t q) { pushUnary(OpCode::X, q); }
+void Circuit::y(std::uint32_t q) { pushUnary(OpCode::Y, q); }
+void Circuit::z(std::uint32_t q) { pushUnary(OpCode::Z, q); }
+
+void
+Circuit::cx(std::uint32_t control, std::uint32_t target)
+{
+    pushPair(OpCode::CX, control, target);
+}
+
+void
+Circuit::cz(std::uint32_t a, std::uint32_t b)
+{
+    pushPair(OpCode::CZ, a, b);
+}
+
+void
+Circuit::swap(std::uint32_t a, std::uint32_t b)
+{
+    pushPair(OpCode::SWAP, a, b);
+}
+
+std::size_t
+Circuit::measure(std::uint32_t q)
+{
+    pushUnary(OpCode::M, q);
+    return nMeas++;
+}
+
+void
+Circuit::reset(std::uint32_t q)
+{
+    pushUnary(OpCode::R, q);
+}
+
+std::size_t
+Circuit::measureReset(std::uint32_t q)
+{
+    pushUnary(OpCode::MR, q);
+    return nMeas++;
+}
+
+void
+Circuit::xError(std::uint32_t q, double p)
+{
+    HETARCH_ASSERT(p >= 0.0 && p <= 1.0, "probability out of range");
+    ensureQubit(q);
+    if (p > 0.0)
+        opList.push_back({OpCode::X_ERROR, {q}, {p}, 0});
+}
+
+void
+Circuit::zError(std::uint32_t q, double p)
+{
+    HETARCH_ASSERT(p >= 0.0 && p <= 1.0, "probability out of range");
+    ensureQubit(q);
+    if (p > 0.0)
+        opList.push_back({OpCode::Z_ERROR, {q}, {p}, 0});
+}
+
+void
+Circuit::pauliChannel1(std::uint32_t q, double px, double py, double pz)
+{
+    HETARCH_ASSERT(px >= 0.0 && py >= 0.0 && pz >= 0.0 &&
+                   px + py + pz <= 1.0 + 1e-12,
+                   "invalid Pauli channel probabilities");
+    ensureQubit(q);
+    if (px + py + pz > 0.0)
+        opList.push_back({OpCode::PAULI1, {q}, {px, py, pz}, 0});
+}
+
+void
+Circuit::depolarize1(std::uint32_t q, double p)
+{
+    HETARCH_ASSERT(p >= 0.0 && p <= 1.0, "probability out of range");
+    ensureQubit(q);
+    if (p > 0.0)
+        opList.push_back({OpCode::DEPOL1, {q}, {p}, 0});
+}
+
+void
+Circuit::depolarize2(std::uint32_t a, std::uint32_t b, double p)
+{
+    HETARCH_ASSERT(p >= 0.0 && p <= 1.0, "probability out of range");
+    HETARCH_ASSERT(a != b, "depolarize2 needs distinct qubits");
+    ensureQubit(a);
+    ensureQubit(b);
+    if (p > 0.0)
+        opList.push_back({OpCode::DEPOL2, {a, b}, {p}, 0});
+}
+
+std::size_t
+Circuit::detector(const std::vector<std::size_t>& meas_indices,
+                  std::uint32_t tag)
+{
+    Op op{OpCode::DETECTOR, {}, {}, tag};
+    op.targets.reserve(meas_indices.size());
+    for (auto m : meas_indices) {
+        HETARCH_ASSERT(m < nMeas, "detector references measurement ", m,
+                       " but only ", nMeas, " exist");
+        op.targets.push_back(static_cast<std::uint32_t>(m));
+    }
+    opList.push_back(std::move(op));
+    detTags.push_back(tag);
+    return nDets++;
+}
+
+void
+Circuit::observableInclude(std::uint32_t index,
+                           const std::vector<std::size_t>& meas_indices)
+{
+    Op op{OpCode::OBSERVABLE, {}, {}, index};
+    op.targets.reserve(meas_indices.size());
+    for (auto m : meas_indices) {
+        HETARCH_ASSERT(m < nMeas, "observable references measurement ", m,
+                       " but only ", nMeas, " exist");
+        op.targets.push_back(static_cast<std::uint32_t>(m));
+    }
+    opList.push_back(std::move(op));
+    if (index + 1 > nObs)
+        nObs = index + 1;
+}
+
+void
+Circuit::append(const Circuit& other)
+{
+    const auto meas_offset = static_cast<std::uint32_t>(nMeas);
+    for (Op op : other.opList) {
+        if (op.code == OpCode::DETECTOR || op.code == OpCode::OBSERVABLE) {
+            for (auto& t : op.targets)
+                t += meas_offset;
+            if (op.code == OpCode::DETECTOR) {
+                detTags.push_back(op.id);
+                ++nDets;
+            } else if (op.id + 1 > nObs) {
+                nObs = op.id + 1;
+            }
+        }
+        opList.push_back(std::move(op));
+    }
+    nMeas += other.nMeas;
+    if (other.nq > nq)
+        nq = other.nq;
+}
+
+std::string
+Circuit::toString() const
+{
+    std::ostringstream os;
+    auto name = [](OpCode c) {
+        switch (c) {
+          case OpCode::H: return "H";
+          case OpCode::S: return "S";
+          case OpCode::SDG: return "SDG";
+          case OpCode::X: return "X";
+          case OpCode::Y: return "Y";
+          case OpCode::Z: return "Z";
+          case OpCode::CX: return "CX";
+          case OpCode::CZ: return "CZ";
+          case OpCode::SWAP: return "SWAP";
+          case OpCode::M: return "M";
+          case OpCode::R: return "R";
+          case OpCode::MR: return "MR";
+          case OpCode::X_ERROR: return "X_ERROR";
+          case OpCode::Z_ERROR: return "Z_ERROR";
+          case OpCode::PAULI1: return "PAULI_CHANNEL_1";
+          case OpCode::DEPOL1: return "DEPOLARIZE1";
+          case OpCode::DEPOL2: return "DEPOLARIZE2";
+          case OpCode::DETECTOR: return "DETECTOR";
+          case OpCode::OBSERVABLE: return "OBSERVABLE_INCLUDE";
+        }
+        return "?";
+    };
+    os.precision(17);
+    for (const auto& op : opList) {
+        os << name(op.code);
+        if (op.code == OpCode::OBSERVABLE ||
+            (op.code == OpCode::DETECTOR && op.id != 0))
+            os << "(" << op.id << ")";
+        for (auto p : op.params)
+            os << " p=" << p;
+        for (auto t : op.targets)
+            os << " " << t;
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace stab
+} // namespace hetarch

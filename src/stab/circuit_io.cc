@@ -1,0 +1,162 @@
+#include "stab/circuit_io.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "core/logging.hh"
+
+namespace hetarch {
+namespace stab {
+
+namespace {
+
+struct ParsedLine
+{
+    std::string name;
+    int observableId = -1;
+    std::vector<double> params;
+    std::vector<std::size_t> targets;
+};
+
+ParsedLine
+tokenize(const std::string& line, std::size_t line_no)
+{
+    ParsedLine out;
+    std::istringstream in(line);
+    std::string token;
+    if (!(in >> token))
+        return out; // blank
+
+    // OBSERVABLE_INCLUDE(k) carries its id in the mnemonic.
+    const auto paren = token.find('(');
+    if (paren != std::string::npos) {
+        const auto close = token.find(')', paren);
+        if (close == std::string::npos)
+            HETARCH_FATAL("line ", line_no, ": unterminated '(' in '",
+                          token, "'");
+        out.observableId =
+            std::stoi(token.substr(paren + 1, close - paren - 1));
+        token = token.substr(0, paren);
+    }
+    out.name = token;
+
+    while (in >> token) {
+        if (token.rfind("p=", 0) == 0) {
+            out.params.push_back(std::stod(token.substr(2)));
+        } else {
+            out.targets.push_back(
+                static_cast<std::size_t>(std::stoull(token)));
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Circuit
+parseCircuit(const std::string& text)
+{
+    Circuit circ;
+    std::istringstream in(text);
+    std::string raw;
+    std::size_t line_no = 0;
+
+    auto want = [&](const ParsedLine& l, std::size_t params,
+                    std::size_t targets) {
+        if (l.params.size() != params || l.targets.size() != targets) {
+            HETARCH_FATAL("line ", line_no, ": '", l.name,
+                          "' expects ", params, " params and ", targets,
+                          " targets");
+        }
+    };
+    auto q = [](std::size_t t) { return static_cast<std::uint32_t>(t); };
+
+    while (std::getline(in, raw)) {
+        ++line_no;
+        const auto hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw = raw.substr(0, hash);
+        const auto l = tokenize(raw, line_no);
+        if (l.name.empty())
+            continue;
+
+        if (l.name == "H" || l.name == "S" || l.name == "SDG" ||
+            l.name == "X" || l.name == "Y" || l.name == "Z" ||
+            l.name == "M" || l.name == "R" || l.name == "MR") {
+            want(l, 0, 1);
+            if (l.name == "H") circ.h(q(l.targets[0]));
+            else if (l.name == "S") circ.s(q(l.targets[0]));
+            else if (l.name == "SDG") circ.sdg(q(l.targets[0]));
+            else if (l.name == "X") circ.x(q(l.targets[0]));
+            else if (l.name == "Y") circ.y(q(l.targets[0]));
+            else if (l.name == "Z") circ.z(q(l.targets[0]));
+            else if (l.name == "M") circ.measure(q(l.targets[0]));
+            else if (l.name == "R") circ.reset(q(l.targets[0]));
+            else circ.measureReset(q(l.targets[0]));
+        } else if (l.name == "CX" || l.name == "CZ" ||
+                   l.name == "SWAP") {
+            want(l, 0, 2);
+            if (l.name == "CX")
+                circ.cx(q(l.targets[0]), q(l.targets[1]));
+            else if (l.name == "CZ")
+                circ.cz(q(l.targets[0]), q(l.targets[1]));
+            else
+                circ.swap(q(l.targets[0]), q(l.targets[1]));
+        } else if (l.name == "X_ERROR" || l.name == "Z_ERROR" ||
+                   l.name == "DEPOLARIZE1") {
+            want(l, 1, 1);
+            if (l.name == "X_ERROR")
+                circ.xError(q(l.targets[0]), l.params[0]);
+            else if (l.name == "Z_ERROR")
+                circ.zError(q(l.targets[0]), l.params[0]);
+            else
+                circ.depolarize1(q(l.targets[0]), l.params[0]);
+        } else if (l.name == "PAULI_CHANNEL_1") {
+            want(l, 3, 1);
+            circ.pauliChannel1(q(l.targets[0]), l.params[0], l.params[1],
+                               l.params[2]);
+        } else if (l.name == "DEPOLARIZE2") {
+            want(l, 1, 2);
+            circ.depolarize2(q(l.targets[0]), q(l.targets[1]),
+                             l.params[0]);
+        } else if (l.name == "DETECTOR") {
+            circ.detector(l.targets,
+                          l.observableId >= 0
+                              ? static_cast<std::uint32_t>(l.observableId)
+                              : 0);
+        } else if (l.name == "OBSERVABLE_INCLUDE") {
+            HETARCH_ASSERT(l.observableId >= 0,
+                           "OBSERVABLE_INCLUDE needs an index");
+            circ.observableInclude(
+                static_cast<std::uint32_t>(l.observableId), l.targets);
+        } else {
+            HETARCH_FATAL("line ", line_no, ": unknown op '", l.name,
+                          "'");
+        }
+    }
+    return circ;
+}
+
+bool
+circuitsEquivalent(const Circuit& a, const Circuit& b)
+{
+    if (a.numQubits() != b.numQubits() ||
+        a.ops().size() != b.ops().size())
+        return false;
+    for (std::size_t i = 0; i < a.ops().size(); ++i) {
+        const auto& oa = a.ops()[i];
+        const auto& ob = b.ops()[i];
+        if (oa.code != ob.code || oa.targets != ob.targets ||
+            oa.id != ob.id)
+            return false;
+        if (oa.params.size() != ob.params.size())
+            return false;
+        for (std::size_t k = 0; k < oa.params.size(); ++k)
+            if (std::abs(oa.params[k] - ob.params[k]) > 1e-12)
+                return false;
+    }
+    return true;
+}
+
+} // namespace stab
+} // namespace hetarch

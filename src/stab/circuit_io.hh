@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Text serialization for circuits: parse the format Circuit::toString
+ * emits (a Stim-like line-per-op dialect), so circuits can be stored
+ * in files, diffed, and shared between tools.
+ *
+ * Grammar (one op per line, '#' starts a comment):
+ *   H 0            S 1            CX 0 1         SWAP 2 3
+ *   M 0            R 1            MR 2
+ *   X_ERROR p=0.01 0
+ *   PAULI_CHANNEL_1 p=0.01 p=0.02 p=0.03 4
+ *   DEPOLARIZE2 p=0.001 0 1
+ *   DETECTOR 3 4            # measurement-record indices
+ *   OBSERVABLE_INCLUDE(0) 5
+ */
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "stab/circuit.hh"
+
+namespace hetarch {
+namespace stab {
+
+/**
+ * Parse a circuit from text.  Fatal on malformed input (unknown op,
+ * bad argument counts, out-of-range record references).
+ */
+Circuit parseCircuit(const std::string& text);
+
+/** Round-trip helper: parse(toString(c)) must reproduce c's ops. */
+bool circuitsEquivalent(const Circuit& a, const Circuit& b);
+
+} // namespace stab
+} // namespace hetarch

@@ -1,0 +1,72 @@
+#include "stab/circuit_stats.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace hetarch {
+namespace stab {
+
+CircuitStats
+analyzeCircuit(const Circuit& circuit)
+{
+    CircuitStats stats;
+    stats.qubits = circuit.numQubits();
+    stats.detectors = circuit.numDetectors();
+
+    std::vector<std::size_t> ready(circuit.numQubits(), 0);
+    auto schedule = [&](const std::vector<std::uint32_t>& targets) {
+        std::size_t start = 0;
+        for (auto t : targets)
+            start = std::max(start, ready[t]);
+        for (auto t : targets)
+            ready[t] = start + 1;
+        stats.depth = std::max(stats.depth, start + 1);
+    };
+
+    for (const auto& op : circuit.ops()) {
+        switch (op.code) {
+          case OpCode::H:
+          case OpCode::S:
+          case OpCode::SDG:
+          case OpCode::X:
+          case OpCode::Y:
+          case OpCode::Z:
+            ++stats.oneQubitGates;
+            schedule(op.targets);
+            break;
+          case OpCode::CX:
+          case OpCode::CZ:
+          case OpCode::SWAP:
+            ++stats.twoQubitGates;
+            schedule(op.targets);
+            break;
+          case OpCode::M:
+            ++stats.measurements;
+            schedule(op.targets);
+            break;
+          case OpCode::R:
+            ++stats.resets;
+            schedule(op.targets);
+            break;
+          case OpCode::MR:
+            ++stats.measurements;
+            ++stats.resets;
+            schedule(op.targets);
+            break;
+          case OpCode::X_ERROR:
+          case OpCode::Z_ERROR:
+          case OpCode::PAULI1:
+          case OpCode::DEPOL1:
+          case OpCode::DEPOL2:
+            ++stats.noiseSites;
+            break;
+          case OpCode::DETECTOR:
+          case OpCode::OBSERVABLE:
+            break;
+        }
+    }
+    return stats;
+}
+
+} // namespace stab
+} // namespace hetarch

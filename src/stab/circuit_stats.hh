@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Circuit cost statistics: gate counts, noise-site counts, and an
+ * ASAP-depth estimate.  Used in experiment reports and to compare the
+ * hardware cost of heterogeneous vs homogeneous schedules.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "stab/circuit.hh"
+
+namespace hetarch {
+namespace stab {
+
+/** Aggregate operation counts of a circuit. */
+struct CircuitStats
+{
+    std::size_t qubits = 0;
+    std::size_t oneQubitGates = 0;  ///< H, S, SDG, X, Y, Z
+    std::size_t twoQubitGates = 0;  ///< CX, CZ, SWAP
+    std::size_t measurements = 0;   ///< M + MR
+    std::size_t resets = 0;         ///< R + MR
+    std::size_t noiseSites = 0;     ///< noise ops of any kind
+    std::size_t detectors = 0;
+    /**
+     * ASAP schedule depth counting only gates/measurements (each op
+     * occupies its targets for one step).
+     */
+    std::size_t depth = 0;
+
+    std::size_t totalGates() const
+    {
+        return oneQubitGates + twoQubitGates;
+    }
+};
+
+/** Compute statistics for @p circuit. */
+CircuitStats analyzeCircuit(const Circuit& circuit);
+
+} // namespace stab
+} // namespace hetarch

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Detector error model (DEM) extraction.
+ *
+ * A DEM reduces a noisy Clifford circuit to a list of independent
+ * *error mechanisms*: each mechanism fires with some probability and
+ * flips a known set of detectors and logical observables.  Decoders
+ * operate on the DEM rather than the circuit.
+ *
+ * Extraction runs a single reverse pass over the circuit, maintaining
+ * for every qubit the set of detectors/observables sensitive to an X
+ * or Z error at the current position (Pauli sensitivity sets).  This
+ * is O(#ops x set-size) — the same trick Stim uses — so building the
+ * DEM for a distance-18 surface-code experiment takes milliseconds.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hh"
+#include "stab/circuit.hh"
+
+namespace hetarch {
+namespace stab {
+
+/** One independent error mechanism. */
+struct ErrorMechanism
+{
+    double probability = 0.0;
+    /** Sorted detector ids flipped when this mechanism fires. */
+    std::vector<std::uint32_t> detectors;
+    /** Bitmask of logical observables flipped. */
+    std::uint32_t observables = 0;
+};
+
+/** The full detector error model of a circuit. */
+struct DetectorErrorModel
+{
+    std::size_t numDetectors = 0;
+    std::size_t numObservables = 0;
+    std::vector<ErrorMechanism> mechanisms;
+
+    /**
+     * Sample one shot: fires each mechanism independently, returning
+     * the detector event vector and observable mask.
+     */
+    std::pair<std::vector<std::uint8_t>, std::uint32_t>
+    sample(Rng& rng) const;
+
+    /** Sum of mechanism probabilities (diagnostic). */
+    double totalErrorWeight() const;
+};
+
+/**
+ * Extract the detector error model of @p circuit.
+ *
+ * Requirements: every detector must be noise-deterministic (see
+ * TableauSimulator::checkDetectorsDeterministic) and the number of
+ * observables must be <= 32.
+ */
+DetectorErrorModel buildDetectorErrorModel(const Circuit& circuit);
+
+} // namespace stab
+} // namespace hetarch

@@ -1,0 +1,214 @@
+#include "stab/frame.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/logging.hh"
+
+namespace hetarch {
+namespace stab {
+
+namespace {
+
+/** One 64-shot batch of frame state. */
+struct Batch
+{
+    std::vector<std::uint64_t> x;     // X-flip per qubit (bit = shot)
+    std::vector<std::uint64_t> z;     // Z-flip per qubit
+    std::vector<std::uint64_t> meas;  // measurement flips, in record order
+
+    explicit Batch(std::size_t nq, std::size_t n_meas)
+        : x(nq, 0), z(nq, 0)
+    {
+        meas.reserve(n_meas);
+    }
+};
+
+/** Run the circuit once over a 64-shot batch. */
+void
+runBatch(const Circuit& circ, Batch& b, Rng& rng)
+{
+    for (const auto& op : circ.ops()) {
+        switch (op.code) {
+          case OpCode::H:
+            std::swap(b.x[op.targets[0]], b.z[op.targets[0]]);
+            break;
+          case OpCode::S:
+          case OpCode::SDG:
+            // S X S^dag = Y, S Z S^dag = Z: frame z picks up x.
+            b.z[op.targets[0]] ^= b.x[op.targets[0]];
+            break;
+          case OpCode::X:
+          case OpCode::Y:
+          case OpCode::Z:
+            break; // Paulis commute with the frame (up to sign)
+          case OpCode::CX: {
+            const auto c = op.targets[0], t = op.targets[1];
+            b.x[t] ^= b.x[c];
+            b.z[c] ^= b.z[t];
+            break;
+          }
+          case OpCode::CZ: {
+            const auto a = op.targets[0], t = op.targets[1];
+            b.z[a] ^= b.x[t];
+            b.z[t] ^= b.x[a];
+            break;
+          }
+          case OpCode::SWAP: {
+            const auto a = op.targets[0], t = op.targets[1];
+            std::swap(b.x[a], b.x[t]);
+            std::swap(b.z[a], b.z[t]);
+            break;
+          }
+          case OpCode::M:
+            b.meas.push_back(b.x[op.targets[0]]);
+            // Measurement collapse randomizes the frame phase.
+            b.z[op.targets[0]] ^= rng();
+            break;
+          case OpCode::R:
+            b.x[op.targets[0]] = 0;
+            b.z[op.targets[0]] = 0;
+            break;
+          case OpCode::MR:
+            b.meas.push_back(b.x[op.targets[0]]);
+            b.x[op.targets[0]] = 0;
+            b.z[op.targets[0]] = 0;
+            break;
+          case OpCode::X_ERROR:
+            b.x[op.targets[0]] ^= rng.biasedWord(op.params[0]);
+            break;
+          case OpCode::Z_ERROR:
+            b.z[op.targets[0]] ^= rng.biasedWord(op.params[0]);
+            break;
+          case OpCode::PAULI1: {
+            const double px = op.params[0];
+            const double py = op.params[1];
+            const double pz = op.params[2];
+            const double ptot = px + py + pz;
+            if (ptot <= 0.0)
+                break;
+            const std::uint64_t err = rng.biasedWord(ptot);
+            const std::uint64_t pick_x = rng.biasedWord(px / ptot);
+            const double rest = py + pz;
+            const std::uint64_t pick_y =
+                rng.biasedWord(rest > 0.0 ? py / rest : 0.0);
+            const std::uint64_t mx = err & pick_x;
+            const std::uint64_t my = err & ~pick_x & pick_y;
+            const std::uint64_t mz = err & ~pick_x & ~pick_y;
+            b.x[op.targets[0]] ^= mx | my;
+            b.z[op.targets[0]] ^= mz | my;
+            break;
+          }
+          case OpCode::DEPOL1: {
+            const double p = op.params[0];
+            const std::uint64_t err = rng.biasedWord(p);
+            const std::uint64_t pick_x = rng.biasedWord(1.0 / 3.0);
+            const std::uint64_t pick_y = rng.biasedWord(0.5);
+            const std::uint64_t mx = err & pick_x;
+            const std::uint64_t my = err & ~pick_x & pick_y;
+            const std::uint64_t mz = err & ~pick_x & ~pick_y;
+            b.x[op.targets[0]] ^= mx | my;
+            b.z[op.targets[0]] ^= mz | my;
+            break;
+          }
+          case OpCode::DEPOL2: {
+            const auto qa = op.targets[0], qb = op.targets[1];
+            const std::uint64_t err = rng.biasedWord(op.params[0]);
+            if (!err)
+                break;
+            // Uniform non-identity two-qubit Pauli per erring lane:
+            // draw 4 random bits and reject the all-zero combination.
+            std::uint64_t v0 = rng(), v1 = rng(), v2 = rng(), v3 = rng();
+            for (int tries = 0; tries < 12; ++tries) {
+                const std::uint64_t zero = err & ~(v0 | v1 | v2 | v3);
+                if (!zero)
+                    break;
+                const std::uint64_t r0 = rng(), r1 = rng(), r2 = rng(),
+                                    r3 = rng();
+                v0 = (v0 & ~zero) | (r0 & zero);
+                v1 = (v1 & ~zero) | (r1 & zero);
+                v2 = (v2 & ~zero) | (r2 & zero);
+                v3 = (v3 & ~zero) | (r3 & zero);
+            }
+            // Any lane still all-zero after the retries (prob 16^-12)
+            // is forced to X on qubit a.
+            const std::uint64_t still = err & ~(v0 | v1 | v2 | v3);
+            v0 |= still;
+            b.x[qa] ^= err & v0;
+            b.z[qa] ^= err & v1;
+            b.x[qb] ^= err & v2;
+            b.z[qb] ^= err & v3;
+            break;
+          }
+          case OpCode::DETECTOR:
+          case OpCode::OBSERVABLE:
+            break; // handled from the measurement-flip record
+        }
+    }
+}
+
+} // namespace
+
+FrameSimulator::FrameSimulator(const Circuit& circuit)
+    : circ(circuit)
+{
+}
+
+DetectorSamples
+FrameSimulator::sampleDetectors(std::size_t shots, Rng& rng) const
+{
+    DetectorSamples out;
+    out.shots = shots;
+    out.numDetectors = circ.numDetectors();
+    out.numObservables = circ.numObservables();
+    out.detectors.assign(shots * out.numDetectors, 0);
+    out.observables.assign(shots * out.numObservables, 0);
+
+    std::size_t done = 0;
+    while (done < shots) {
+        const std::size_t lanes = std::min<std::size_t>(64, shots - done);
+        Batch batch(circ.numQubits(), circ.numMeasurements());
+        runBatch(circ, batch, rng);
+
+        // Fold measurement-flip words into detector/observable words.
+        std::size_t det_idx = 0;
+        for (const auto& op : circ.ops()) {
+            if (op.code == OpCode::DETECTOR) {
+                std::uint64_t word = 0;
+                for (auto m : op.targets)
+                    word ^= batch.meas[m];
+                for (std::size_t lane = 0; lane < lanes; ++lane) {
+                    out.detectors[(done + lane) * out.numDetectors +
+                                  det_idx] =
+                        static_cast<std::uint8_t>((word >> lane) & 1);
+                }
+                ++det_idx;
+            } else if (op.code == OpCode::OBSERVABLE) {
+                std::uint64_t word = 0;
+                for (auto m : op.targets)
+                    word ^= batch.meas[m];
+                for (std::size_t lane = 0; lane < lanes; ++lane) {
+                    out.observables[(done + lane) * out.numObservables +
+                                    op.id] ^=
+                        static_cast<std::uint8_t>((word >> lane) & 1);
+                }
+            }
+        }
+        done += lanes;
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+FrameSimulator::sampleMeasurementFlips(Rng& rng) const
+{
+    Batch batch(circ.numQubits(), circ.numMeasurements());
+    runBatch(circ, batch, rng);
+    std::vector<std::uint8_t> out(batch.meas.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = static_cast<std::uint8_t>(batch.meas[i] & 1);
+    return out;
+}
+
+} // namespace stab
+} // namespace hetarch

@@ -1,0 +1,195 @@
+#include "stab/pauli.hh"
+
+#include <bit>
+
+#include "core/logging.hh"
+
+namespace hetarch {
+namespace stab {
+
+BitVec::BitVec(std::size_t n)
+    : nBits(n), words((n + 63) / 64, 0)
+{
+}
+
+BitVec&
+BitVec::operator^=(const BitVec& other)
+{
+    HETARCH_ASSERT(nBits == other.nBits, "BitVec length mismatch");
+    for (std::size_t i = 0; i < words.size(); ++i)
+        words[i] ^= other.words[i];
+    return *this;
+}
+
+std::size_t
+BitVec::popcount() const
+{
+    std::size_t n = 0;
+    for (auto w : words)
+        n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+}
+
+bool
+BitVec::allZero() const
+{
+    for (auto w : words)
+        if (w)
+            return false;
+    return true;
+}
+
+bool
+BitVec::andParity(const BitVec& other) const
+{
+    HETARCH_ASSERT(nBits == other.nBits, "BitVec length mismatch");
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < words.size(); ++i)
+        acc ^= words[i] & other.words[i];
+    return std::popcount(acc) & 1;
+}
+
+PauliString::PauliString(std::size_t n)
+    : x(n), z(n)
+{
+}
+
+PauliString
+PauliString::fromString(const std::string& text)
+{
+    std::size_t pos = 0;
+    int phase = 0;
+    if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) {
+        if (text[pos] == '-')
+            phase = 2;
+        ++pos;
+        if (pos < text.size() && text[pos] == 'i') {
+            phase += 1;
+            ++pos;
+        }
+    }
+    PauliString p(text.size() - pos);
+    for (std::size_t q = 0; pos < text.size(); ++pos, ++q)
+        p.setLetter(q, text[pos]);
+    p.setPhase(phase);
+    return p;
+}
+
+PauliString
+PauliString::single(std::size_t n, std::size_t qubit, char pauli)
+{
+    HETARCH_ASSERT(qubit < n, "qubit out of range");
+    PauliString p(n);
+    p.setLetter(qubit, pauli);
+    return p;
+}
+
+char
+PauliString::letter(std::size_t q) const
+{
+    const bool xb = x.get(q);
+    const bool zb = z.get(q);
+    if (xb && zb)
+        return 'Y';
+    if (xb)
+        return 'X';
+    if (zb)
+        return 'Z';
+    return 'I';
+}
+
+void
+PauliString::setLetter(std::size_t q, char pauli)
+{
+    switch (pauli) {
+      case 'I': x.set(q, false); z.set(q, false); break;
+      case 'X': x.set(q, true);  z.set(q, false); break;
+      case 'Y': x.set(q, true);  z.set(q, true);  break;
+      case 'Z': x.set(q, false); z.set(q, true);  break;
+      default: HETARCH_FATAL("invalid Pauli letter '", pauli, "'");
+    }
+}
+
+std::size_t
+PauliString::weight() const
+{
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < x.raw().size(); ++i) {
+        w += static_cast<std::size_t>(
+            std::popcount(x.raw()[i] | z.raw()[i]));
+    }
+    return w;
+}
+
+bool
+PauliString::isIdentity() const
+{
+    return x.allZero() && z.allZero();
+}
+
+bool
+PauliString::commutesWith(const PauliString& other) const
+{
+    // Symplectic product: parity of (x1.z2) + (z1.x2).
+    return !(x.andParity(other.z) ^ z.andParity(other.x));
+}
+
+PauliString&
+PauliString::operator*=(const PauliString& other)
+{
+    HETARCH_ASSERT(numQubits() == other.numQubits(),
+                   "PauliString size mismatch");
+    // Phase bookkeeping per qubit: multiplying single-qubit Paulis
+    // P1 * P2 contributes a factor i^k; accumulate k over qubits.
+    int extra = 0;
+    for (std::size_t q = 0; q < numQubits(); ++q) {
+        const bool x1 = x.get(q), z1 = z.get(q);
+        const bool x2 = other.x.get(q), z2 = other.z.get(q);
+        // Lookup of the phase exponent of P1*P2 relative to the
+        // symplectic sum: i^g where g in {0,1,3} (mod 4).
+        // Using the standard formula g = x1*z1*(z2 - x2) ... simpler
+        // to enumerate.
+        const int p1 = (x1 ? 1 : 0) | (z1 ? 2 : 0); // I=0 X=1 Z=2 Y=3
+        const int p2 = (x2 ? 1 : 0) | (z2 ? 2 : 0);
+        // table[p1][p2]: phase exponent of pauli(p1)*pauli(p2) as i^k
+        // with pauli order I,X,Z,Y.
+        // X*Z = -iY, Z*X = iY, X*Y = iZ, Y*X = -iZ, Z*Y = -iX, Y*Z = iX
+        static const int table[4][4] = {
+            {0, 0, 0, 0},  // I*
+            {0, 0, 3, 1},  // X*: X*Z=-i(Y) -> 3, X*Y=i(Z) -> 1
+            {0, 1, 0, 3},  // Z*: Z*X=i(Y) -> 1, Z*Y=-i(X) -> 3
+            {0, 3, 1, 0},  // Y*: Y*X=-i(Z) -> 3, Y*Z=i(X) -> 1
+        };
+        extra += table[p1][p2];
+    }
+    x ^= other.x;
+    z ^= other.z;
+    ph = (ph + other.ph + extra) % 4;
+    return *this;
+}
+
+PauliString
+PauliString::operator*(const PauliString& other) const
+{
+    PauliString out = *this;
+    out *= other;
+    return out;
+}
+
+std::string
+PauliString::toString() const
+{
+    std::string out;
+    switch (ph) {
+      case 0: out = "+"; break;
+      case 1: out = "+i"; break;
+      case 2: out = "-"; break;
+      case 3: out = "-i"; break;
+    }
+    for (std::size_t q = 0; q < numQubits(); ++q)
+        out += letter(q);
+    return out;
+}
+
+} // namespace stab
+} // namespace hetarch

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Pauli-string algebra over n qubits.
+ *
+ * A PauliString is stored in the symplectic (x, z) representation: the
+ * operator on qubit q is
+ *   x=0,z=0 -> I      x=1,z=0 -> X
+ *   x=1,z=1 -> Y      x=0,z=1 -> Z
+ * together with a global phase i^phase (phase in {0,1,2,3}).  Bits are
+ * packed 64 per word.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hetarch {
+namespace stab {
+
+/** Packed bit vector with word-level access. */
+class BitVec
+{
+  public:
+    BitVec() = default;
+    /** All-zero vector of @p n bits. */
+    explicit BitVec(std::size_t n);
+
+    std::size_t size() const { return nBits; }
+
+    bool get(std::size_t i) const
+    {
+        return (words[i >> 6] >> (i & 63)) & 1;
+    }
+    void set(std::size_t i, bool v)
+    {
+        const std::uint64_t mask = std::uint64_t(1) << (i & 63);
+        if (v)
+            words[i >> 6] |= mask;
+        else
+            words[i >> 6] &= ~mask;
+    }
+    void flip(std::size_t i) { words[i >> 6] ^= std::uint64_t(1) << (i & 63); }
+
+    /** XOR-accumulate another vector of the same length. */
+    BitVec& operator^=(const BitVec& other);
+
+    /** Number of set bits. */
+    std::size_t popcount() const;
+    /** True when every bit is zero. */
+    bool allZero() const;
+    /** Parity of the AND with another vector (symplectic helper). */
+    bool andParity(const BitVec& other) const;
+
+    /** Word storage, for tight loops. */
+    std::vector<std::uint64_t>& raw() { return words; }
+    const std::vector<std::uint64_t>& raw() const { return words; }
+
+    bool operator==(const BitVec& other) const = default;
+
+  private:
+    std::size_t nBits = 0;
+    std::vector<std::uint64_t> words;
+};
+
+/** n-qubit Pauli operator with phase i^phase. */
+class PauliString
+{
+  public:
+    /** Identity on @p n qubits. */
+    explicit PauliString(std::size_t n = 0);
+
+    /**
+     * Parse from text like "XIZY" (qubit 0 first) with optional leading
+     * sign: "+", "-", "+i", "-i".
+     */
+    static PauliString fromString(const std::string& text);
+
+    /** Single-qubit Pauli embedded at @p qubit in an @p n qubit string. */
+    static PauliString single(std::size_t n, std::size_t qubit, char pauli);
+
+    std::size_t numQubits() const { return x.size(); }
+
+    bool xBit(std::size_t q) const { return x.get(q); }
+    bool zBit(std::size_t q) const { return z.get(q); }
+    void setX(std::size_t q, bool v) { x.set(q, v); }
+    void setZ(std::size_t q, bool v) { z.set(q, v); }
+
+    /** Phase exponent k in i^k (0..3). */
+    int phase() const { return ph; }
+    void setPhase(int k) { ph = ((k % 4) + 4) % 4; }
+
+    /** Pauli letter on one qubit: 'I', 'X', 'Y', or 'Z'. */
+    char letter(std::size_t q) const;
+    /** Set the Pauli on one qubit by letter. */
+    void setLetter(std::size_t q, char pauli);
+
+    /** Number of non-identity sites. */
+    std::size_t weight() const;
+    /** True when this is the (possibly phased) identity. */
+    bool isIdentity() const;
+
+    /** True when the two strings commute. */
+    bool commutesWith(const PauliString& other) const;
+
+    /** Multiply in place (this := this * other), tracking phase. */
+    PauliString& operator*=(const PauliString& other);
+    PauliString operator*(const PauliString& other) const;
+
+    /** Render like "+XIZY". */
+    std::string toString() const;
+
+    bool operator==(const PauliString& other) const = default;
+
+    /** Direct access to the symplectic halves. */
+    const BitVec& xVec() const { return x; }
+    const BitVec& zVec() const { return z; }
+
+  private:
+    BitVec x;
+    BitVec z;
+    int ph = 0; // i^ph
+};
+
+} // namespace stab
+} // namespace hetarch

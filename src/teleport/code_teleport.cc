@@ -1,0 +1,184 @@
+#include "teleport/code_teleport.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cells/characterize.hh"
+#include "cells/standard_cells.hh"
+#include "core/logging.hh"
+#include "distill/module_sim.hh"
+#include "qec/noise_model.hh"
+#include "uec/experiment.hh"
+
+namespace hetarch {
+namespace teleport {
+
+double
+composeLogicalErrors(const std::vector<double>& errors)
+{
+    double keep = 1.0;
+    for (auto e : errors) {
+        HETARCH_ASSERT(e >= 0.0 && e <= 0.5 + 1e-12,
+                       "logical error rate out of range: ", e);
+        keep *= 1.0 - 2.0 * std::min(e, 0.5);
+    }
+    return 0.5 * (1.0 - keep);
+}
+
+namespace {
+
+/** Run the distillation sub-module; returns achieved EP infidelity. */
+std::pair<double, bool>
+distilledEpQuality(const CtConfig& config)
+{
+    distill::DistillConfig dc;
+    dc.ts = config.heterogeneous ? config.ts : config.tc;
+    dc.tc = config.tc;
+    dc.heterogeneous = config.heterogeneous;
+    dc.epRate = config.epRate;
+    dc.epInfidelity = config.epInfidelity;
+    dc.targetFidelity = config.targetEpFidelity;
+    dc.seed = config.seed;
+    const auto res = distill::simulateDistillation(dc, 2.0 * units::ms);
+
+    if (res.distilled > 0)
+        return {1.0 - config.targetEpFidelity, true};
+    // Distillation never reached the target (paper: some homogeneous
+    // experiments could not achieve the 99.5% EP target); fall back to
+    // the best EP ever present in the output register, or a raw EP.
+    double best = config.epInfidelity;
+    for (const auto& point : res.trace)
+        best = std::min(best, point.bestInfidelity);
+    return {best, false};
+}
+
+} // namespace
+
+CtResult
+prepareCtState(const qec::CssCode& code_a, const qec::CssCode& code_b,
+               const CtConfig& config)
+{
+    CtResult out;
+
+    // --- step 1: distilled EPs ---------------------------------------
+    const auto [eps_ep, met] = distilledEpQuality(config);
+    out.epInfidelity = eps_ep;
+    out.epTargetMet = met;
+
+    // --- step 2: CAT state of size |A| + |B| --------------------------
+    const auto cat_size = code_a.n + code_b.n;
+    auto storage = devices::storageWithCoherence(
+        config.heterogeneous ? config.ts : config.tc);
+    // Section 4 operating point: every two-qubit gate, including the
+    // storage SWAP, takes 100 ns.
+    storage.gateTime2q = 100.0;
+    const auto compute = devices::computeWithCoherence(config.tc);
+
+    double e_cnot, e_verified, t_cnot, t_verified;
+    if (config.heterogeneous) {
+        // SeqOp cells: CNOTs between stored qubits, parity verified.
+        const auto seqop = cells::makeSeqOp(storage, compute);
+        const auto ch = cells::characterizeSeqOp(seqop);
+        e_cnot = ch.op("stored-cnot").errorRate;
+        e_verified = ch.op("verified-cnot").errorRate;
+        t_cnot = ch.op("stored-cnot").duration;
+        t_verified = ch.op("verified-cnot").duration;
+    } else {
+        // Plain transmon CNOT chain; qubits idle on compute devices.
+        const auto parcheck = cells::makeParCheck(compute);
+        const auto ch = cells::characterizeParCheck(parcheck);
+        e_cnot = ch.op("cnot").errorRate;
+        e_verified = ch.op("parity-check").errorRate;
+        t_cnot = ch.op("cnot").duration;
+        t_verified = ch.op("parity-check").duration;
+    }
+    std::vector<double> cat_errors;
+    // Sequential CNOTs build the CAT (size-1 gates), verified by a
+    // pair of parity checks, bridged with epsForCat remote gates that
+    // each consume one distilled EP.
+    for (std::size_t i = 0; i + 1 < cat_size; ++i)
+        cat_errors.push_back(e_cnot);
+    for (int i = 0; i < 2; ++i)
+        cat_errors.push_back(e_verified);
+    for (int i = 0; i < config.epsForCat; ++i)
+        cat_errors.push_back(eps_ep);
+    // While the CAT is built *sequentially*, every CAT qubit idles for
+    // the full build: in storage (Ts) on the heterogeneous side, on
+    // bare transmons (Tc) in the sea of qubits.  This is the paper's
+    // "idling errors from CAT state parity checks" term and the main
+    // reason heterogeneous CT wins even for planar code pairs.
+    const double t_build = static_cast<double>(cat_size - 1) * t_cnot +
+                           2.0 * t_verified;
+    const double t_mem_cat =
+        config.heterogeneous ? config.ts : config.tc;
+    const auto build_idle = qec::idleTwirl(t_build, t_mem_cat, t_mem_cat);
+    const double e_build_idle =
+        build_idle.px + build_idle.py + build_idle.pz;
+    for (std::size_t i = 0; i < cat_size; ++i)
+        cat_errors.push_back(e_build_idle);
+    out.catError = composeLogicalErrors(cat_errors);
+
+    // --- step 3: logical |+> preparation on the two QEC sub-modules ---
+    auto prep_error = [&](const qec::CssCode& code,
+                          std::uint64_t seed) {
+        const auto rounds = std::max<std::size_t>(code.distance, 2);
+        double per_round;
+        if (config.heterogeneous) {
+            per_round = uec::uecLogicalErrorPerRound(
+                code, config.ts, rounds, config.shots, seed);
+        } else {
+            uec::LatticeNoise ln;
+            ln.tc = config.tc;
+            per_round = uec::homogeneousLogicalErrorPerRound(
+                code, rounds, config.shots, seed, ln);
+        }
+        // d verification rounds of stabilizer checks project and
+        // protect the logical |+>.
+        std::vector<double> rounds_err(rounds, per_round);
+        return composeLogicalErrors(rounds_err);
+    };
+    out.prepErrorA = prep_error(code_a, config.seed + 101);
+    out.prepErrorB = prep_error(code_b, config.seed + 202);
+
+    // --- steps 4-6: transversal CNOT, logical measure, correction -----
+    // One CNOT per CAT qubit plus idling during the 1 us readout.
+    const double t_meas = 1.0 * units::us;
+    const double idle_t = config.heterogeneous ? config.ts : config.tc;
+    const auto idle = qec::idleTwirl(t_meas, idle_t, idle_t);
+    const double e_idle = idle.px + idle.py + idle.pz;
+    std::vector<double> trans_errors;
+    for (std::size_t i = 0; i < cat_size; ++i) {
+        trans_errors.push_back(e_cnot);
+        trans_errors.push_back(e_idle);
+    }
+    out.transversalError = composeLogicalErrors(trans_errors);
+
+    out.errorProbability = composeLogicalErrors(
+        {out.catError, out.prepErrorA, out.prepErrorB,
+         out.transversalError});
+    return out;
+}
+
+module::Module
+buildCodeTeleportModule(double ts_ns)
+{
+    const auto storage = devices::storageWithCoherence(ts_ns);
+    const auto compute = devices::fixedFrequencyTransmon();
+
+    module::Module top("code-teleportation");
+    top.addSubModule(distill::buildDistillationModule(ts_ns));
+
+    for (const char* side : {"A", "B"}) {
+        module::Module cat(std::string("cat-generator-") + side);
+        cat.addCell(cells::makeSeqOp(storage, compute));
+        top.addSubModule(std::move(cat));
+
+        module::Module uec_mod(std::string("uec-") + side);
+        uec_mod.addCell(cells::makeUsc(storage, compute));
+        top.addSubModule(std::move(uec_mod));
+    }
+    return top;
+}
+
+} // namespace teleport
+} // namespace hetarch

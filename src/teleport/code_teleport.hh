@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Code teleportation (CT) module (paper Section 4.3, Figs. 10-12,
+ * Table 4).
+ *
+ * A CT resource state |Phi+>_AB between logical codes A and B is
+ * prepared from: distilled EPs (entanglement-distillation sub-module),
+ * a CAT state of size |A|+|B| built by SeqOp cells and bridged across
+ * the EP link, logical |+> states prepared on UEC sub-modules, a
+ * transversal CNOT between the CAT and the logical states, and a
+ * logical measurement.  Following the paper, each sub-module is
+ * characterized independently and the module-level logical error is
+ * composed from independent error rates; symmetric binary composition
+ * (1 - prod(1 - 2 p_i)) / 2 keeps the total physical (<= 1/2,
+ * saturating at the maximally mixed value the paper reports for
+ * failing homogeneous configurations).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/units.hh"
+#include "qec/css_code.hh"
+
+namespace hetarch {
+namespace teleport {
+
+/** Configuration of a CT-state preparation experiment. */
+struct CtConfig
+{
+    /** Storage coherence Ts (T1 = T2), heterogeneous side. */
+    double ts = 50.0 * units::ms;
+    /** Compute coherence Tc. */
+    double tc = 0.5 * units::ms;
+    /** Heterogeneous architecture (else sea-of-qubits everywhere). */
+    bool heterogeneous = true;
+
+    /** Raw EP generation rate (paper Fig. 12: 1000 kHz). */
+    double epRate = 1000.0 * units::kHz;
+    /** Distillation target fidelity (paper: 0.995). */
+    double targetEpFidelity = 0.995;
+    /** Raw EP infidelity. */
+    double epInfidelity = 0.03;
+    /** EPs consumed to entangle and verify the CAT state. */
+    int epsForCat = 3;
+
+    /** Monte-Carlo shots for the UEC / lattice |+> preparations. */
+    std::size_t shots = 3000;
+    std::uint64_t seed = 1;
+};
+
+/** Per-component breakdown of a CT-state preparation. */
+struct CtResult
+{
+    double errorProbability = 0.0; ///< total logical error of the CT state
+    double epInfidelity = 1.0;     ///< achieved distilled-EP infidelity
+    bool epTargetMet = false;      ///< distillation reached the target
+    double catError = 0.0;         ///< CAT generation + bridge + verify
+    double prepErrorA = 0.0;       ///< logical |+> preparation, code A
+    double prepErrorB = 0.0;       ///< logical |+> preparation, code B
+    double transversalError = 0.0; ///< parallel CNOT + logical readout
+};
+
+/** Symmetric binary error composition: (1 - prod(1 - 2 p_i)) / 2. */
+double composeLogicalErrors(const std::vector<double>& errors);
+
+/**
+ * Characterize the preparation of a CT state between @p code_a and
+ * @p code_b (paper Fig. 10 steps 1-6).
+ */
+CtResult prepareCtState(const qec::CssCode& code_a,
+                        const qec::CssCode& code_b,
+                        const CtConfig& config);
+
+} // namespace teleport
+} // namespace hetarch
+
+#include "module/module.hh"
+
+namespace hetarch {
+namespace teleport {
+
+/**
+ * The CT module as a HetArch hierarchy object (paper Fig. 11): an
+ * entanglement-distillation sub-module, two CAT generators (SeqOp
+ * cells), and two universal error correction sub-modules (USC cells).
+ */
+module::Module buildCodeTeleportModule(double ts_ns);
+
+} // namespace teleport
+} // namespace hetarch

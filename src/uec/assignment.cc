@@ -1,0 +1,293 @@
+#include "uec/assignment.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "core/logging.hh"
+
+namespace hetarch {
+namespace uec {
+
+RoundSchedule
+buildRoundSchedule(const qec::CssCode& code, const Assignment& assignment,
+                   const UecTimes& times)
+{
+    HETARCH_ASSERT(assignment.registerOf.size() == code.n,
+                   "assignment size mismatch");
+    std::vector<int> load(static_cast<std::size_t>(assignment.numRegisters),
+                          0);
+    for (auto r : assignment.registerOf) {
+        HETARCH_ASSERT(r >= 0 && r < assignment.numRegisters,
+                       "register id out of range");
+        ++load[static_cast<std::size_t>(r)];
+    }
+    for (auto l : load) {
+        if (l > assignment.modesPerRegister)
+            HETARCH_FATAL("register over capacity: ", l, " > ",
+                          assignment.modesPerRegister);
+    }
+
+    RoundSchedule sched;
+    sched.outOfStorage.assign(code.n, 0.0);
+
+    std::vector<double> reg_free(
+        static_cast<std::size_t>(assignment.numRegisters), 0.0);
+    double anc_free = 0.0;
+
+    int check_index = 0;
+    auto run_check = [&](const std::vector<std::uint32_t>& support,
+                         bool is_x) {
+        // Ancilla prep (reset; +H for X checks).
+        const double prep = is_x ? times.h : 0.0;
+        const double prep_start = anc_free;
+        anc_free += prep;
+        if (prep > 0.0) {
+            sched.ops.push_back({TimedOp::Kind::AncPrep, prep_start,
+                                 anc_free, 0, check_index, is_x});
+        }
+
+        // Order qubits within the check round-robin over registers so
+        // SWAPs pipeline against the serial ancilla CNOTs.
+        std::vector<std::uint32_t> order(support.begin(), support.end());
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                             return assignment.registerOf[a] <
+                                    assignment.registerOf[b];
+                         });
+        // Interleave registers: take one from each register in turn.
+        std::vector<std::uint32_t> interleaved;
+        {
+            std::vector<std::vector<std::uint32_t>> buckets(
+                static_cast<std::size_t>(assignment.numRegisters));
+            for (auto q : order)
+                buckets[static_cast<std::size_t>(
+                            assignment.registerOf[q])]
+                    .push_back(q);
+            bool more = true;
+            std::size_t i = 0;
+            while (more) {
+                more = false;
+                for (auto& b : buckets) {
+                    if (i < b.size()) {
+                        interleaved.push_back(b[i]);
+                        more = true;
+                    }
+                }
+                ++i;
+            }
+        }
+
+        for (auto q : interleaved) {
+            const auto reg =
+                static_cast<std::size_t>(assignment.registerOf[q]);
+            const double so_start = reg_free[reg];
+            const double so_end = so_start + times.swap;
+            sched.ops.push_back({TimedOp::Kind::SwapOut, so_start, so_end,
+                                 q, check_index, is_x});
+            const double cx_start = std::max(so_end, anc_free);
+            const double cx_end = cx_start + times.cnot;
+            sched.ops.push_back({TimedOp::Kind::Cnot, cx_start, cx_end, q,
+                                 check_index, is_x});
+            anc_free = cx_end;
+            const double si_end = cx_end + times.swap;
+            sched.ops.push_back({TimedOp::Kind::SwapIn, cx_end, si_end, q,
+                                 check_index, is_x});
+            reg_free[reg] = si_end;
+            sched.outOfStorage[q] += si_end - so_start;
+        }
+
+        // Ancilla measurement (+H first for X checks).
+        const double m_start = anc_free;
+        const double m_end = m_start + (is_x ? times.h : 0.0) +
+                             times.measure;
+        sched.ops.push_back({TimedOp::Kind::AncMeasure, m_start, m_end, 0,
+                             check_index, is_x});
+        anc_free = m_end;
+        ++check_index;
+    };
+
+    for (const auto& support : code.zChecks)
+        run_check(support, false);
+    for (const auto& support : code.xChecks)
+        run_check(support, true);
+
+    std::stable_sort(sched.ops.begin(), sched.ops.end(),
+                     [](const TimedOp& a, const TimedOp& b) {
+                         return a.start < b.start;
+                     });
+    sched.duration = anc_free;
+    for (auto f : reg_free)
+        sched.duration = std::max(sched.duration, f);
+    return sched;
+}
+
+RoundSchedule
+buildChainedSchedule(const qec::CssCode& code, const Assignment& assignment,
+                     const UecChain& chain, const UecTimes& times)
+{
+    HETARCH_ASSERT(assignment.numRegisters == chain.numRegisters(),
+                   "assignment does not match chain configuration");
+    HETARCH_ASSERT(assignment.registerOf.size() == code.n,
+                   "assignment size mismatch");
+
+    RoundSchedule sched;
+    sched.outOfStorage.assign(code.n, 0.0);
+
+    std::vector<double> reg_free(
+        static_cast<std::size_t>(assignment.numRegisters), 0.0);
+    std::vector<double> anc_free(
+        static_cast<std::size_t>(chain.numAncillas()), 0.0);
+
+    int check_index = 0;
+    auto run_check = [&](const std::vector<std::uint32_t>& support,
+                         bool is_x) {
+        // Home cell: majority vote of the support's cells.
+        std::vector<int> cell_count(
+            static_cast<std::size_t>(chain.numAncillas()), 0);
+        for (auto q : support) {
+            ++cell_count[static_cast<std::size_t>(chain.cellOfRegister(
+                assignment.registerOf[q]))];
+        }
+        int home = 0;
+        for (int cell = 1; cell < chain.numAncillas(); ++cell)
+            if (cell_count[static_cast<std::size_t>(cell)] >
+                cell_count[static_cast<std::size_t>(home)])
+                home = cell;
+        auto& anc = anc_free[static_cast<std::size_t>(home)];
+
+        const double prep = is_x ? times.h : 0.0;
+        if (prep > 0.0) {
+            sched.ops.push_back({TimedOp::Kind::AncPrep, anc, anc + prep,
+                                 0, check_index, is_x, home, 0});
+            anc += prep;
+        }
+
+        for (auto q : support) {
+            const auto reg =
+                static_cast<std::size_t>(assignment.registerOf[q]);
+            const int hops = std::abs(
+                chain.cellOfRegister(assignment.registerOf[q]) - home);
+
+            const double so_start = reg_free[reg];
+            const double so_end = so_start + times.swap;
+            sched.ops.push_back({TimedOp::Kind::SwapOut, so_start,
+                                 so_end, q, check_index, is_x, home, 0});
+            // Route along the compute chain (hops SWAPs), then CNOT.
+            const double route = hops * times.swap;
+            const double cx_start = std::max(so_end + route, anc);
+            const double cx_end = cx_start + times.cnot;
+            sched.ops.push_back({TimedOp::Kind::Cnot, cx_start, cx_end, q,
+                                 check_index, is_x, home, hops});
+            anc = cx_end;
+            const double si_end = cx_end + route + times.swap;
+            sched.ops.push_back({TimedOp::Kind::SwapIn, cx_end, si_end, q,
+                                 check_index, is_x, home, 0});
+            reg_free[reg] = si_end;
+            sched.outOfStorage[q] += si_end - so_start;
+        }
+
+        const double m_end = anc + (is_x ? times.h : 0.0) + times.measure;
+        sched.ops.push_back({TimedOp::Kind::AncMeasure, anc, m_end, 0,
+                             check_index, is_x, home, 0});
+        anc = m_end;
+        ++check_index;
+    };
+
+    for (const auto& support : code.zChecks)
+        run_check(support, false);
+    for (const auto& support : code.xChecks)
+        run_check(support, true);
+
+    std::stable_sort(sched.ops.begin(), sched.ops.end(),
+                     [](const TimedOp& a, const TimedOp& b) {
+                         return a.start < b.start;
+                     });
+    for (auto f : anc_free)
+        sched.duration = std::max(sched.duration, f);
+    for (auto f : reg_free)
+        sched.duration = std::max(sched.duration, f);
+    return sched;
+}
+
+Assignment
+roundRobinAssignment(const qec::CssCode& code, int num_registers,
+                     int modes_per_register)
+{
+    Assignment a;
+    a.numRegisters = num_registers;
+    a.modesPerRegister = modes_per_register;
+    a.registerOf.resize(code.n);
+    for (std::size_t q = 0; q < code.n; ++q)
+        a.registerOf[q] = static_cast<int>(q % num_registers);
+    return a;
+}
+
+Assignment
+optimizeAssignment(const qec::CssCode& code, int num_registers,
+                   int modes_per_register, const UecTimes& times)
+{
+    HETARCH_ASSERT(code.n <=
+                       static_cast<std::size_t>(num_registers *
+                                                modes_per_register),
+                   code.name, " does not fit the UEC module");
+    Assignment best =
+        roundRobinAssignment(code, num_registers, modes_per_register);
+
+    auto cost = [&](const Assignment& a) {
+        const auto sched = buildRoundSchedule(code, a, times);
+        double out = 0.0;
+        for (auto t : sched.outOfStorage)
+            out += t;
+        // Duration dominates; out-of-storage time breaks ties.
+        return sched.duration + 1e-3 * out;
+    };
+
+    double best_cost = cost(best);
+    // Local search: move one qubit to a different register, or swap
+    // the registers of two qubits; iterate to a fixed point.
+    bool improved = true;
+    int guard = 0;
+    while (improved && guard++ < 50) {
+        improved = false;
+        for (std::size_t q = 0; q < code.n; ++q) {
+            for (int r = 0; r < num_registers; ++r) {
+                if (best.registerOf[q] == r)
+                    continue;
+                Assignment trial = best;
+                trial.registerOf[q] = r;
+                int load = 0;
+                for (auto x : trial.registerOf)
+                    if (x == r)
+                        ++load;
+                if (load > modes_per_register)
+                    continue;
+                const double c = cost(trial);
+                if (c + 1e-9 < best_cost) {
+                    best = trial;
+                    best_cost = c;
+                    improved = true;
+                }
+            }
+        }
+        for (std::size_t q1 = 0; q1 < code.n && !improved; ++q1) {
+            for (std::size_t q2 = q1 + 1; q2 < code.n; ++q2) {
+                if (best.registerOf[q1] == best.registerOf[q2])
+                    continue;
+                Assignment trial = best;
+                std::swap(trial.registerOf[q1], trial.registerOf[q2]);
+                const double c = cost(trial);
+                if (c + 1e-9 < best_cost) {
+                    best = trial;
+                    best_cost = c;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+    }
+    return best;
+}
+
+} // namespace uec
+} // namespace hetarch

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Data-qubit-to-Register assignment and serialized check scheduling
+ * for the Universal Error Correction module (paper Section 4.2.2).
+ *
+ * The USC holds up to three Register cells (10 modes each) around one
+ * readout ancilla.  Stabilizer checks execute *serially* through the
+ * ancilla; qubits in different Registers can be swapped in and out
+ * concurrently, so a good assignment spreads each check's support
+ * across Registers to pipeline the storage SWAPs against the ancilla
+ * CNOTs.  The paper uses a brute-force assignment search; we use the
+ * same cost function with a deterministic greedy seed plus local
+ * search, which reaches the same optima for the paper's code sizes.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/units.hh"
+#include "qec/css_code.hh"
+
+namespace hetarch {
+namespace uec {
+
+/** Operation timing of the UEC hardware. */
+struct UecTimes
+{
+    double swap = 100.0;               ///< storage<->compute SWAP, ns
+    double cnot = 100.0;               ///< compute<->ancilla CNOT, ns
+    double h = 40.0;                   ///< ancilla basis change, ns
+    double measure = 1.0 * units::us;  ///< ancilla readout, ns
+};
+
+/** Assignment of each data qubit to a Register index. */
+struct Assignment
+{
+    std::vector<int> registerOf; ///< data qubit -> register id
+    int numRegisters = 3;
+    int modesPerRegister = 10;
+};
+
+/** One timed hardware operation of the serialized schedule. */
+struct TimedOp
+{
+    enum class Kind : std::uint8_t
+    {
+        SwapOut,    ///< data qubit storage -> register compute
+        Cnot,       ///< register compute <-> ancilla
+        SwapIn,     ///< data qubit back to storage
+        AncPrep,    ///< ancilla reset (+H for X checks)
+        AncMeasure, ///< ancilla readout (+H for X checks)
+    };
+    Kind kind;
+    double start = 0.0;
+    double end = 0.0;
+    std::uint32_t dataQubit = 0; ///< for SwapOut/Cnot/SwapIn
+    int checkIndex = 0;          ///< global check id (Z checks first)
+    bool isXCheck = false;
+    int ancilla = 0;             ///< ancilla lane (USC=0, USC-EXT j=j+1)
+    int routeHops = 0;           ///< inter-cell hops for this Cnot
+};
+
+/** A full serial round schedule. */
+struct RoundSchedule
+{
+    std::vector<TimedOp> ops;  ///< sorted by start time
+    double duration = 0.0;     ///< full round, ns
+    /** Total time each data qubit spends out of storage per round. */
+    std::vector<double> outOfStorage;
+};
+
+/**
+ * Build the resource-constrained serialized schedule of one full round
+ * (all Z checks then all X checks) for a given assignment.
+ */
+RoundSchedule buildRoundSchedule(const qec::CssCode& code,
+                                 const Assignment& assignment,
+                                 const UecTimes& times = {});
+
+/** Round-robin seed assignment (also the baseline for tests). */
+Assignment roundRobinAssignment(const qec::CssCode& code,
+                                int num_registers = 3,
+                                int modes_per_register = 10);
+
+/**
+ * Optimize the assignment by greedy seeding plus pairwise-swap local
+ * search minimizing round duration (primary) and total out-of-storage
+ * time (secondary).  Deterministic.
+ */
+Assignment optimizeAssignment(const qec::CssCode& code,
+                              int num_registers = 3,
+                              int modes_per_register = 10,
+                              const UecTimes& times = {});
+
+/**
+ * Chained UEC (paper Section 4.2.2, Fig. 8): a USC (three Registers,
+ * one ancilla) extended by @p num_usc_ext USC-EXT cells (two Registers
+ * and one ancilla each), raising capacity to (3 + 2k) x 10 qubits.
+ * Register r belongs to cell 0 when r < 3, else cell (r - 3) / 2 + 1;
+ * each inter-cell hop of a check's routed CNOT costs one extra SWAP on
+ * the compute chain.
+ */
+struct UecChain
+{
+    int numUscExt = 0;
+
+    int numRegisters() const { return 3 + 2 * numUscExt; }
+    int numAncillas() const { return 1 + numUscExt; }
+    /** Which cell a register belongs to. */
+    int cellOfRegister(int reg) const
+    {
+        return reg < 3 ? 0 : (reg - 3) / 2 + 1;
+    }
+};
+
+/**
+ * Serialized round schedule over a chained UEC: each check runs on the
+ * ancilla of the cell holding most of its support; qubits from other
+ * cells pay one SWAP hop per cell of distance.  Checks on different
+ * ancillas run concurrently.
+ */
+RoundSchedule buildChainedSchedule(const qec::CssCode& code,
+                                   const Assignment& assignment,
+                                   const UecChain& chain,
+                                   const UecTimes& times = {});
+
+} // namespace uec
+} // namespace hetarch

@@ -1,0 +1,95 @@
+#include "uec/experiment.hh"
+
+#include "core/logging.hh"
+#include "qec/css_circuit.hh"
+#include "qec/memory_experiment.hh"
+#include "qec/surface_circuit.hh"
+
+namespace hetarch {
+namespace uec {
+
+namespace {
+
+bool
+isSurface(const qec::CssCode& code)
+{
+    return code.name.rfind("surface-", 0) == 0;
+}
+
+} // namespace
+
+double
+uecLogicalErrorPerRound(const qec::CssCode& code, double ts_ns,
+                        std::size_t rounds, std::size_t shots,
+                        std::uint64_t seed, const UecNoise& base_noise)
+{
+    UecNoise noise = base_noise;
+    noise.ts = ts_ns;
+    const auto assignment = optimizeAssignment(code);
+    const auto circuit = uecMemoryZ(code, assignment, rounds, noise);
+    Rng rng(seed);
+    const auto result = qec::runMemoryExperiment(
+        circuit, shots, rounds, qec::DecoderKind::GreedyDem, rng);
+    return result.perRound();
+}
+
+double
+homogeneousLogicalErrorPerRound(const qec::CssCode& code,
+                                std::size_t rounds, std::size_t shots,
+                                std::uint64_t seed,
+                                const LatticeNoise& noise)
+{
+    Rng rng(seed);
+    if (isSurface(code)) {
+        // Native parallel extraction on the square lattice.
+        qec::CircuitNoise cn;
+        cn.dataT1 = cn.dataT2 = noise.tc;
+        cn.ancT1 = cn.ancT2 = noise.tc;
+        cn.p2 = noise.p2;
+        cn.tMeas = noise.tMeas;
+        cn.pMeasFlip = noise.pMeasFlip;
+        const auto circuit =
+            qec::surfaceMemoryZ(code.distance, rounds, cn);
+        const auto result = qec::runMemoryExperiment(
+            circuit, shots, rounds, qec::DecoderKind::UnionFind, rng);
+        return result.perRound();
+    }
+    const auto embedding = embedOnLattice(code);
+    const auto circuit = latticeMemoryZ(code, embedding, rounds, noise);
+    const auto result = qec::runMemoryExperiment(
+        circuit, shots, rounds, qec::DecoderKind::GreedyDem, rng);
+    return result.perRound();
+}
+
+double
+pseudothreshold(const qec::CssCode& code, std::size_t shots,
+                std::uint64_t seed)
+{
+    // Logical error at physical rate p under code capacity.
+    auto p_logical = [&](double p, std::uint64_t s) {
+        const auto circ = qec::codeCapacityMemoryZ(code, 1, p, p);
+        Rng rng(s);
+        const auto res = qec::runMemoryExperiment(
+            circ, shots, 1, qec::DecoderKind::GreedyDem, rng);
+        return res.perShot();
+    };
+
+    // Bracket the crossover p_L(p) = p on [1e-3, 0.4].
+    double lo = 1e-3, hi = 0.4;
+    if (p_logical(lo, seed) >= lo)
+        return 0.0; // never below break-even
+    if (p_logical(hi, seed + 1) <= hi)
+        return hi;
+    for (int iter = 0; iter < 12; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (p_logical(mid, seed + 2 + static_cast<std::uint64_t>(iter)) <
+            mid)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace uec
+} // namespace hetarch

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * End-to-end UEC experiments (paper Fig. 9 and Table 3): logical error
+ * rate per serialized QEC round for arbitrary CSS codes on the
+ * heterogeneous UEC module, the homogeneous square-lattice baseline,
+ * and code pseudothresholds.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "qec/css_code.hh"
+#include "uec/lattice_baseline.hh"
+#include "uec/uec_circuit.hh"
+
+namespace hetarch {
+namespace uec {
+
+/**
+ * Logical error per round of @p code on the heterogeneous UEC module
+ * with storage coherence @p ts_ns.  Uses the optimized assignment and
+ * the greedy DEM decoder.
+ */
+double uecLogicalErrorPerRound(const qec::CssCode& code, double ts_ns,
+                               std::size_t rounds, std::size_t shots,
+                               std::uint64_t seed,
+                               const UecNoise& base_noise = {});
+
+/**
+ * Logical error per round of @p code on the homogeneous sea-of-qubits
+ * baseline.  Surface codes use their native parallel circuit (the
+ * known optimal square-lattice transpilation); other codes are routed
+ * with SWAP chains.
+ */
+double homogeneousLogicalErrorPerRound(const qec::CssCode& code,
+                                       std::size_t rounds,
+                                       std::size_t shots,
+                                       std::uint64_t seed,
+                                       const LatticeNoise& noise = {});
+
+/**
+ * Pseudothreshold: the physical error rate p* at which the
+ * code-capacity logical error rate equals p (bisection over
+ * codeCapacityMemoryZ with the greedy DEM decoder).  Returns 0 when
+ * the code never beats break-even on the probed interval.
+ */
+double pseudothreshold(const qec::CssCode& code, std::size_t shots,
+                       std::uint64_t seed);
+
+} // namespace uec
+} // namespace hetarch

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for standard cells and design rules (paper Table 2, Section 3.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cells/cell.hh"
+#include "cells/design_rules.hh"
+#include "cells/standard_cells.hh"
+#include "devices/device.hh"
+
+namespace hetarch {
+namespace cells {
+namespace {
+
+devices::DeviceModel
+storage()
+{
+    return devices::multimodeResonator3D();
+}
+
+devices::DeviceModel
+compute()
+{
+    return devices::fixedFrequencyTransmon();
+}
+
+TEST(Cells, RegisterStructure)
+{
+    const auto cell = makeRegister(storage(), compute());
+    EXPECT_EQ(cell.deviceList().size(), 2u);
+    EXPECT_EQ(cell.couplings().size(), 1u);
+    EXPECT_EQ(cell.readoutCount(), 0u);
+    EXPECT_EQ(cell.qubitCapacity(), 11); // 10 modes + 1 compute
+    EXPECT_TRUE(checkDesignRules(cell, 0).clean());
+}
+
+TEST(Cells, ParCheckStructure)
+{
+    const auto cell = makeParCheck(compute());
+    EXPECT_EQ(cell.deviceList().size(), 2u);
+    EXPECT_EQ(cell.readoutCount(), 1u);
+    EXPECT_TRUE(checkDesignRules(cell, 1).clean());
+}
+
+TEST(Cells, SeqOpStructure)
+{
+    const auto cell = makeSeqOp(storage(), compute());
+    EXPECT_EQ(cell.deviceList().size(), 5u);
+    EXPECT_EQ(cell.subCells().size(), 2u);
+    EXPECT_EQ(cell.readoutCount(), 1u);
+    // Triangle plus two register couplings.
+    EXPECT_EQ(cell.couplings().size(), 5u);
+    EXPECT_TRUE(checkDesignRules(cell, 1).clean());
+}
+
+TEST(Cells, UscStructure)
+{
+    const auto cell = makeUsc(storage(), compute());
+    EXPECT_EQ(cell.deviceList().size(), 7u);
+    EXPECT_EQ(cell.subCells().size(), 3u);
+    EXPECT_EQ(cell.readoutCount(), 1u);
+    EXPECT_TRUE(checkDesignRules(cell, 1).clean());
+    // Capacity: 3 x (10 storage + 1 compute) + ancilla = 34.
+    EXPECT_EQ(cell.qubitCapacity(), 34);
+}
+
+TEST(Cells, UscExtChains)
+{
+    const auto cell = makeUscExt(storage(), compute());
+    EXPECT_TRUE(checkDesignRules(cell, 1).clean());
+    // Central ancilla keeps two external ports for chaining.
+    const auto& devs = cell.deviceList();
+    bool found = false;
+    for (std::size_t i = 0; i < devs.size(); ++i) {
+        if (devs[i].readout) {
+            EXPECT_EQ(devs[i].externalPorts, 2);
+            EXPECT_LE(cell.totalDegree(i), 4);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(DesignRules, Dr1CatchesOverConnectedCompute)
+{
+    StandardCell cell("bad");
+    const auto hub = cell.addDevice({compute(), "hub", false, 0});
+    for (int i = 0; i < 5; ++i) {
+        const auto d = cell.addDevice(
+            {compute(), "leaf" + std::to_string(i), false, 0});
+        cell.addCoupling(hub, d);
+    }
+    const auto report = checkDesignRules(cell, 0);
+    EXPECT_FALSE(report.clean());
+    bool has_dr1 = false;
+    for (const auto& v : report.violations)
+        if (v.rule == 1)
+            has_dr1 = true;
+    EXPECT_TRUE(has_dr1);
+}
+
+TEST(DesignRules, Dr2CatchesMultiplyConnectedStorage)
+{
+    StandardCell cell("bad");
+    const auto s = cell.addDevice({storage(), "storage", false, 0});
+    const auto c1 = cell.addDevice({compute(), "c1", false, 0});
+    const auto c2 = cell.addDevice({compute(), "c2", false, 0});
+    cell.addCoupling(s, c1);
+    cell.addCoupling(s, c2);
+    const auto report = checkDesignRules(cell, 0);
+    bool has_dr2 = false;
+    for (const auto& v : report.violations)
+        if (v.rule == 2)
+            has_dr2 = true;
+    EXPECT_TRUE(has_dr2);
+}
+
+TEST(DesignRules, Dr3CatchesDisconnectedCell)
+{
+    StandardCell cell("bad");
+    cell.addDevice({compute(), "a", false, 0});
+    cell.addDevice({compute(), "b", false, 0});
+    const auto report = checkDesignRules(cell, 0);
+    bool has_dr3 = false;
+    for (const auto& v : report.violations)
+        if (v.rule == 3)
+            has_dr3 = true;
+    EXPECT_TRUE(has_dr3);
+}
+
+TEST(DesignRules, Dr4CatchesExcessReadout)
+{
+    StandardCell cell("bad");
+    const auto a = cell.addDevice({compute(), "a", true, 0});
+    const auto b = cell.addDevice({compute(), "b", true, 0});
+    cell.addCoupling(a, b);
+    const auto report = checkDesignRules(cell, 1);
+    bool has_dr4 = false;
+    for (const auto& v : report.violations)
+        if (v.rule == 4)
+            has_dr4 = true;
+    EXPECT_TRUE(has_dr4);
+}
+
+TEST(Cells, Table2CellsAllClean)
+{
+    for (const auto& cell : table2Cells()) {
+        const std::size_t readouts = cell.readoutCount();
+        EXPECT_TRUE(checkDesignRules(cell, readouts).clean())
+            << cell.name();
+    }
+}
+
+TEST(Cells, DuplicateCouplingDies)
+{
+    StandardCell cell("dup");
+    const auto a = cell.addDevice({compute(), "a", false, 0});
+    const auto b = cell.addDevice({compute(), "b", false, 0});
+    cell.addCoupling(a, b);
+    EXPECT_DEATH(cell.addCoupling(b, a), "duplicate");
+}
+
+} // namespace
+} // namespace cells
+} // namespace hetarch

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Tests for the status/error reporting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/logging.hh"
+
+namespace hetarch {
+namespace {
+
+TEST(Logging, FatalExitsWithStatusOne)
+{
+    EXPECT_EXIT(HETARCH_FATAL("bad config value ", 42),
+                ::testing::ExitedWithCode(1), "bad config value 42");
+}
+
+TEST(Logging, PanicAborts)
+{
+    EXPECT_DEATH(HETARCH_PANIC("invariant ", "broken"),
+                 "invariant broken");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    HETARCH_ASSERT(1 + 1 == 2, "arithmetic works");
+    SUCCEED();
+}
+
+TEST(Logging, AssertDiesOnFalseWithConditionText)
+{
+    EXPECT_DEATH(HETARCH_ASSERT(2 + 2 == 5, "message ", 7),
+                 "2 \\+ 2 == 5");
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    warn("just a warning ", 1);
+    inform("status ", 2.5);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace hetarch

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/rng.hh"
+
+namespace hetarch {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a() == b())
+            ++equal;
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntRespectsBound)
+{
+    Rng rng(3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(10);
+        EXPECT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u); // all values hit
+}
+
+TEST(Rng, BernoulliEdgeCases)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (rng.bernoulli(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate)
+{
+    Rng rng(17);
+    const double rate = 0.25;
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(rate);
+    EXPECT_NEAR(sum / n, 1.0 / rate, 0.05);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(19);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum2 += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng parent(23);
+    Rng child = parent.split();
+    // Child stream should not equal parent's continuation.
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        if (parent() == child())
+            ++equal;
+    EXPECT_LT(equal, 2);
+}
+
+} // namespace
+} // namespace hetarch

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for statistics accumulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/stats.hh"
+
+namespace hetarch {
+namespace {
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero)
+{
+    RunningStats s;
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(RunningStats, StderrShrinksWithSamples)
+{
+    RunningStats small, large;
+    for (int i = 0; i < 10; ++i)
+        small.add(i % 2);
+    for (int i = 0; i < 1000; ++i)
+        large.add(i % 2);
+    EXPECT_GT(small.stderrOfMean(), large.stderrOfMean());
+}
+
+TEST(TrialCounter, RateAndCounts)
+{
+    TrialCounter t;
+    t.add(true);
+    t.add(false);
+    t.add(true);
+    t.add(true);
+    EXPECT_EQ(t.trials(), 4u);
+    EXPECT_EQ(t.successes(), 3u);
+    EXPECT_DOUBLE_EQ(t.rate(), 0.75);
+}
+
+TEST(TrialCounter, BatchAdd)
+{
+    TrialCounter t;
+    t.add(30, 100);
+    EXPECT_DOUBLE_EQ(t.rate(), 0.3);
+}
+
+TEST(TrialCounter, WilsonBracketsRate)
+{
+    TrialCounter t;
+    t.add(50, 200);
+    EXPECT_LT(t.wilsonLow(), t.rate());
+    EXPECT_GT(t.wilsonHigh(), t.rate());
+    EXPECT_GE(t.wilsonLow(), 0.0);
+    EXPECT_LE(t.wilsonHigh(), 1.0);
+}
+
+TEST(TrialCounter, WilsonNarrowsWithTrials)
+{
+    TrialCounter a, b;
+    a.add(5, 10);
+    b.add(500, 1000);
+    EXPECT_GT(a.wilsonHigh() - a.wilsonLow(),
+              b.wilsonHigh() - b.wilsonLow());
+}
+
+TEST(TrialCounter, EmptyIsSafe)
+{
+    TrialCounter t;
+    EXPECT_DOUBLE_EQ(t.rate(), 0.0);
+    EXPECT_DOUBLE_EQ(t.wilsonLow(), 0.0);
+    EXPECT_DOUBLE_EQ(t.wilsonHigh(), 1.0);
+}
+
+TEST(TrialCounter, ZeroSuccessesStillHasUpperBound)
+{
+    TrialCounter t;
+    t.add(0, 1000);
+    EXPECT_DOUBLE_EQ(t.rate(), 0.0);
+    EXPECT_GT(t.wilsonHigh(), 0.0);
+    EXPECT_LT(t.wilsonHigh(), 0.01);
+}
+
+} // namespace
+} // namespace hetarch

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Unit tests for the table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/table.hh"
+
+namespace hetarch {
+namespace {
+
+TEST(TextTable, PrintsHeaderAndRows)
+{
+    TextTable t({"code", "rate"});
+    t.addRow({"steane", "0.01"});
+    t.addRow({"rm15", "0.02"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("code"), std::string::npos);
+    EXPECT_NE(s.find("steane"), std::string::npos);
+    EXPECT_NE(s.find("rm15"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, ColumnsAligned)
+{
+    TextTable t({"x", "y"});
+    t.addRow({"longvalue", "1"});
+    std::ostringstream os;
+    t.print(os);
+    // Header row must be padded at least as wide as the longest cell.
+    const std::string s = os.str();
+    const auto first_newline = s.find('\n');
+    EXPECT_GE(first_newline, std::string("longvalue").size());
+}
+
+TEST(Format, Sci)
+{
+    EXPECT_EQ(formatSci(0.00123, 3), "1.23e-03");
+}
+
+TEST(Format, Fixed)
+{
+    EXPECT_EQ(formatFixed(1.23456, 2), "1.23");
+}
+
+} // namespace
+} // namespace hetarch

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the device catalog (paper Table 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/units.hh"
+#include "devices/device.hh"
+
+namespace hetarch {
+namespace devices {
+namespace {
+
+using namespace units;
+
+TEST(Devices, CatalogHasFiveEntries)
+{
+    const auto catalog = table1Catalog();
+    ASSERT_EQ(catalog.size(), 5u);
+    for (const auto& d : catalog)
+        d.validate();
+}
+
+TEST(Devices, TransmonMatchesTable1)
+{
+    const auto d = fixedFrequencyTransmon();
+    EXPECT_EQ(d.role, DeviceRole::Compute);
+    EXPECT_DOUBLE_EQ(d.t1, 300.0 * us);
+    EXPECT_DOUBLE_EQ(d.t2, 550.0 * us);
+    EXPECT_DOUBLE_EQ(d.readoutTime, 1.0 * us);
+    EXPECT_DOUBLE_EQ(d.gateError, 1e-3);
+    EXPECT_EQ(d.connectivity, 4);
+    EXPECT_EQ(d.control.total(), 2);
+    EXPECT_TRUE(d.hasReadout);
+}
+
+TEST(Devices, FluxoniumHasFluxLine)
+{
+    const auto d = fluxTunableQubit();
+    EXPECT_EQ(d.control.fluxLines, 1);
+    EXPECT_EQ(d.control.total(), 3);
+    EXPECT_DOUBLE_EQ(d.t1, 800.0 * us);
+}
+
+TEST(Devices, StorageDevicesHaveSingleConnection)
+{
+    for (const auto& d : {quantumMemory3D(), multimodeResonator3D(),
+                          onChipMultimodeResonator()}) {
+        EXPECT_EQ(d.role, DeviceRole::Storage);
+        EXPECT_EQ(d.connectivity, 1);
+        EXPECT_FALSE(d.hasReadout);
+    }
+}
+
+TEST(Devices, MultimodeResonatorCapacity)
+{
+    EXPECT_EQ(multimodeResonator3D().modes, 10);
+    EXPECT_DOUBLE_EQ(multimodeResonator3D().t1, 2.0 * ms);
+    EXPECT_DOUBLE_EQ(multimodeResonator3D().gateTime2q, 400.0);
+}
+
+TEST(Devices, StorageCoherenceFactory)
+{
+    const auto d = storageWithCoherence(12.5 * ms, 3);
+    d.validate();
+    EXPECT_DOUBLE_EQ(d.t1, 12.5 * ms);
+    EXPECT_DOUBLE_EQ(d.t2, 12.5 * ms);
+    EXPECT_EQ(d.modes, 3);
+}
+
+TEST(Devices, ComputeCoherenceFactory)
+{
+    const auto d = computeWithCoherence(0.5 * ms);
+    d.validate();
+    EXPECT_DOUBLE_EQ(d.t1, 0.5 * ms);
+    EXPECT_EQ(d.role, DeviceRole::Compute);
+}
+
+TEST(Devices, UnphysicalCoherenceDies)
+{
+    auto d = fixedFrequencyTransmon();
+    d.t2 = 3.0 * d.t1;
+    EXPECT_DEATH(d.validate(), "unphysical");
+}
+
+TEST(Devices, ControlOverheadAdvantage)
+{
+    // A 10-mode resonator stores 10 qubits on 0 extra control lines
+    // via its compute device; 10 transmons need 10 charge lines.
+    const auto storage = multimodeResonator3D();
+    const auto transmon = fixedFrequencyTransmon();
+    EXPECT_LT(storage.control.total() + transmon.control.total(),
+              10 * transmon.control.total());
+}
+
+} // namespace
+} // namespace devices
+} // namespace hetarch

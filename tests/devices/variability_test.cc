@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the fabrication-variability (p-cell) device model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cells/characterize.hh"
+#include "cells/standard_cells.hh"
+#include "core/stats.hh"
+#include "devices/device.hh"
+
+namespace hetarch {
+namespace devices {
+namespace {
+
+TEST(Variability, ZeroSigmaIsIdentity)
+{
+    Rng rng(1);
+    const auto nominal = fixedFrequencyTransmon();
+    const auto sampled = perturbedDevice(nominal, 0.0, rng);
+    EXPECT_DOUBLE_EQ(sampled.t1, nominal.t1);
+    EXPECT_DOUBLE_EQ(sampled.t2, nominal.t2);
+    EXPECT_DOUBLE_EQ(sampled.gateError, nominal.gateError);
+}
+
+TEST(Variability, SamplesStayPhysical)
+{
+    Rng rng(7);
+    const auto nominal = fixedFrequencyTransmon();
+    for (int i = 0; i < 200; ++i) {
+        const auto d = perturbedDevice(nominal, 0.3, rng);
+        d.validate(); // enforces T2 <= 2*T1, positive times
+    }
+}
+
+TEST(Variability, MedianNearNominal)
+{
+    Rng rng(11);
+    const auto nominal = fixedFrequencyTransmon();
+    RunningStats log_t1;
+    for (int i = 0; i < 2000; ++i) {
+        const auto d = perturbedDevice(nominal, 0.2, rng);
+        log_t1.add(std::log(d.t1 / nominal.t1));
+    }
+    // Log-normal with median at the nominal: mean of logs ~ 0.
+    EXPECT_NEAR(log_t1.mean(), 0.0, 0.02);
+    EXPECT_NEAR(log_t1.stddev(), 0.2, 0.02);
+}
+
+TEST(Variability, SpreadWidensCellCharacterization)
+{
+    // Sampled registers show spread in their load error; the spread
+    // grows with sigma (the p-cell effect on standard cells).
+    const auto storage = multimodeResonator3D();
+    const auto compute = fixedFrequencyTransmon();
+
+    auto spread = [&](double sigma, std::uint64_t seed) {
+        Rng rng(seed);
+        RunningStats err;
+        for (int i = 0; i < 30; ++i) {
+            const auto cell = cells::makeRegister(
+                perturbedDevice(storage, sigma, rng),
+                perturbedDevice(compute, sigma, rng));
+            err.add(cells::characterizeRegister(cell)
+                        .op("load")
+                        .errorRate);
+        }
+        return err.stddev();
+    };
+    EXPECT_GT(spread(0.4, 3), spread(0.05, 4));
+}
+
+} // namespace
+} // namespace devices
+} // namespace hetarch

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for DEJMPS distillation: closed form vs exact density-matrix
+ * implementation, decay model, and convergence properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/units.hh"
+#include "distill/dejmps.hh"
+#include "dm/channels.hh"
+
+namespace hetarch {
+namespace distill {
+namespace {
+
+using namespace units;
+
+TEST(BellDiag, WernerConstruction)
+{
+    const auto w = BellDiag::werner(0.06);
+    EXPECT_NEAR(w.fidelity(), 0.94, 1e-12);
+    EXPECT_NEAR(w.sum(), 1.0, 1e-12);
+    EXPECT_NEAR(w.b, 0.02, 1e-12);
+}
+
+TEST(BellDiag, DensityMatrixRoundTrip)
+{
+    BellDiag in{0.7, 0.15, 0.1, 0.05};
+    const auto rho = in.toDensityMatrix();
+    EXPECT_NEAR(rho.traceReal(), 1.0, 1e-12);
+    const auto back = BellDiag::fromDensityMatrix(rho);
+    EXPECT_NEAR(back.a, in.a, 1e-12);
+    EXPECT_NEAR(back.b, in.b, 1e-12);
+    EXPECT_NEAR(back.c, in.c, 1e-12);
+    EXPECT_NEAR(back.d, in.d, 1e-12);
+}
+
+TEST(BellDiag, BellFidelityMatchesDensityMatrix)
+{
+    BellDiag in{0.9, 0.04, 0.03, 0.03};
+    EXPECT_NEAR(in.toDensityMatrix().bellFidelity(), 0.9, 1e-12);
+}
+
+TEST(Decay, ReducesFidelity)
+{
+    auto w = BellDiag::werner(0.01);
+    const auto later = decaySymmetric(w, 100.0 * us, 1.0 * ms, 1.0 * ms);
+    EXPECT_LT(later.fidelity(), w.fidelity());
+    EXPECT_NEAR(later.sum(), 1.0, 1e-9);
+}
+
+TEST(Decay, LongerStorageDecaysLess)
+{
+    auto w = BellDiag::werner(0.01);
+    const auto fast = decaySymmetric(w, 50.0 * us, 0.5 * ms, 0.5 * ms);
+    const auto slow = decaySymmetric(w, 50.0 * us, 50.0 * ms, 50.0 * ms);
+    EXPECT_LT(fast.fidelity(), slow.fidelity());
+}
+
+TEST(Decay, MatchesExactDensityMatrixTwirl)
+{
+    // The twirled decay must match the exact two-sided idle channel
+    // followed by a Bell-basis diagonal extraction.
+    BellDiag in{0.85, 0.07, 0.05, 0.03};
+    const double t = 10.0 * us, t1 = 300.0 * us, t2 = 400.0 * us;
+    const auto twirled = decaySymmetric(in, t, t1, t2);
+
+    auto rho = in.toDensityMatrix();
+    rho.applyKraus(dm::channels::idleChannel(t, t1, t2), {0});
+    rho.applyKraus(dm::channels::idleChannel(t, t1, t2), {1});
+    const auto exact = BellDiag::fromDensityMatrix(rho);
+    // Twirl keeps the Bell-diagonal part; tolerances cover the
+    // amplitude-damping asymmetry the twirl discards.
+    EXPECT_NEAR(twirled.a, exact.a, 2e-3);
+    EXPECT_NEAR(twirled.d, exact.d, 2e-3);
+}
+
+TEST(Dejmps, ImprovesWernerAboveHalf)
+{
+    const auto w = BellDiag::werner(0.05);
+    const auto out = dejmps(w, w);
+    EXPECT_GT(out.output.fidelity(), w.fidelity());
+    EXPECT_GT(out.successProb, 0.8);
+    EXPECT_NEAR(out.output.sum(), 1.0, 1e-12);
+}
+
+TEST(Dejmps, BelowHalfDoesNotImprove)
+{
+    const auto w = BellDiag::werner(0.6); // F = 0.4 < 0.5
+    const auto out = dejmps(w, w);
+    EXPECT_LE(out.output.fidelity(), 0.5);
+}
+
+TEST(Dejmps, RecursionConvergesToTarget)
+{
+    // Repeated rounds on identical pairs converge toward F = 1.
+    BellDiag pair = BellDiag::werner(0.05);
+    for (int round = 0; round < 6; ++round) {
+        const auto out = dejmps(pair, pair);
+        pair = out.output;
+    }
+    EXPECT_GT(pair.fidelity(), 0.9999);
+}
+
+TEST(Dejmps, TwoRoundsReachPaperTarget)
+{
+    // Paper setting: EP infidelity a few percent, target 0.995.
+    BellDiag pair = BellDiag::werner(0.03);
+    pair = dejmps(pair, pair).output;
+    pair = dejmps(pair, pair).output;
+    EXPECT_GE(pair.fidelity(), 0.995);
+}
+
+TEST(Dejmps, ExactMatchesClosedFormWerner)
+{
+    const auto w = BellDiag::werner(0.08);
+    const auto closed = dejmps(w, w);
+    const auto exact =
+        dejmpsExact(w.toDensityMatrix(), w.toDensityMatrix());
+    EXPECT_NEAR(exact.successProb, closed.successProb, 1e-9);
+    EXPECT_NEAR(exact.output.a, closed.output.a, 1e-9);
+    EXPECT_NEAR(exact.output.b, closed.output.b, 1e-9);
+    EXPECT_NEAR(exact.output.c, closed.output.c, 1e-9);
+    EXPECT_NEAR(exact.output.d, closed.output.d, 1e-9);
+}
+
+TEST(Dejmps, ExactMatchesClosedFormAsymmetric)
+{
+    BellDiag p1{0.9, 0.05, 0.03, 0.02};
+    BellDiag p2{0.8, 0.1, 0.06, 0.04};
+    const auto closed = dejmps(p1, p2);
+    const auto exact =
+        dejmpsExact(p1.toDensityMatrix(), p2.toDensityMatrix());
+    EXPECT_NEAR(exact.successProb, closed.successProb, 1e-9);
+    EXPECT_NEAR(exact.output.a, closed.output.a, 1e-9);
+    EXPECT_NEAR(exact.output.b, closed.output.b, 1e-9);
+    EXPECT_NEAR(exact.output.c, closed.output.c, 1e-9);
+    EXPECT_NEAR(exact.output.d, closed.output.d, 1e-9);
+}
+
+TEST(Dejmps, PerfectPairsStayPerfect)
+{
+    BellDiag perfect;
+    const auto out = dejmps(perfect, perfect);
+    EXPECT_NEAR(out.output.fidelity(), 1.0, 1e-12);
+    EXPECT_NEAR(out.successProb, 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace distill
+} // namespace hetarch

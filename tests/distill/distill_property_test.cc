@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Parameterized property tests for DEJMPS: the closed form must match
+ * the exact density-matrix protocol on random Bell-diagonal inputs,
+ * and physical invariants must hold across the parameter space.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "core/units.hh"
+#include "distill/dejmps.hh"
+#include "distill/module_sim.hh"
+
+namespace hetarch {
+namespace distill {
+namespace {
+
+using namespace units;
+
+BellDiag
+randomBellDiag(Rng& rng, double min_fidelity)
+{
+    BellDiag out;
+    out.a = min_fidelity + (1.0 - min_fidelity) * rng.uniform();
+    const double rest = 1.0 - out.a;
+    const double u1 = rng.uniform(), u2 = rng.uniform();
+    const double lo = std::min(u1, u2), hi = std::max(u1, u2);
+    out.b = rest * lo;
+    out.c = rest * (hi - lo);
+    out.d = rest * (1.0 - hi);
+    return out;
+}
+
+class DejmpsRandom : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DejmpsRandom, ClosedFormMatchesExact)
+{
+    Rng rng(77 + GetParam());
+    const auto p1 = randomBellDiag(rng, 0.4);
+    const auto p2 = randomBellDiag(rng, 0.4);
+    const auto closed = dejmps(p1, p2);
+    const auto exact =
+        dejmpsExact(p1.toDensityMatrix(), p2.toDensityMatrix());
+    EXPECT_NEAR(closed.successProb, exact.successProb, 1e-9);
+    EXPECT_NEAR(closed.output.a, exact.output.a, 1e-9);
+    EXPECT_NEAR(closed.output.b, exact.output.b, 1e-9);
+    EXPECT_NEAR(closed.output.c, exact.output.c, 1e-9);
+    EXPECT_NEAR(closed.output.d, exact.output.d, 1e-9);
+}
+
+TEST_P(DejmpsRandom, OutputIsNormalized)
+{
+    Rng rng(177 + GetParam());
+    const auto p1 = randomBellDiag(rng, 0.3);
+    const auto p2 = randomBellDiag(rng, 0.3);
+    const auto out = dejmps(p1, p2);
+    if (out.successProb > 1e-12) {
+        EXPECT_NEAR(out.output.sum(), 1.0, 1e-9);
+        EXPECT_GE(out.output.a, -1e-12);
+        EXPECT_GE(out.output.b, -1e-12);
+        EXPECT_GE(out.output.c, -1e-12);
+        EXPECT_GE(out.output.d, -1e-12);
+    }
+    EXPECT_GE(out.successProb, 0.0);
+    EXPECT_LE(out.successProb, 1.0 + 1e-12);
+}
+
+TEST_P(DejmpsRandom, DecayIsTracePreservingAndContractive)
+{
+    Rng rng(277 + GetParam());
+    auto state = randomBellDiag(rng, 0.6);
+    const double t1 = (0.2 + rng.uniform()) * ms;
+    const double t2 = t1 * (0.5 + rng.uniform());
+    const auto later = decaySymmetric(state, 50.0 * us, t1, t2);
+    EXPECT_NEAR(later.sum(), 1.0, 1e-9);
+    EXPECT_LE(later.fidelity(), state.fidelity() + 1e-12);
+    // Never below the fully mixed fidelity.
+    EXPECT_GE(later.fidelity(), 0.25 - 1e-12);
+}
+
+TEST_P(DejmpsRandom, DecayComposes)
+{
+    // decay(t1) then decay(t2) == decay(t1 + t2).
+    Rng rng(377 + GetParam());
+    const auto state = randomBellDiag(rng, 0.5);
+    const double t1 = 400.0 * us, t2 = 150.0 * us;
+    const double tc = 1.0 * ms;
+    const auto two_step = decaySymmetric(
+        decaySymmetric(state, t1, tc, tc), t2, tc, tc);
+    const auto one_step = decaySymmetric(state, t1 + t2, tc, tc);
+    EXPECT_NEAR(two_step.a, one_step.a, 1e-6);
+    EXPECT_NEAR(two_step.d, one_step.d, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DejmpsRandom, ::testing::Range(0, 12));
+
+class RateMonotonicity : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RateMonotonicity, LongerStorageNeverHurtsThroughput)
+{
+    const double rate_khz = GetParam();
+    auto run = [&](double ts_ms) {
+        DistillConfig cfg;
+        cfg.ts = ts_ms * ms;
+        cfg.epRate = rate_khz * kHz;
+        cfg.epInfidelity = 0.03;
+        cfg.seed = 5;
+        return simulateDistillation(cfg, 3.0 * ms).distilled;
+    };
+    const auto short_ts = run(0.5);
+    const auto long_ts = run(25.0);
+    // Allow a little Monte-Carlo slack on the comparison.
+    EXPECT_GE(long_ts + 3, short_ts);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RateMonotonicity,
+                         ::testing::Values(100.0, 500.0, 2000.0));
+
+} // namespace
+} // namespace distill
+} // namespace hetarch

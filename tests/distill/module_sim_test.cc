@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the event-driven distillation-module simulation
+ * (paper Section 4.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cells/design_rules.hh"
+#include "distill/module_sim.hh"
+
+namespace hetarch {
+namespace distill {
+namespace {
+
+using namespace units;
+
+DistillConfig
+baseConfig()
+{
+    DistillConfig c;
+    c.ts = 12.5 * ms;
+    c.epRate = 2.0 * MHz;
+    c.epInfidelity = 0.03;
+    c.seed = 42;
+    return c;
+}
+
+TEST(DistillSim, ProducesDistilledPairs)
+{
+    const auto res = simulateDistillation(baseConfig(), 200.0 * us);
+    EXPECT_GT(res.rawGenerated, 100u);
+    EXPECT_GT(res.attempts, 0u);
+    EXPECT_GT(res.distilled, 0u);
+}
+
+TEST(DistillSim, TraceIsTimeOrderedAndBounded)
+{
+    const auto res = simulateDistillation(baseConfig(), 100.0 * us);
+    ASSERT_GT(res.trace.size(), 2u);
+    for (std::size_t i = 1; i < res.trace.size(); ++i) {
+        EXPECT_GE(res.trace[i].time, res.trace[i - 1].time);
+        EXPECT_GE(res.trace[i].bestInfidelity, 0.0);
+        EXPECT_LE(res.trace[i].bestInfidelity, 1.0);
+    }
+}
+
+TEST(DistillSim, OutputReachesTargetInfidelity)
+{
+    const auto res = simulateDistillation(baseConfig(), 300.0 * us);
+    double best = 1.0;
+    for (const auto& p : res.trace)
+        best = std::min(best, p.bestInfidelity);
+    EXPECT_LE(best, 0.005); // target fidelity 0.995
+}
+
+TEST(DistillSim, HeterogeneousBeatsHomogeneousAtLowRate)
+{
+    auto het = baseConfig();
+    het.epRate = 100.0 * kHz;
+    auto hom = het;
+    hom.heterogeneous = false;
+    hom.ts = hom.tc;
+
+    const auto res_het = simulateDistillation(het, 5.0 * ms);
+    const auto res_hom = simulateDistillation(hom, 5.0 * ms);
+    EXPECT_GT(res_het.distilled, res_hom.distilled);
+}
+
+TEST(DistillSim, HomogeneousEffectivelyFailsAtVeryLowRate)
+{
+    // Paper: below ~1 MHz generation the homogeneous system distills
+    // essentially nothing while heterogeneous systems keep working.
+    auto hom = baseConfig();
+    hom.heterogeneous = false;
+    hom.ts = hom.tc;
+    hom.epRate = 50.0 * kHz;
+    const auto res_hom = simulateDistillation(hom, 5.0 * ms);
+
+    auto het = baseConfig();
+    het.epRate = 50.0 * kHz;
+    const auto res_het = simulateDistillation(het, 5.0 * ms);
+
+    EXPECT_LE(res_hom.distilled, 3u);
+    EXPECT_GE(res_het.distilled, 10 * std::max<std::size_t>(
+                                          res_hom.distilled, 1));
+}
+
+TEST(DistillSim, RateIncreasesWithGenerationRate)
+{
+    auto slow = baseConfig();
+    slow.epRate = 200.0 * kHz;
+    auto fast = baseConfig();
+    fast.epRate = 5.0 * MHz;
+    const auto res_slow = simulateDistillation(slow, 2.0 * ms);
+    const auto res_fast = simulateDistillation(fast, 2.0 * ms);
+    EXPECT_GT(res_fast.distilledRatePerMs(),
+              res_slow.distilledRatePerMs());
+}
+
+TEST(DistillSim, LongerStorageHelpsAtLowRate)
+{
+    auto short_ts = baseConfig();
+    short_ts.epRate = 100.0 * kHz;
+    short_ts.ts = 0.5 * ms;
+    auto long_ts = short_ts;
+    long_ts.ts = 12.5 * ms;
+    const auto res_short = simulateDistillation(short_ts, 5.0 * ms);
+    const auto res_long = simulateDistillation(long_ts, 5.0 * ms);
+    EXPECT_GE(res_long.distilled, res_short.distilled);
+}
+
+TEST(DistillSim, DeterministicForFixedSeed)
+{
+    const auto a = simulateDistillation(baseConfig(), 100.0 * us);
+    const auto b = simulateDistillation(baseConfig(), 100.0 * us);
+    EXPECT_EQ(a.distilled, b.distilled);
+    EXPECT_EQ(a.attempts, b.attempts);
+    EXPECT_EQ(a.rawGenerated, b.rawGenerated);
+}
+
+TEST(DistillSim, NoOverflowAtPaperOperatingPoint)
+{
+    // Paper: 2x3-mode input + 1 ParCheck + 3-mode output suffice
+    // without overflow across the swept generation rates.
+    auto cfg = baseConfig();
+    cfg.epRate = 1.0 * MHz;
+    const auto res = simulateDistillation(cfg, 1.0 * ms);
+    const double accept_ratio =
+        static_cast<double>(res.rawAccepted) /
+        static_cast<double>(res.rawGenerated);
+    EXPECT_GT(accept_ratio, 0.9);
+}
+
+TEST(DistillModule, HierarchyAndDrc)
+{
+    const auto mod = buildDistillationModule(12.5 * ms);
+    EXPECT_EQ(mod.subModules().size(), 3u);
+    EXPECT_GT(mod.qubitCapacity(), 10);
+    for (const auto& sub : mod.subModules())
+        for (const auto& cell : sub.cellList())
+            EXPECT_TRUE(
+                cells::checkDesignRules(cell, cell.readoutCount())
+                    .clean())
+                << cell.name();
+}
+
+TEST(DistillConfig, DurationReflectsHeterogeneity)
+{
+    DistillConfig het;
+    DistillConfig hom;
+    hom.heterogeneous = false;
+    EXPECT_GT(het.distillDuration(), hom.distillDuration());
+}
+
+} // namespace
+} // namespace distill
+} // namespace hetarch

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for Kraus noise channels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/units.hh"
+#include "dm/channels.hh"
+#include "dm/density_matrix.hh"
+#include "dm/gates.hh"
+
+namespace hetarch {
+namespace dm {
+namespace {
+
+using namespace units;
+
+TEST(Channels, AllTracePreserving)
+{
+    using namespace channels;
+    EXPECT_TRUE(isTracePreserving(amplitudeDamping(0.3)));
+    EXPECT_TRUE(isTracePreserving(phaseDamping(0.4)));
+    EXPECT_TRUE(isTracePreserving(depolarizing1(0.2)));
+    EXPECT_TRUE(isTracePreserving(depolarizing2(0.2)));
+    EXPECT_TRUE(isTracePreserving(bitFlip(0.1)));
+    EXPECT_TRUE(isTracePreserving(phaseFlip(0.1)));
+    EXPECT_TRUE(isTracePreserving(idleChannel(1.0 * us, 300.0 * us,
+                                              200.0 * us)));
+}
+
+TEST(Channels, AmplitudeDampingDecaysExcitedState)
+{
+    DensityMatrix rho(1);
+    rho.applyUnitary(gates::X(), {0});
+    rho.applyKraus(channels::amplitudeDamping(0.25), {0});
+    EXPECT_NEAR(rho.probOne(0), 0.75, 1e-12);
+    EXPECT_NEAR(rho.traceReal(), 1.0, 1e-12);
+}
+
+TEST(Channels, AmplitudeDampingFixesGroundState)
+{
+    DensityMatrix rho(1);
+    rho.applyKraus(channels::amplitudeDamping(0.9), {0});
+    EXPECT_NEAR(rho.probOne(0), 0.0, 1e-12);
+}
+
+TEST(Channels, PhaseDampingKillsCoherence)
+{
+    DensityMatrix rho(1);
+    rho.applyUnitary(gates::H(), {0});
+    rho.applyKraus(channels::phaseDamping(1.0), {0});
+    // Fully dephased: diagonal preserved, coherence gone.
+    EXPECT_NEAR(rho.probOne(0), 0.5, 1e-12);
+    EXPECT_NEAR(rho.purity(), 0.5, 1e-12);
+}
+
+TEST(Channels, IdleChannelT1Population)
+{
+    const double t1 = 100.0 * us;
+    const double t2 = 150.0 * us;
+    const double t = 30.0 * us;
+    DensityMatrix rho(1);
+    rho.applyUnitary(gates::X(), {0});
+    rho.applyKraus(channels::idleChannel(t, t1, t2), {0});
+    EXPECT_NEAR(rho.probOne(0), std::exp(-t / t1), 1e-10);
+}
+
+TEST(Channels, IdleChannelT2Coherence)
+{
+    const double t1 = 100.0 * us;
+    const double t2 = 120.0 * us;
+    const double t = 25.0 * us;
+    DensityMatrix rho(1);
+    rho.applyUnitary(gates::H(), {0});
+    rho.applyKraus(channels::idleChannel(t, t1, t2), {0});
+    // Off-diagonal element should decay as e^{-t/T2}.
+    const double coherence = std::abs(rho.matrix()(0, 1));
+    EXPECT_NEAR(coherence, 0.5 * std::exp(-t / t2), 1e-10);
+}
+
+TEST(Channels, IdleChannelZeroTimeIsIdentity)
+{
+    DensityMatrix rho(1);
+    rho.applyUnitary(gates::H(), {0});
+    const auto before = rho.matrix();
+    rho.applyKraus(channels::idleChannel(0.0, 100 * us, 100 * us), {0});
+    EXPECT_LT(rho.matrix().maxAbsDiff(before), 1e-12);
+}
+
+TEST(Channels, T2EqualTwoT1IsPureAmplitudeDamping)
+{
+    // At T2 = 2*T1 there is no pure dephasing.
+    EXPECT_DOUBLE_EQ(channels::pureDephasingRate(100 * us, 200 * us), 0.0);
+}
+
+TEST(Channels, Depolarizing1FullyMixes)
+{
+    DensityMatrix rho(1);
+    rho.applyKraus(channels::depolarizing1(1.0), {0});
+    // p=1 leaves rho = (X rho X + Y rho Y + Z rho Z)/3, whose
+    // fixed-point distance from maximally mixed shrinks; check trace
+    // and that population moved strictly toward 1/2.
+    EXPECT_NEAR(rho.traceReal(), 1.0, 1e-12);
+    EXPECT_GT(rho.probOne(0), 0.5);
+}
+
+TEST(Channels, Depolarizing1BellFidelityRelation)
+{
+    // One-sided depolarizing p on one half of a Bell pair gives
+    // F = 1 - 2p/3... derive: F = (1-p) + p/3 * 0... Actually each of
+    // X,Y,Z moves the Bell state to an orthogonal Bell state, so
+    // F = 1 - p.
+    DensityMatrix rho = DensityMatrix::bellPair();
+    const double p = 0.12;
+    rho.applyKraus(channels::depolarizing1(p), {0});
+    EXPECT_NEAR(rho.bellFidelity(), 1.0 - p, 1e-12);
+}
+
+TEST(Channels, Depolarizing2Uniformity)
+{
+    DensityMatrix rho(2);
+    rho.applyKraus(channels::depolarizing2(1.0), {0, 1});
+    EXPECT_NEAR(rho.traceReal(), 1.0, 1e-12);
+    // All Paulis applied uniformly: the result is close to maximally
+    // mixed when starting from |00> (15/16 weight spread over all).
+    EXPECT_LT(rho.purity(), 0.3);
+}
+
+TEST(Channels, BitFlipExpectation)
+{
+    DensityMatrix rho(1);
+    rho.applyKraus(channels::bitFlip(0.2), {0});
+    EXPECT_NEAR(rho.probOne(0), 0.2, 1e-12);
+}
+
+TEST(Channels, UnphysicalT2IsFatal)
+{
+    EXPECT_DEATH(channels::pureDephasingRate(100 * us, 300 * us),
+                 "unphysical");
+}
+
+} // namespace
+} // namespace dm
+} // namespace hetarch

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit tests for the density-matrix simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dm/density_matrix.hh"
+#include "dm/gates.hh"
+
+namespace hetarch {
+namespace dm {
+namespace {
+
+const double kRoot2Inv = 1.0 / std::sqrt(2.0);
+
+TEST(DensityMatrix, InitialStateAllZero)
+{
+    DensityMatrix rho(3);
+    EXPECT_EQ(rho.numQubits(), 3u);
+    EXPECT_NEAR(rho.traceReal(), 1.0, 1e-12);
+    EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+    EXPECT_NEAR(rho.probOne(0), 0.0, 1e-12);
+    EXPECT_NEAR(rho.probOne(2), 0.0, 1e-12);
+}
+
+TEST(DensityMatrix, XFlipsQubit)
+{
+    DensityMatrix rho(2);
+    rho.applyUnitary(gates::X(), {1});
+    EXPECT_NEAR(rho.probOne(1), 1.0, 1e-12);
+    EXPECT_NEAR(rho.probOne(0), 0.0, 1e-12);
+}
+
+TEST(DensityMatrix, HadamardMakesSuperposition)
+{
+    DensityMatrix rho(1);
+    rho.applyUnitary(gates::H(), {0});
+    EXPECT_NEAR(rho.probOne(0), 0.5, 1e-12);
+    EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, CnotEntangles)
+{
+    DensityMatrix rho(2);
+    rho.applyUnitary(gates::H(), {0});
+    rho.applyUnitary(gates::cnot(), {0, 1});
+    EXPECT_NEAR(rho.bellFidelity(), 1.0, 1e-12);
+    // Reduced state of either qubit must be maximally mixed.
+    const DensityMatrix one = rho.partialTrace({0});
+    EXPECT_NEAR(one.purity(), 0.5, 1e-12);
+}
+
+TEST(DensityMatrix, CnotControlQubitOrder)
+{
+    // CNOT with control q0: |01> (q0=1) -> |11>.
+    DensityMatrix rho(2);
+    rho.applyUnitary(gates::X(), {0});
+    rho.applyUnitary(gates::cnot(), {0, 1});
+    EXPECT_NEAR(rho.probOne(0), 1.0, 1e-12);
+    EXPECT_NEAR(rho.probOne(1), 1.0, 1e-12);
+
+    // Control q1 = 0: |10> stays (q0 is target now).
+    DensityMatrix rho2(2);
+    rho2.applyUnitary(gates::X(), {1});
+    rho2.applyUnitary(gates::cnot(), {1, 0});
+    EXPECT_NEAR(rho2.probOne(0), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, SwapGate)
+{
+    DensityMatrix rho(3);
+    rho.applyUnitary(gates::X(), {0});
+    rho.applyUnitary(gates::swapGate(), {0, 2});
+    EXPECT_NEAR(rho.probOne(0), 0.0, 1e-12);
+    EXPECT_NEAR(rho.probOne(2), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, GateOnNonAdjacentQubits)
+{
+    // CNOT between q0 and q2 in a 3-qubit register, q1 untouched.
+    DensityMatrix rho(3);
+    rho.applyUnitary(gates::X(), {0});
+    rho.applyUnitary(gates::cnot(), {0, 2});
+    EXPECT_NEAR(rho.probOne(2), 1.0, 1e-12);
+    EXPECT_NEAR(rho.probOne(1), 0.0, 1e-12);
+}
+
+TEST(DensityMatrix, BellPairFactory)
+{
+    const DensityMatrix perfect = DensityMatrix::bellPair();
+    EXPECT_NEAR(perfect.bellFidelity(), 1.0, 1e-12);
+
+    const DensityMatrix noisy = DensityMatrix::bellPair(0.1);
+    EXPECT_NEAR(noisy.bellFidelity(), 0.9, 1e-12);
+    EXPECT_NEAR(noisy.traceReal(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, TensorProduct)
+{
+    DensityMatrix a(1);
+    a.applyUnitary(gates::X(), {0}); // |1>
+    DensityMatrix b(1);              // |0>
+    const DensityMatrix ab = DensityMatrix::tensor(a, b);
+    // a occupies low-order qubit 0.
+    EXPECT_NEAR(ab.probOne(0), 1.0, 1e-12);
+    EXPECT_NEAR(ab.probOne(1), 0.0, 1e-12);
+}
+
+TEST(DensityMatrix, MeasurementCollapses)
+{
+    Rng rng(99);
+    DensityMatrix rho(2);
+    rho.applyUnitary(gates::H(), {0});
+    rho.applyUnitary(gates::cnot(), {0, 1});
+    const bool m0 = rho.measureZ(0, rng);
+    // After measuring one half of a Bell pair the other is determined.
+    EXPECT_NEAR(rho.probOne(1), m0 ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(DensityMatrix, MeasurementStatistics)
+{
+    Rng rng(123);
+    int ones = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+        DensityMatrix rho(1);
+        rho.applyUnitary(gates::H(), {0});
+        if (rho.measureZ(0, rng))
+            ++ones;
+    }
+    EXPECT_NEAR(static_cast<double>(ones) / n, 0.5, 0.05);
+}
+
+TEST(DensityMatrix, PostselectProbability)
+{
+    DensityMatrix rho(1);
+    rho.applyUnitary(gates::ry(2.0 * std::acos(std::sqrt(0.25))), {0});
+    // P(0) should be 0.25 by construction.
+    EXPECT_NEAR(rho.probOne(0), 0.75, 1e-9);
+    const double p = rho.postselectZ(0, true);
+    EXPECT_NEAR(p, 0.75, 1e-9);
+    EXPECT_NEAR(rho.probOne(0), 1.0, 1e-12);
+    EXPECT_NEAR(rho.traceReal(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, PartialTraceOfProduct)
+{
+    DensityMatrix rho(2);
+    rho.applyUnitary(gates::X(), {1});
+    const DensityMatrix q1 = rho.partialTrace({1});
+    EXPECT_EQ(q1.numQubits(), 1u);
+    EXPECT_NEAR(q1.probOne(0), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, FidelityWithKet)
+{
+    DensityMatrix rho(1);
+    rho.applyUnitary(gates::H(), {0});
+    const double f = rho.fidelityWithKet(
+        {Complex(kRoot2Inv, 0), Complex(kRoot2Inv, 0)});
+    EXPECT_NEAR(f, 1.0, 1e-12);
+    const double f_orth = rho.fidelityWithKet(
+        {Complex(kRoot2Inv, 0), Complex(-kRoot2Inv, 0)});
+    EXPECT_NEAR(f_orth, 0.0, 1e-12);
+}
+
+TEST(DensityMatrix, ExpectationValues)
+{
+    DensityMatrix rho(1);
+    EXPECT_NEAR(rho.expectation(gates::Z(), {0}), 1.0, 1e-12);
+    rho.applyUnitary(gates::X(), {0});
+    EXPECT_NEAR(rho.expectation(gates::Z(), {0}), -1.0, 1e-12);
+    rho.applyUnitary(gates::H(), {0});
+    EXPECT_NEAR(rho.expectation(gates::Z(), {0}), 0.0, 1e-12);
+}
+
+TEST(DensityMatrix, GhzPreparation)
+{
+    DensityMatrix rho(4);
+    rho.applyUnitary(gates::H(), {0});
+    for (std::size_t q = 1; q < 4; ++q)
+        rho.applyUnitary(gates::cnot(), {0, q});
+    std::vector<Complex> ghz(16, Complex(0, 0));
+    ghz[0] = Complex(kRoot2Inv, 0);
+    ghz[15] = Complex(kRoot2Inv, 0);
+    EXPECT_NEAR(rho.fidelityWithKet(ghz), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, UnitaryPreservesTraceAndPurity)
+{
+    DensityMatrix rho(3);
+    rho.applyUnitary(gates::H(), {1});
+    rho.applyUnitary(gates::T(), {1});
+    rho.applyUnitary(gates::cnot(), {1, 2});
+    rho.applyUnitary(gates::S(), {0});
+    EXPECT_NEAR(rho.traceReal(), 1.0, 1e-12);
+    EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace dm
+} // namespace hetarch

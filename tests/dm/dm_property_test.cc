@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Parameterized property tests on the density-matrix substrate:
+ * channel trace preservation across parameter sweeps, unitary
+ * invariants on random circuits, twirl consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hh"
+#include "core/units.hh"
+#include "dm/channels.hh"
+#include "dm/density_matrix.hh"
+#include "dm/gates.hh"
+#include "qec/noise_model.hh"
+
+namespace hetarch {
+namespace dm {
+namespace {
+
+using namespace units;
+
+class ChannelSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ChannelSweep, AllChannelsTracePreserving)
+{
+    const double p = GetParam();
+    using namespace channels;
+    EXPECT_TRUE(isTracePreserving(amplitudeDamping(p)));
+    EXPECT_TRUE(isTracePreserving(phaseDamping(p)));
+    EXPECT_TRUE(isTracePreserving(depolarizing1(p)));
+    EXPECT_TRUE(isTracePreserving(depolarizing2(p)));
+    EXPECT_TRUE(isTracePreserving(bitFlip(p)));
+    EXPECT_TRUE(isTracePreserving(phaseFlip(p)));
+}
+
+TEST_P(ChannelSweep, DepolarizingShrinksBloch)
+{
+    const double p = GetParam();
+    if (p <= 0.0 || p >= 1.0)
+        return;
+    DensityMatrix rho(1);
+    rho.applyUnitary(gates::ry(0.7), {0});
+    const double z_before = rho.expectation(gates::Z(), {0});
+    rho.applyKraus(channels::depolarizing1(p), {0});
+    const double z_after = rho.expectation(gates::Z(), {0});
+    EXPECT_NEAR(z_after, (1.0 - 4.0 * p / 3.0) * z_before, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, ChannelSweep,
+                         ::testing::Values(0.0, 0.01, 0.1, 0.25, 0.5,
+                                           0.75, 1.0));
+
+class IdleSweep
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(IdleSweep, IdleChannelMatchesAnalyticDecay)
+{
+    const auto [t1_us, t2_over_t1] = GetParam();
+    const double t1 = t1_us * us;
+    const double t2 = t2_over_t1 * t1;
+    const double t = 0.2 * t1;
+
+    DensityMatrix rho(1);
+    rho.applyUnitary(gates::H(), {0});
+    rho.applyUnitary(gates::X(), {0});
+    rho.applyKraus(channels::idleChannel(t, t1, t2), {0});
+    // Coherence decays with T2; population relaxes with T1.
+    EXPECT_NEAR(std::abs(rho.matrix()(0, 1)), 0.5 * std::exp(-t / t2),
+                1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CoherencePairs, IdleSweep,
+    ::testing::Values(std::pair<double, double>{50.0, 0.5},
+                      std::pair<double, double>{100.0, 1.0},
+                      std::pair<double, double>{300.0, 1.5},
+                      std::pair<double, double>{1000.0, 2.0}));
+
+class RandomUnitaryCircuit : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomUnitaryCircuit, PreservesTraceAndPurity)
+{
+    Rng rng(500 + GetParam());
+    DensityMatrix rho(4);
+    for (int step = 0; step < 30; ++step) {
+        const auto q = rng.uniformInt(4);
+        switch (rng.uniformInt(5)) {
+          case 0: rho.applyUnitary(gates::H(), {q}); break;
+          case 1: rho.applyUnitary(gates::T(), {q}); break;
+          case 2:
+            rho.applyUnitary(gates::rx(rng.uniform() * 3.0), {q});
+            break;
+          case 3:
+            rho.applyUnitary(gates::rz(rng.uniform() * 3.0), {q});
+            break;
+          default: {
+            const auto other = rng.uniformInt(4);
+            if (other != q)
+                rho.applyUnitary(gates::cnot(), {q, other});
+            break;
+          }
+        }
+    }
+    EXPECT_NEAR(rho.traceReal(), 1.0, 1e-9);
+    EXPECT_NEAR(rho.purity(), 1.0, 1e-9);
+    EXPECT_TRUE(rho.matrix().isHermitian(1e-9));
+}
+
+TEST_P(RandomUnitaryCircuit, PartialTracePreservesTrace)
+{
+    Rng rng(900 + GetParam());
+    DensityMatrix rho(3);
+    rho.applyUnitary(gates::H(), {0});
+    rho.applyUnitary(gates::cnot(), {0, 1});
+    rho.applyUnitary(gates::ry(rng.uniform()), {2});
+    rho.applyKraus(channels::depolarizing1(0.1), {1});
+    for (const auto& keep :
+         std::vector<std::vector<std::size_t>>{{0}, {1}, {2}, {0, 2}}) {
+        const auto reduced = rho.partialTrace(keep);
+        EXPECT_NEAR(reduced.traceReal(), 1.0, 1e-10);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomUnitaryCircuit,
+                         ::testing::Range(0, 6));
+
+class TwirlSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(TwirlSweep, TwirlProbabilitiesMatchChannelDiagonal)
+{
+    // The Pauli-twirled idle probabilities must reproduce the exact
+    // channel's action on the maximally mixed + Z states.
+    const double t = GetParam() * us;
+    const double t1 = 120.0 * us, t2 = 150.0 * us;
+    const auto twirl = qec::idleTwirl(t, t1, t2);
+
+    DensityMatrix rho(1);
+    rho.applyUnitary(gates::X(), {0});
+    rho.applyKraus(channels::idleChannel(t, t1, t2), {0});
+    // For the |1> state, twirl keeps P(flip to 0) = px + py.
+    EXPECT_NEAR(1.0 - rho.probOne(0), 2.0 * (twirl.px + twirl.py), 0.06);
+    EXPECT_GE(twirl.pz, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Durations, TwirlSweep,
+                         ::testing::Values(1.0, 5.0, 20.0, 60.0));
+
+} // namespace
+} // namespace dm
+} // namespace hetarch

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Gate-matrix identities: unitarity, conjugation relations, and the
+ * algebra the simulators rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dm/gates.hh"
+
+namespace hetarch {
+namespace dm {
+namespace {
+
+using namespace gates;
+using linalg::Matrix;
+
+TEST(Gates, AllGatesUnitary)
+{
+    for (const Matrix* g : {&I(), &X(), &Y(), &Z(), &H(), &S(), &Sdg(),
+                            &T(), &cnot(), &cz(), &swapGate(), &iswap()})
+        EXPECT_TRUE(g->isUnitary(1e-12));
+    EXPECT_TRUE(rx(0.3).isUnitary(1e-12));
+    EXPECT_TRUE(ry(1.1).isUnitary(1e-12));
+    EXPECT_TRUE(rz(2.7).isUnitary(1e-12));
+}
+
+TEST(Gates, PauliAlgebra)
+{
+    // X^2 = Y^2 = Z^2 = I; XY = iZ.
+    EXPECT_LT((X() * X()).maxAbsDiff(I()), 1e-12);
+    EXPECT_LT((Y() * Y()).maxAbsDiff(I()), 1e-12);
+    EXPECT_LT((Z() * Z()).maxAbsDiff(I()), 1e-12);
+    EXPECT_LT((X() * Y()).maxAbsDiff(Z() * Complex(0, 1)), 1e-12);
+}
+
+TEST(Gates, HadamardConjugations)
+{
+    // H X H = Z, H Z H = X, H Y H = -Y.
+    EXPECT_LT((H() * X() * H()).maxAbsDiff(Z()), 1e-12);
+    EXPECT_LT((H() * Z() * H()).maxAbsDiff(X()), 1e-12);
+    EXPECT_LT((H() * Y() * H()).maxAbsDiff(Y() * Complex(-1, 0)), 1e-12);
+}
+
+TEST(Gates, PhaseGateConjugations)
+{
+    // S X S^dag = Y, S Y S^dag = -X, S Z S^dag = Z.
+    EXPECT_LT((S() * X() * Sdg()).maxAbsDiff(Y()), 1e-12);
+    EXPECT_LT((S() * Y() * Sdg()).maxAbsDiff(X() * Complex(-1, 0)),
+              1e-12);
+    EXPECT_LT((S() * Z() * Sdg()).maxAbsDiff(Z()), 1e-12);
+    // S^2 = Z, T^2 = S.
+    EXPECT_LT((S() * S()).maxAbsDiff(Z()), 1e-12);
+    EXPECT_LT((T() * T()).maxAbsDiff(S()), 1e-12);
+}
+
+TEST(Gates, RotationComposition)
+{
+    // rx(a) rx(b) = rx(a+b); rx(2 pi) = -I.
+    EXPECT_LT((rx(0.4) * rx(0.9)).maxAbsDiff(rx(1.3)), 1e-12);
+    EXPECT_LT(rx(2.0 * M_PI).maxAbsDiff(
+                  Matrix::identity(2) * Complex(-1, 0)),
+              1e-12);
+    // rz(pi) ~ Z up to global phase -i.
+    EXPECT_LT(rz(M_PI).maxAbsDiff(Z() * Complex(0, -1)), 1e-12);
+}
+
+TEST(Gates, TwoQubitIdentities)
+{
+    // CNOT^2 = I, SWAP^2 = I, CZ^2 = I.
+    EXPECT_LT((cnot() * cnot()).maxAbsDiff(Matrix::identity(4)), 1e-12);
+    EXPECT_LT((swapGate() * swapGate()).maxAbsDiff(Matrix::identity(4)),
+              1e-12);
+    EXPECT_LT((cz() * cz()).maxAbsDiff(Matrix::identity(4)), 1e-12);
+    // SWAP = CNOT01 * CNOT10 * CNOT01 with our kron convention.
+    const Matrix cnot10 =
+        linalg::kron(H(), H()) * cnot() * linalg::kron(H(), H());
+    EXPECT_LT((cnot() * cnot10 * cnot()).maxAbsDiff(swapGate()), 1e-12);
+}
+
+TEST(Gates, CzFromCnot)
+{
+    // CZ = (I (x) H) CNOT (I (x) H) in the little-endian convention
+    // (target is the high factor of the 4x4 matrix).
+    const Matrix h_high = linalg::kron(H(), I());
+    EXPECT_LT((h_high * cnot() * h_high).maxAbsDiff(cz()), 1e-12);
+}
+
+TEST(Gates, ProjectorsAndLadder)
+{
+    EXPECT_LT((proj0() + proj1()).maxAbsDiff(I()), 1e-12);
+    EXPECT_LT((proj0() * proj0()).maxAbsDiff(proj0()), 1e-12);
+    EXPECT_LT((proj1() * proj1()).maxAbsDiff(proj1()), 1e-12);
+    EXPECT_LT((proj0() * proj1()).frobeniusNorm(), 1e-12);
+    // sigma+ sigma- = |1><1|, sigma- sigma+ = |0><0|.
+    EXPECT_LT((sigmaPlus() * sigmaMinus()).maxAbsDiff(proj1()), 1e-12);
+    EXPECT_LT((sigmaMinus() * sigmaPlus()).maxAbsDiff(proj0()), 1e-12);
+}
+
+} // namespace
+} // namespace dm
+} // namespace hetarch

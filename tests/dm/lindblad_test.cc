@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the RK4 Lindblad solver, including cross-validation
+ * against the closed-form Kraus idle channel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/units.hh"
+#include "dm/channels.hh"
+#include "dm/density_matrix.hh"
+#include "dm/gates.hh"
+#include "dm/lindblad.hh"
+
+namespace hetarch {
+namespace dm {
+namespace {
+
+using namespace units;
+
+TEST(Lindblad, FreeDecayT1Population)
+{
+    const double t1 = 50.0 * us;
+    const double t2 = 60.0 * us;
+    auto solver = LindbladSolver::freeDecay(1, {t1}, {t2});
+
+    DensityMatrix rho(1);
+    rho.applyUnitary(gates::X(), {0});
+    solver.evolve(rho, 20.0 * us, 50.0);
+    EXPECT_NEAR(rho.probOne(0), std::exp(-20.0 * us / t1), 1e-6);
+}
+
+TEST(Lindblad, FreeDecayT2Coherence)
+{
+    const double t1 = 50.0 * us;
+    const double t2 = 40.0 * us;
+    auto solver = LindbladSolver::freeDecay(1, {t1}, {t2});
+
+    DensityMatrix rho(1);
+    rho.applyUnitary(gates::H(), {0});
+    solver.evolve(rho, 15.0 * us, 50.0);
+    EXPECT_NEAR(std::abs(rho.matrix()(0, 1)),
+                0.5 * std::exp(-15.0 * us / t2), 1e-6);
+}
+
+TEST(Lindblad, MatchesKrausIdleChannel)
+{
+    // The discrete idle channel and the continuous Lindblad evolution
+    // must agree for a single qubit in an arbitrary state.
+    const double t1 = 300.0 * us;
+    const double t2 = 180.0 * us;
+    const double t = 35.0 * us;
+
+    DensityMatrix a(1);
+    a.applyUnitary(gates::ry(0.7), {0});
+    a.applyUnitary(gates::rz(0.3), {0});
+    DensityMatrix b = a;
+
+    auto solver = LindbladSolver::freeDecay(1, {t1}, {t2});
+    solver.evolve(a, t, 25.0);
+    b.applyKraus(channels::idleChannel(t, t1, t2), {0});
+
+    EXPECT_LT(a.matrix().maxAbsDiff(b.matrix()), 1e-7);
+}
+
+TEST(Lindblad, TwoQubitIndependentDecay)
+{
+    const double t1a = 100.0 * us, t2a = 120.0 * us;
+    const double t1b = 2.0 * ms, t2b = 2.0 * ms;
+    auto solver = LindbladSolver::freeDecay(2, {t1a, t1b}, {t2a, t2b});
+
+    DensityMatrix rho(2);
+    rho.applyUnitary(gates::X(), {0});
+    rho.applyUnitary(gates::X(), {1});
+    solver.evolve(rho, 50.0 * us, 100.0);
+    EXPECT_NEAR(rho.probOne(0), std::exp(-50.0 * us / t1a), 1e-5);
+    EXPECT_NEAR(rho.probOne(1), std::exp(-50.0 * us / t1b), 1e-5);
+}
+
+TEST(Lindblad, HamiltonianRabiOscillation)
+{
+    // H = (Omega/2) X drives |0> -> |1> in t = pi/Omega.
+    const double omega = 2.0 * M_PI * 5.0 * MHz; // rad/ns
+    HamiltonianTerm drive{gates::X() * Complex(omega / 2.0, 0.0), {0}};
+    LindbladSolver solver(1, {drive}, {});
+
+    DensityMatrix rho(1);
+    const double t_pi = M_PI / omega;
+    solver.evolve(rho, t_pi, 0.05);
+    EXPECT_NEAR(rho.probOne(0), 1.0, 1e-6);
+}
+
+TEST(Lindblad, DrivenGateWithDecoherenceLosesFidelity)
+{
+    // A pi rotation with T1 decay during the drive must land below
+    // the ideal excited population, and slower drives must be worse.
+    const double omega_fast = 2.0 * M_PI * 5.0 * MHz;
+    const double omega_slow = 2.0 * M_PI * 0.5 * MHz;
+    const double t1 = 20.0 * us, t2 = 20.0 * us;
+
+    auto run = [&](double omega) {
+        HamiltonianTerm drive{gates::X() * Complex(omega / 2.0, 0.0), {0}};
+        std::vector<CollapseOp> collapse{
+            {gates::sigmaMinus(), {0}, 1.0 / t1},
+            {gates::Z(), {0},
+             channels::pureDephasingRate(t1, t2) / 2.0}};
+        LindbladSolver solver(1, {drive}, collapse);
+        DensityMatrix rho(1);
+        solver.evolve(rho, M_PI / omega, 0.5);
+        return rho.probOne(0);
+    };
+
+    const double fast = run(omega_fast);
+    const double slow = run(omega_slow);
+    EXPECT_LT(fast, 1.0);
+    EXPECT_GT(fast, 0.99);
+    EXPECT_LT(slow, fast);
+}
+
+TEST(Lindblad, TracePreservedThroughEvolution)
+{
+    auto solver = LindbladSolver::freeDecay(2, {100 * us, 1 * ms},
+                                            {80 * us, 1 * ms});
+    DensityMatrix rho(2);
+    rho.applyUnitary(gates::H(), {0});
+    rho.applyUnitary(gates::cnot(), {0, 1});
+    solver.evolve(rho, 200.0 * us, 100.0);
+    EXPECT_NEAR(rho.traceReal(), 1.0, 1e-8);
+}
+
+TEST(Lindblad, BellPairDecaysTowardMixture)
+{
+    auto solver = LindbladSolver::freeDecay(2, {100 * us, 100 * us},
+                                            {100 * us, 100 * us});
+    DensityMatrix rho = DensityMatrix::bellPair();
+    const double f0 = rho.bellFidelity();
+    solver.evolve(rho, 50.0 * us, 100.0);
+    const double f1 = rho.bellFidelity();
+    solver.evolve(rho, 50.0 * us, 100.0);
+    const double f2 = rho.bellFidelity();
+    EXPECT_GT(f0, f1);
+    EXPECT_GT(f1, f2);
+    EXPECT_GT(f2, 0.25); // never below fully mixed
+}
+
+TEST(Lindblad, ZeroDurationNoOp)
+{
+    auto solver = LindbladSolver::freeDecay(1, {100 * us}, {100 * us});
+    DensityMatrix rho(1);
+    rho.applyUnitary(gates::H(), {0});
+    const auto before = rho.matrix();
+    solver.evolve(rho, 0.0);
+    EXPECT_LT(rho.matrix().maxAbsDiff(before), 1e-15);
+}
+
+} // namespace
+} // namespace dm
+} // namespace hetarch

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Smoke tests for the paper-artifact experiment runners at reduced
+ * scale: row shapes, and the headline qualitative results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dse/experiments.hh"
+
+namespace hetarch {
+namespace dse {
+namespace {
+
+RunScale
+quick()
+{
+    RunScale s;
+    s.shotScale = 0.05;
+    return s;
+}
+
+TEST(Experiments, Table1HasFiveDevices)
+{
+    EXPECT_EQ(table1Devices().rows(), 5u);
+}
+
+TEST(Experiments, Table2CoversFourCells)
+{
+    const auto t = table2Cells();
+    EXPECT_GE(t.rows(), 4u);
+}
+
+TEST(Experiments, Fig3TraceCovers100us)
+{
+    const auto t = fig3DistillationTrace(quick());
+    EXPECT_EQ(t.rows(), 51u); // 0..100 us in 2 us steps
+}
+
+TEST(Experiments, Fig4SweepShape)
+{
+    const auto t = fig4DistillationRate(quick());
+    // 7 rates x (4 het Ts + 1 hom).
+    EXPECT_EQ(t.rows(), 35u);
+}
+
+TEST(Experiments, Fig9Shape)
+{
+    const auto t = fig9UecTsSweep(quick());
+    EXPECT_EQ(t.rows(), 5u * 7u);
+}
+
+TEST(Experiments, Table3Shape)
+{
+    const auto t = table3UecComparison(quick());
+    EXPECT_EQ(t.rows(), 5u);
+}
+
+TEST(Experiments, Table4CoversAllPairs)
+{
+    const auto t = table4CtMatrix(quick());
+    EXPECT_EQ(t.rows(), 10u);
+}
+
+} // namespace
+} // namespace dse
+} // namespace hetarch

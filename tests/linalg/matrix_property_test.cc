@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Parameterized algebraic property tests on random complex matrices.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "linalg/matrix.hh"
+
+namespace hetarch {
+namespace linalg {
+namespace {
+
+Matrix
+randomMatrix(Rng& rng, std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            m(r, c) = Complex(rng.normal(), rng.normal());
+    return m;
+}
+
+class MatrixAlgebra : public ::testing::TestWithParam<int>
+{
+  protected:
+    Rng rng{static_cast<std::uint64_t>(4000 + GetParam())};
+};
+
+TEST_P(MatrixAlgebra, DaggerReversesProducts)
+{
+    const auto a = randomMatrix(rng, 4);
+    const auto b = randomMatrix(rng, 4);
+    EXPECT_LT((a * b).dagger().maxAbsDiff(b.dagger() * a.dagger()),
+              1e-10);
+}
+
+TEST_P(MatrixAlgebra, TraceIsCyclic)
+{
+    const auto a = randomMatrix(rng, 3);
+    const auto b = randomMatrix(rng, 3);
+    const auto c = randomMatrix(rng, 3);
+    const auto t1 = (a * b * c).trace();
+    const auto t2 = (c * a * b).trace();
+    EXPECT_NEAR(t1.real(), t2.real(), 1e-9);
+    EXPECT_NEAR(t1.imag(), t2.imag(), 1e-9);
+}
+
+TEST_P(MatrixAlgebra, MultiplicationAssociative)
+{
+    const auto a = randomMatrix(rng, 4);
+    const auto b = randomMatrix(rng, 4);
+    const auto c = randomMatrix(rng, 4);
+    EXPECT_LT(((a * b) * c).maxAbsDiff(a * (b * c)), 1e-9);
+}
+
+TEST_P(MatrixAlgebra, MultiplicationDistributes)
+{
+    const auto a = randomMatrix(rng, 4);
+    const auto b = randomMatrix(rng, 4);
+    const auto c = randomMatrix(rng, 4);
+    EXPECT_LT((a * (b + c)).maxAbsDiff(a * b + a * c), 1e-9);
+}
+
+TEST_P(MatrixAlgebra, KronBilinear)
+{
+    const auto a = randomMatrix(rng, 2);
+    const auto b = randomMatrix(rng, 2);
+    const auto c = randomMatrix(rng, 2);
+    EXPECT_LT(kron(a, b + c).maxAbsDiff(kron(a, b) + kron(a, c)), 1e-9);
+}
+
+TEST_P(MatrixAlgebra, KronMixedProduct)
+{
+    const auto a = randomMatrix(rng, 2);
+    const auto b = randomMatrix(rng, 3);
+    const auto c = randomMatrix(rng, 2);
+    const auto d = randomMatrix(rng, 3);
+    EXPECT_LT((kron(a, b) * kron(c, d)).maxAbsDiff(kron(a * c, b * d)),
+              1e-8);
+}
+
+TEST_P(MatrixAlgebra, FrobeniusSubmultiplicative)
+{
+    const auto a = randomMatrix(rng, 4);
+    const auto b = randomMatrix(rng, 4);
+    EXPECT_LE((a * b).frobeniusNorm(),
+              a.frobeniusNorm() * b.frobeniusNorm() + 1e-9);
+}
+
+TEST_P(MatrixAlgebra, AplusADaggerIsHermitian)
+{
+    const auto a = randomMatrix(rng, 4);
+    EXPECT_TRUE((a + a.dagger()).isHermitian(1e-10));
+    // Commutator of Hermitians is anti-Hermitian: i[A,B] Hermitian.
+    const auto h1 = a + a.dagger();
+    const auto b = randomMatrix(rng, 4);
+    const auto h2 = b + b.dagger();
+    EXPECT_TRUE((commutator(h1, h2) * Complex(0, 1)).isHermitian(1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatrixAlgebra, ::testing::Range(0, 6));
+
+} // namespace
+} // namespace linalg
+} // namespace hetarch

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the dense complex matrix type.
+ */
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hh"
+
+namespace hetarch {
+namespace linalg {
+namespace {
+
+const Complex i1(0.0, 1.0);
+
+TEST(Matrix, ZeroConstruction)
+{
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_EQ(m(r, c), Complex(0, 0));
+}
+
+TEST(Matrix, InitializerList)
+{
+    Matrix m{{1, 2}, {3, 4}};
+    EXPECT_EQ(m(0, 1), Complex(2, 0));
+    EXPECT_EQ(m(1, 0), Complex(3, 0));
+}
+
+TEST(Matrix, IdentityMultiplication)
+{
+    Matrix m{{1, 2}, {3, 4}};
+    const Matrix id = Matrix::identity(2);
+    EXPECT_EQ((m * id).maxAbsDiff(m), 0.0);
+    EXPECT_EQ((id * m).maxAbsDiff(m), 0.0);
+}
+
+TEST(Matrix, MultiplicationKnownResult)
+{
+    Matrix a{{1, 2}, {3, 4}};
+    Matrix b{{5, 6}, {7, 8}};
+    Matrix expect{{19, 22}, {43, 50}};
+    EXPECT_LT((a * b).maxAbsDiff(expect), 1e-14);
+}
+
+TEST(Matrix, NonSquareMultiplication)
+{
+    Matrix a(2, 3);
+    a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+    a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+    Matrix b(3, 1);
+    b(0, 0) = 1; b(1, 0) = 1; b(2, 0) = 1;
+    const Matrix c = a * b;
+    EXPECT_EQ(c.rows(), 2u);
+    EXPECT_EQ(c.cols(), 1u);
+    EXPECT_EQ(c(0, 0), Complex(6, 0));
+    EXPECT_EQ(c(1, 0), Complex(15, 0));
+}
+
+TEST(Matrix, AddSubtract)
+{
+    Matrix a{{1, 2}, {3, 4}};
+    Matrix b{{4, 3}, {2, 1}};
+    const Matrix sum = a + b;
+    EXPECT_EQ(sum(0, 0), Complex(5, 0));
+    const Matrix diff = a - b;
+    EXPECT_EQ(diff(1, 1), Complex(3, 0));
+}
+
+TEST(Matrix, ScalarMultiply)
+{
+    Matrix a{{1, 0}, {0, 1}};
+    const Matrix b = a * Complex(0, 2);
+    EXPECT_EQ(b(0, 0), Complex(0, 2));
+    const Matrix c = Complex(3, 0) * a;
+    EXPECT_EQ(c(1, 1), Complex(3, 0));
+}
+
+TEST(Matrix, Dagger)
+{
+    Matrix a{{Complex(1, 1), Complex(2, -1)},
+             {Complex(0, 3), Complex(4, 0)}};
+    const Matrix d = a.dagger();
+    EXPECT_EQ(d(0, 0), Complex(1, -1));
+    EXPECT_EQ(d(0, 1), Complex(0, -3));
+    EXPECT_EQ(d(1, 0), Complex(2, 1));
+}
+
+TEST(Matrix, TraceAndNorm)
+{
+    Matrix a{{1, 5}, {7, 3}};
+    EXPECT_EQ(a.trace(), Complex(4, 0));
+    EXPECT_NEAR(a.frobeniusNorm(),
+                std::sqrt(1.0 + 25.0 + 49.0 + 9.0), 1e-12);
+}
+
+TEST(Matrix, HermitianCheck)
+{
+    Matrix h{{Complex(2, 0), Complex(1, 1)},
+             {Complex(1, -1), Complex(3, 0)}};
+    EXPECT_TRUE(h.isHermitian());
+    Matrix nh{{Complex(2, 1), Complex(1, 1)},
+              {Complex(1, -1), Complex(3, 0)}};
+    EXPECT_FALSE(nh.isHermitian());
+}
+
+TEST(Matrix, UnitaryCheck)
+{
+    const double s = 1.0 / std::sqrt(2.0);
+    Matrix h{{s, s}, {s, -s}};
+    EXPECT_TRUE(h.isUnitary());
+    Matrix not_u{{1, 1}, {0, 1}};
+    EXPECT_FALSE(not_u.isUnitary());
+}
+
+TEST(Matrix, KronDimensions)
+{
+    Matrix a(2, 2), b(3, 3);
+    const Matrix k = kron(a, b);
+    EXPECT_EQ(k.rows(), 6u);
+    EXPECT_EQ(k.cols(), 6u);
+}
+
+TEST(Matrix, KronKnownValues)
+{
+    Matrix x{{0, 1}, {1, 0}};
+    Matrix z{{1, 0}, {0, -1}};
+    const Matrix k = kron(x, z);
+    // kron(X, Z): block structure [[0, Z], [Z, 0]]
+    EXPECT_EQ(k(0, 2), Complex(1, 0));
+    EXPECT_EQ(k(1, 3), Complex(-1, 0));
+    EXPECT_EQ(k(2, 0), Complex(1, 0));
+    EXPECT_EQ(k(3, 1), Complex(-1, 0));
+    EXPECT_EQ(k(0, 0), Complex(0, 0));
+}
+
+TEST(Matrix, KronAll)
+{
+    Matrix id = Matrix::identity(2);
+    const Matrix k = kronAll({id, id, id});
+    EXPECT_EQ(k.rows(), 8u);
+    EXPECT_LT(k.maxAbsDiff(Matrix::identity(8)), 1e-15);
+}
+
+TEST(Matrix, KronMixedProduct)
+{
+    // (A (x) B)(C (x) D) = AC (x) BD
+    Matrix a{{1, 2}, {3, 4}};
+    Matrix b{{0, 1}, {1, 0}};
+    Matrix c{{2, 0}, {1, 1}};
+    Matrix d{{1, 1}, {0, 2}};
+    const Matrix lhs = kron(a, b) * kron(c, d);
+    const Matrix rhs = kron(a * c, b * d);
+    EXPECT_LT(lhs.maxAbsDiff(rhs), 1e-12);
+}
+
+TEST(Matrix, Commutators)
+{
+    Matrix x{{0, 1}, {1, 0}};
+    Matrix z{{1, 0}, {0, -1}};
+    // [X, Z] = -2iY
+    Matrix y{{0, -i1}, {i1, 0}};
+    EXPECT_LT(commutator(x, z).maxAbsDiff(y * Complex(0, -2)), 1e-12);
+    // {X, Z} = 0
+    EXPECT_LT(anticommutator(x, z).frobeniusNorm(), 1e-12);
+}
+
+} // namespace
+} // namespace linalg
+} // namespace hetarch

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests for the module layer and phenomenological composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cells/standard_cells.hh"
+#include "devices/device.hh"
+#include "module/module.hh"
+
+namespace hetarch {
+namespace module {
+namespace {
+
+TEST(Compose, ErrorComposition)
+{
+    EXPECT_DOUBLE_EQ(composeErrors({}), 0.0);
+    EXPECT_DOUBLE_EQ(composeErrors({0.1}), 0.1);
+    EXPECT_NEAR(composeErrors({0.1, 0.1}), 0.19, 1e-12);
+    EXPECT_DOUBLE_EQ(composeErrors({1.0, 0.5}), 1.0);
+}
+
+TEST(Compose, SmallErrorsApproximatelyAdd)
+{
+    const double composed = composeErrors({1e-4, 2e-4, 3e-4});
+    EXPECT_NEAR(composed, 6e-4, 1e-6);
+}
+
+TEST(Compose, Durations)
+{
+    EXPECT_DOUBLE_EQ(serialDuration({100.0, 200.0, 50.0}), 350.0);
+    EXPECT_DOUBLE_EQ(parallelDuration({100.0, 200.0, 50.0}), 200.0);
+    EXPECT_DOUBLE_EQ(parallelDuration({}), 0.0);
+}
+
+TEST(Module, AggregatesResources)
+{
+    Module m("distillation");
+    m.addCell(cells::makeRegister(devices::multimodeResonator3D(),
+                                  devices::fixedFrequencyTransmon()));
+    m.addCell(cells::makeParCheck(devices::fixedFrequencyTransmon()));
+
+    Module sub("output-memory");
+    sub.addCell(cells::makeRegister(devices::multimodeResonator3D(),
+                                    devices::fixedFrequencyTransmon()));
+    m.addSubModule(sub);
+
+    EXPECT_GT(m.footprintArea(), 0.0);
+    EXPECT_GT(m.controlLines(), 0);
+    // 2 registers (11 qubits each) + parcheck (2 qubits).
+    EXPECT_EQ(m.qubitCapacity(), 24);
+}
+
+TEST(Module, OpTable)
+{
+    Module m("test");
+    m.addOp({"distill", 1000.0, 0.01});
+    EXPECT_DOUBLE_EQ(m.op("distill").duration, 1000.0);
+    EXPECT_DEATH(m.op("missing"), "no module op");
+}
+
+} // namespace
+} // namespace module
+} // namespace hetarch

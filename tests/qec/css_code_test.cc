@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Validation of the CSS code zoo: commutation, dimensions, distances.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qec/css_code.hh"
+
+namespace hetarch {
+namespace qec {
+namespace {
+
+TEST(CssCode, SteaneValidates)
+{
+    auto code = makeSteane();
+    code.validate();
+    EXPECT_EQ(code.n, 7u);
+    EXPECT_EQ(code.numLogical(), 1u);
+    EXPECT_EQ(code.minLogicalZWeight(), 3u);
+    EXPECT_EQ(code.minLogicalXWeight(), 3u);
+}
+
+TEST(CssCode, ReedMuller15Validates)
+{
+    auto code = makeReedMuller15();
+    code.validate();
+    EXPECT_EQ(code.n, 15u);
+    EXPECT_EQ(code.xChecks.size(), 4u);
+    EXPECT_EQ(code.zChecks.size(), 10u);
+    EXPECT_EQ(code.numLogical(), 1u);
+    // The [[15,1,3]] code: Z distance 3, X distance 7.
+    EXPECT_EQ(code.minLogicalZWeight(), 3u);
+    EXPECT_EQ(code.minLogicalXWeight(), 7u);
+}
+
+TEST(CssCode, ColorCodeD3IsSteaneSized)
+{
+    auto code = makeColorCode(3);
+    code.validate();
+    EXPECT_EQ(code.n, 7u);
+    EXPECT_EQ(code.xChecks.size(), 3u);
+    EXPECT_EQ(code.minLogicalZWeight(), 3u);
+}
+
+TEST(CssCode, ColorCodeD5)
+{
+    auto code = makeColorCode(5);
+    code.validate();
+    EXPECT_EQ(code.n, 19u);
+    EXPECT_EQ(code.xChecks.size(), 9u);
+    EXPECT_EQ(code.zChecks.size(), 9u);
+    EXPECT_EQ(code.minLogicalZWeight(), 5u);
+    EXPECT_EQ(code.minLogicalXWeight(), 5u);
+}
+
+TEST(CssCode, SurfaceD3)
+{
+    auto code = makeRotatedSurface(3);
+    code.validate();
+    EXPECT_EQ(code.n, 9u);
+    EXPECT_EQ(code.xChecks.size(), 4u);
+    EXPECT_EQ(code.zChecks.size(), 4u);
+    EXPECT_EQ(code.minLogicalZWeight(), 3u);
+    EXPECT_EQ(code.minLogicalXWeight(), 3u);
+}
+
+TEST(CssCode, SurfaceD4)
+{
+    auto code = makeRotatedSurface(4);
+    code.validate();
+    EXPECT_EQ(code.n, 16u);
+    EXPECT_EQ(code.xChecks.size() + code.zChecks.size(), 15u);
+    EXPECT_EQ(code.minLogicalZWeight(), 4u);
+}
+
+TEST(CssCode, SurfaceD5)
+{
+    auto code = makeRotatedSurface(5);
+    code.validate();
+    EXPECT_EQ(code.n, 25u);
+    EXPECT_EQ(code.minLogicalZWeight(), 5u);
+    EXPECT_EQ(code.minLogicalXWeight(), 5u);
+}
+
+TEST(CssCode, RepetitionCode)
+{
+    auto code = makeRepetition(5);
+    code.validate();
+    EXPECT_EQ(code.n, 5u);
+    EXPECT_EQ(code.minLogicalXWeight(), 5u);
+}
+
+TEST(CssCode, PaperZooValidatesAndSizesFitUec)
+{
+    for (const auto& code : paperCodeZoo()) {
+        code.validate();
+        EXPECT_LE(code.n, 30u) << code.name
+                               << " exceeds the UEC 30-qubit limit";
+    }
+}
+
+TEST(CssCode, ComputeLogicalsAgreesWithHandWritten)
+{
+    // Recompute logicals for the Steane code; min weights must match.
+    auto code = makeSteane();
+    computeLogicals(code);
+    code.validate();
+    EXPECT_EQ(code.minLogicalZWeight(), 3u);
+}
+
+} // namespace
+} // namespace qec
+} // namespace hetarch

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for GF(2) linear algebra.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qec/gf2.hh"
+
+namespace hetarch {
+namespace qec {
+namespace {
+
+TEST(Gf2, RankOfIdentityLike)
+{
+    auto m = Gf2Matrix::fromSupports({{0}, {1}, {2}}, 3);
+    EXPECT_EQ(m.rank(), 3u);
+}
+
+TEST(Gf2, RankWithDependentRows)
+{
+    // Row 3 = row 0 xor row 1.
+    auto m = Gf2Matrix::fromSupports({{0, 1}, {1, 2}, {0, 2}}, 3);
+    EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(Gf2, NullspaceOfParityCheck)
+{
+    // Single parity check x0+x1+x2 = 0: nullspace dim 2.
+    auto m = Gf2Matrix::fromSupports({{0, 1, 2}}, 3);
+    const auto basis = m.nullspaceBasis();
+    EXPECT_EQ(basis.size(), 2u);
+    // Every basis vector must satisfy the check (even overlap).
+    for (const auto& v : basis)
+        EXPECT_EQ(v.size() % 2, 0u);
+}
+
+TEST(Gf2, NullspaceVectorsAreInKernel)
+{
+    auto m = Gf2Matrix::fromSupports({{0, 1, 3}, {1, 2, 3}, {0, 2}}, 5);
+    for (const auto& v : m.nullspaceBasis()) {
+        // Manually verify M v = 0.
+        for (std::size_t r = 0; r < m.rows(); ++r) {
+            int parity = 0;
+            for (auto c : v)
+                parity ^= m.get(r, c) ? 1 : 0;
+            EXPECT_EQ(parity, 0);
+        }
+    }
+}
+
+TEST(Gf2, RankPlusNullityEqualsColumns)
+{
+    auto m = Gf2Matrix::fromSupports(
+        {{0, 1, 2}, {2, 3, 4}, {0, 4, 5}, {1, 3, 5}}, 7);
+    EXPECT_EQ(m.rank() + m.nullspaceBasis().size(), 7u);
+}
+
+TEST(Gf2, InRowSpace)
+{
+    auto m = Gf2Matrix::fromSupports({{0, 1}, {1, 2}}, 4);
+    EXPECT_TRUE(m.inRowSpace({0, 1}));
+    EXPECT_TRUE(m.inRowSpace({0, 2}));  // sum of the two rows
+    EXPECT_TRUE(m.inRowSpace({}));      // zero vector
+    EXPECT_FALSE(m.inRowSpace({0}));
+    EXPECT_FALSE(m.inRowSpace({3}));
+}
+
+TEST(Gf2, AppendRowChangesRank)
+{
+    Gf2Matrix m(0, 4);
+    m.appendRow({0, 1});
+    EXPECT_EQ(m.rank(), 1u);
+    m.appendRow({0, 1}); // duplicate
+    EXPECT_EQ(m.rank(), 1u);
+    m.appendRow({2});
+    EXPECT_EQ(m.rank(), 2u);
+}
+
+} // namespace
+} // namespace qec
+} // namespace hetarch

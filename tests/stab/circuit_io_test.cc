@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for circuit text serialization: parsing, round-tripping, and
+ * equivalence of parsed circuits under simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/units.hh"
+#include "qec/surface_circuit.hh"
+#include "stab/circuit_io.hh"
+#include "stab/dem.hh"
+
+namespace hetarch {
+namespace stab {
+namespace {
+
+TEST(CircuitIo, ParsesBasicOps)
+{
+    const auto c = parseCircuit(R"(
+        # prepare a Bell pair and check its parity
+        H 0
+        CX 0 1
+        X_ERROR p=0.125 1
+        M 0
+        M 1
+        DETECTOR 0 1
+        OBSERVABLE_INCLUDE(0) 1
+    )");
+    EXPECT_EQ(c.numQubits(), 2u);
+    EXPECT_EQ(c.numMeasurements(), 2u);
+    EXPECT_EQ(c.numDetectors(), 1u);
+    EXPECT_EQ(c.numObservables(), 1u);
+}
+
+TEST(CircuitIo, RoundTripSmallCircuit)
+{
+    Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.depolarize2(0, 1, 0.03125);
+    c.pauliChannel1(2, 0.01, 0.02, 0.0303);
+    c.swap(1, 2);
+    const auto m0 = c.measureReset(1);
+    const auto m1 = c.measure(2);
+    c.detector({m0}, 1);
+    c.detector({m0, m1}, 0);
+    c.observableInclude(2, {m1});
+
+    const auto parsed = parseCircuit(c.toString());
+    EXPECT_TRUE(circuitsEquivalent(c, parsed));
+    EXPECT_EQ(parsed.detectorTags(), c.detectorTags());
+}
+
+TEST(CircuitIo, RoundTripSurfaceCodeCircuit)
+{
+    qec::CircuitNoise noise;
+    const auto c = qec::surfaceMemoryZ(3, 2, noise);
+    const auto parsed = parseCircuit(c.toString());
+    EXPECT_TRUE(circuitsEquivalent(c, parsed));
+
+    // Parsed circuit must produce the identical detector error model.
+    const auto dem_a = buildDetectorErrorModel(c);
+    const auto dem_b = buildDetectorErrorModel(parsed);
+    ASSERT_EQ(dem_a.mechanisms.size(), dem_b.mechanisms.size());
+    for (std::size_t i = 0; i < dem_a.mechanisms.size(); ++i) {
+        EXPECT_EQ(dem_a.mechanisms[i].detectors,
+                  dem_b.mechanisms[i].detectors);
+        EXPECT_NEAR(dem_a.mechanisms[i].probability,
+                    dem_b.mechanisms[i].probability, 1e-12);
+    }
+}
+
+TEST(CircuitIo, RejectsUnknownOp)
+{
+    EXPECT_DEATH(parseCircuit("FROBNICATE 0"), "unknown op");
+}
+
+TEST(CircuitIo, RejectsBadArity)
+{
+    EXPECT_DEATH(parseCircuit("CX 0"), "expects");
+    EXPECT_DEATH(parseCircuit("X_ERROR 0"), "expects");
+}
+
+TEST(CircuitIo, RejectsDanglingRecordReference)
+{
+    EXPECT_DEATH(parseCircuit("M 0\nDETECTOR 5"),
+                 "references measurement");
+}
+
+TEST(CircuitIo, CommentsAndBlanksIgnored)
+{
+    const auto c = parseCircuit("\n  # nothing here\n\nH 0 # trailing\n");
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(CircuitIo, EquivalenceDetectsDifferences)
+{
+    Circuit a(1), b(1);
+    a.h(0);
+    b.s(0);
+    EXPECT_FALSE(circuitsEquivalent(a, b));
+    Circuit c(1), d(1);
+    c.xError(0, 0.1);
+    d.xError(0, 0.2);
+    EXPECT_FALSE(circuitsEquivalent(c, d));
+}
+
+} // namespace
+} // namespace stab
+} // namespace hetarch

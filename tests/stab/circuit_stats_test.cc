@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for circuit statistics and cross-architecture cost comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qec/css_code.hh"
+#include "qec/surface_circuit.hh"
+#include "stab/circuit_stats.hh"
+#include "uec/lattice_baseline.hh"
+#include "uec/uec_circuit.hh"
+
+namespace hetarch {
+namespace stab {
+namespace {
+
+TEST(CircuitStats, CountsSimpleCircuit)
+{
+    Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    c.depolarize2(1, 2, 0.01);
+    const auto m = c.measure(2);
+    c.reset(2);
+    c.detector({m});
+
+    const auto stats = analyzeCircuit(c);
+    EXPECT_EQ(stats.qubits, 3u);
+    EXPECT_EQ(stats.oneQubitGates, 1u);
+    EXPECT_EQ(stats.twoQubitGates, 2u);
+    EXPECT_EQ(stats.measurements, 1u);
+    EXPECT_EQ(stats.resets, 1u);
+    EXPECT_EQ(stats.noiseSites, 1u);
+    EXPECT_EQ(stats.detectors, 1u);
+    // h(0); cx(0,1); cx(1,2); m(2); r(2) -> depth 5 on qubit chain.
+    EXPECT_EQ(stats.depth, 5u);
+}
+
+TEST(CircuitStats, ParallelGatesShareDepth)
+{
+    Circuit c(4);
+    c.cx(0, 1);
+    c.cx(2, 3); // disjoint -> same depth step
+    const auto stats = analyzeCircuit(c);
+    EXPECT_EQ(stats.depth, 1u);
+    EXPECT_EQ(stats.twoQubitGates, 2u);
+}
+
+TEST(CircuitStats, HomogeneousRoutingCostsMoreGates)
+{
+    // The reason non-planar codes lose on the lattice: routed SWAP
+    // chains inflate the two-qubit gate count far beyond the UEC's.
+    const auto code = qec::makeReedMuller15();
+    const auto assignment = uec::roundRobinAssignment(code);
+    uec::UecNoise un;
+    const auto uec_circ = uec::uecMemoryZ(code, assignment, 2, un);
+
+    const auto emb = uec::embedOnLattice(code);
+    uec::LatticeNoise ln;
+    const auto lat_circ = uec::latticeMemoryZ(code, emb, 2, ln);
+
+    const auto uec_stats = analyzeCircuit(uec_circ);
+    const auto lat_stats = analyzeCircuit(lat_circ);
+    EXPECT_GT(lat_stats.twoQubitGates, uec_stats.twoQubitGates);
+}
+
+TEST(CircuitStats, SurfaceCircuitScaling)
+{
+    qec::CircuitNoise noise;
+    const auto small = analyzeCircuit(qec::surfaceMemoryZ(3, 3, noise));
+    const auto large = analyzeCircuit(qec::surfaceMemoryZ(5, 5, noise));
+    EXPECT_GT(large.twoQubitGates, small.twoQubitGates);
+    EXPECT_GT(large.qubits, small.qubits);
+    EXPECT_EQ(small.qubits, 9u + 8u);
+    EXPECT_EQ(large.qubits, 25u + 24u);
+}
+
+} // namespace
+} // namespace stab
+} // namespace hetarch

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for detector-error-model extraction, cross-validated against
+ * direct frame sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stab/circuit.hh"
+#include "stab/dem.hh"
+#include "stab/frame.hh"
+
+namespace hetarch {
+namespace stab {
+namespace {
+
+TEST(Dem, SingleXErrorSingleDetector)
+{
+    Circuit c(1);
+    c.xError(0, 0.1);
+    c.detector({c.measure(0)});
+
+    const auto dem = buildDetectorErrorModel(c);
+    ASSERT_EQ(dem.mechanisms.size(), 1u);
+    EXPECT_NEAR(dem.mechanisms[0].probability, 0.1, 1e-12);
+    ASSERT_EQ(dem.mechanisms[0].detectors.size(), 1u);
+    EXPECT_EQ(dem.mechanisms[0].detectors[0], 0u);
+}
+
+TEST(Dem, ZErrorBeforeZMeasurementDropsOut)
+{
+    Circuit c(1);
+    c.zError(0, 0.3);
+    c.detector({c.measure(0)});
+    const auto dem = buildDetectorErrorModel(c);
+    EXPECT_TRUE(dem.mechanisms.empty());
+}
+
+TEST(Dem, HadamardRoutesZToDetector)
+{
+    Circuit c(1);
+    c.zError(0, 0.25);
+    c.h(0);
+    c.detector({c.measure(0)});
+    const auto dem = buildDetectorErrorModel(c);
+    ASSERT_EQ(dem.mechanisms.size(), 1u);
+    EXPECT_NEAR(dem.mechanisms[0].probability, 0.25, 1e-12);
+}
+
+TEST(Dem, CnotPropagatesToTwoDetectors)
+{
+    Circuit c(2);
+    c.xError(0, 0.1);
+    c.cx(0, 1);
+    c.detector({c.measure(0)});
+    c.detector({c.measure(1)});
+    const auto dem = buildDetectorErrorModel(c);
+    ASSERT_EQ(dem.mechanisms.size(), 1u);
+    EXPECT_EQ(dem.mechanisms[0].detectors.size(), 2u);
+}
+
+TEST(Dem, DepolarizeSplitsIntoComponents)
+{
+    Circuit c(1);
+    c.depolarize1(0, 0.3);
+    c.detector({c.measure(0)});
+    const auto dem = buildDetectorErrorModel(c);
+    // X and Y both flip the measurement and merge into one mechanism:
+    // p = p/3 + p/3 - 2 p^2/9.
+    ASSERT_EQ(dem.mechanisms.size(), 1u);
+    const double p3 = 0.1;
+    EXPECT_NEAR(dem.mechanisms[0].probability,
+                p3 + p3 - 2 * p3 * p3, 1e-12);
+}
+
+TEST(Dem, ObservableMaskRecorded)
+{
+    Circuit c(1);
+    c.xError(0, 0.2);
+    const auto m = c.measure(0);
+    c.detector({m});
+    c.observableInclude(3, {m});
+    const auto dem = buildDetectorErrorModel(c);
+    ASSERT_EQ(dem.mechanisms.size(), 1u);
+    EXPECT_EQ(dem.mechanisms[0].observables, 1u << 3);
+    EXPECT_EQ(dem.numObservables, 4u);
+}
+
+TEST(Dem, IdenticalMechanismsMerge)
+{
+    Circuit c(1);
+    c.xError(0, 0.1);
+    c.xError(0, 0.2);
+    c.detector({c.measure(0)});
+    const auto dem = buildDetectorErrorModel(c);
+    ASSERT_EQ(dem.mechanisms.size(), 1u);
+    EXPECT_NEAR(dem.mechanisms[0].probability,
+                0.1 * 0.8 + 0.2 * 0.9, 1e-12);
+}
+
+TEST(Dem, ResetErasesSensitivity)
+{
+    Circuit c(1);
+    c.xError(0, 0.4);
+    c.reset(0);
+    c.detector({c.measure(0)});
+    const auto dem = buildDetectorErrorModel(c);
+    EXPECT_TRUE(dem.mechanisms.empty());
+}
+
+TEST(Dem, MeasureResetSeparatesRounds)
+{
+    // Two rounds of ancilla reuse: an error in round 1 should flip
+    // only round-1-adjacent detectors.
+    Circuit c(2);
+    c.xError(0, 0.1);
+    c.cx(0, 1);
+    const auto m1 = c.measureReset(1);
+    c.cx(0, 1);
+    const auto m2 = c.measureReset(1);
+    c.detector({m1});
+    c.detector({m1, m2});
+    const auto dem = buildDetectorErrorModel(c);
+    // X on q0 flips both measurements; detector 1 (m1 xor m2) stays 0,
+    // detector 0 fires.
+    ASSERT_EQ(dem.mechanisms.size(), 1u);
+    ASSERT_EQ(dem.mechanisms[0].detectors.size(), 1u);
+    EXPECT_EQ(dem.mechanisms[0].detectors[0], 0u);
+}
+
+/** Shared helper: compare DEM-sampled and frame-sampled marginals. */
+void
+expectDemMatchesFrame(const Circuit& c, std::uint64_t seed)
+{
+    const auto dem = buildDetectorErrorModel(c);
+    FrameSimulator frame(c);
+
+    const std::size_t shots = 40000;
+    Rng rng_f(seed);
+    const auto fs = frame.sampleDetectors(shots, rng_f);
+
+    std::vector<double> frame_rate(fs.numDetectors, 0.0);
+    std::vector<double> dem_rate(fs.numDetectors, 0.0);
+    double frame_obs = 0.0, dem_obs = 0.0;
+
+    for (std::size_t s = 0; s < shots; ++s) {
+        for (std::size_t d = 0; d < fs.numDetectors; ++d)
+            frame_rate[d] += fs.det(s, d);
+        if (fs.numObservables)
+            frame_obs += fs.obs(s, 0);
+    }
+    Rng rng_d(seed + 1);
+    for (std::size_t s = 0; s < shots; ++s) {
+        const auto [dets, obs] = dem.sample(rng_d);
+        for (std::size_t d = 0; d < dets.size(); ++d)
+            dem_rate[d] += dets[d];
+        dem_obs += obs & 1;
+    }
+    for (std::size_t d = 0; d < fs.numDetectors; ++d) {
+        EXPECT_NEAR(frame_rate[d] / shots, dem_rate[d] / shots, 0.015)
+            << "detector " << d;
+    }
+    if (fs.numObservables) {
+        EXPECT_NEAR(frame_obs / shots, dem_obs / shots, 0.015);
+    }
+}
+
+TEST(Dem, MatchesFrameSamplerOnMixedNoiseCircuit)
+{
+    Circuit c(4);
+    c.h(0);
+    c.depolarize1(0, 0.05);
+    c.cx(0, 1);
+    c.depolarize2(0, 1, 0.08);
+    c.cx(1, 2);
+    c.pauliChannel1(2, 0.02, 0.03, 0.04);
+    c.cx(2, 3);
+    c.xError(3, 0.06);
+    const auto m0 = c.measure(0);
+    const auto m1 = c.measure(1);
+    const auto m2 = c.measure(2);
+    const auto m3 = c.measure(3);
+    c.detector({m0, m1});
+    c.detector({m1, m2});
+    c.detector({m2, m3});
+    c.observableInclude(0, {m3});
+    expectDemMatchesFrame(c, 404);
+}
+
+TEST(Dem, MatchesFrameSamplerWithAncillaReuse)
+{
+    Circuit c(3);
+    for (int round = 0; round < 3; ++round) {
+        c.depolarize1(0, 0.04);
+        c.depolarize1(1, 0.04);
+        c.cx(0, 2);
+        c.cx(1, 2);
+        c.measureReset(2);
+    }
+    // Detectors: first round absolute, then consecutive diffs.
+    c.detector({0});
+    c.detector({0, 1});
+    c.detector({1, 2});
+    const auto mf0 = c.measure(0);
+    c.observableInclude(0, {mf0});
+    expectDemMatchesFrame(c, 707);
+}
+
+TEST(Dem, TotalWeightReflectsNoise)
+{
+    Circuit quiet(1);
+    quiet.detector({quiet.measure(0)});
+    EXPECT_DOUBLE_EQ(buildDetectorErrorModel(quiet).totalErrorWeight(), 0.0);
+
+    Circuit noisy(1);
+    noisy.xError(0, 0.5);
+    noisy.detector({noisy.measure(0)});
+    EXPECT_GT(buildDetectorErrorModel(noisy).totalErrorWeight(), 0.4);
+}
+
+} // namespace
+} // namespace stab
+} // namespace hetarch

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for Pauli-string algebra.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stab/pauli.hh"
+
+namespace hetarch {
+namespace stab {
+namespace {
+
+TEST(BitVec, SetGetFlip)
+{
+    BitVec v(130);
+    EXPECT_FALSE(v.get(129));
+    v.set(129, true);
+    EXPECT_TRUE(v.get(129));
+    v.flip(129);
+    EXPECT_FALSE(v.get(129));
+    EXPECT_TRUE(v.allZero());
+}
+
+TEST(BitVec, PopcountAndParity)
+{
+    BitVec a(100), b(100);
+    a.set(3, true);
+    a.set(64, true);
+    a.set(99, true);
+    EXPECT_EQ(a.popcount(), 3u);
+    b.set(64, true);
+    b.set(99, true);
+    EXPECT_FALSE(a.andParity(b)); // two common bits -> even parity
+    b.set(3, true);
+    EXPECT_TRUE(a.andParity(b)); // three common -> odd
+}
+
+TEST(PauliString, FromToString)
+{
+    const auto p = PauliString::fromString("XIZY");
+    EXPECT_EQ(p.letter(0), 'X');
+    EXPECT_EQ(p.letter(1), 'I');
+    EXPECT_EQ(p.letter(2), 'Z');
+    EXPECT_EQ(p.letter(3), 'Y');
+    EXPECT_EQ(p.toString(), "+XIZY");
+    EXPECT_EQ(PauliString::fromString("-XX").toString(), "-XX");
+}
+
+TEST(PauliString, Weight)
+{
+    EXPECT_EQ(PauliString::fromString("IXYZI").weight(), 3u);
+    EXPECT_EQ(PauliString(5).weight(), 0u);
+    EXPECT_TRUE(PauliString(5).isIdentity());
+}
+
+TEST(PauliString, SingleQubitProducts)
+{
+    const auto X = PauliString::fromString("X");
+    const auto Y = PauliString::fromString("Y");
+    const auto Z = PauliString::fromString("Z");
+
+    // X * Y = iZ
+    auto xy = X * Y;
+    EXPECT_EQ(xy.letter(0), 'Z');
+    EXPECT_EQ(xy.phase(), 1);
+    // Y * X = -iZ
+    auto yx = Y * X;
+    EXPECT_EQ(yx.phase(), 3);
+    // Z * X = iY
+    auto zx = Z * X;
+    EXPECT_EQ(zx.letter(0), 'Y');
+    EXPECT_EQ(zx.phase(), 1);
+    // X * Z = -iY
+    auto xz = X * Z;
+    EXPECT_EQ(xz.phase(), 3);
+    // Y * Z = iX
+    auto yz = Y * Z;
+    EXPECT_EQ(yz.letter(0), 'X');
+    EXPECT_EQ(yz.phase(), 1);
+    // X * X = I
+    auto xx = X * X;
+    EXPECT_TRUE(xx.isIdentity());
+    EXPECT_EQ(xx.phase(), 0);
+    // Y * Y = I
+    EXPECT_EQ((Y * Y).phase(), 0);
+}
+
+TEST(PauliString, MultiQubitProductPhase)
+{
+    // (X x Y) * (Y x X) = (XY) x (YX) = (iZ) x (-iZ) = Z x Z.
+    const auto a = PauliString::fromString("XY");
+    const auto b = PauliString::fromString("YX");
+    const auto p = a * b;
+    EXPECT_EQ(p.toString(), "+ZZ");
+}
+
+TEST(PauliString, Commutation)
+{
+    const auto xx = PauliString::fromString("XX");
+    const auto zz = PauliString::fromString("ZZ");
+    const auto zi = PauliString::fromString("ZI");
+    EXPECT_TRUE(xx.commutesWith(zz));  // two anticommuting sites
+    EXPECT_FALSE(xx.commutesWith(zi)); // one anticommuting site
+    EXPECT_TRUE(zz.commutesWith(zi));
+}
+
+TEST(PauliString, CommutationMatchesProductOrder)
+{
+    // P and Q commute iff PQ == QP including phase.
+    const std::vector<std::string> strs = {"XIY", "ZZI", "YXZ", "IIX"};
+    for (const auto& s1 : strs) {
+        for (const auto& s2 : strs) {
+            const auto p = PauliString::fromString(s1);
+            const auto q = PauliString::fromString(s2);
+            const auto pq = p * q;
+            const auto qp = q * p;
+            const bool same_phase = pq.phase() == qp.phase();
+            EXPECT_EQ(p.commutesWith(q), same_phase)
+                << s1 << " vs " << s2;
+        }
+    }
+}
+
+TEST(PauliString, SingleFactory)
+{
+    const auto p = PauliString::single(5, 3, 'Y');
+    EXPECT_EQ(p.letter(3), 'Y');
+    EXPECT_EQ(p.weight(), 1u);
+    EXPECT_EQ(p.numQubits(), 5u);
+}
+
+} // namespace
+} // namespace stab
+} // namespace hetarch

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the code-teleportation module (paper Section 4.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cells/design_rules.hh"
+#include "teleport/code_teleport.hh"
+
+namespace hetarch {
+namespace teleport {
+namespace {
+
+using namespace units;
+
+CtConfig
+fastConfig()
+{
+    CtConfig cfg;
+    cfg.shots = 600;
+    cfg.seed = 7;
+    return cfg;
+}
+
+TEST(ComposeLogical, BasicProperties)
+{
+    EXPECT_DOUBLE_EQ(composeLogicalErrors({}), 0.0);
+    EXPECT_DOUBLE_EQ(composeLogicalErrors({0.1}), 0.1);
+    // Two 50% errors stay at 50%.
+    EXPECT_DOUBLE_EQ(composeLogicalErrors({0.5, 0.5}), 0.5);
+    // Saturates at 1/2 regardless of count.
+    EXPECT_LE(composeLogicalErrors({0.4, 0.4, 0.4, 0.4}), 0.5);
+    // Small errors approximately add.
+    EXPECT_NEAR(composeLogicalErrors({1e-3, 2e-3}), 3e-3, 1e-5);
+}
+
+TEST(CodeTeleport, HetBeatsHomForNonPlanarPair)
+{
+    const auto rm = qec::makeReedMuller15();
+    const auto sc3 = qec::makeRotatedSurface(3);
+    auto cfg = fastConfig();
+    cfg.heterogeneous = true;
+    const auto het = prepareCtState(sc3, rm, cfg);
+    cfg.heterogeneous = false;
+    const auto hom = prepareCtState(sc3, rm, cfg);
+    EXPECT_LT(het.errorProbability, hom.errorProbability);
+    // Paper: the RM/SC3 homogeneous case is essentially mixed.
+    EXPECT_GT(hom.errorProbability, 0.35);
+}
+
+TEST(CodeTeleport, HetBeatsHomEvenForPlanarPair)
+{
+    // Paper: "surprisingly, even for planar codes, heterogeneous
+    // systems outperform homogeneous ones".
+    const auto sc3 = qec::makeRotatedSurface(3);
+    const auto sc4 = qec::makeRotatedSurface(4);
+    auto cfg = fastConfig();
+    cfg.heterogeneous = true;
+    const auto het = prepareCtState(sc3, sc4, cfg);
+    cfg.heterogeneous = false;
+    const auto hom = prepareCtState(sc3, sc4, cfg);
+    EXPECT_LT(het.errorProbability, hom.errorProbability);
+}
+
+TEST(CodeTeleport, ErrorDecreasesWithStorageLifetime)
+{
+    const auto st = qec::makeSteane();
+    const auto sc3 = qec::makeRotatedSurface(3);
+    auto low = fastConfig();
+    low.ts = 1.0 * ms;
+    auto high = fastConfig();
+    high.ts = 50.0 * ms;
+    const auto r_low = prepareCtState(st, sc3, low);
+    const auto r_high = prepareCtState(st, sc3, high);
+    EXPECT_LT(r_high.errorProbability, r_low.errorProbability);
+}
+
+TEST(CodeTeleport, DistillationTargetMetAtPaperRate)
+{
+    const auto st = qec::makeSteane();
+    const auto sc3 = qec::makeRotatedSurface(3);
+    const auto res = prepareCtState(st, sc3, fastConfig());
+    EXPECT_TRUE(res.epTargetMet);
+    EXPECT_NEAR(res.epInfidelity, 0.005, 1e-9);
+}
+
+TEST(CodeTeleport, ComponentsAreAllAccounted)
+{
+    const auto st = qec::makeSteane();
+    const auto sc3 = qec::makeRotatedSurface(3);
+    const auto res = prepareCtState(st, sc3, fastConfig());
+    EXPECT_GT(res.catError, 0.0);
+    EXPECT_GT(res.prepErrorA, 0.0);
+    EXPECT_GT(res.prepErrorB, 0.0);
+    EXPECT_GT(res.transversalError, 0.0);
+    EXPECT_LE(res.errorProbability, 0.5);
+    // Total at least as large as any single component.
+    EXPECT_GE(res.errorProbability + 1e-12, res.catError);
+    EXPECT_GE(res.errorProbability + 1e-12, res.prepErrorA);
+}
+
+TEST(CodeTeleport, ModuleHierarchyHasFiveSubModules)
+{
+    const auto mod = buildCodeTeleportModule(50.0 * ms);
+    // Distillation + 2 CAT generators + 2 UEC modules.
+    EXPECT_EQ(mod.subModules().size(), 5u);
+    for (const auto& sub : mod.subModules()) {
+        for (const auto& cell : sub.cellList()) {
+            EXPECT_TRUE(
+                cells::checkDesignRules(cell, cell.readoutCount())
+                    .clean())
+                << sub.name() << "/" << cell.name();
+        }
+        for (const auto& subsub : sub.subModules())
+            for (const auto& cell : subsub.cellList())
+                EXPECT_TRUE(
+                    cells::checkDesignRules(cell, cell.readoutCount())
+                        .clean());
+    }
+}
+
+} // namespace
+} // namespace teleport
+} // namespace hetarch
