@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablate_decoder.cc" "bench/CMakeFiles/bench_ablate_decoder.dir/bench_ablate_decoder.cc.o" "gcc" "bench/CMakeFiles/bench_ablate_decoder.dir/bench_ablate_decoder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hetarch_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_teleport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_distill.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_uec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_module.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_dm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_qec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_stab.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

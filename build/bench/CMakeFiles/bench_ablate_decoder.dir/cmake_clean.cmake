@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_decoder.dir/bench_ablate_decoder.cc.o"
+  "CMakeFiles/bench_ablate_decoder.dir/bench_ablate_decoder.cc.o.d"
+  "bench_ablate_decoder"
+  "bench_ablate_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

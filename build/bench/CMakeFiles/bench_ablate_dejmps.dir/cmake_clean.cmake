@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_dejmps.dir/bench_ablate_dejmps.cc.o"
+  "CMakeFiles/bench_ablate_dejmps.dir/bench_ablate_dejmps.cc.o.d"
+  "bench_ablate_dejmps"
+  "bench_ablate_dejmps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_dejmps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_hierarchy.dir/bench_ablate_hierarchy.cc.o"
+  "CMakeFiles/bench_ablate_hierarchy.dir/bench_ablate_hierarchy.cc.o.d"
+  "bench_ablate_hierarchy"
+  "bench_ablate_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_protocol.dir/bench_ablate_protocol.cc.o"
+  "CMakeFiles/bench_ablate_protocol.dir/bench_ablate_protocol.cc.o.d"
+  "bench_ablate_protocol"
+  "bench_ablate_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

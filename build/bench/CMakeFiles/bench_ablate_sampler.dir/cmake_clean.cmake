@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_sampler.dir/bench_ablate_sampler.cc.o"
+  "CMakeFiles/bench_ablate_sampler.dir/bench_ablate_sampler.cc.o.d"
+  "bench_ablate_sampler"
+  "bench_ablate_sampler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_ct_ts.dir/bench_fig12_ct_ts.cc.o"
+  "CMakeFiles/bench_fig12_ct_ts.dir/bench_fig12_ct_ts.cc.o.d"
+  "bench_fig12_ct_ts"
+  "bench_fig12_ct_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_ct_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

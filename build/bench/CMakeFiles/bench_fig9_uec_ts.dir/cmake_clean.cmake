@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_uec_ts.dir/bench_fig9_uec_ts.cc.o"
+  "CMakeFiles/bench_fig9_uec_ts.dir/bench_fig9_uec_ts.cc.o.d"
+  "bench_fig9_uec_ts"
+  "bench_fig9_uec_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_uec_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_uec.dir/bench_table3_uec.cc.o"
+  "CMakeFiles/bench_table3_uec.dir/bench_table3_uec.cc.o.d"
+  "bench_table3_uec"
+  "bench_table3_uec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_uec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_chained_memory.dir/chained_memory.cpp.o"
+  "CMakeFiles/example_chained_memory.dir/chained_memory.cpp.o.d"
+  "example_chained_memory"
+  "example_chained_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_chained_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distillation_farm.dir/distillation_farm.cpp.o"
+  "CMakeFiles/example_distillation_farm.dir/distillation_farm.cpp.o.d"
+  "example_distillation_farm"
+  "example_distillation_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distillation_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_memory_designer.dir/memory_designer.cpp.o"
+  "CMakeFiles/example_memory_designer.dir/memory_designer.cpp.o.d"
+  "example_memory_designer"
+  "example_memory_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_memory_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_teleport_planner.dir/teleport_planner.cpp.o"
+  "CMakeFiles/example_teleport_planner.dir/teleport_planner.cpp.o.d"
+  "example_teleport_planner"
+  "example_teleport_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_teleport_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

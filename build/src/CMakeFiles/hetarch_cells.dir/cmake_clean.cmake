@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetarch_cells.dir/cells/cell.cc.o"
+  "CMakeFiles/hetarch_cells.dir/cells/cell.cc.o.d"
+  "CMakeFiles/hetarch_cells.dir/cells/characterize.cc.o"
+  "CMakeFiles/hetarch_cells.dir/cells/characterize.cc.o.d"
+  "CMakeFiles/hetarch_cells.dir/cells/design_rules.cc.o"
+  "CMakeFiles/hetarch_cells.dir/cells/design_rules.cc.o.d"
+  "CMakeFiles/hetarch_cells.dir/cells/standard_cells.cc.o"
+  "CMakeFiles/hetarch_cells.dir/cells/standard_cells.cc.o.d"
+  "libhetarch_cells.a"
+  "libhetarch_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetarch_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hetarch_cells.
+# This may be replaced when dependencies are built.

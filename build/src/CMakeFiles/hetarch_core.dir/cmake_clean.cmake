@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetarch_core.dir/core/logging.cc.o"
+  "CMakeFiles/hetarch_core.dir/core/logging.cc.o.d"
+  "CMakeFiles/hetarch_core.dir/core/rng.cc.o"
+  "CMakeFiles/hetarch_core.dir/core/rng.cc.o.d"
+  "CMakeFiles/hetarch_core.dir/core/stats.cc.o"
+  "CMakeFiles/hetarch_core.dir/core/stats.cc.o.d"
+  "CMakeFiles/hetarch_core.dir/core/table.cc.o"
+  "CMakeFiles/hetarch_core.dir/core/table.cc.o.d"
+  "libhetarch_core.a"
+  "libhetarch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetarch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetarch_devices.dir/devices/device.cc.o"
+  "CMakeFiles/hetarch_devices.dir/devices/device.cc.o.d"
+  "libhetarch_devices.a"
+  "libhetarch_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetarch_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetarch_distill.dir/distill/dejmps.cc.o"
+  "CMakeFiles/hetarch_distill.dir/distill/dejmps.cc.o.d"
+  "CMakeFiles/hetarch_distill.dir/distill/module_sim.cc.o"
+  "CMakeFiles/hetarch_distill.dir/distill/module_sim.cc.o.d"
+  "libhetarch_distill.a"
+  "libhetarch_distill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetarch_distill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

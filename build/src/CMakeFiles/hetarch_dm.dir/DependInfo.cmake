@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dm/channels.cc" "src/CMakeFiles/hetarch_dm.dir/dm/channels.cc.o" "gcc" "src/CMakeFiles/hetarch_dm.dir/dm/channels.cc.o.d"
+  "/root/repo/src/dm/density_matrix.cc" "src/CMakeFiles/hetarch_dm.dir/dm/density_matrix.cc.o" "gcc" "src/CMakeFiles/hetarch_dm.dir/dm/density_matrix.cc.o.d"
+  "/root/repo/src/dm/gates.cc" "src/CMakeFiles/hetarch_dm.dir/dm/gates.cc.o" "gcc" "src/CMakeFiles/hetarch_dm.dir/dm/gates.cc.o.d"
+  "/root/repo/src/dm/lindblad.cc" "src/CMakeFiles/hetarch_dm.dir/dm/lindblad.cc.o" "gcc" "src/CMakeFiles/hetarch_dm.dir/dm/lindblad.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hetarch_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetarch_dm.dir/dm/channels.cc.o"
+  "CMakeFiles/hetarch_dm.dir/dm/channels.cc.o.d"
+  "CMakeFiles/hetarch_dm.dir/dm/density_matrix.cc.o"
+  "CMakeFiles/hetarch_dm.dir/dm/density_matrix.cc.o.d"
+  "CMakeFiles/hetarch_dm.dir/dm/gates.cc.o"
+  "CMakeFiles/hetarch_dm.dir/dm/gates.cc.o.d"
+  "CMakeFiles/hetarch_dm.dir/dm/lindblad.cc.o"
+  "CMakeFiles/hetarch_dm.dir/dm/lindblad.cc.o.d"
+  "libhetarch_dm.a"
+  "libhetarch_dm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetarch_dm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetarch_dse.dir/dse/burden.cc.o"
+  "CMakeFiles/hetarch_dse.dir/dse/burden.cc.o.d"
+  "CMakeFiles/hetarch_dse.dir/dse/experiments.cc.o"
+  "CMakeFiles/hetarch_dse.dir/dse/experiments.cc.o.d"
+  "CMakeFiles/hetarch_dse.dir/dse/sweep.cc.o"
+  "CMakeFiles/hetarch_dse.dir/dse/sweep.cc.o.d"
+  "libhetarch_dse.a"
+  "libhetarch_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetarch_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

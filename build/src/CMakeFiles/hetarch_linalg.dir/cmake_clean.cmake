@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetarch_linalg.dir/linalg/matrix.cc.o"
+  "CMakeFiles/hetarch_linalg.dir/linalg/matrix.cc.o.d"
+  "libhetarch_linalg.a"
+  "libhetarch_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetarch_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

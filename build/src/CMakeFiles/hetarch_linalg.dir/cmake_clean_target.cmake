@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhetarch_linalg.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/module/module.cc" "src/CMakeFiles/hetarch_module.dir/module/module.cc.o" "gcc" "src/CMakeFiles/hetarch_module.dir/module/module.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hetarch_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_dm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

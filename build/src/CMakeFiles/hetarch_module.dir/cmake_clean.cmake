@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetarch_module.dir/module/module.cc.o"
+  "CMakeFiles/hetarch_module.dir/module/module.cc.o.d"
+  "libhetarch_module.a"
+  "libhetarch_module.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetarch_module.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

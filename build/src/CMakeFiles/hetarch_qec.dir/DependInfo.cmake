@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qec/css_circuit.cc" "src/CMakeFiles/hetarch_qec.dir/qec/css_circuit.cc.o" "gcc" "src/CMakeFiles/hetarch_qec.dir/qec/css_circuit.cc.o.d"
+  "/root/repo/src/qec/css_code.cc" "src/CMakeFiles/hetarch_qec.dir/qec/css_code.cc.o" "gcc" "src/CMakeFiles/hetarch_qec.dir/qec/css_code.cc.o.d"
+  "/root/repo/src/qec/dem_decoder.cc" "src/CMakeFiles/hetarch_qec.dir/qec/dem_decoder.cc.o" "gcc" "src/CMakeFiles/hetarch_qec.dir/qec/dem_decoder.cc.o.d"
+  "/root/repo/src/qec/gf2.cc" "src/CMakeFiles/hetarch_qec.dir/qec/gf2.cc.o" "gcc" "src/CMakeFiles/hetarch_qec.dir/qec/gf2.cc.o.d"
+  "/root/repo/src/qec/memory_experiment.cc" "src/CMakeFiles/hetarch_qec.dir/qec/memory_experiment.cc.o" "gcc" "src/CMakeFiles/hetarch_qec.dir/qec/memory_experiment.cc.o.d"
+  "/root/repo/src/qec/noise_model.cc" "src/CMakeFiles/hetarch_qec.dir/qec/noise_model.cc.o" "gcc" "src/CMakeFiles/hetarch_qec.dir/qec/noise_model.cc.o.d"
+  "/root/repo/src/qec/surface_circuit.cc" "src/CMakeFiles/hetarch_qec.dir/qec/surface_circuit.cc.o" "gcc" "src/CMakeFiles/hetarch_qec.dir/qec/surface_circuit.cc.o.d"
+  "/root/repo/src/qec/union_find.cc" "src/CMakeFiles/hetarch_qec.dir/qec/union_find.cc.o" "gcc" "src/CMakeFiles/hetarch_qec.dir/qec/union_find.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hetarch_stab.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

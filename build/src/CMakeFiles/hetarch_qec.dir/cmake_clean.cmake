@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetarch_qec.dir/qec/css_circuit.cc.o"
+  "CMakeFiles/hetarch_qec.dir/qec/css_circuit.cc.o.d"
+  "CMakeFiles/hetarch_qec.dir/qec/css_code.cc.o"
+  "CMakeFiles/hetarch_qec.dir/qec/css_code.cc.o.d"
+  "CMakeFiles/hetarch_qec.dir/qec/dem_decoder.cc.o"
+  "CMakeFiles/hetarch_qec.dir/qec/dem_decoder.cc.o.d"
+  "CMakeFiles/hetarch_qec.dir/qec/gf2.cc.o"
+  "CMakeFiles/hetarch_qec.dir/qec/gf2.cc.o.d"
+  "CMakeFiles/hetarch_qec.dir/qec/memory_experiment.cc.o"
+  "CMakeFiles/hetarch_qec.dir/qec/memory_experiment.cc.o.d"
+  "CMakeFiles/hetarch_qec.dir/qec/noise_model.cc.o"
+  "CMakeFiles/hetarch_qec.dir/qec/noise_model.cc.o.d"
+  "CMakeFiles/hetarch_qec.dir/qec/surface_circuit.cc.o"
+  "CMakeFiles/hetarch_qec.dir/qec/surface_circuit.cc.o.d"
+  "CMakeFiles/hetarch_qec.dir/qec/union_find.cc.o"
+  "CMakeFiles/hetarch_qec.dir/qec/union_find.cc.o.d"
+  "libhetarch_qec.a"
+  "libhetarch_qec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetarch_qec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

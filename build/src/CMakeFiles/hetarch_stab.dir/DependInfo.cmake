@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stab/circuit.cc" "src/CMakeFiles/hetarch_stab.dir/stab/circuit.cc.o" "gcc" "src/CMakeFiles/hetarch_stab.dir/stab/circuit.cc.o.d"
+  "/root/repo/src/stab/circuit_io.cc" "src/CMakeFiles/hetarch_stab.dir/stab/circuit_io.cc.o" "gcc" "src/CMakeFiles/hetarch_stab.dir/stab/circuit_io.cc.o.d"
+  "/root/repo/src/stab/circuit_stats.cc" "src/CMakeFiles/hetarch_stab.dir/stab/circuit_stats.cc.o" "gcc" "src/CMakeFiles/hetarch_stab.dir/stab/circuit_stats.cc.o.d"
+  "/root/repo/src/stab/dem.cc" "src/CMakeFiles/hetarch_stab.dir/stab/dem.cc.o" "gcc" "src/CMakeFiles/hetarch_stab.dir/stab/dem.cc.o.d"
+  "/root/repo/src/stab/frame.cc" "src/CMakeFiles/hetarch_stab.dir/stab/frame.cc.o" "gcc" "src/CMakeFiles/hetarch_stab.dir/stab/frame.cc.o.d"
+  "/root/repo/src/stab/pauli.cc" "src/CMakeFiles/hetarch_stab.dir/stab/pauli.cc.o" "gcc" "src/CMakeFiles/hetarch_stab.dir/stab/pauli.cc.o.d"
+  "/root/repo/src/stab/tableau.cc" "src/CMakeFiles/hetarch_stab.dir/stab/tableau.cc.o" "gcc" "src/CMakeFiles/hetarch_stab.dir/stab/tableau.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hetarch_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

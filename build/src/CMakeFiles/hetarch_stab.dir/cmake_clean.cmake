@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetarch_stab.dir/stab/circuit.cc.o"
+  "CMakeFiles/hetarch_stab.dir/stab/circuit.cc.o.d"
+  "CMakeFiles/hetarch_stab.dir/stab/circuit_io.cc.o"
+  "CMakeFiles/hetarch_stab.dir/stab/circuit_io.cc.o.d"
+  "CMakeFiles/hetarch_stab.dir/stab/circuit_stats.cc.o"
+  "CMakeFiles/hetarch_stab.dir/stab/circuit_stats.cc.o.d"
+  "CMakeFiles/hetarch_stab.dir/stab/dem.cc.o"
+  "CMakeFiles/hetarch_stab.dir/stab/dem.cc.o.d"
+  "CMakeFiles/hetarch_stab.dir/stab/frame.cc.o"
+  "CMakeFiles/hetarch_stab.dir/stab/frame.cc.o.d"
+  "CMakeFiles/hetarch_stab.dir/stab/pauli.cc.o"
+  "CMakeFiles/hetarch_stab.dir/stab/pauli.cc.o.d"
+  "CMakeFiles/hetarch_stab.dir/stab/tableau.cc.o"
+  "CMakeFiles/hetarch_stab.dir/stab/tableau.cc.o.d"
+  "libhetarch_stab.a"
+  "libhetarch_stab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetarch_stab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

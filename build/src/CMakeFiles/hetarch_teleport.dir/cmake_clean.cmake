@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetarch_teleport.dir/teleport/code_teleport.cc.o"
+  "CMakeFiles/hetarch_teleport.dir/teleport/code_teleport.cc.o.d"
+  "libhetarch_teleport.a"
+  "libhetarch_teleport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetarch_teleport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

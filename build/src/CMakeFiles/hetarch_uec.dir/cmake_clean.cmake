@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetarch_uec.dir/uec/assignment.cc.o"
+  "CMakeFiles/hetarch_uec.dir/uec/assignment.cc.o.d"
+  "CMakeFiles/hetarch_uec.dir/uec/experiment.cc.o"
+  "CMakeFiles/hetarch_uec.dir/uec/experiment.cc.o.d"
+  "CMakeFiles/hetarch_uec.dir/uec/lattice_baseline.cc.o"
+  "CMakeFiles/hetarch_uec.dir/uec/lattice_baseline.cc.o.d"
+  "CMakeFiles/hetarch_uec.dir/uec/uec_circuit.cc.o"
+  "CMakeFiles/hetarch_uec.dir/uec/uec_circuit.cc.o.d"
+  "libhetarch_uec.a"
+  "libhetarch_uec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetarch_uec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

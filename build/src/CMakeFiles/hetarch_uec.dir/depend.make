@@ -1,0 +1,2 @@
+# Empty dependencies file for hetarch_uec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cells.dir/cells/cells_test.cc.o"
+  "CMakeFiles/test_cells.dir/cells/cells_test.cc.o.d"
+  "CMakeFiles/test_cells.dir/cells/characterize_test.cc.o"
+  "CMakeFiles/test_cells.dir/cells/characterize_test.cc.o.d"
+  "test_cells"
+  "test_cells.pdb"
+  "test_cells[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distill.dir/distill/dejmps_test.cc.o"
+  "CMakeFiles/test_distill.dir/distill/dejmps_test.cc.o.d"
+  "CMakeFiles/test_distill.dir/distill/distill_property_test.cc.o"
+  "CMakeFiles/test_distill.dir/distill/distill_property_test.cc.o.d"
+  "CMakeFiles/test_distill.dir/distill/module_sim_test.cc.o"
+  "CMakeFiles/test_distill.dir/distill/module_sim_test.cc.o.d"
+  "CMakeFiles/test_distill.dir/distill/protocol_test.cc.o"
+  "CMakeFiles/test_distill.dir/distill/protocol_test.cc.o.d"
+  "test_distill"
+  "test_distill.pdb"
+  "test_distill[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dm.dir/dm/channels_test.cc.o"
+  "CMakeFiles/test_dm.dir/dm/channels_test.cc.o.d"
+  "CMakeFiles/test_dm.dir/dm/density_matrix_test.cc.o"
+  "CMakeFiles/test_dm.dir/dm/density_matrix_test.cc.o.d"
+  "CMakeFiles/test_dm.dir/dm/dm_property_test.cc.o"
+  "CMakeFiles/test_dm.dir/dm/dm_property_test.cc.o.d"
+  "CMakeFiles/test_dm.dir/dm/gates_test.cc.o"
+  "CMakeFiles/test_dm.dir/dm/gates_test.cc.o.d"
+  "CMakeFiles/test_dm.dir/dm/lindblad_test.cc.o"
+  "CMakeFiles/test_dm.dir/dm/lindblad_test.cc.o.d"
+  "test_dm"
+  "test_dm.pdb"
+  "test_dm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qec.dir/qec/css_code_test.cc.o"
+  "CMakeFiles/test_qec.dir/qec/css_code_test.cc.o.d"
+  "CMakeFiles/test_qec.dir/qec/decoder_test.cc.o"
+  "CMakeFiles/test_qec.dir/qec/decoder_test.cc.o.d"
+  "CMakeFiles/test_qec.dir/qec/gf2_test.cc.o"
+  "CMakeFiles/test_qec.dir/qec/gf2_test.cc.o.d"
+  "CMakeFiles/test_qec.dir/qec/memory_x_test.cc.o"
+  "CMakeFiles/test_qec.dir/qec/memory_x_test.cc.o.d"
+  "CMakeFiles/test_qec.dir/qec/qec_property_test.cc.o"
+  "CMakeFiles/test_qec.dir/qec/qec_property_test.cc.o.d"
+  "test_qec"
+  "test_qec.pdb"
+  "test_qec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stab.dir/stab/circuit_io_test.cc.o"
+  "CMakeFiles/test_stab.dir/stab/circuit_io_test.cc.o.d"
+  "CMakeFiles/test_stab.dir/stab/circuit_stats_test.cc.o"
+  "CMakeFiles/test_stab.dir/stab/circuit_stats_test.cc.o.d"
+  "CMakeFiles/test_stab.dir/stab/circuit_test.cc.o"
+  "CMakeFiles/test_stab.dir/stab/circuit_test.cc.o.d"
+  "CMakeFiles/test_stab.dir/stab/dem_test.cc.o"
+  "CMakeFiles/test_stab.dir/stab/dem_test.cc.o.d"
+  "CMakeFiles/test_stab.dir/stab/frame_test.cc.o"
+  "CMakeFiles/test_stab.dir/stab/frame_test.cc.o.d"
+  "CMakeFiles/test_stab.dir/stab/pauli_test.cc.o"
+  "CMakeFiles/test_stab.dir/stab/pauli_test.cc.o.d"
+  "CMakeFiles/test_stab.dir/stab/random_circuit_property_test.cc.o"
+  "CMakeFiles/test_stab.dir/stab/random_circuit_property_test.cc.o.d"
+  "CMakeFiles/test_stab.dir/stab/tableau_test.cc.o"
+  "CMakeFiles/test_stab.dir/stab/tableau_test.cc.o.d"
+  "test_stab"
+  "test_stab.pdb"
+  "test_stab[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

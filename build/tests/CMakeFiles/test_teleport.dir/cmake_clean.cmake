@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_teleport.dir/teleport/code_teleport_test.cc.o"
+  "CMakeFiles/test_teleport.dir/teleport/code_teleport_test.cc.o.d"
+  "test_teleport"
+  "test_teleport.pdb"
+  "test_teleport[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_teleport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/uec/assignment_test.cc" "tests/CMakeFiles/test_uec.dir/uec/assignment_test.cc.o" "gcc" "tests/CMakeFiles/test_uec.dir/uec/assignment_test.cc.o.d"
+  "/root/repo/tests/uec/chain_test.cc" "tests/CMakeFiles/test_uec.dir/uec/chain_test.cc.o" "gcc" "tests/CMakeFiles/test_uec.dir/uec/chain_test.cc.o.d"
+  "/root/repo/tests/uec/uec_experiment_test.cc" "tests/CMakeFiles/test_uec.dir/uec/uec_experiment_test.cc.o" "gcc" "tests/CMakeFiles/test_uec.dir/uec/uec_experiment_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hetarch_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_teleport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_distill.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_uec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_module.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_dm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_qec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_stab.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hetarch_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

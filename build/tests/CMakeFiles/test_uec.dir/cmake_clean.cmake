@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uec.dir/uec/assignment_test.cc.o"
+  "CMakeFiles/test_uec.dir/uec/assignment_test.cc.o.d"
+  "CMakeFiles/test_uec.dir/uec/chain_test.cc.o"
+  "CMakeFiles/test_uec.dir/uec/chain_test.cc.o.d"
+  "CMakeFiles/test_uec.dir/uec/uec_experiment_test.cc.o"
+  "CMakeFiles/test_uec.dir/uec/uec_experiment_test.cc.o.d"
+  "test_uec"
+  "test_uec.pdb"
+  "test_uec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_dm[1]_include.cmake")
+include("/root/repo/build/tests/test_devices[1]_include.cmake")
+include("/root/repo/build/tests/test_cells[1]_include.cmake")
+include("/root/repo/build/tests/test_module[1]_include.cmake")
+include("/root/repo/build/tests/test_stab[1]_include.cmake")
+include("/root/repo/build/tests/test_qec[1]_include.cmake")
+include("/root/repo/build/tests/test_distill[1]_include.cmake")
+include("/root/repo/build/tests/test_uec[1]_include.cmake")
+include("/root/repo/build/tests/test_teleport[1]_include.cmake")
+include("/root/repo/build/tests/test_dse[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
