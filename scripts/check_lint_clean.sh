@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Run hetarch-lint over every .circ fixture: files under good/ must
+# pass --strict, files under bad/ must be rejected (parse failure or
+# findings).  Registered with CTest as lint.fixtures; also runnable by
+# hand:
+#   scripts/check_lint_clean.sh build/tools/hetarch-lint
+set -u
+
+LINT=${1:?usage: check_lint_clean.sh path/to/hetarch-lint [fixtures-dir]}
+DIR=${2:-$(dirname "$0")/../tests/lint/fixtures}
+
+fail=0
+shopt -s nullglob
+
+for f in "$DIR"/good/*.circ; do
+    if ! "$LINT" --strict "$f" > /dev/null 2>&1; then
+        echo "FAIL: expected clean under --strict: $f"
+        "$LINT" --strict "$f"
+        fail=1
+    fi
+done
+
+for f in "$DIR"/bad/*.circ; do
+    if "$LINT" --strict "$f" > /dev/null 2>&1; then
+        echo "FAIL: expected a rejection: $f"
+        fail=1
+    fi
+done
+
+if [ "$fail" -eq 0 ]; then
+    echo "all fixtures behave as expected"
+fi
+exit "$fail"

@@ -4,6 +4,7 @@
 
 #include "core/logging.hh"
 #include "dm/gates.hh"
+#include "lint/lint.hh"
 #include "qec/noise_model.hh"
 
 namespace hetarch {
@@ -203,6 +204,40 @@ dejmpsExact(const DensityMatrix& pair1, const DensityMatrix& pair2)
         out.output = BellDiag::fromDensityMatrix(acc);
     }
     return out;
+}
+
+stab::Circuit
+dejmpsCircuit()
+{
+    // Layout matches dejmpsExact: q0 = A1, q1 = B1 (kept pair);
+    // q2 = A2, q3 = B2 (checked pair).
+    stab::Circuit circ(4);
+    for (std::uint32_t pair : {0u, 2u}) {
+        circ.h(pair);
+        circ.cx(pair, pair + 1);
+    }
+    // Rx(+pi/2) on Alice (q0, q2), Rx(-pi/2) on Bob (q1, q3) -- both
+    // Cliffords up to global phase.
+    for (std::uint32_t q : {0u, 2u}) {
+        circ.h(q);
+        circ.s(q);
+        circ.h(q);
+    }
+    for (std::uint32_t q : {1u, 3u}) {
+        circ.h(q);
+        circ.sdg(q);
+        circ.h(q);
+    }
+    // Bilateral CNOTs, then the parity check on the sacrificed pair.
+    circ.cx(0, 2);
+    circ.cx(1, 3);
+    const auto ma = circ.measure(2);
+    const auto mb = circ.measure(3);
+    circ.detector({ma, mb});
+#ifndef NDEBUG
+    lint::assertClean(circ, "dejmpsCircuit");
+#endif
+    return circ;
 }
 
 } // namespace distill

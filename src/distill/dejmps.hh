@@ -12,6 +12,7 @@
 #pragma once
 
 #include "dm/density_matrix.hh"
+#include "stab/circuit.hh"
 
 namespace hetarch {
 namespace distill {
@@ -90,6 +91,17 @@ DejmpsOutcome bbpssw(const BellDiag& pair1, const BellDiag& pair2);
 
 /** Twirl a Bell-diagonal state to Werner form (preserves fidelity). */
 BellDiag twirlToWerner(const BellDiag& state);
+
+/**
+ * One DEJMPS round lowered to the Clifford circuit IR: prepare two
+ * Bell pairs (q0,q1) and (q2,q3), apply the local rotations
+ * (Rx(+pi/2) = H S H on Alice, Rx(-pi/2) = H SDG H on Bob), run the
+ * bilateral CNOTs and measure the checked pair.  The parity of the two
+ * check outcomes is annotated as DETECTOR 0 1: noiselessly the check
+ * always passes, so the detector is deterministic and the circuit
+ * lints clean.
+ */
+stab::Circuit dejmpsCircuit();
 
 } // namespace distill
 } // namespace hetarch

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Static detector-determinism pass.
+ *
+ * In a Clifford circuit every measurement outcome is an affine function
+ * (over GF(2)) of the independent coin flips introduced by random
+ * collapses (measurements and resets of qubits whose Z value is not
+ * fixed by the current stabilizer group).  This pass runs the
+ * Aaronson-Gottesman tableau *symbolically*: row signs carry, next to
+ * the usual i^k phase, a GF(2) vector over coin variables.  A detector
+ * (or observable) is deterministic if and only if the symbolic part of
+ * its parity expression vanishes — an exact, single-pass proof, unlike
+ * the sampled TableauSimulator::checkDetectorsDeterministic which
+ * re-runs the circuit with randomized outcomes and can only ever
+ * falsify.
+ */
+
+#include <sstream>
+#include <vector>
+
+#include "core/logging.hh"
+#include "lint/lint.hh"
+#include "stab/pauli.hh"
+
+namespace hetarch {
+namespace lint {
+
+namespace {
+
+using stab::BitVec;
+using stab::OpCode;
+using stab::PauliString;
+
+/** A measurement outcome: constant XOR parity of coin symbols. */
+struct MeasExpr
+{
+    bool constant = false;
+    BitVec syms;
+
+    explicit MeasExpr(std::size_t capacity) : syms(capacity) {}
+
+    MeasExpr& operator^=(const MeasExpr& other)
+    {
+        constant = constant != other.constant;
+        syms ^= other.syms;
+        return *this;
+    }
+};
+
+/**
+ * Tableau with symbolic signs.  Gate updates only ever add *constant*
+ * phases, so the gate logic matches TableauSimulator; the symbolic part
+ * moves only through row multiplication, measurement collapse, and
+ * outcome-conditioned corrections.
+ */
+class SymbolicTableau
+{
+  public:
+    SymbolicTableau(std::size_t num_qubits, std::size_t symbol_capacity)
+        : nq(num_qubits), cap(symbol_capacity)
+    {
+        rows.reserve(2 * nq);
+        for (std::size_t q = 0; q < nq; ++q)
+            rows.push_back(PauliString::single(nq, q, 'X'));
+        for (std::size_t q = 0; q < nq; ++q)
+            rows.push_back(PauliString::single(nq, q, 'Z'));
+        syms.assign(2 * nq, BitVec(cap));
+    }
+
+    void h(std::size_t q)
+    {
+        for (auto& row : rows) {
+            const bool xb = row.xBit(q), zb = row.zBit(q);
+            if (xb && zb)
+                row.setPhase(row.phase() + 2);
+            row.setX(q, zb);
+            row.setZ(q, xb);
+        }
+    }
+
+    void s(std::size_t q)
+    {
+        for (auto& row : rows) {
+            const bool xb = row.xBit(q), zb = row.zBit(q);
+            if (xb && zb)
+                row.setPhase(row.phase() + 2);
+            row.setZ(q, zb ^ xb);
+        }
+    }
+
+    void sdg(std::size_t q)
+    {
+        s(q);
+        z(q);
+    }
+
+    void x(std::size_t q)
+    {
+        for (auto& row : rows)
+            if (row.zBit(q))
+                row.setPhase(row.phase() + 2);
+    }
+
+    void y(std::size_t q)
+    {
+        for (auto& row : rows)
+            if (row.xBit(q) ^ row.zBit(q))
+                row.setPhase(row.phase() + 2);
+    }
+
+    void z(std::size_t q)
+    {
+        for (auto& row : rows)
+            if (row.xBit(q))
+                row.setPhase(row.phase() + 2);
+    }
+
+    void cx(std::size_t control, std::size_t target)
+    {
+        for (auto& row : rows) {
+            const bool xc = row.xBit(control), zc = row.zBit(control);
+            const bool xt = row.xBit(target), zt = row.zBit(target);
+            if (xc && zt && (xt == zc))
+                row.setPhase(row.phase() + 2);
+            row.setX(target, xt ^ xc);
+            row.setZ(control, zc ^ zt);
+        }
+    }
+
+    void cz(std::size_t a, std::size_t b)
+    {
+        h(b);
+        cx(a, b);
+        h(b);
+    }
+
+    void swapQubits(std::size_t a, std::size_t b)
+    {
+        cx(a, b);
+        cx(b, a);
+        cx(a, b);
+    }
+
+    /**
+     * Measure Z on @p q.  When the outcome is random, coin @p symbol is
+     * consumed and @p used_symbol set.  Returns the outcome expression.
+     */
+    MeasExpr measure(std::size_t q, std::size_t symbol, bool& used_symbol)
+    {
+        used_symbol = false;
+        std::size_t p = 2 * nq;
+        for (std::size_t i = nq; i < 2 * nq; ++i) {
+            if (rows[i].xBit(q)) {
+                p = i;
+                break;
+            }
+        }
+
+        MeasExpr out(cap);
+        if (p < 2 * nq) {
+            // Random collapse: the outcome *is* the fresh coin.
+            used_symbol = true;
+            for (std::size_t i = 0; i < 2 * nq; ++i)
+                if (i != p && rows[i].xBit(q))
+                    rowMult(i, p);
+            rows[p - nq] = rows[p];
+            syms[p - nq] = syms[p];
+            rows[p] = PauliString::single(nq, q, 'Z');
+            syms[p] = BitVec(cap);
+            syms[p].set(symbol, true);
+            out.syms.set(symbol, true);
+            return out;
+        }
+
+        // Deterministic outcome: accumulate the matching stabilizers.
+        PauliString scratch(nq);
+        BitVec ssym(cap);
+        for (std::size_t i = 0; i < nq; ++i) {
+            if (rows[i].xBit(q)) {
+                scratch *= rows[i + nq];
+                ssym ^= syms[i + nq];
+                HETARCH_ASSERT((scratch.phase() & 1) == 0,
+                               "scratch acquired imaginary phase");
+            }
+        }
+        out.constant = scratch.phase() == 2;
+        out.syms = ssym;
+        return out;
+    }
+
+    /** Apply X on @p q conditioned on expression @p e being 1. */
+    void conditionalX(std::size_t q, const MeasExpr& e)
+    {
+        for (std::size_t i = 0; i < 2 * nq; ++i) {
+            if (rows[i].zBit(q)) {
+                if (e.constant)
+                    rows[i].setPhase(rows[i].phase() + 2);
+                syms[i] ^= e.syms;
+            }
+        }
+    }
+
+  private:
+    void rowMult(std::size_t h_row, std::size_t i_row)
+    {
+        rows[h_row] *= rows[i_row];
+        syms[h_row] ^= syms[i_row];
+        HETARCH_ASSERT(h_row < nq || (rows[h_row].phase() & 1) == 0,
+                       "stabilizer row acquired imaginary phase");
+    }
+
+    std::size_t nq;
+    std::size_t cap;
+    std::vector<PauliString> rows;
+    std::vector<BitVec> syms;
+};
+
+/** "ops 3, 7, 11" (first few coin origins), for diagnostics. */
+std::string
+describeCoins(const BitVec& syms, const std::vector<std::size_t>& coin_op)
+{
+    std::ostringstream os;
+    std::size_t listed = 0;
+    const std::size_t total = syms.popcount();
+    for (std::size_t k = 0; k < syms.size() && listed < 4; ++k) {
+        if (!syms.get(k))
+            continue;
+        os << (listed ? ", " : "") << coin_op[k];
+        ++listed;
+    }
+    if (total > listed)
+        os << ", ... (" << total << " coins total)";
+    return os.str();
+}
+
+} // namespace
+
+void
+passDeterminism(const stab::Circuit& circuit, LintReport& report)
+{
+    const auto& ops = circuit.ops();
+
+    // Capacity: every M/MR/R can introduce at most one coin.
+    std::size_t capacity = 0;
+    for (const auto& op : ops) {
+        if (op.code == OpCode::M || op.code == OpCode::MR ||
+            op.code == OpCode::R)
+            ++capacity;
+    }
+
+    SymbolicTableau sim(circuit.numQubits(), capacity);
+    std::vector<MeasExpr> record;
+    record.reserve(circuit.numMeasurements());
+    std::vector<std::size_t> coin_op; ///< coin symbol -> op index
+    coin_op.reserve(capacity);
+    std::size_t next_symbol = 0;
+
+    auto collapse = [&](std::size_t q, std::size_t op_index) {
+        bool used = false;
+        auto e = sim.measure(q, next_symbol, used);
+        if (used) {
+            coin_op.push_back(op_index);
+            ++next_symbol;
+        }
+        return e;
+    };
+
+    std::vector<MeasExpr> obs;
+    std::vector<std::size_t> obs_op;
+    if (circuit.numObservables() > 0) {
+        obs.assign(circuit.numObservables(), MeasExpr(capacity));
+        obs_op.assign(circuit.numObservables(), kNoOpIndex);
+    }
+
+    std::size_t det_index = 0;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const auto& op = ops[i];
+        switch (op.code) {
+          case OpCode::H: sim.h(op.targets[0]); break;
+          case OpCode::S: sim.s(op.targets[0]); break;
+          case OpCode::SDG: sim.sdg(op.targets[0]); break;
+          case OpCode::X: sim.x(op.targets[0]); break;
+          case OpCode::Y: sim.y(op.targets[0]); break;
+          case OpCode::Z: sim.z(op.targets[0]); break;
+          case OpCode::CX: sim.cx(op.targets[0], op.targets[1]); break;
+          case OpCode::CZ: sim.cz(op.targets[0], op.targets[1]); break;
+          case OpCode::SWAP:
+            sim.swapQubits(op.targets[0], op.targets[1]);
+            break;
+          case OpCode::M:
+            record.push_back(collapse(op.targets[0], i));
+            break;
+          case OpCode::MR: {
+            auto e = collapse(op.targets[0], i);
+            sim.conditionalX(op.targets[0], e);
+            record.push_back(std::move(e));
+            break;
+          }
+          case OpCode::R: {
+            const auto e = collapse(op.targets[0], i);
+            sim.conditionalX(op.targets[0], e);
+            break;
+          }
+          case OpCode::X_ERROR:
+          case OpCode::Z_ERROR:
+          case OpCode::PAULI1:
+          case OpCode::DEPOL1:
+          case OpCode::DEPOL2:
+            break; // determinism is a noiseless property
+          case OpCode::DETECTOR: {
+            MeasExpr parity(capacity);
+            for (auto m : op.targets)
+                parity ^= record[m];
+            if (!parity.syms.allZero()) {
+                std::ostringstream os;
+                os << "detector " << det_index
+                   << " is not deterministic: its parity depends on "
+                      "random collapse(s) at op(s) "
+                   << describeCoins(parity.syms, coin_op);
+                report.add("determinism", Severity::Error, i, os.str());
+            }
+            ++det_index;
+            break;
+          }
+          case OpCode::OBSERVABLE: {
+            for (auto m : op.targets)
+                obs[op.id] ^= record[m];
+            obs_op[op.id] = i;
+            break;
+          }
+        }
+    }
+
+    for (std::size_t k = 0; k < obs.size(); ++k) {
+        if (!obs[k].syms.allZero()) {
+            std::ostringstream os;
+            os << "observable " << k
+               << " is not deterministic: its parity depends on "
+                  "random collapse(s) at op(s) "
+               << describeCoins(obs[k].syms, coin_op);
+            report.add("determinism", Severity::Error, obs_op[k],
+                       os.str());
+        }
+    }
+}
+
+} // namespace lint
+} // namespace hetarch

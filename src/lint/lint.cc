@@ -1,0 +1,393 @@
+#include "lint/lint.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "core/logging.hh"
+
+namespace hetarch {
+namespace lint {
+
+using stab::Op;
+using stab::OpCode;
+
+const char*
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Info: return "info";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+void
+LintReport::add(std::string pass, Severity severity, std::size_t op_index,
+                std::string message)
+{
+    findings.push_back(
+        {std::move(pass), severity, op_index, std::move(message)});
+}
+
+std::size_t
+LintReport::errorCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(findings.begin(), findings.end(), [](const auto& f) {
+            return f.severity == Severity::Error;
+        }));
+}
+
+std::size_t
+LintReport::warningCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(findings.begin(), findings.end(), [](const auto& f) {
+            return f.severity == Severity::Warning;
+        }));
+}
+
+std::string
+LintReport::toString() const
+{
+    std::ostringstream os;
+    for (const auto& f : findings) {
+        os << severityName(f.severity) << "[" << f.pass << "]";
+        if (f.opIndex != kNoOpIndex)
+            os << " op " << f.opIndex;
+        os << ": " << f.message << "\n";
+    }
+    return os.str();
+}
+
+namespace {
+
+/** Shape of one opcode: how many targets/params the simulators expect. */
+struct OpShape
+{
+    std::size_t targets;      ///< required target count (qubit ops)
+    std::size_t params;       ///< required param count
+    bool pairDistinct;        ///< two-qubit op: targets must differ
+    bool qubitTargets;        ///< targets are qubits (else record refs)
+};
+
+OpShape
+shapeOf(OpCode code)
+{
+    switch (code) {
+      case OpCode::H:
+      case OpCode::S:
+      case OpCode::SDG:
+      case OpCode::X:
+      case OpCode::Y:
+      case OpCode::Z:
+      case OpCode::M:
+      case OpCode::R:
+      case OpCode::MR:
+        return {1, 0, false, true};
+      case OpCode::CX:
+      case OpCode::CZ:
+      case OpCode::SWAP:
+        return {2, 0, true, true};
+      case OpCode::X_ERROR:
+      case OpCode::Z_ERROR:
+      case OpCode::DEPOL1:
+        return {1, 1, false, true};
+      case OpCode::PAULI1:
+        return {1, 3, false, true};
+      case OpCode::DEPOL2:
+        return {2, 1, true, true};
+      case OpCode::DETECTOR:
+      case OpCode::OBSERVABLE:
+        return {0, 0, false, false};
+    }
+    HETARCH_PANIC("unknown opcode");
+}
+
+bool
+isAnnotation(OpCode code)
+{
+    return code == OpCode::DETECTOR || code == OpCode::OBSERVABLE;
+}
+
+bool
+isNoise(OpCode code)
+{
+    switch (code) {
+      case OpCode::X_ERROR:
+      case OpCode::Z_ERROR:
+      case OpCode::PAULI1:
+      case OpCode::DEPOL1:
+      case OpCode::DEPOL2:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+void
+passStructural(const stab::Circuit& circuit, LintReport& report)
+{
+    const auto& ops = circuit.ops();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const auto& op = ops[i];
+        const auto name = stab::opCodeName(op.code);
+        const auto shape = shapeOf(op.code);
+
+        if (isAnnotation(op.code)) {
+            if (!op.params.empty()) {
+                std::ostringstream os;
+                os << name << " carries " << op.params.size()
+                   << " params; annotations take none";
+                report.add("structural", Severity::Error, i, os.str());
+            }
+            if (op.targets.empty()) {
+                std::ostringstream os;
+                os << name << " references no measurements "
+                   << "(constant parity; dead annotation)";
+                report.add("structural", Severity::Warning, i, os.str());
+            }
+            continue;
+        }
+
+        if (op.targets.size() != shape.targets) {
+            std::ostringstream os;
+            os << name << " carries " << op.targets.size()
+               << " targets; canonical IR requires " << shape.targets
+               << (shape.pairDistinct ? " (one pair per op)" : "");
+            report.add("structural", Severity::Error, i, os.str());
+        }
+        if (op.params.size() != shape.params) {
+            std::ostringstream os;
+            os << name << " carries " << op.params.size()
+               << " params; expected " << shape.params;
+            report.add("structural", Severity::Error, i, os.str());
+        }
+        if (shape.pairDistinct && op.targets.size() == 2 &&
+            op.targets[0] == op.targets[1]) {
+            std::ostringstream os;
+            os << name << " targets qubit " << op.targets[0]
+               << " twice; two-qubit ops need distinct qubits";
+            report.add("structural", Severity::Error, i, os.str());
+        }
+        for (auto t : op.targets) {
+            if (t >= circuit.numQubits()) {
+                std::ostringstream os;
+                os << name << " targets qubit " << t
+                   << " but the register has " << circuit.numQubits()
+                   << " qubits";
+                report.add("structural", Severity::Error, i, os.str());
+            }
+        }
+    }
+}
+
+void
+passRecordRefs(const stab::Circuit& circuit, LintReport& report)
+{
+    std::size_t meas_seen = 0;
+    const auto& ops = circuit.ops();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const auto& op = ops[i];
+        if (op.code == OpCode::M || op.code == OpCode::MR) {
+            ++meas_seen;
+            continue;
+        }
+        if (!isAnnotation(op.code))
+            continue;
+        const auto name = stab::opCodeName(op.code);
+        for (auto m : op.targets) {
+            if (m >= meas_seen) {
+                std::ostringstream os;
+                os << name << " references measurement " << m
+                   << " but only " << meas_seen
+                   << " exist at this point (forward or dangling "
+                      "reference)";
+                report.add("record-ref", Severity::Error, i, os.str());
+            }
+        }
+        // A record index referenced twice cancels out of the parity.
+        auto sorted = op.targets;
+        std::sort(sorted.begin(), sorted.end());
+        if (std::adjacent_find(sorted.begin(), sorted.end()) !=
+            sorted.end()) {
+            std::ostringstream os;
+            os << name << " references the same measurement twice; "
+                  "duplicate pairs cancel out of the parity";
+            report.add("record-ref", Severity::Warning, i, os.str());
+        }
+    }
+}
+
+void
+passProbability(const stab::Circuit& circuit, LintReport& report)
+{
+    const auto& ops = circuit.ops();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const auto& op = ops[i];
+        if (!isNoise(op.code))
+            continue;
+        const auto name = stab::opCodeName(op.code);
+        for (auto p : op.params) {
+            if (p < 0.0 || p > 1.0) {
+                std::ostringstream os;
+                os << name << " probability " << p
+                   << " outside [0, 1]";
+                report.add("prob-range", Severity::Error, i, os.str());
+            }
+        }
+        if (op.code == OpCode::PAULI1 && op.params.size() == 3) {
+            const double sum =
+                op.params[0] + op.params[1] + op.params[2];
+            if (sum > 1.0 + 1e-12) {
+                std::ostringstream os;
+                os << name << " probabilities sum to " << sum
+                   << " (> 1)";
+                report.add("prob-range", Severity::Error, i, os.str());
+            }
+        }
+        const double total = std::accumulate(op.params.begin(),
+                                             op.params.end(), 0.0);
+        if (total == 0.0) {
+            std::ostringstream os;
+            os << name << " has zero probability; builders elide "
+                  "such ops";
+            report.add("prob-range", Severity::Info, i, os.str());
+        }
+    }
+}
+
+void
+passLiveness(const stab::Circuit& circuit, LintReport& report)
+{
+    const std::size_t nq = circuit.numQubits();
+
+    enum class Last : std::uint8_t { None, Gate, Noise, Measure, Reset };
+    std::vector<Last> last(nq, Last::None);
+
+    // Union-find over the coupling graph of two-qubit ops: a component
+    // that is operated on but never measured does dead work.
+    std::vector<std::size_t> parent(nq);
+    std::iota(parent.begin(), parent.end(), std::size_t{0});
+    auto find = [&](std::size_t a) {
+        while (parent[a] != a) {
+            parent[a] = parent[parent[a]];
+            a = parent[a];
+        }
+        return a;
+    };
+    auto unite = [&](std::size_t a, std::size_t b) {
+        a = find(a);
+        b = find(b);
+        if (a != b)
+            parent[b] = a;
+    };
+
+    std::vector<bool> gated(nq, false);
+    std::vector<bool> measured(nq, false);
+
+    const auto& ops = circuit.ops();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const auto& op = ops[i];
+        if (isAnnotation(op.code))
+            continue;
+        // Out-of-range targets are structural errors; skip them here.
+        bool in_range = true;
+        for (auto t : op.targets)
+            in_range = in_range && t < nq;
+        if (!in_range)
+            continue;
+
+        switch (op.code) {
+          case OpCode::M:
+          case OpCode::MR: {
+            const auto q = op.targets[0];
+            if (last[q] == Last::Measure) {
+                std::ostringstream os;
+                os << "qubit " << q << " measured again with no "
+                      "intervening operation (redundant measurement)";
+                report.add("liveness", Severity::Warning, i, os.str());
+            }
+            if (last[q] == Last::None) {
+                std::ostringstream os;
+                os << "qubit " << q << " is measured before any gate "
+                      "or reset touches it (reads a fresh |0>)";
+                report.add("liveness", Severity::Warning, i, os.str());
+            }
+            measured[q] = true;
+            last[q] = op.code == OpCode::MR ? Last::Reset : Last::Measure;
+            break;
+          }
+          case OpCode::R:
+            last[op.targets[0]] = Last::Reset;
+            break;
+          default: {
+            const bool noise = isNoise(op.code);
+            for (auto t : op.targets) {
+                last[t] = noise ? Last::Noise : Last::Gate;
+                if (!noise)
+                    gated[t] = true;
+            }
+            if (op.targets.size() == 2)
+                unite(op.targets[0], op.targets[1]);
+            break;
+          }
+        }
+    }
+
+    // Report each dead component once, at its smallest qubit.
+    std::vector<bool> component_measured(nq, false);
+    for (std::size_t q = 0; q < nq; ++q)
+        if (measured[q])
+            component_measured[find(q)] = true;
+    std::vector<bool> reported(nq, false);
+    for (std::size_t q = 0; q < nq; ++q) {
+        if (!gated[q])
+            continue;
+        const auto root = find(q);
+        if (component_measured[root] || reported[root])
+            continue;
+        reported[root] = true;
+        std::ostringstream os;
+        os << "qubit " << q << "'s coupling component is operated on "
+              "but never measured (dead work)";
+        report.add("liveness", Severity::Warning, kNoOpIndex, os.str());
+    }
+}
+
+LintReport
+lintCircuit(const stab::Circuit& circuit, const LintOptions& options)
+{
+    LintReport report;
+    passStructural(circuit, report);
+    passRecordRefs(circuit, report);
+    passProbability(circuit, report);
+    passLiveness(circuit, report);
+    if (options.checkDeterminism) {
+        if (report.clean()) {
+            passDeterminism(circuit, report);
+        } else {
+            report.add("determinism", Severity::Info, kNoOpIndex,
+                       "pass skipped: circuit has structural errors");
+        }
+    }
+    return report;
+}
+
+void
+assertClean(const stab::Circuit& circuit, const char* context,
+            const LintOptions& options)
+{
+    const auto report = lintCircuit(circuit, options);
+    if (!report.clean()) {
+        HETARCH_PANIC(context, ": circuit fails lint:\n",
+                      report.toString());
+    }
+}
+
+} // namespace lint
+} // namespace hetarch

@@ -1,6 +1,7 @@
 #include "qec/css_circuit.hh"
 
 #include "core/logging.hh"
+#include "lint/lint.hh"
 #include "qec/surface_circuit.hh" // kTagZ / kTagX
 
 namespace hetarch {
@@ -66,6 +67,9 @@ codeCapacityMemoryZ(const CssCode& code, std::size_t rounds, double p_x,
     for (auto q : code.logicalZ)
         logical.push_back(data_meas[q]);
     circ.observableInclude(0, logical);
+#ifndef NDEBUG
+    lint::assertClean(circ, "codeCapacityMemoryZ");
+#endif
     return circ;
 }
 

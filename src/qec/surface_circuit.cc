@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "core/logging.hh"
+#include "lint/lint.hh"
 
 namespace hetarch {
 namespace qec {
@@ -195,6 +196,11 @@ surfaceMemory(std::size_t distance, std::size_t rounds,
                                              : data_idx(0, k)]);
     circ.observableInclude(0, logical);
 
+#ifndef NDEBUG
+    // Debug builds prove the generated circuit lint-clean (including
+    // static detector determinism) before anyone simulates it.
+    lint::assertClean(circ, "surfaceMemory");
+#endif
     return circ;
 }
 

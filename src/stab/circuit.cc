@@ -7,6 +7,33 @@
 namespace hetarch {
 namespace stab {
 
+const char*
+opCodeName(OpCode code)
+{
+    switch (code) {
+      case OpCode::H: return "H";
+      case OpCode::S: return "S";
+      case OpCode::SDG: return "SDG";
+      case OpCode::X: return "X";
+      case OpCode::Y: return "Y";
+      case OpCode::Z: return "Z";
+      case OpCode::CX: return "CX";
+      case OpCode::CZ: return "CZ";
+      case OpCode::SWAP: return "SWAP";
+      case OpCode::M: return "M";
+      case OpCode::R: return "R";
+      case OpCode::MR: return "MR";
+      case OpCode::X_ERROR: return "X_ERROR";
+      case OpCode::Z_ERROR: return "Z_ERROR";
+      case OpCode::PAULI1: return "PAULI_CHANNEL_1";
+      case OpCode::DEPOL1: return "DEPOLARIZE1";
+      case OpCode::DEPOL2: return "DEPOLARIZE2";
+      case OpCode::DETECTOR: return "DETECTOR";
+      case OpCode::OBSERVABLE: return "OBSERVABLE_INCLUDE";
+    }
+    return "?";
+}
+
 Circuit::Circuit(std::size_t num_qubits)
     : nq(num_qubits)
 {
@@ -183,37 +210,155 @@ Circuit::append(const Circuit& other)
         nq = other.nq;
 }
 
+void
+Circuit::appendOp(const Op& op, const std::string& context)
+{
+    const auto* name = opCodeName(op.code);
+    auto need_params = [&](std::size_t n) {
+        if (op.params.size() != n)
+            HETARCH_FATAL(context, "'", name, "' expects ", n,
+                          " params, got ", op.params.size());
+    };
+    auto need_prob = [&](double p) {
+        if (p < 0.0 || p > 1.0)
+            HETARCH_FATAL(context, "'", name, "' probability ", p,
+                          " outside [0, 1]");
+    };
+    auto need_pairs = [&]() {
+        if (op.targets.empty() || op.targets.size() % 2 != 0)
+            HETARCH_FATAL(context, "'", name,
+                          "' expects an even number of targets "
+                          "(pairs), got ", op.targets.size());
+        for (std::size_t k = 0; k < op.targets.size(); k += 2)
+            if (op.targets[k] == op.targets[k + 1])
+                HETARCH_FATAL(context, "'", name,
+                              "' pairs qubit ", op.targets[k],
+                              " with itself");
+    };
+    auto need_targets = [&]() {
+        if (op.targets.empty())
+            HETARCH_FATAL(context, "'", name, "' expects at least one "
+                          "target");
+    };
+
+    switch (op.code) {
+      case OpCode::H:
+      case OpCode::S:
+      case OpCode::SDG:
+      case OpCode::X:
+      case OpCode::Y:
+      case OpCode::Z:
+      case OpCode::M:
+      case OpCode::R:
+      case OpCode::MR:
+        need_params(0);
+        need_targets();
+        for (auto q : op.targets) {
+            switch (op.code) {
+              case OpCode::M: measure(q); break;
+              case OpCode::R: reset(q); break;
+              case OpCode::MR: measureReset(q); break;
+              default: pushUnary(op.code, q); break;
+            }
+        }
+        break;
+      case OpCode::CX:
+      case OpCode::CZ:
+      case OpCode::SWAP:
+        need_params(0);
+        need_pairs();
+        for (std::size_t k = 0; k < op.targets.size(); k += 2)
+            pushPair(op.code, op.targets[k], op.targets[k + 1]);
+        break;
+      case OpCode::X_ERROR:
+      case OpCode::Z_ERROR:
+      case OpCode::DEPOL1:
+        need_params(1);
+        need_prob(op.params[0]);
+        need_targets();
+        for (auto q : op.targets) {
+            if (op.code == OpCode::X_ERROR)
+                xError(q, op.params[0]);
+            else if (op.code == OpCode::Z_ERROR)
+                zError(q, op.params[0]);
+            else
+                depolarize1(q, op.params[0]);
+        }
+        break;
+      case OpCode::PAULI1: {
+        need_params(3);
+        for (auto p : op.params)
+            need_prob(p);
+        const double sum = op.params[0] + op.params[1] + op.params[2];
+        if (sum > 1.0 + 1e-12)
+            HETARCH_FATAL(context, "'", name, "' probabilities sum to ",
+                          sum, " (> 1)");
+        need_targets();
+        for (auto q : op.targets)
+            pauliChannel1(q, op.params[0], op.params[1], op.params[2]);
+        break;
+      }
+      case OpCode::DEPOL2:
+        need_params(1);
+        need_prob(op.params[0]);
+        need_pairs();
+        for (std::size_t k = 0; k < op.targets.size(); k += 2)
+            depolarize2(op.targets[k], op.targets[k + 1], op.params[0]);
+        break;
+      case OpCode::DETECTOR:
+      case OpCode::OBSERVABLE: {
+        need_params(0);
+        std::vector<std::size_t> refs;
+        refs.reserve(op.targets.size());
+        for (auto m : op.targets) {
+            if (m >= nMeas)
+                HETARCH_FATAL(context, "'", name,
+                              "' references measurement ", m,
+                              " but only ", nMeas, " exist");
+            refs.push_back(m);
+        }
+        if (op.code == OpCode::DETECTOR)
+            detector(refs, op.id);
+        else
+            observableInclude(op.id, refs);
+        break;
+      }
+    }
+}
+
+Circuit
+Circuit::fromRawOps(std::size_t num_qubits, std::vector<Op> ops)
+{
+    Circuit circ(num_qubits);
+    circ.opList = std::move(ops);
+    for (const auto& op : circ.opList) {
+        switch (op.code) {
+          case OpCode::M:
+          case OpCode::MR:
+            ++circ.nMeas;
+            break;
+          case OpCode::DETECTOR:
+            circ.detTags.push_back(op.id);
+            ++circ.nDets;
+            break;
+          case OpCode::OBSERVABLE:
+            if (op.id + 1 > circ.nObs)
+                circ.nObs = op.id + 1;
+            break;
+          default:
+            break;
+        }
+    }
+    return circ;
+}
+
 std::string
 Circuit::toString() const
 {
     std::ostringstream os;
-    auto name = [](OpCode c) {
-        switch (c) {
-          case OpCode::H: return "H";
-          case OpCode::S: return "S";
-          case OpCode::SDG: return "SDG";
-          case OpCode::X: return "X";
-          case OpCode::Y: return "Y";
-          case OpCode::Z: return "Z";
-          case OpCode::CX: return "CX";
-          case OpCode::CZ: return "CZ";
-          case OpCode::SWAP: return "SWAP";
-          case OpCode::M: return "M";
-          case OpCode::R: return "R";
-          case OpCode::MR: return "MR";
-          case OpCode::X_ERROR: return "X_ERROR";
-          case OpCode::Z_ERROR: return "Z_ERROR";
-          case OpCode::PAULI1: return "PAULI_CHANNEL_1";
-          case OpCode::DEPOL1: return "DEPOLARIZE1";
-          case OpCode::DEPOL2: return "DEPOLARIZE2";
-          case OpCode::DETECTOR: return "DETECTOR";
-          case OpCode::OBSERVABLE: return "OBSERVABLE_INCLUDE";
-        }
-        return "?";
-    };
     os.precision(17);
     for (const auto& op : opList) {
-        os << name(op.code);
+        os << opCodeName(op.code);
         if (op.code == OpCode::OBSERVABLE ||
             (op.code == OpCode::DETECTOR && op.id != 0))
             os << "(" << op.id << ")";

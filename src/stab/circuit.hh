@@ -48,6 +48,9 @@ enum class OpCode : std::uint8_t
     OBSERVABLE, ///< logical observable accumulation
 };
 
+/** Mnemonic of an opcode, as emitted by Circuit::toString. */
+const char* opCodeName(OpCode code);
+
 /** One circuit operation. */
 struct Op
 {
@@ -122,6 +125,28 @@ class Circuit
 
     /** Append another circuit (qubit indices shared). */
     void append(const Circuit& other);
+
+    /**
+     * Validating raw append: checks target arity (pair ops take an
+     * even, stim-style target list and are split into canonical
+     * two-target ops), param counts, probability ranges, and
+     * measurement-record references, then dispatches to the typed
+     * helpers.  Malformed ops are rejected with a clear diagnostic
+     * (fatal), prefixed with @p context (e.g. "line 12: ") when given.
+     * This is the one entry point for programmatic construction from
+     * untrusted data (parsers, tools).
+     */
+    void appendOp(const Op& op, const std::string& context = "");
+
+    /**
+     * Unchecked reconstruction from raw ops: counters (measurements,
+     * detectors, observables, tags) are rebuilt by scanning, but NO
+     * validation is performed and the register is NOT grown to cover
+     * the targets.  Escape hatch for tools and for lint tests that
+     * need deliberately malformed circuits; everything else should use
+     * the fluent helpers or appendOp.
+     */
+    static Circuit fromRawOps(std::size_t num_qubits, std::vector<Op> ops);
 
     /** Per-detector metadata tags, indexed by detector id. */
     const std::vector<std::uint32_t>& detectorTags() const { return detTags; }

@@ -18,6 +18,37 @@ struct ParsedLine
     std::vector<std::size_t> targets;
 };
 
+std::size_t
+parseIndex(const std::string& token, std::size_t line_no, const char* what)
+{
+    if (token.empty() ||
+        token.find_first_not_of("0123456789") != std::string::npos)
+        HETARCH_FATAL("line ", line_no, ": expected ", what, ", got '",
+                      token, "'");
+    try {
+        return static_cast<std::size_t>(std::stoull(token));
+    } catch (const std::out_of_range&) {
+        HETARCH_FATAL("line ", line_no, ": ", what, " '", token,
+                      "' out of range");
+    }
+}
+
+double
+parseParam(const std::string& token, std::size_t line_no)
+{
+    std::size_t pos = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(token, &pos);
+    } catch (const std::exception&) {
+        pos = 0;
+    }
+    if (pos == 0 || pos != token.size())
+        HETARCH_FATAL("line ", line_no, ": bad parameter value '", token,
+                      "' (expected p=<number>)");
+    return value;
+}
+
 ParsedLine
 tokenize(const std::string& line, std::size_t line_no)
 {
@@ -34,21 +65,60 @@ tokenize(const std::string& line, std::size_t line_no)
         if (close == std::string::npos)
             HETARCH_FATAL("line ", line_no, ": unterminated '(' in '",
                           token, "'");
-        out.observableId =
-            std::stoi(token.substr(paren + 1, close - paren - 1));
+        out.observableId = static_cast<int>(
+            parseIndex(token.substr(paren + 1, close - paren - 1),
+                       line_no, "an observable index"));
         token = token.substr(0, paren);
     }
     out.name = token;
 
     while (in >> token) {
         if (token.rfind("p=", 0) == 0) {
-            out.params.push_back(std::stod(token.substr(2)));
+            out.params.push_back(parseParam(token.substr(2), line_no));
         } else {
             out.targets.push_back(
-                static_cast<std::size_t>(std::stoull(token)));
+                parseIndex(token, line_no, "a target index"));
         }
     }
     return out;
+}
+
+} // namespace
+
+namespace {
+
+/** Mnemonic -> opcode; false when the name is unknown. */
+bool
+lookupOpCode(const std::string& name, OpCode& code)
+{
+    static const std::pair<const char*, OpCode> table[] = {
+        {"H", OpCode::H},
+        {"S", OpCode::S},
+        {"SDG", OpCode::SDG},
+        {"X", OpCode::X},
+        {"Y", OpCode::Y},
+        {"Z", OpCode::Z},
+        {"CX", OpCode::CX},
+        {"CZ", OpCode::CZ},
+        {"SWAP", OpCode::SWAP},
+        {"M", OpCode::M},
+        {"R", OpCode::R},
+        {"MR", OpCode::MR},
+        {"X_ERROR", OpCode::X_ERROR},
+        {"Z_ERROR", OpCode::Z_ERROR},
+        {"PAULI_CHANNEL_1", OpCode::PAULI1},
+        {"DEPOLARIZE1", OpCode::DEPOL1},
+        {"DEPOLARIZE2", OpCode::DEPOL2},
+        {"DETECTOR", OpCode::DETECTOR},
+        {"OBSERVABLE_INCLUDE", OpCode::OBSERVABLE},
+    };
+    for (const auto& [n, c] : table) {
+        if (name == n) {
+            code = c;
+            return true;
+        }
+    }
+    return false;
 }
 
 } // namespace
@@ -61,16 +131,6 @@ parseCircuit(const std::string& text)
     std::string raw;
     std::size_t line_no = 0;
 
-    auto want = [&](const ParsedLine& l, std::size_t params,
-                    std::size_t targets) {
-        if (l.params.size() != params || l.targets.size() != targets) {
-            HETARCH_FATAL("line ", line_no, ": '", l.name,
-                          "' expects ", params, " params and ", targets,
-                          " targets");
-        }
-    };
-    auto q = [](std::size_t t) { return static_cast<std::uint32_t>(t); };
-
     while (std::getline(in, raw)) {
         ++line_no;
         const auto hash = raw.find('#');
@@ -80,59 +140,26 @@ parseCircuit(const std::string& text)
         if (l.name.empty())
             continue;
 
-        if (l.name == "H" || l.name == "S" || l.name == "SDG" ||
-            l.name == "X" || l.name == "Y" || l.name == "Z" ||
-            l.name == "M" || l.name == "R" || l.name == "MR") {
-            want(l, 0, 1);
-            if (l.name == "H") circ.h(q(l.targets[0]));
-            else if (l.name == "S") circ.s(q(l.targets[0]));
-            else if (l.name == "SDG") circ.sdg(q(l.targets[0]));
-            else if (l.name == "X") circ.x(q(l.targets[0]));
-            else if (l.name == "Y") circ.y(q(l.targets[0]));
-            else if (l.name == "Z") circ.z(q(l.targets[0]));
-            else if (l.name == "M") circ.measure(q(l.targets[0]));
-            else if (l.name == "R") circ.reset(q(l.targets[0]));
-            else circ.measureReset(q(l.targets[0]));
-        } else if (l.name == "CX" || l.name == "CZ" ||
-                   l.name == "SWAP") {
-            want(l, 0, 2);
-            if (l.name == "CX")
-                circ.cx(q(l.targets[0]), q(l.targets[1]));
-            else if (l.name == "CZ")
-                circ.cz(q(l.targets[0]), q(l.targets[1]));
-            else
-                circ.swap(q(l.targets[0]), q(l.targets[1]));
-        } else if (l.name == "X_ERROR" || l.name == "Z_ERROR" ||
-                   l.name == "DEPOLARIZE1") {
-            want(l, 1, 1);
-            if (l.name == "X_ERROR")
-                circ.xError(q(l.targets[0]), l.params[0]);
-            else if (l.name == "Z_ERROR")
-                circ.zError(q(l.targets[0]), l.params[0]);
-            else
-                circ.depolarize1(q(l.targets[0]), l.params[0]);
-        } else if (l.name == "PAULI_CHANNEL_1") {
-            want(l, 3, 1);
-            circ.pauliChannel1(q(l.targets[0]), l.params[0], l.params[1],
-                               l.params[2]);
-        } else if (l.name == "DEPOLARIZE2") {
-            want(l, 1, 2);
-            circ.depolarize2(q(l.targets[0]), q(l.targets[1]),
-                             l.params[0]);
-        } else if (l.name == "DETECTOR") {
-            circ.detector(l.targets,
-                          l.observableId >= 0
-                              ? static_cast<std::uint32_t>(l.observableId)
-                              : 0);
-        } else if (l.name == "OBSERVABLE_INCLUDE") {
-            HETARCH_ASSERT(l.observableId >= 0,
-                           "OBSERVABLE_INCLUDE needs an index");
-            circ.observableInclude(
-                static_cast<std::uint32_t>(l.observableId), l.targets);
-        } else {
+        Op op;
+        if (!lookupOpCode(l.name, op.code))
             HETARCH_FATAL("line ", line_no, ": unknown op '", l.name,
                           "'");
-        }
+        if (op.code == OpCode::OBSERVABLE && l.observableId < 0)
+            HETARCH_FATAL("line ", line_no,
+                          ": OBSERVABLE_INCLUDE needs an index");
+        if (l.observableId >= 0)
+            op.id = static_cast<std::uint32_t>(l.observableId);
+        op.params = l.params;
+        op.targets.reserve(l.targets.size());
+        for (auto t : l.targets)
+            op.targets.push_back(static_cast<std::uint32_t>(t));
+
+        // appendOp validates arity, probability ranges and
+        // measurement-record references, and reports them against the
+        // offending line.
+        std::ostringstream ctx;
+        ctx << "line " << line_no << ": ";
+        circ.appendOp(op, ctx.str());
     }
     return circ;
 }

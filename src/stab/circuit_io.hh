@@ -12,6 +12,15 @@
  *   DEPOLARIZE2 p=0.001 0 1
  *   DETECTOR 3 4            # measurement-record indices
  *   OBSERVABLE_INCLUDE(0) 5
+ *
+ * Stim-style broadcast target lists are accepted on input: single-qubit
+ * ops take any number of targets ("M 0 1 2") and two-qubit ops an even
+ * number of pair targets ("CX 0 1 2 3"); both are split into canonical
+ * one/two-target ops.  All validation happens at parse time with
+ * line-numbered diagnostics: unknown ops, wrong arity, self-paired
+ * two-qubit ops, noise probabilities outside [0,1] (including
+ * PAULI_CHANNEL_1 triples summing past 1), and DETECTOR /
+ * OBSERVABLE_INCLUDE references to measurements that do not exist yet.
  */
 
 #pragma once

@@ -7,6 +7,7 @@
 #include "cells/standard_cells.hh"
 #include "core/logging.hh"
 #include "distill/module_sim.hh"
+#include "lint/verify_cell.hh"
 #include "qec/noise_model.hh"
 #include "uec/experiment.hh"
 
@@ -168,13 +169,24 @@ buildCodeTeleportModule(double ts_ns)
     module::Module top("code-teleportation");
     top.addSubModule(distill::buildDistillationModule(ts_ns));
 
+    // Debug builds verify every cell (DRC + lowered-schedule lint)
+    // before it is wired into the module tree.
+    auto verified = [](cells::StandardCell cell) {
+#ifndef NDEBUG
+        const auto report = lint::verifyCell(cell);
+        HETARCH_ASSERT(report.clean(), "cell '", cell.name(),
+                       "' fails verification:\n", report.toString());
+#endif
+        return cell;
+    };
+
     for (const char* side : {"A", "B"}) {
         module::Module cat(std::string("cat-generator-") + side);
-        cat.addCell(cells::makeSeqOp(storage, compute));
+        cat.addCell(verified(cells::makeSeqOp(storage, compute)));
         top.addSubModule(std::move(cat));
 
         module::Module uec_mod(std::string("uec-") + side);
-        uec_mod.addCell(cells::makeUsc(storage, compute));
+        uec_mod.addCell(verified(cells::makeUsc(storage, compute)));
         top.addSubModule(std::move(uec_mod));
     }
     return top;

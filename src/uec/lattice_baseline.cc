@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/logging.hh"
+#include "lint/lint.hh"
 #include "qec/noise_model.hh"
 #include "qec/surface_circuit.hh"
 
@@ -447,6 +448,9 @@ latticeMemoryZ(const qec::CssCode& code, const LatticeEmbedding& emb,
     for (auto q : code.logicalZ)
         logical.push_back(data_meas[q]);
     circ.observableInclude(0, logical);
+#ifndef NDEBUG
+    lint::assertClean(circ, "latticeMemoryZ");
+#endif
     return circ;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/logging.hh"
+#include "lint/lint.hh"
 #include "qec/noise_model.hh"
 #include "qec/surface_circuit.hh"
 
@@ -133,6 +134,9 @@ emitFromSchedule(const qec::CssCode& code, const RoundSchedule& sched,
     for (auto q : code.logicalZ)
         logical.push_back(data_meas[q]);
     circ.observableInclude(0, logical);
+#ifndef NDEBUG
+    lint::assertClean(circ, "emitFromSchedule");
+#endif
     return circ;
 }
 

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * hetarch-lint: static verification for .circ files.
+ *
+ * Usage: hetarch-lint [--strict] [--no-determinism] FILE...
+ *
+ * Parses each file (parse errors are fatal and exit 1), runs the full
+ * lint pipeline and prints the report.  Exit status:
+ *   0  every file is clean (no errors; with --strict, no warnings)
+ *   1  a file could not be read or parsed
+ *   2  lint findings above the acceptance threshold
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hh"
+#include "stab/circuit_io.hh"
+
+namespace {
+
+int
+usage()
+{
+    std::cerr << "usage: hetarch-lint [--strict] [--no-determinism] "
+                 "FILE...\n";
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace hetarch;
+
+    bool strict = false;
+    lint::LintOptions options;
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--strict") {
+            strict = true;
+        } else if (arg == "--no-determinism") {
+            options.checkDeterminism = false;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "hetarch-lint: unknown option '" << arg << "'\n";
+            return usage();
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.empty())
+        return usage();
+
+    bool accepted = true;
+    for (const auto& path : files) {
+        std::ifstream in(path);
+        if (!in) {
+            std::cerr << "hetarch-lint: cannot read '" << path << "'\n";
+            return 1;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+
+        // parseCircuit is fatal (exit 1) on malformed input; its
+        // diagnostics already carry the line number.
+        const auto circ = stab::parseCircuit(text.str());
+        const auto report = lint::lintCircuit(circ, options);
+
+        const bool ok = strict ? report.cleanStrict() : report.clean();
+        std::cout << path << ": "
+                  << (ok ? "clean" : "FAIL")
+                  << " (" << report.errorCount() << " errors, "
+                  << report.warningCount() << " warnings)\n";
+        if (!report.findings.empty())
+            std::cout << report.toString();
+        accepted = accepted && ok;
+    }
+    return accepted ? 0 : 2;
+}
