@@ -4,7 +4,12 @@
  * binary prints its paper artifact (table or figure data series) and
  * then runs its google-benchmark microbenchmarks.
  *
- * Set HETARCH_QUICK=1 to run the experiments at reduced shot counts.
+ * Environment / CLI knobs:
+ *   HETARCH_QUICK=1    run the experiments at reduced shot counts
+ *   HETARCH_THREADS=N  worker count of the exec engine (default: all
+ *                      hardware threads); results are bit-identical
+ *                      for any value
+ *   --threads=N        same as HETARCH_THREADS, takes precedence
  */
 
 #pragma once
@@ -12,9 +17,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "dse/experiments.hh"
+#include "exec/thread_pool.hh"
 
 namespace hetarch {
 namespace bench {
@@ -27,6 +34,30 @@ runScale()
     if (std::getenv("HETARCH_QUICK"))
         scale.shotScale = 0.05;
     return scale;
+}
+
+/**
+ * Consume a leading --threads=N argument (if any) into
+ * exec::setThreadCount, leaving the remaining argv for
+ * google-benchmark.
+ */
+inline void
+configureThreads(int& argc, char** argv)
+{
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        constexpr const char* kFlag = "--threads=";
+        if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+            const long n = std::strtol(argv[i] + std::strlen(kFlag),
+                                       nullptr, 10);
+            if (n >= 1)
+                ::hetarch::exec::setThreadCount(
+                    static_cast<unsigned>(n));
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
 }
 
 /** Print one experiment table under a banner. */
@@ -45,6 +76,9 @@ printArtifact(const char* title, const TextTable& table)
 #define HETARCH_BENCH_MAIN(TITLE, TABLE_EXPR)                            \
     int main(int argc, char** argv)                                     \
     {                                                                    \
+        ::hetarch::bench::configureThreads(argc, argv);                 \
+        std::cout << "exec threads: "                                   \
+                  << ::hetarch::exec::threadCount() << "\n";            \
         ::hetarch::bench::printArtifact(TITLE, TABLE_EXPR);             \
         ::benchmark::Initialize(&argc, argv);                           \
         ::benchmark::RunSpecifiedBenchmarks();                          \

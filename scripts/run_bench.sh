@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Run benchmark binaries with machine-readable output so the perf
+# trajectory is recorded, not eyeballed.
+#
+# For every benchmark binary it writes, into --out-dir:
+#   BENCH_<name>.json   google-benchmark results (--benchmark_format=json)
+#   BENCH_<name>.txt    the paper-artifact table the binary prints
+#
+# Usage:
+#   scripts/run_bench.sh [--build-dir build] [--out-dir bench-results]
+#                        [--quick] [--threads N] [bench_name...]
+#
+# With no bench names, every bench_* binary in <build-dir>/bench runs.
+# HETARCH_QUICK / HETARCH_THREADS in the environment are honored.
+
+set -euo pipefail
+
+build_dir=build
+out_dir=bench-results
+threads="${HETARCH_THREADS:-}"
+quick="${HETARCH_QUICK:-}"
+benches=()
+
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --build-dir) build_dir=$2; shift 2 ;;
+        --out-dir)   out_dir=$2; shift 2 ;;
+        --quick)     quick=1; shift ;;
+        --threads)   threads=$2; shift 2 ;;
+        -h|--help)   grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+        *)           benches+=("$1"); shift ;;
+    esac
+done
+
+bench_bin_dir="$build_dir/bench"
+if [[ ! -d "$bench_bin_dir" ]]; then
+    echo "error: $bench_bin_dir not found (build first: cmake --build $build_dir)" >&2
+    exit 1
+fi
+
+if [[ ${#benches[@]} -eq 0 ]]; then
+    for bin in "$bench_bin_dir"/bench_*; do
+        [[ -x "$bin" ]] && benches+=("$(basename "$bin")")
+    done
+fi
+if [[ ${#benches[@]} -eq 0 ]]; then
+    echo "error: no bench_* binaries in $bench_bin_dir" >&2
+    exit 1
+fi
+
+mkdir -p "$out_dir"
+env_args=()
+[[ -n "$quick" ]] && env_args+=("HETARCH_QUICK=1")
+[[ -n "$threads" ]] && env_args+=("HETARCH_THREADS=$threads")
+
+for name in "${benches[@]}"; do
+    bin="$bench_bin_dir/$name"
+    if [[ ! -x "$bin" ]]; then
+        echo "error: benchmark binary $bin not found" >&2
+        exit 1
+    fi
+    echo ">>> $name (threads=${threads:-auto}, quick=${quick:-0})"
+    env "${env_args[@]}" "$bin" \
+        --benchmark_format=console \
+        --benchmark_out="$out_dir/BENCH_$name.json" \
+        --benchmark_out_format=json \
+        | tee "$out_dir/BENCH_$name.txt"
+done
+
+echo "results in $out_dir/"

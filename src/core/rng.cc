@@ -148,4 +148,17 @@ Rng::split()
     return Rng(next() ^ 0xa0761d6478bd642full);
 }
 
+std::uint64_t
+Rng::deriveStream(std::uint64_t seed, std::uint64_t stream)
+{
+    // Feed the pair through SplitMix64 twice so that both nearby seeds
+    // and nearby stream indices land in unrelated states.  stream + 1
+    // keeps stream 0 from collapsing to a plain re-hash of the seed.
+    std::uint64_t x = seed;
+    std::uint64_t mixed = splitmix64(x);
+    x = mixed ^ ((stream + 1) * 0x9e3779b97f4a7c15ull);
+    mixed = splitmix64(x);
+    return mixed;
+}
+
 } // namespace hetarch

@@ -63,6 +63,19 @@ class Rng
      */
     Rng split();
 
+    /**
+     * Stateless child-stream derivation: the seed of the
+     * @p stream-th independent generator of an experiment seeded with
+     * @p seed, computed by two SplitMix64 rounds over the (seed,
+     * stream) pair.  Unlike split(), this does not advance any
+     * generator, so shards of a partitioned computation can derive
+     * their streams concurrently and in any order — the foundation of
+     * the exec engine's determinism contract (results independent of
+     * thread count).
+     */
+    static std::uint64_t deriveStream(std::uint64_t seed,
+                                      std::uint64_t stream);
+
   private:
     std::uint64_t next();
 

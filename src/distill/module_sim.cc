@@ -6,6 +6,7 @@
 #include "core/logging.hh"
 #include "core/rng.hh"
 #include "devices/device.hh"
+#include "exec/thread_pool.hh"
 
 namespace hetarch {
 namespace distill {
@@ -222,6 +223,55 @@ simulateDistillation(const DistillConfig& config, double horizon_ns,
     }
     record_trace(horizon_ns);
     return result;
+}
+
+double
+DistillEnsemble::meanDistilledRatePerMs() const
+{
+    if (runs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto& run : runs)
+        sum += run.distilledRatePerMs();
+    return sum / static_cast<double>(runs.size());
+}
+
+std::size_t
+DistillEnsemble::totalDistilled() const
+{
+    std::size_t n = 0;
+    for (const auto& run : runs)
+        n += run.distilled;
+    return n;
+}
+
+std::size_t
+DistillEnsemble::totalAttempts() const
+{
+    std::size_t n = 0;
+    for (const auto& run : runs)
+        n += run.attempts;
+    return n;
+}
+
+DistillEnsemble
+simulateDistillationEnsemble(const DistillConfig& config,
+                             double horizon_ns, std::size_t trajectories,
+                             double trace_interval_ns)
+{
+    HETARCH_ASSERT(trajectories > 0, "ensemble needs >= 1 trajectory");
+    DistillEnsemble ensemble;
+    ensemble.runs.resize(trajectories);
+    exec::parallelFor(trajectories, [&](std::size_t t) {
+        DistillConfig traj = config;
+        // Trajectory 0 keeps the caller's seed so a 1-trajectory
+        // ensemble reproduces the single-run entry point exactly.
+        if (t > 0)
+            traj.seed = Rng::deriveStream(config.seed, t);
+        ensemble.runs[t] =
+            simulateDistillation(traj, horizon_ns, trace_interval_ns);
+    });
+    return ensemble;
 }
 
 module::Module

@@ -110,6 +110,31 @@ DistillResult simulateDistillation(const DistillConfig& config,
                                    double horizon_ns,
                                    double trace_interval_ns = 500.0);
 
+/** Independent trajectories of one configuration, plus aggregates. */
+struct DistillEnsemble
+{
+    std::vector<DistillResult> runs;
+
+    /** Mean distilled-EP rate (pairs/ms) over the trajectories. */
+    double meanDistilledRatePerMs() const;
+    /** Total target-reaching pairs across all trajectories. */
+    std::size_t totalDistilled() const;
+    /** Total DEJMPS attempts across all trajectories. */
+    std::size_t totalAttempts() const;
+};
+
+/**
+ * Run @p trajectories independent trajectories of @p config on the
+ * exec engine.  Trajectory 0 uses config.seed verbatim (so runs[0] is
+ * bit-identical to simulateDistillation(config, ...)); trajectory t
+ * uses Rng::deriveStream(config.seed, t).  Results are bit-identical
+ * for any thread count.
+ */
+DistillEnsemble
+simulateDistillationEnsemble(const DistillConfig& config,
+                             double horizon_ns, std::size_t trajectories,
+                             double trace_interval_ns = 500.0);
+
 /**
  * The distillation module as a HetArch module-hierarchy object
  * (Fig. 1): input memory sub-module (2 Registers), distillation

@@ -9,6 +9,7 @@
 #include "core/units.hh"
 #include "devices/device.hh"
 #include "distill/module_sim.hh"
+#include "exec/thread_pool.hh"
 #include "qec/css_code.hh"
 #include "qec/memory_experiment.hh"
 #include "teleport/code_teleport.hh"
@@ -106,8 +107,11 @@ fig3DistillationTrace(const RunScale& scale)
         return distill::simulateDistillation(cfg, 100.0 * us,
                                              2.0 * us);
     };
-    const auto het = run(true);
-    const auto hom = run(false);
+    distill::DistillResult het, hom;
+    exec::parallelInvoke({
+        [&] { het = run(true); },
+        [&] { hom = run(false); },
+    });
 
     // Resample both traces on a common 2 us grid.
     auto value_at = [](const distill::DistillResult& res, double t) {
@@ -136,29 +140,41 @@ fig4DistillationRate(const RunScale& scale)
                                            2000, 5000, 10000};
     const std::vector<double> ts_ms = {0.5, 1.0, 2.5, 5.0};
 
+    // Materialize the full grid, evaluate every configuration as a
+    // small trajectory ensemble on the exec engine, then emit rows in
+    // the original order.
+    struct Point
+    {
+        double rate_khz;
+        double ts_ms;
+        bool het;
+    };
+    std::vector<Point> grid;
     for (double rate : rates_khz) {
-        for (double ts : ts_ms) {
-            distill::DistillConfig cfg;
-            cfg.ts = ts * ms;
-            cfg.epRate = rate * kHz;
-            cfg.epInfidelity = 0.03;
-            cfg.seed = scale.seed;
-            const auto res = distill::simulateDistillation(
-                cfg, scale.shotScale * 5.0 * ms);
-            t.addRow({formatFixed(rate, 0), formatFixed(ts, 1), "het",
-                      formatFixed(res.distilledRatePerMs(), 2)});
-        }
-        distill::DistillConfig hom;
-        hom.heterogeneous = false;
-        hom.ts = hom.tc;
-        hom.epRate = rate * kHz;
-        hom.epInfidelity = 0.03;
-        hom.seed = scale.seed;
-        const auto res =
-            distill::simulateDistillation(hom, scale.shotScale * 5.0 * ms);
-        t.addRow({formatFixed(rate, 0), formatFixed(0.5, 1), "hom",
-                  formatFixed(res.distilledRatePerMs(), 2)});
+        for (double ts : ts_ms)
+            grid.push_back({rate, ts, true});
+        grid.push_back({rate, 0.5, false});
     }
+
+    constexpr std::size_t kTrajectories = 3;
+    std::vector<double> rates(grid.size(), 0.0);
+    exec::parallelFor(grid.size(), [&](std::size_t i) {
+        distill::DistillConfig cfg;
+        cfg.heterogeneous = grid[i].het;
+        cfg.ts = grid[i].het ? grid[i].ts_ms * ms : cfg.tc;
+        cfg.epRate = grid[i].rate_khz * kHz;
+        cfg.epInfidelity = 0.03;
+        cfg.seed = scale.seed;
+        const auto ens = distill::simulateDistillationEnsemble(
+            cfg, scale.shotScale * 5.0 * ms, kTrajectories);
+        rates[i] = ens.meanDistilledRatePerMs();
+    });
+
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        t.addRow({formatFixed(grid[i].rate_khz, 0),
+                  formatFixed(grid[i].ts_ms, 1),
+                  grid[i].het ? "het" : "hom",
+                  formatFixed(rates[i], 2)});
     return t;
 }
 
@@ -171,25 +187,28 @@ fig6SurfaceAlpha(const RunScale& scale)
     const std::vector<double> alphas = {1, 2, 3, 4, 5, 6, 8};
     const auto shots = scaled(2000, scale);
 
-    for (double alpha : alphas) {
+    // Job 2k   = data-coherence series at alphas[k],
+    // job 2k+1 = ancilla series; evaluated concurrently, emitted in
+    // the original row order.
+    std::vector<double> values(2 * alphas.size(), 0.0);
+    exec::parallelFor(values.size(), [&](std::size_t i) {
+        const double alpha = alphas[i / 2];
+        const bool data_series = (i % 2) == 0;
         qec::CircuitNoise noise;
         noise.p2 = 1e-2;
         noise.p1 = 1e-3;
-        noise.dataT1 = noise.dataT2 = base * alpha;
-        noise.ancT1 = noise.ancT2 = base;
-        const double p_data = qec::surfaceLogicalErrorPerRound(
-            d, d, noise, shots, scale.seed + static_cast<int>(alpha));
-        t.addRow({formatFixed(alpha, 0), "Tcd=alpha*100us",
-                  formatSci(p_data, 3)});
-
-        noise.dataT1 = noise.dataT2 = base;
-        noise.ancT1 = noise.ancT2 = base * alpha;
-        const double p_anc = qec::surfaceLogicalErrorPerRound(
-            d, d, noise, shots,
-            scale.seed + 100 + static_cast<int>(alpha));
-        t.addRow({formatFixed(alpha, 0), "Tca=alpha*100us",
-                  formatSci(p_anc, 3)});
-    }
+        noise.dataT1 = noise.dataT2 = data_series ? base * alpha : base;
+        noise.ancT1 = noise.ancT2 = data_series ? base : base * alpha;
+        const std::uint64_t seed = scale.seed +
+                                   (data_series ? 0 : 100) +
+                                   static_cast<int>(alpha);
+        values[i] =
+            qec::surfaceLogicalErrorPerRound(d, d, noise, shots, seed);
+    });
+    for (std::size_t i = 0; i < values.size(); ++i)
+        t.addRow({formatFixed(alphas[i / 2], 0),
+                  i % 2 == 0 ? "Tcd=alpha*100us" : "Tca=alpha*100us",
+                  formatSci(values[i], 3)});
     return t;
 }
 
@@ -202,20 +221,23 @@ fig7SurfaceRatio(const RunScale& scale)
     const std::vector<double> ratios = {1, 2, 3, 5, 8};
     const auto shots = scaled(1000, scale);
 
-    for (std::size_t d : distances) {
-        for (double ratio : ratios) {
-            qec::CircuitNoise noise;
-            noise.p2 = 1e-2;
-            noise.p1 = 1e-3;
-            noise.dataT1 = noise.dataT2 = base * ratio;
-            noise.ancT1 = noise.ancT2 = base;
-            const double p = qec::surfaceLogicalErrorPerRound(
-                d, d, noise, shots,
-                scale.seed + d * 10 + static_cast<std::size_t>(ratio));
-            t.addRow({std::to_string(d), formatFixed(ratio, 0),
-                      formatSci(p, 3)});
-        }
-    }
+    std::vector<double> values(distances.size() * ratios.size(), 0.0);
+    exec::parallelFor(values.size(), [&](std::size_t i) {
+        const std::size_t d = distances[i / ratios.size()];
+        const double ratio = ratios[i % ratios.size()];
+        qec::CircuitNoise noise;
+        noise.p2 = 1e-2;
+        noise.p1 = 1e-3;
+        noise.dataT1 = noise.dataT2 = base * ratio;
+        noise.ancT1 = noise.ancT2 = base;
+        values[i] = qec::surfaceLogicalErrorPerRound(
+            d, d, noise, shots,
+            scale.seed + d * 10 + static_cast<std::size_t>(ratio));
+    });
+    for (std::size_t i = 0; i < values.size(); ++i)
+        t.addRow({std::to_string(distances[i / ratios.size()]),
+                  formatFixed(ratios[i % ratios.size()], 0),
+                  formatSci(values[i], 3)});
     return t;
 }
 
@@ -226,14 +248,19 @@ fig9UecTsSweep(const RunScale& scale)
     const std::vector<double> ts_ms = {0.5, 1, 2, 5, 10, 20, 50};
     const auto shots = scaled(3000, scale);
 
-    for (const auto& code : qec::paperCodeZoo()) {
-        for (double ts : ts_ms) {
-            const double p = uec::uecLogicalErrorPerRound(
-                code, ts * ms, 3, shots,
-                scale.seed + static_cast<std::uint64_t>(ts * 7));
-            t.addRow({code.name, formatFixed(ts, 1), formatSci(p, 3)});
-        }
-    }
+    const auto zoo = qec::paperCodeZoo();
+    std::vector<double> values(zoo.size() * ts_ms.size(), 0.0);
+    exec::parallelFor(values.size(), [&](std::size_t i) {
+        const auto& code = zoo[i / ts_ms.size()];
+        const double ts = ts_ms[i % ts_ms.size()];
+        values[i] = uec::uecLogicalErrorPerRound(
+            code, ts * ms, 3, shots,
+            scale.seed + static_cast<std::uint64_t>(ts * 7));
+    });
+    for (std::size_t i = 0; i < values.size(); ++i)
+        t.addRow({zoo[i / ts_ms.size()].name,
+                  formatFixed(ts_ms[i % ts_ms.size()], 1),
+                  formatSci(values[i], 3)});
     return t;
 }
 
@@ -243,14 +270,24 @@ table3UecComparison(const RunScale& scale)
     TextTable t({"code", "pseudothreshold", "het(Ts=50ms)", "hom",
                  "reduction"});
     const auto shots = scaled(4000, scale);
-    for (const auto& code : qec::paperCodeZoo()) {
-        const double pt =
+    const auto zoo = qec::paperCodeZoo();
+    struct Row
+    {
+        double pt = 0.0, het = 0.0, hom = 0.0;
+    };
+    std::vector<Row> rows(zoo.size());
+    exec::parallelFor(zoo.size(), [&](std::size_t i) {
+        const auto& code = zoo[i];
+        rows[i].pt =
             uec::pseudothreshold(code, scaled(3000, scale), scale.seed);
-        const double het = uec::uecLogicalErrorPerRound(
+        rows[i].het = uec::uecLogicalErrorPerRound(
             code, 50.0 * ms, 3, shots, scale.seed + 1);
-        const double hom = uec::homogeneousLogicalErrorPerRound(
+        rows[i].hom = uec::homogeneousLogicalErrorPerRound(
             code, 3, shots, scale.seed + 2);
-        t.addRow({code.name,
+    });
+    for (std::size_t i = 0; i < zoo.size(); ++i) {
+        const auto& [pt, het, hom] = rows[i];
+        t.addRow({zoo[i].name,
                   pt > 0 ? formatFixed(pt, 4) : "-",
                   formatFixed(het, 4), formatFixed(hom, 4),
                   het > 0 ? formatFixed(hom / het, 2) + "x" : "-"});
@@ -274,18 +311,22 @@ fig12CtTsSweep(const RunScale& scale)
                  {"17QCC&SC4", {cc, sc4}}};
     const std::vector<double> ts_ms = {1, 2, 5, 10, 20, 35, 50};
 
-    for (const auto& [name, codes] : pairs) {
-        for (double ts : ts_ms) {
-            teleport::CtConfig cfg;
-            cfg.ts = ts * ms;
-            cfg.shots = scaled(2000, scale);
-            cfg.seed = scale.seed + static_cast<std::uint64_t>(ts);
-            const auto res = teleport::prepareCtState(
-                codes.first, codes.second, cfg);
-            t.addRow({name, formatFixed(ts, 1),
-                      formatFixed(res.errorProbability, 3)});
-        }
-    }
+    std::vector<double> values(pairs.size() * ts_ms.size(), 0.0);
+    exec::parallelFor(values.size(), [&](std::size_t i) {
+        const auto& codes = pairs[i / ts_ms.size()].second;
+        const double ts = ts_ms[i % ts_ms.size()];
+        teleport::CtConfig cfg;
+        cfg.ts = ts * ms;
+        cfg.shots = scaled(2000, scale);
+        cfg.seed = scale.seed + static_cast<std::uint64_t>(ts);
+        values[i] = teleport::prepareCtState(codes.first, codes.second,
+                                             cfg)
+                        .errorProbability;
+    });
+    for (std::size_t i = 0; i < values.size(); ++i)
+        t.addRow({pairs[i / ts_ms.size()].first,
+                  formatFixed(ts_ms[i % ts_ms.size()], 1),
+                  formatFixed(values[i], 3)});
     return t;
 }
 
@@ -296,25 +337,34 @@ table4CtMatrix(const RunScale& scale)
     const auto zoo = qec::paperCodeZoo();
     const std::vector<std::string> names = {"RM", "17QCC", "ST", "SC3",
                                             "SC4"};
-    for (std::size_t i = 0; i < zoo.size(); ++i) {
-        for (std::size_t j = i + 1; j < zoo.size(); ++j) {
-            teleport::CtConfig cfg;
-            cfg.shots = scaled(2000, scale);
-            cfg.seed = scale.seed + i * 31 + j;
-            cfg.heterogeneous = true;
-            const auto het = teleport::prepareCtState(zoo[i], zoo[j], cfg);
-            cfg.heterogeneous = false;
-            const auto hom = teleport::prepareCtState(zoo[i], zoo[j], cfg);
-            t.addRow({names[i], names[j],
-                      formatFixed(het.errorProbability, 3),
-                      formatFixed(hom.errorProbability, 3),
-                      het.errorProbability > 0
-                          ? formatFixed(hom.errorProbability /
-                                            het.errorProbability,
-                                        2) +
-                                "x"
-                          : "-"});
-        }
+    std::vector<std::pair<std::size_t, std::size_t>> cells;
+    for (std::size_t i = 0; i < zoo.size(); ++i)
+        for (std::size_t j = i + 1; j < zoo.size(); ++j)
+            cells.push_back({i, j});
+
+    struct HetHom
+    {
+        double het = 0.0, hom = 0.0;
+    };
+    std::vector<HetHom> values(cells.size());
+    exec::parallelFor(cells.size(), [&](std::size_t k) {
+        const auto [i, j] = cells[k];
+        teleport::CtConfig cfg;
+        cfg.shots = scaled(2000, scale);
+        cfg.seed = scale.seed + i * 31 + j;
+        cfg.heterogeneous = true;
+        values[k].het =
+            teleport::prepareCtState(zoo[i], zoo[j], cfg).errorProbability;
+        cfg.heterogeneous = false;
+        values[k].hom =
+            teleport::prepareCtState(zoo[i], zoo[j], cfg).errorProbability;
+    });
+    for (std::size_t k = 0; k < cells.size(); ++k) {
+        const auto [i, j] = cells[k];
+        const auto& [het, hom] = values[k];
+        t.addRow({names[i], names[j], formatFixed(het, 3),
+                  formatFixed(hom, 3),
+                  het > 0 ? formatFixed(hom / het, 2) + "x" : "-"});
     }
     return t;
 }

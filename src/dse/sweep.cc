@@ -1,6 +1,7 @@
 #include "dse/sweep.hh"
 
 #include "core/logging.hh"
+#include "exec/thread_pool.hh"
 
 namespace hetarch {
 namespace dse {
@@ -26,18 +27,19 @@ Sweep::size() const
     return n;
 }
 
-std::vector<std::pair<DesignPoint, Metrics>>
-Sweep::run(const std::function<Metrics(const DesignPoint&)>& fn) const
+std::vector<DesignPoint>
+Sweep::points() const
 {
     HETARCH_ASSERT(!params.empty(), "sweep has no parameters");
-    std::vector<std::pair<DesignPoint, Metrics>> results;
+    std::vector<DesignPoint> grid;
+    grid.reserve(size());
     std::vector<std::size_t> idx(params.size(), 0);
 
     while (true) {
         DesignPoint point;
         for (std::size_t p = 0; p < params.size(); ++p)
             point[params[p].first] = params[p].second[idx[p]];
-        results.push_back({point, fn(point)});
+        grid.push_back(std::move(point));
 
         // Odometer increment, last parameter fastest.
         std::size_t p = params.size();
@@ -46,9 +48,33 @@ Sweep::run(const std::function<Metrics(const DesignPoint&)>& fn) const
                 break;
             idx[p] = 0;
             if (p == 0)
-                return results;
+                return grid;
         }
     }
+}
+
+std::vector<std::pair<DesignPoint, Metrics>>
+Sweep::run(const std::function<Metrics(const DesignPoint&)>& fn) const
+{
+    const auto grid = points();
+    // Grid points are independent design evaluations; results land in
+    // pre-sized slots so output order matches the grid no matter which
+    // worker evaluates which point.
+    std::vector<std::pair<DesignPoint, Metrics>> results(grid.size());
+    exec::parallelFor(grid.size(), [&](std::size_t i) {
+        results[i] = {grid[i], fn(grid[i])};
+    });
+    return results;
+}
+
+std::vector<std::pair<DesignPoint, Metrics>>
+Sweep::runSequential(
+    const std::function<Metrics(const DesignPoint&)>& fn) const
+{
+    std::vector<std::pair<DesignPoint, Metrics>> results;
+    for (const auto& point : points())
+        results.push_back({point, fn(point)});
+    return results;
 }
 
 TextTable

@@ -41,11 +41,23 @@ class Sweep
     std::size_t size() const;
 
     /**
-     * Evaluate @p fn at every grid point; returns all results.  Rows
-     * are visited in lexicographic grid order (first parameter slowest).
+     * Evaluate @p fn at every grid point on the exec engine; returns
+     * all results in lexicographic grid order (first parameter
+     * slowest), regardless of evaluation order or thread count.
+     *
+     * @p fn must be safe to call concurrently for distinct points (all
+     * HetArch experiment entry points are).  Use runSequential for
+     * evaluation functions with shared mutable state.
      */
     std::vector<std::pair<DesignPoint, Metrics>>
     run(const std::function<Metrics(const DesignPoint&)>& fn) const;
+
+    /** run(), but strictly one point at a time on the calling thread. */
+    std::vector<std::pair<DesignPoint, Metrics>>
+    runSequential(const std::function<Metrics(const DesignPoint&)>& fn) const;
+
+    /** All grid points in lexicographic order (first parameter slowest). */
+    std::vector<DesignPoint> points() const;
 
     /** Render results as a table (parameters, then metrics). */
     static TextTable tabulate(

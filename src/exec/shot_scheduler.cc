@@ -1,0 +1,32 @@
+#include "exec/shot_scheduler.hh"
+
+#include "core/logging.hh"
+
+namespace hetarch {
+namespace exec {
+
+ShotScheduler::ShotScheduler(std::size_t shots, std::size_t chunk_shots)
+    : total(shots)
+{
+    if (chunk_shots == 0)
+        chunk_shots = kDefaultChunkShots;
+    // Round up to the sampler's 64-shot batch so a chunk boundary
+    // never falls inside a batch.
+    perChunk = (chunk_shots + 63) / 64 * 64;
+    chunks = total == 0 ? 0 : (total + perChunk - 1) / perChunk;
+}
+
+ShotChunk
+ShotScheduler::chunk(std::size_t i) const
+{
+    HETARCH_ASSERT(i < chunks, "chunk index ", i, " out of range (",
+                   chunks, " chunks)");
+    ShotChunk c;
+    c.index = i;
+    c.begin = i * perChunk;
+    c.count = std::min(perChunk, total - c.begin);
+    return c;
+}
+
+} // namespace exec
+} // namespace hetarch

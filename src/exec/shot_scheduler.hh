@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shot-budget partitioning for deterministic Monte-Carlo execution.
+ *
+ * A ShotScheduler splits a shot budget into chunks whose boundaries
+ * depend only on the budget itself — never on the thread count — so a
+ * chunked computation with per-chunk random streams is reproducible on
+ * any machine.  Chunks are aligned to the 64-shot batches of the Pauli
+ * frame sampler: every chunk except possibly the last is a multiple of
+ * 64 shots, so chunking never splits a sampler batch.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/rng.hh"
+
+namespace hetarch {
+namespace exec {
+
+/** One contiguous range of Monte-Carlo shots. */
+struct ShotChunk
+{
+    std::size_t index = 0; ///< chunk number, the RNG stream index
+    std::size_t begin = 0; ///< first shot covered
+    std::size_t count = 0; ///< shots in this chunk
+};
+
+/** Thread-count-independent partition of a shot budget. */
+class ShotScheduler
+{
+  public:
+    /** Default shots per chunk: 4 sampler batches. */
+    static constexpr std::size_t kDefaultChunkShots = 256;
+
+    /**
+     * Partition @p shots into chunks of @p chunk_shots (rounded up to
+     * a multiple of 64; 0 selects the default).  The last chunk takes
+     * the remainder.
+     */
+    explicit ShotScheduler(std::size_t shots,
+                           std::size_t chunk_shots = kDefaultChunkShots);
+
+    std::size_t shots() const { return total; }
+    std::size_t chunkShots() const { return perChunk; }
+    std::size_t numChunks() const { return chunks; }
+
+    /** The @p i-th chunk (i < numChunks()). */
+    ShotChunk chunk(std::size_t i) const;
+
+    /**
+     * The independent generator for chunk @p i of an experiment seeded
+     * with @p seed (Rng::deriveStream under the hood).
+     */
+    static Rng chunkRng(std::uint64_t seed, std::size_t i)
+    {
+        return Rng(Rng::deriveStream(seed, i));
+    }
+
+  private:
+    std::size_t total = 0;
+    std::size_t perChunk = 0;
+    std::size_t chunks = 0;
+};
+
+} // namespace exec
+} // namespace hetarch

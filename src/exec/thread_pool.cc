@@ -1,0 +1,224 @@
+#include "exec/thread_pool.hh"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/logging.hh"
+
+namespace hetarch {
+namespace exec {
+
+namespace {
+
+/** Per-thread flag marking execution inside a parallelFor task. */
+thread_local bool tlInParallelRegion = false;
+
+std::atomic<unsigned> gOverride{0};
+
+unsigned
+defaultThreadCount()
+{
+    if (const char* env = std::getenv("HETARCH_THREADS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed >= 1 &&
+            parsed <= std::numeric_limits<int>::max())
+            return static_cast<unsigned>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+/**
+ * The shared worker pool.  Jobs are announced by bumping a generation
+ * counter under the mutex; workers drain the job's index counter and
+ * tally completed tasks, so which worker runs which index is free to
+ * vary while results stay slot-addressed and deterministic.
+ */
+class Pool
+{
+  public:
+    static Pool& instance()
+    {
+        static Pool pool;
+        return pool;
+    }
+
+    void run(std::size_t n, const std::function<void(std::size_t)>& fn,
+             unsigned workers)
+    {
+        std::unique_lock<std::mutex> lock(poolMutex);
+        ensureWorkersLocked(workers - 1);
+        jobFn = &fn;
+        jobSize = n;
+        nextIndex.store(0, std::memory_order_relaxed);
+        completed.store(0, std::memory_order_relaxed);
+        firstErrorIndex = kNoError;
+        firstError = nullptr;
+        ++generation;
+        lock.unlock();
+        jobAvailable.notify_all();
+
+        drain(n, fn); // the calling thread works too
+
+        lock.lock();
+        jobDone.wait(lock, [&] {
+            return completed.load(std::memory_order_acquire) == n;
+        });
+        jobFn = nullptr;
+        const auto error = firstError;
+        lock.unlock();
+        if (error)
+            std::rethrow_exception(error);
+    }
+
+  private:
+    static constexpr std::size_t kNoError =
+        std::numeric_limits<std::size_t>::max();
+
+    Pool() = default;
+
+    ~Pool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(poolMutex);
+            shutdown = true;
+        }
+        jobAvailable.notify_all();
+        for (auto& worker : threads)
+            worker.join();
+    }
+
+    void ensureWorkersLocked(unsigned wanted)
+    {
+        while (threads.size() < wanted)
+            threads.emplace_back([this] { workerLoop(); });
+    }
+
+    /** Pull task indices until the current job's counter is exhausted. */
+    void drain(std::size_t n, const std::function<void(std::size_t)>& fn)
+    {
+        tlInParallelRegion = true;
+        for (;;) {
+            const std::size_t i =
+                nextIndex.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                break;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(poolMutex);
+                if (i < firstErrorIndex) {
+                    firstErrorIndex = i;
+                    firstError = std::current_exception();
+                }
+            }
+            if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                n) {
+                // Empty critical section pairs with the jobDone wait.
+                { std::lock_guard<std::mutex> lock(poolMutex); }
+                jobDone.notify_all();
+            }
+        }
+        tlInParallelRegion = false;
+    }
+
+    void workerLoop()
+    {
+        std::uint64_t seen = 0;
+        std::unique_lock<std::mutex> lock(poolMutex);
+        for (;;) {
+            jobAvailable.wait(lock, [&] {
+                return shutdown || (generation != seen && jobFn);
+            });
+            if (shutdown)
+                return;
+            seen = generation;
+            const auto* fn = jobFn;
+            const std::size_t n = jobSize;
+            lock.unlock();
+            drain(n, *fn);
+            lock.lock();
+        }
+    }
+
+    std::mutex poolMutex;
+    std::condition_variable jobAvailable;
+    std::condition_variable jobDone;
+    std::vector<std::thread> threads;
+    bool shutdown = false;
+
+    // Current job (guarded by poolMutex except the atomics).
+    std::uint64_t generation = 0;
+    const std::function<void(std::size_t)>* jobFn = nullptr;
+    std::size_t jobSize = 0;
+    std::atomic<std::size_t> nextIndex{0};
+    std::atomic<std::size_t> completed{0};
+    std::size_t firstErrorIndex = kNoError;
+    std::exception_ptr firstError;
+};
+
+} // namespace
+
+unsigned
+threadCount()
+{
+    const unsigned forced = gOverride.load(std::memory_order_relaxed);
+    return forced > 0 ? forced : defaultThreadCount();
+}
+
+void
+setThreadCount(unsigned n)
+{
+    gOverride.store(n, std::memory_order_relaxed);
+}
+
+bool
+inParallelRegion()
+{
+    return tlInParallelRegion;
+}
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn)
+{
+    if (n == 0)
+        return;
+    const unsigned workers = threadCount();
+    // Serial fast path: one worker, a single task, or a nested call
+    // (the outer loop already owns the pool).  Runs inline in task
+    // order; by the determinism rules this is bit-identical to the
+    // parallel path.
+    if (workers <= 1 || n == 1 || tlInParallelRegion) {
+        const bool outermost = !tlInParallelRegion;
+        tlInParallelRegion = true;
+        try {
+            for (std::size_t i = 0; i < n; ++i)
+                fn(i);
+        } catch (...) {
+            if (outermost)
+                tlInParallelRegion = false;
+            throw;
+        }
+        if (outermost)
+            tlInParallelRegion = false;
+        return;
+    }
+    Pool::instance().run(n, fn, workers);
+}
+
+void
+parallelInvoke(std::initializer_list<std::function<void()>> tasks)
+{
+    const auto* begin = tasks.begin();
+    parallelFor(tasks.size(),
+                [&](std::size_t i) { (*(begin + i))(); });
+}
+
+} // namespace exec
+} // namespace hetarch

@@ -1,0 +1,173 @@
+#include "qec/decoder_cache.hh"
+
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/logging.hh"
+#include "qec/surface_circuit.hh"
+
+namespace hetarch {
+namespace qec {
+
+std::uint64_t
+hashCircuit(const stab::Circuit& circuit)
+{
+    // FNV-1a over the full op stream, including noise parameters: two
+    // circuits decode identically iff all of this matches.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(circuit.numQubits());
+    for (const auto& op : circuit.ops()) {
+        mix(static_cast<std::uint64_t>(op.code));
+        mix(op.id);
+        mix(op.targets.size());
+        for (auto t : op.targets)
+            mix(t);
+        mix(op.params.size());
+        for (double p : op.params) {
+            std::uint64_t bits;
+            std::memcpy(&bits, &p, sizeof bits);
+            mix(bits);
+        }
+    }
+    return h;
+}
+
+std::shared_ptr<const DecoderSetup>
+DecoderSetup::build(const stab::Circuit& circuit, DecoderKind kind)
+{
+    auto setup = std::make_shared<DecoderSetup>();
+    setup->dem = stab::buildDetectorErrorModel(circuit);
+
+    if (kind == DecoderKind::GreedyDem) {
+        // The decoder keeps a reference to setup->dem, which lives at
+        // a stable address inside the shared_ptr from here on.
+        setup->greedy = std::make_unique<DemDecoder>(setup->dem);
+        return setup;
+    }
+
+    // Union-find path: decode the two tagged graphs independently.
+    // Exactly one graph carries the logical observable: the one whose
+    // detector class co-occurs with observable-flipping mechanisms
+    // (Z-stabilizer detectors for memory-Z, X for memory-X).  Detect
+    // it from the DEM instead of assuming a basis.
+    const auto& tags = circuit.detectorTags();
+    // Vote with mechanisms whose detectors sit *exclusively* in one
+    // class: a pure Z error (X-detector-only) can never flip logical Z,
+    // so for memory-Z the exclusive observable flippers all live in the
+    // Z-detector class (and symmetrically for memory-X).
+    double obs_votes[2] = {0.0, 0.0};
+    for (const auto& mech : setup->dem.mechanisms) {
+        if (!mech.observables || mech.detectors.empty())
+            continue;
+        const auto first_tag = tags[mech.detectors.front()];
+        bool exclusive = true;
+        for (auto d : mech.detectors)
+            exclusive = exclusive && tags[d] == first_tag;
+        if (exclusive)
+            obs_votes[first_tag == kTagX ? 1 : 0] += mech.probability;
+    }
+    setup->zCarriesObservable = obs_votes[0] >= obs_votes[1];
+    setup->graphZ = DecodingGraph::fromDem(setup->dem, tags, kTagZ,
+                                           setup->zCarriesObservable);
+    setup->graphX = DecodingGraph::fromDem(setup->dem, tags, kTagX,
+                                           !setup->zCarriesObservable);
+    return setup;
+}
+
+struct DecoderCache::Impl
+{
+    struct Key
+    {
+        std::uint64_t hash;
+        std::uint64_t numOps;
+        std::uint64_t numDetectors;
+        DecoderKind kind;
+
+        bool operator==(const Key& other) const
+        {
+            return hash == other.hash && numOps == other.numOps &&
+                   numDetectors == other.numDetectors &&
+                   kind == other.kind;
+        }
+    };
+
+    struct KeyHash
+    {
+        std::size_t operator()(const Key& k) const
+        {
+            return static_cast<std::size_t>(
+                k.hash ^ (k.numOps * 0x9e3779b97f4a7c15ull) ^
+                (static_cast<std::uint64_t>(k.kind) << 62));
+        }
+    };
+
+    /** Whole-cache eviction threshold; sweeps touch shapes in bursts. */
+    static constexpr std::size_t kCapacity = 128;
+
+    mutable std::mutex mutex;
+    std::unordered_map<Key, std::shared_ptr<const DecoderSetup>, KeyHash>
+        entries;
+    std::size_t hitCount = 0;
+};
+
+DecoderCache::DecoderCache() : impl(std::make_unique<Impl>()) {}
+DecoderCache::~DecoderCache() = default;
+
+DecoderCache&
+DecoderCache::instance()
+{
+    static DecoderCache cache;
+    return cache;
+}
+
+std::shared_ptr<const DecoderSetup>
+DecoderCache::get(const stab::Circuit& circuit, DecoderKind kind)
+{
+    const Impl::Key key{hashCircuit(circuit), circuit.ops().size(),
+                        circuit.numDetectors(), kind};
+    {
+        std::lock_guard<std::mutex> lock(impl->mutex);
+        auto it = impl->entries.find(key);
+        if (it != impl->entries.end()) {
+            ++impl->hitCount;
+            return it->second;
+        }
+    }
+    // Build outside the lock: setups are deterministic, so two threads
+    // racing on the same key produce interchangeable results.
+    auto setup = DecoderSetup::build(circuit, kind);
+    std::lock_guard<std::mutex> lock(impl->mutex);
+    if (impl->entries.size() >= Impl::kCapacity)
+        impl->entries.clear();
+    impl->entries.emplace(key, setup);
+    return setup;
+}
+
+void
+DecoderCache::clear()
+{
+    std::lock_guard<std::mutex> lock(impl->mutex);
+    impl->entries.clear();
+}
+
+std::size_t
+DecoderCache::size() const
+{
+    std::lock_guard<std::mutex> lock(impl->mutex);
+    return impl->entries.size();
+}
+
+std::size_t
+DecoderCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(impl->mutex);
+    return impl->hitCount;
+}
+
+} // namespace qec
+} // namespace hetarch

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared, immutable decoding setup for Monte-Carlo experiments, plus a
+ * process-wide cache of setups keyed on circuit content.
+ *
+ * Building the detector error model and the decoding graphs is the
+ * serial prefix of every memory experiment; chunk-parallel decoding
+ * wants exactly one of each, shared read-only by all chunks.  Design-
+ * space sweeps additionally re-evaluate the same circuit shape many
+ * times (e.g. every code pair of Table 4 re-prepares the same code's
+ * logical state), so setups are cached across calls.
+ *
+ * The cache is transparent: construction is deterministic, so a hit
+ * returns a setup bit-identical to what a fresh build would produce.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "qec/dem_decoder.hh"
+#include "qec/union_find.hh"
+#include "stab/circuit.hh"
+#include "stab/dem.hh"
+
+namespace hetarch {
+namespace qec {
+
+/** Decoder selection for runMemoryExperiment. */
+enum class DecoderKind
+{
+    /** Weighted union-find on the tagged matching graphs. */
+    UnionFind,
+    /** Greedy DEM decoder (handles hyperedge mechanisms). */
+    GreedyDem,
+};
+
+/**
+ * Everything shot-independent about decoding one circuit: the DEM
+ * and, per decoder kind, either the two tagged matching graphs (with
+ * the observable-carrier vote already taken) or the greedy decoder's
+ * lookup structures.  Immutable after build(); safe to share across
+ * threads.
+ */
+struct DecoderSetup
+{
+    stab::DetectorErrorModel dem;
+
+    // Union-find path.
+    DecodingGraph graphZ;
+    DecodingGraph graphX;
+    /** Whether the Z-detector graph carries the logical observable. */
+    bool zCarriesObservable = true;
+
+    // Greedy-DEM path (references `dem`, hence the stable storage).
+    std::unique_ptr<DemDecoder> greedy;
+
+    DecoderSetup() = default;
+    DecoderSetup(const DecoderSetup&) = delete;
+    DecoderSetup& operator=(const DecoderSetup&) = delete;
+
+    /** Build the setup for @p circuit / @p kind (no caching). */
+    static std::shared_ptr<const DecoderSetup>
+    build(const stab::Circuit& circuit, DecoderKind kind);
+};
+
+/**
+ * Process-wide setup cache keyed on (circuit content, decoder kind).
+ * Thread-safe; bounded (evicts wholesale when over capacity, since
+ * sweeps touch each shape in bursts).
+ */
+class DecoderCache
+{
+  public:
+    static DecoderCache& instance();
+
+    /** Cached or freshly built setup for @p circuit / @p kind. */
+    std::shared_ptr<const DecoderSetup> get(const stab::Circuit& circuit,
+                                            DecoderKind kind);
+
+    /** Drop all cached setups. */
+    void clear();
+    /** Number of cached setups. */
+    std::size_t size() const;
+    /** Cache hits since construction (for tests and perf reports). */
+    std::size_t hits() const;
+
+  private:
+    struct Impl;
+    DecoderCache();
+    ~DecoderCache();
+    std::unique_ptr<Impl> impl;
+};
+
+/** Content hash of a circuit (structure, targets, noise parameters). */
+std::uint64_t hashCircuit(const stab::Circuit& circuit);
+
+} // namespace qec
+} // namespace hetarch

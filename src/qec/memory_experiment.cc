@@ -1,13 +1,13 @@
 #include "qec/memory_experiment.hh"
 
 #include <cmath>
+#include <vector>
 
 #include "core/logging.hh"
-#include "qec/dem_decoder.hh"
+#include "exec/shot_scheduler.hh"
+#include "exec/thread_pool.hh"
 #include "qec/surface_circuit.hh"
-#include "qec/union_find.hh"
 #include "stab/dem.hh"
-#include "stab/frame.hh"
 
 namespace hetarch {
 namespace qec {
@@ -24,75 +24,73 @@ MemoryResult::perRound() const
     return 0.5 * (1.0 - std::pow(inner, 1.0 / static_cast<double>(rounds)));
 }
 
+std::size_t
+countLogicalFailures(const DecoderSetup& setup, DecoderKind decoder,
+                     const stab::DetectorSamples& samples)
+{
+    std::size_t failures = 0;
+    std::vector<std::uint8_t> syndrome(samples.numDetectors);
+
+    if (decoder == DecoderKind::GreedyDem) {
+        for (std::size_t s = 0; s < samples.shots; ++s) {
+            for (std::size_t d = 0; d < samples.numDetectors; ++d)
+                syndrome[d] = samples.det(s, d);
+            const auto predicted = setup.greedy->decode(syndrome);
+            const auto actual =
+                static_cast<std::uint32_t>(samples.obs(s, 0));
+            if ((predicted & 1u) != actual)
+                ++failures;
+        }
+        return failures;
+    }
+
+    // Decoder instances are local to the chunk: construction is cheap
+    // (they only bind the shared graphs) and all per-decode scratch
+    // state stays on this thread.
+    UnionFindDecoder dec_z(setup.graphZ);
+    UnionFindDecoder dec_x(setup.graphX);
+    for (std::size_t s = 0; s < samples.shots; ++s) {
+        for (std::size_t d = 0; d < samples.numDetectors; ++d)
+            syndrome[d] = samples.det(s, d);
+        std::uint32_t predicted = 0;
+        if (setup.graphZ.numNodes())
+            predicted ^= dec_z.decode(setup.graphZ.projectSyndrome(syndrome));
+        if (setup.graphX.numNodes())
+            predicted ^= dec_x.decode(setup.graphX.projectSyndrome(syndrome));
+        const auto actual = static_cast<std::uint32_t>(samples.obs(s, 0));
+        if ((predicted & 1u) != actual)
+            ++failures;
+    }
+    return failures;
+}
+
 MemoryResult
 runMemoryExperiment(const stab::Circuit& circuit, std::size_t shots,
                     std::size_t rounds, DecoderKind decoder, Rng& rng)
 {
-    const auto dem = stab::buildDetectorErrorModel(circuit);
-    stab::FrameSimulator frame(circuit);
-    const auto samples = frame.sampleDetectors(shots, rng);
-
     MemoryResult result;
     result.shots = shots;
     result.rounds = rounds;
-
-    if (decoder == DecoderKind::GreedyDem) {
-        DemDecoder dec(dem);
-        std::vector<std::uint8_t> syndrome(samples.numDetectors);
-        for (std::size_t s = 0; s < shots; ++s) {
-            for (std::size_t d = 0; d < samples.numDetectors; ++d)
-                syndrome[d] = samples.det(s, d);
-            const auto predicted = dec.decode(syndrome);
-            const auto actual =
-                static_cast<std::uint32_t>(samples.obs(s, 0));
-            if ((predicted & 1u) != actual)
-                ++result.failures;
-        }
+    if (shots == 0)
         return result;
-    }
 
-    // Union-find path: decode the two tagged graphs independently.
-    // Exactly one graph carries the logical observable: the one whose
-    // detector class co-occurs with observable-flipping mechanisms
-    // (Z-stabilizer detectors for memory-Z, X for memory-X).  Detect
-    // it from the DEM instead of assuming a basis.
-    const auto& tags = circuit.detectorTags();
-    // Vote with mechanisms whose detectors sit *exclusively* in one
-    // class: a pure Z error (X-detector-only) can never flip logical Z,
-    // so for memory-Z the exclusive observable flippers all live in the
-    // Z-detector class (and symmetrically for memory-X).
-    double obs_votes[2] = {0.0, 0.0};
-    for (const auto& mech : dem.mechanisms) {
-        if (!mech.observables || mech.detectors.empty())
-            continue;
-        const auto first_tag = tags[mech.detectors.front()];
-        bool exclusive = true;
-        for (auto d : mech.detectors)
-            exclusive = exclusive && tags[d] == first_tag;
-        if (exclusive)
-            obs_votes[first_tag == kTagX ? 1 : 0] += mech.probability;
-    }
-    const bool z_carries = obs_votes[0] >= obs_votes[1];
-    const auto graph_z =
-        DecodingGraph::fromDem(dem, tags, kTagZ, z_carries);
-    const auto graph_x =
-        DecodingGraph::fromDem(dem, tags, kTagX, !z_carries);
-    UnionFindDecoder dec_z(graph_z);
-    UnionFindDecoder dec_x(graph_x);
+    const auto setup = DecoderCache::instance().get(circuit, decoder);
+    const stab::FrameSimulator frame(circuit);
 
-    std::vector<std::uint8_t> full(samples.numDetectors);
-    for (std::size_t s = 0; s < shots; ++s) {
-        for (std::size_t d = 0; d < samples.numDetectors; ++d)
-            full[d] = samples.det(s, d);
-        std::uint32_t predicted = 0;
-        if (graph_z.numNodes())
-            predicted ^= dec_z.decode(graph_z.projectSyndrome(full));
-        if (graph_x.numNodes())
-            predicted ^= dec_x.decode(graph_x.projectSyndrome(full));
-        const auto actual = static_cast<std::uint32_t>(samples.obs(s, 0));
-        if ((predicted & 1u) != actual)
-            ++result.failures;
-    }
+    // One draw fixes the experiment's base stream; every chunk derives
+    // its generator from (base, chunkIndex), so the partition — and
+    // with it the result — is independent of how chunks are scheduled.
+    const std::uint64_t base = rng();
+    const exec::ShotScheduler sched(shots);
+    std::vector<std::size_t> failures(sched.numChunks(), 0);
+    exec::parallelFor(sched.numChunks(), [&](std::size_t i) {
+        const auto chunk = sched.chunk(i);
+        Rng chunk_rng = exec::ShotScheduler::chunkRng(base, chunk.index);
+        const auto samples = frame.sampleDetectors(chunk.count, chunk_rng);
+        failures[i] = countLogicalFailures(*setup, decoder, samples);
+    });
+    for (auto f : failures)
+        result.failures += f;
     return result;
 }
 

@@ -2,6 +2,12 @@
  * @file
  * End-to-end memory-experiment harness: circuit -> detector error
  * model -> Monte-Carlo sampling -> decoding -> logical error rate.
+ *
+ * Sampling and decoding run on the hetarch::exec engine: the shot
+ * budget is split into 64-shot-aligned chunks, each chunk samples with
+ * its own Rng::deriveStream child generator and decodes immediately,
+ * so peak syndrome storage is one chunk (not the whole experiment) and
+ * results are bit-identical for any thread count.
  */
 
 #pragma once
@@ -9,8 +15,10 @@
 #include <cstdint>
 
 #include "core/rng.hh"
+#include "qec/decoder_cache.hh"
 #include "qec/noise_model.hh"
 #include "stab/circuit.hh"
+#include "stab/frame.hh"
 
 namespace hetarch {
 namespace qec {
@@ -36,15 +44,6 @@ struct MemoryResult
     double perRound() const;
 };
 
-/** Decoder selection for runMemoryExperiment. */
-enum class DecoderKind
-{
-    /** Weighted union-find on the tagged matching graphs. */
-    UnionFind,
-    /** Greedy DEM decoder (handles hyperedge mechanisms). */
-    GreedyDem,
-};
-
 /**
  * Sample @p shots shots of @p circuit, decode each, and count logical
  * failures of observable 0.
@@ -52,10 +51,26 @@ enum class DecoderKind
  * For DecoderKind::UnionFind the circuit's detectors must be tagged
  * (kTagZ/kTagX); both graphs are decoded and their observable
  * predictions combined.
+ *
+ * Draws exactly one word from @p rng (the experiment's base stream
+ * id); all sampling randomness is derived from it per chunk, so the
+ * result depends only on the rng state at entry — not on the thread
+ * count.  The shot-independent decoding setup comes from the shared
+ * DecoderCache.
  */
 MemoryResult runMemoryExperiment(const stab::Circuit& circuit,
                                  std::size_t shots, std::size_t rounds,
                                  DecoderKind decoder, Rng& rng);
+
+/**
+ * Decode every shot of a pre-sampled buffer against @p setup and count
+ * logical failures of observable 0.  This is the per-chunk kernel of
+ * runMemoryExperiment, exposed so tests can cross-check the chunked
+ * path against a whole-buffer decode.
+ */
+std::size_t countLogicalFailures(const DecoderSetup& setup,
+                                 DecoderKind decoder,
+                                 const stab::DetectorSamples& samples);
 
 /**
  * Convenience: logical error per cycle of the rotated surface code

@@ -1,6 +1,7 @@
 #include "uec/experiment.hh"
 
 #include "core/logging.hh"
+#include "exec/thread_pool.hh"
 #include "qec/css_circuit.hh"
 #include "qec/memory_experiment.hh"
 #include "qec/surface_circuit.hh"
@@ -74,11 +75,19 @@ pseudothreshold(const qec::CssCode& code, std::size_t shots,
         return res.perShot();
     };
 
-    // Bracket the crossover p_L(p) = p on [1e-3, 0.4].
+    // Bracket the crossover p_L(p) = p on [1e-3, 0.4].  The two probes
+    // are independent experiments; run them concurrently (the bisection
+    // itself is inherently sequential, but each evaluation still
+    // shot-parallelizes internally).
     double lo = 1e-3, hi = 0.4;
-    if (p_logical(lo, seed) >= lo)
+    double at_lo = 0.0, at_hi = 0.0;
+    exec::parallelInvoke({
+        [&] { at_lo = p_logical(lo, seed); },
+        [&] { at_hi = p_logical(hi, seed + 1); },
+    });
+    if (at_lo >= lo)
         return 0.0; // never below break-even
-    if (p_logical(hi, seed + 1) <= hi)
+    if (at_hi <= hi)
         return hi;
     for (int iter = 0; iter < 12; ++iter) {
         const double mid = 0.5 * (lo + hi);

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Golden determinism tests for the exec engine: every Monte-Carlo
+ * entry point must produce bit-identical output for any worker count.
+ * Each test runs the same seeded experiment at 1, 2, and 8 workers and
+ * compares results exactly (integer counts and raw doubles — no
+ * tolerances).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.hh"
+#include "distill/module_sim.hh"
+#include "dse/sweep.hh"
+#include "exec/thread_pool.hh"
+#include "qec/memory_experiment.hh"
+#include "qec/surface_circuit.hh"
+#include "uec/experiment.hh"
+
+namespace hetarch {
+namespace {
+
+const unsigned kWorkerCounts[] = {1, 2, 8};
+
+/** Restores the default worker count when a test exits. */
+struct ThreadCountGuard
+{
+    explicit ThreadCountGuard(unsigned n) { exec::setThreadCount(n); }
+    ~ThreadCountGuard() { exec::setThreadCount(0); }
+};
+
+TEST(Determinism, MemoryExperimentIsThreadCountInvariant)
+{
+    qec::CircuitNoise noise;
+    noise.p2 = 3e-3;
+    const auto circuit = qec::surfaceMemoryZ(3, 3, noise);
+
+    for (auto kind :
+         {qec::DecoderKind::UnionFind, qec::DecoderKind::GreedyDem}) {
+        std::vector<qec::MemoryResult> results;
+        for (unsigned workers : kWorkerCounts) {
+            ThreadCountGuard guard(workers);
+            Rng rng(1234);
+            results.push_back(
+                qec::runMemoryExperiment(circuit, 2000, 3, kind, rng));
+        }
+        for (std::size_t i = 1; i < results.size(); ++i) {
+            EXPECT_EQ(results[i].failures, results[0].failures)
+                << "workers " << kWorkerCounts[i];
+            EXPECT_EQ(results[i].shots, results[0].shots);
+        }
+        // The seeded experiment is not degenerate.
+        EXPECT_GT(results[0].failures, 0u);
+        EXPECT_LT(results[0].failures, results[0].shots);
+    }
+}
+
+TEST(Determinism, SurfacePerRoundIsThreadCountInvariant)
+{
+    qec::CircuitNoise noise;
+    noise.p2 = 2e-3;
+    std::vector<double> values;
+    for (unsigned workers : kWorkerCounts) {
+        ThreadCountGuard guard(workers);
+        values.push_back(
+            qec::surfaceLogicalErrorPerRound(3, 3, noise, 1500, 77));
+    }
+    EXPECT_EQ(values[1], values[0]);
+    EXPECT_EQ(values[2], values[0]);
+}
+
+TEST(Determinism, DistillEnsembleIsThreadCountInvariant)
+{
+    distill::DistillConfig config;
+    config.seed = 7;
+    const double horizon = 2.0 * units::ms;
+
+    std::vector<distill::DistillEnsemble> runs;
+    for (unsigned workers : kWorkerCounts) {
+        ThreadCountGuard guard(workers);
+        runs.push_back(
+            distill::simulateDistillationEnsemble(config, horizon, 4));
+    }
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+        ASSERT_EQ(runs[i].runs.size(), runs[0].runs.size());
+        for (std::size_t t = 0; t < runs[0].runs.size(); ++t) {
+            const auto& a = runs[0].runs[t];
+            const auto& b = runs[i].runs[t];
+            EXPECT_EQ(b.rawGenerated, a.rawGenerated) << "traj " << t;
+            EXPECT_EQ(b.distilled, a.distilled) << "traj " << t;
+            EXPECT_EQ(b.attempts, a.attempts) << "traj " << t;
+            EXPECT_EQ(b.failures, a.failures) << "traj " << t;
+        }
+        EXPECT_EQ(runs[i].meanDistilledRatePerMs(),
+                  runs[0].meanDistilledRatePerMs());
+    }
+}
+
+TEST(Determinism, EnsembleTrajectoryZeroMatchesSingleRun)
+{
+    distill::DistillConfig config;
+    config.seed = 21;
+    const double horizon = 1.5 * units::ms;
+
+    const auto single = distill::simulateDistillation(config, horizon);
+    const auto ensemble =
+        distill::simulateDistillationEnsemble(config, horizon, 3);
+    ASSERT_EQ(ensemble.runs.size(), 3u);
+    EXPECT_EQ(ensemble.runs[0].rawGenerated, single.rawGenerated);
+    EXPECT_EQ(ensemble.runs[0].distilled, single.distilled);
+    EXPECT_EQ(ensemble.runs[0].attempts, single.attempts);
+    EXPECT_EQ(ensemble.runs[0].failures, single.failures);
+    // Other trajectories explore genuinely different streams.
+    EXPECT_NE(ensemble.runs[1].rawGenerated,
+              ensemble.runs[0].rawGenerated);
+}
+
+TEST(Determinism, UecExperimentIsThreadCountInvariant)
+{
+    const auto code = qec::makeSteane();
+    std::vector<double> het, hom;
+    for (unsigned workers : kWorkerCounts) {
+        ThreadCountGuard guard(workers);
+        het.push_back(uec::uecLogicalErrorPerRound(
+            code, 10.0 * units::ms, 2, 600, 11));
+        hom.push_back(
+            uec::homogeneousLogicalErrorPerRound(code, 2, 600, 11));
+    }
+    EXPECT_EQ(het[1], het[0]);
+    EXPECT_EQ(het[2], het[0]);
+    EXPECT_EQ(hom[1], hom[0]);
+    EXPECT_EQ(hom[2], hom[0]);
+}
+
+TEST(Determinism, SweepRunMatchesSequentialAtEveryThreadCount)
+{
+    dse::Sweep sweep;
+    sweep.parameter("d", {3, 5})
+        .parameter("p", {1e-3, 3e-3});
+
+    const auto eval = [](const dse::DesignPoint& pt) -> dse::Metrics {
+        qec::CircuitNoise noise;
+        noise.p2 = pt.at("p");
+        const auto d = static_cast<std::size_t>(pt.at("d"));
+        const double ler = qec::surfaceLogicalErrorPerRound(
+            d, 2, noise, 500, 42 + d);
+        return {{"ler", ler}};
+    };
+
+    const auto reference = sweep.runSequential(eval);
+    for (unsigned workers : kWorkerCounts) {
+        ThreadCountGuard guard(workers);
+        const auto parallel = sweep.run(eval);
+        ASSERT_EQ(parallel.size(), reference.size());
+        for (std::size_t i = 0; i < reference.size(); ++i) {
+            EXPECT_EQ(parallel[i].first, reference[i].first)
+                << "grid order changed at " << i;
+            ASSERT_EQ(parallel[i].second.size(),
+                      reference[i].second.size());
+            for (std::size_t m = 0; m < reference[i].second.size(); ++m) {
+                EXPECT_EQ(parallel[i].second[m].first,
+                          reference[i].second[m].first);
+                EXPECT_EQ(parallel[i].second[m].second,
+                          reference[i].second[m].second)
+                    << "metric " << m << " at point " << i;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace hetarch

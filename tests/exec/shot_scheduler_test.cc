@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the shot scheduler: 64-shot alignment, exact coverage,
+ * and thread-count independence of the partition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exec/shot_scheduler.hh"
+
+namespace hetarch {
+namespace exec {
+namespace {
+
+TEST(ShotScheduler, PartitionCoversBudgetExactly)
+{
+    for (std::size_t shots : {1u, 63u, 64u, 100u, 256u, 1000u, 4096u}) {
+        ShotScheduler sched(shots);
+        std::size_t covered = 0;
+        for (std::size_t i = 0; i < sched.numChunks(); ++i) {
+            const auto chunk = sched.chunk(i);
+            EXPECT_EQ(chunk.index, i);
+            EXPECT_EQ(chunk.begin, covered);
+            covered += chunk.count;
+        }
+        EXPECT_EQ(covered, shots);
+    }
+}
+
+TEST(ShotScheduler, ChunksAre64Aligned)
+{
+    ShotScheduler sched(1000);
+    for (std::size_t i = 0; i + 1 < sched.numChunks(); ++i)
+        EXPECT_EQ(sched.chunk(i).count % 64, 0u);
+    // Last chunk takes the ragged remainder.
+    EXPECT_EQ(sched.chunk(sched.numChunks() - 1).count,
+              1000 % sched.chunkShots());
+}
+
+TEST(ShotScheduler, ChunkSizeRoundsUpToBatch)
+{
+    EXPECT_EQ(ShotScheduler(100, 1).chunkShots(), 64u);
+    EXPECT_EQ(ShotScheduler(100, 65).chunkShots(), 128u);
+    EXPECT_EQ(ShotScheduler(100, 0).chunkShots(),
+              ShotScheduler::kDefaultChunkShots);
+}
+
+TEST(ShotScheduler, ZeroShotsMeansZeroChunks)
+{
+    EXPECT_EQ(ShotScheduler(0).numChunks(), 0u);
+}
+
+TEST(ShotScheduler, PartitionIndependentOfAnythingButShots)
+{
+    // The partition is a pure function of the budget: two schedulers
+    // over the same budget agree chunk for chunk.
+    ShotScheduler a(5000), b(5000);
+    ASSERT_EQ(a.numChunks(), b.numChunks());
+    for (std::size_t i = 0; i < a.numChunks(); ++i) {
+        EXPECT_EQ(a.chunk(i).begin, b.chunk(i).begin);
+        EXPECT_EQ(a.chunk(i).count, b.chunk(i).count);
+    }
+}
+
+TEST(ShotScheduler, ChunkRngMatchesDeriveStream)
+{
+    Rng direct(Rng::deriveStream(99, 3));
+    Rng via = ShotScheduler::chunkRng(99, 3);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(direct(), via());
+}
+
+} // namespace
+} // namespace exec
+} // namespace hetarch
