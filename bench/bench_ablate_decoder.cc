@@ -15,6 +15,8 @@
 #include "qec/memory_experiment.hh"
 #include "qec/surface_circuit.hh"
 
+#include "bench_util.hh"
+
 namespace {
 
 using namespace hetarch;
@@ -54,6 +56,7 @@ BENCHMARK(BM_DecodeShot)->Arg(0)->Arg(1);
 int
 main(int argc, char** argv)
 {
+    hetarch::bench::configure(argc, argv);
     std::cout << "\n=== Ablation: union-find vs greedy DEM decoder "
                  "(surface d=3) ===\n";
     TextTable t({"p2", "p_L(union-find)", "p_L(greedy-dem)"});
@@ -70,6 +73,7 @@ main(int argc, char** argv)
     t.print(std::cout);
     std::cout.flush();
 
+    hetarch::bench::exportMetrics();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -14,6 +14,8 @@
 #include "core/table.hh"
 #include "distill/dejmps.hh"
 
+#include "bench_util.hh"
+
 namespace {
 
 using namespace hetarch;
@@ -46,6 +48,7 @@ BENCHMARK(BM_DejmpsExact);
 int
 main(int argc, char** argv)
 {
+    hetarch::bench::configure(argc, argv);
     using clock = std::chrono::steady_clock;
     std::cout << "\n=== Ablation: DEJMPS closed form vs exact DM ===\n";
 
@@ -87,6 +90,7 @@ main(int argc, char** argv)
     t.print(std::cout);
     std::cout.flush();
 
+    hetarch::bench::exportMetrics();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -23,6 +23,8 @@
 #include "dse/burden.hh"
 #include "teleport/code_teleport.hh"
 
+#include "bench_util.hh"
+
 namespace {
 
 using namespace hetarch;
@@ -48,6 +50,7 @@ BENCHMARK(BM_JointDensityMatrixStep)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
 int
 main(int argc, char** argv)
 {
+    hetarch::bench::configure(argc, argv);
     std::cout << "\n=== Ablation: hierarchical vs joint simulation burden "
                  "===\n";
 
@@ -97,6 +100,7 @@ main(int argc, char** argv)
     }
     std::cout.flush();
 
+    hetarch::bench::exportMetrics();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -16,6 +16,8 @@
 #include "distill/dejmps.hh"
 #include "distill/module_sim.hh"
 
+#include "bench_util.hh"
+
 namespace {
 
 using namespace hetarch;
@@ -37,6 +39,7 @@ BENCHMARK(BM_BbpsswRound);
 int
 main(int argc, char** argv)
 {
+    hetarch::bench::configure(argc, argv);
     std::cout << "\n=== Ablation: DEJMPS vs BBPSSW distillation ===\n";
 
     TextTable ladder({"round", "F(DEJMPS)", "F(BBPSSW)"});
@@ -83,6 +86,7 @@ main(int argc, char** argv)
     module.print(std::cout);
     std::cout.flush();
 
+    hetarch::bench::exportMetrics();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -18,6 +18,8 @@
 #include "stab/frame.hh"
 #include "stab/tableau.hh"
 
+#include "bench_util.hh"
+
 namespace {
 
 using namespace hetarch;
@@ -69,6 +71,7 @@ BENCHMARK(BM_TableauSampler)->Arg(3)->Arg(5)->Arg(9);
 int
 main(int argc, char** argv)
 {
+    hetarch::bench::configure(argc, argv);
     using clock = std::chrono::steady_clock;
     std::cout << "\n=== Ablation: frame sampler vs tableau simulator ===\n";
 
@@ -105,6 +108,7 @@ main(int argc, char** argv)
     t.print(std::cout);
     std::cout.flush();
 
+    hetarch::bench::exportMetrics();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

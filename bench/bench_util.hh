@@ -1,15 +1,23 @@
 /**
  * @file
  * Shared scaffolding for the benchmark/reproduction binaries: each
- * binary prints its paper artifact (table or figure data series) and
- * then runs its google-benchmark microbenchmarks.
+ * binary prints its paper artifact (table or figure data series),
+ * exports the observability snapshot, and then runs its
+ * google-benchmark microbenchmarks.
  *
  * Environment / CLI knobs:
- *   HETARCH_QUICK=1    run the experiments at reduced shot counts
- *   HETARCH_THREADS=N  worker count of the exec engine (default: all
- *                      hardware threads); results are bit-identical
- *                      for any value
- *   --threads=N        same as HETARCH_THREADS, takes precedence
+ *   HETARCH_QUICK=1        run the experiments at reduced shot counts
+ *   HETARCH_THREADS=N      worker count of the exec engine (default:
+ *                          all hardware threads); results are
+ *                          bit-identical for any value
+ *   --threads=N            same as HETARCH_THREADS, takes precedence
+ *   HETARCH_METRICS_OUT=F  write the obs snapshot (JSON) to F
+ *   --metrics-out=F        same, takes precedence
+ *
+ * The metrics snapshot is taken after the artifact but before the
+ * microbenchmarks: google-benchmark picks iteration counts adaptively,
+ * so counters recorded during it are machine-dependent and must not
+ * reach the exported file (CI compares counter values exactly).
  */
 
 #pragma once
@@ -22,6 +30,8 @@
 
 #include "dse/experiments.hh"
 #include "exec/thread_pool.hh"
+#include "obs/json.hh"
+#include "obs/obs.hh"
 
 namespace hetarch {
 namespace bench {
@@ -60,6 +70,14 @@ configureThreads(int& argc, char** argv)
     argc = out;
 }
 
+/** Consume the bench-harness flags: --threads and --metrics-out. */
+inline void
+configure(int& argc, char** argv)
+{
+    configureThreads(argc, argv);
+    obs::configureMetricsFromArgs(argc, argv);
+}
+
 /** Print one experiment table under a banner. */
 inline void
 printArtifact(const char* title, const TextTable& table)
@@ -69,17 +87,42 @@ printArtifact(const char* title, const TextTable& table)
     std::cout.flush();
 }
 
+/**
+ * Export the obs snapshot accumulated so far (when --metrics-out /
+ * HETARCH_METRICS_OUT is set) and print its human-readable summary.
+ * Must run before the microbenchmarks — see the file comment.
+ */
+inline void
+exportMetrics()
+{
+    if (obs::metricsOutPath().empty())
+        return;
+    const auto snap = obs::Registry::instance().snapshot();
+    std::cout << "\n=== metrics (" << obs::metricsOutPath()
+              << ") ===\n";
+    obs::snapshotTable(snap).print(std::cout);
+    std::cout.flush();
+    obs::flushConfiguredMetrics();
+}
+
 } // namespace bench
 } // namespace hetarch
 
-/** Standard main: print the artifact, then run microbenchmarks. */
+/**
+ * Standard main: print the artifact (wrapped in a trace span), export
+ * the metrics snapshot, then run microbenchmarks.
+ */
 #define HETARCH_BENCH_MAIN(TITLE, TABLE_EXPR)                            \
     int main(int argc, char** argv)                                     \
     {                                                                    \
-        ::hetarch::bench::configureThreads(argc, argv);                 \
+        ::hetarch::bench::configure(argc, argv);                        \
         std::cout << "exec threads: "                                   \
                   << ::hetarch::exec::threadCount() << "\n";            \
-        ::hetarch::bench::printArtifact(TITLE, TABLE_EXPR);             \
+        {                                                                \
+            ::hetarch::obs::Span span("bench.artifact");                \
+            ::hetarch::bench::printArtifact(TITLE, TABLE_EXPR);         \
+        }                                                                \
+        ::hetarch::bench::exportMetrics();                              \
         ::benchmark::Initialize(&argc, argv);                           \
         ::benchmark::RunSpecifiedBenchmarks();                          \
         return 0;                                                        \

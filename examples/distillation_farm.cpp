@@ -15,10 +15,14 @@
 #include "devices/device.hh"
 #include "distill/module_sim.hh"
 #include "dse/sweep.hh"
+#include "obs/json.hh"
 
 int
-main()
+main(int argc, char** argv)
 {
+    // --metrics-out=FILE (or HETARCH_METRICS_OUT) exports the
+    // observability snapshot when the example exits.
+    hetarch::obs::configureMetricsFromArgs(argc, argv);
     using namespace hetarch;
     using namespace hetarch::units;
 

@@ -16,10 +16,14 @@
 #include "qec/css_code.hh"
 #include "uec/assignment.hh"
 #include "uec/experiment.hh"
+#include "obs/json.hh"
 
 int
-main()
+main(int argc, char** argv)
 {
+    // --metrics-out=FILE (or HETARCH_METRICS_OUT) exports the
+    // observability snapshot when the example exits.
+    hetarch::obs::configureMetricsFromArgs(argc, argv);
     using namespace hetarch;
     using namespace hetarch::units;
 

@@ -7,12 +7,28 @@
 #include "dm/channels.hh"
 #include "dm/density_matrix.hh"
 #include "dm/gates.hh"
+#include "obs/obs.hh"
 
 namespace hetarch {
 namespace cells {
 
 using dm::DensityMatrix;
 using namespace dm::gates;
+
+namespace {
+
+obs::Counter& cCharacterizations = obs::counter("cells.characterizations");
+obs::Counter& cOpsCharacterized = obs::counter("cells.ops_characterized");
+
+/** Count one finished characterization (and its op table) once. */
+void
+recordCharacterization(const CellCharacterization& ch)
+{
+    cCharacterizations.add();
+    cOpsCharacterized.add(ch.ops.size());
+}
+
+} // namespace
 
 const CharacterizedOp&
 CellCharacterization::op(const std::string& name) const
@@ -162,6 +178,7 @@ characterizeRegister(const StandardCell& reg,
             idle(rho, q, us, storage);
         });
     out.ops.push_back({"idle-1us", us, idle_err});
+    recordCharacterization(out);
     return out;
 }
 
@@ -203,6 +220,7 @@ characterizeParCheck(const StandardCell& cell,
     out.ops.push_back({"cnot", t2q, cnot_err});
     out.ops.push_back({"parity-check", t2q + t_read,
                        compose({cnot_err, kept_idle_err})});
+    recordCharacterization(out);
     return out;
 }
 
@@ -260,6 +278,7 @@ characterizeSeqOp(const StandardCell& cell, const CharacterizeOptions& opts)
     out.ops.push_back({"stored-cnot", t_stored, stored_cnot_err});
     out.ops.push_back({"verified-cnot", t_stored + t2q + t_read,
                        compose({stored_cnot_err, verify_idle_err})});
+    recordCharacterization(out);
     return out;
 }
 
@@ -316,6 +335,7 @@ characterizeUsc(const StandardCell& cell, const CharacterizeOptions& opts)
         out.ops.push_back({"stabilizer-check-w" + std::to_string(w),
                            duration, compose(errs)});
     }
+    recordCharacterization(out);
     return out;
 }
 

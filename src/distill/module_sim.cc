@@ -7,9 +7,20 @@
 #include "core/rng.hh"
 #include "devices/device.hh"
 #include "exec/thread_pool.hh"
+#include "obs/obs.hh"
 
 namespace hetarch {
 namespace distill {
+
+namespace {
+
+obs::Counter& cDistillRuns = obs::counter("distill.runs");
+obs::Counter& cDistillAttempts = obs::counter("distill.attempts");
+obs::Counter& cDistillDistilled = obs::counter("distill.distilled");
+obs::Counter& cDistillTrajectories = obs::counter("distill.trajectories");
+obs::Histogram& hTrajectoryNs = obs::histogram("distill.trajectory_ns");
+
+} // namespace
 
 double
 DistillConfig::computePhase() const
@@ -222,6 +233,9 @@ simulateDistillation(const DistillConfig& config, double horizon_ns,
         }
     }
     record_trace(horizon_ns);
+    cDistillRuns.add();
+    cDistillAttempts.add(result.attempts);
+    cDistillDistilled.add(result.distilled);
     return result;
 }
 
@@ -263,6 +277,8 @@ simulateDistillationEnsemble(const DistillConfig& config,
     DistillEnsemble ensemble;
     ensemble.runs.resize(trajectories);
     exec::parallelFor(trajectories, [&](std::size_t t) {
+        obs::ScopedTimer timer(hTrajectoryNs);
+        cDistillTrajectories.add();
         DistillConfig traj = config;
         // Trajectory 0 keeps the caller's seed so a 1-trajectory
         // ensemble reproduces the single-run entry point exactly.

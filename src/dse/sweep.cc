@@ -2,9 +2,18 @@
 
 #include "core/logging.hh"
 #include "exec/thread_pool.hh"
+#include "obs/obs.hh"
 
 namespace hetarch {
 namespace dse {
+
+namespace {
+
+obs::Counter& cSweepRuns = obs::counter("dse.sweep.runs");
+obs::Counter& cSweepCells = obs::counter("dse.sweep.cells");
+obs::Histogram& hSweepCellNs = obs::histogram("dse.sweep.cell_ns");
+
+} // namespace
 
 Sweep&
 Sweep::parameter(const std::string& name, std::vector<double> values)
@@ -57,12 +66,16 @@ std::vector<std::pair<DesignPoint, Metrics>>
 Sweep::run(const std::function<Metrics(const DesignPoint&)>& fn) const
 {
     const auto grid = points();
+    cSweepRuns.add();
+    obs::Span span("dse.sweep.run");
     // Grid points are independent design evaluations; results land in
     // pre-sized slots so output order matches the grid no matter which
     // worker evaluates which point.
     std::vector<std::pair<DesignPoint, Metrics>> results(grid.size());
     exec::parallelFor(grid.size(), [&](std::size_t i) {
+        obs::ScopedTimer timer(hSweepCellNs);
         results[i] = {grid[i], fn(grid[i])};
+        cSweepCells.add();
     });
     return results;
 }
@@ -71,9 +84,13 @@ std::vector<std::pair<DesignPoint, Metrics>>
 Sweep::runSequential(
     const std::function<Metrics(const DesignPoint&)>& fn) const
 {
+    cSweepRuns.add();
     std::vector<std::pair<DesignPoint, Metrics>> results;
-    for (const auto& point : points())
+    for (const auto& point : points()) {
+        obs::ScopedTimer timer(hSweepCellNs);
         results.push_back({point, fn(point)});
+        cSweepCells.add();
+    }
     return results;
 }
 

@@ -1,9 +1,19 @@
 #include "exec/shot_scheduler.hh"
 
 #include "core/logging.hh"
+#include "obs/obs.hh"
 
 namespace hetarch {
 namespace exec {
+
+namespace {
+
+obs::Counter& cShotsScheduled =
+    obs::counter("exec.scheduler.shots_scheduled");
+obs::Counter& cChunksScheduled =
+    obs::counter("exec.scheduler.chunks_scheduled");
+
+} // namespace
 
 ShotScheduler::ShotScheduler(std::size_t shots, std::size_t chunk_shots)
     : total(shots)
@@ -14,6 +24,8 @@ ShotScheduler::ShotScheduler(std::size_t shots, std::size_t chunk_shots)
     // never falls inside a batch.
     perChunk = (chunk_shots + 63) / 64 * 64;
     chunks = total == 0 ? 0 : (total + perChunk - 1) / perChunk;
+    cShotsScheduled.add(total);
+    cChunksScheduled.add(chunks);
 }
 
 ShotChunk

@@ -1,0 +1,397 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "core/logging.hh"
+
+namespace hetarch {
+namespace obs {
+
+namespace {
+
+/** Emit a JSON string literal (metric names never need exotic escapes). */
+void
+writeString(std::ostream& os, const std::string& s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            os << c;
+        }
+    }
+    os << '"';
+}
+
+/**
+ * Recursive-descent parser for the v1 snapshot schema.  Strict: every
+ * deviation is fatal with a byte offset, so a corrupted artifact fails
+ * loudly instead of comparing cleanly.
+ */
+class Parser
+{
+  public:
+    explicit Parser(const std::string& text) : src(text) {}
+
+    Snapshot parse()
+    {
+        Snapshot snap;
+        expect('{');
+        expectKey("schema");
+        const auto schema = parseString();
+        if (schema != "hetarch-obs-v1")
+            fail("unsupported snapshot schema '" + schema + "'");
+        expect(',');
+        expectKey("counters");
+        parseCounters(snap);
+        expect(',');
+        expectKey("histograms");
+        parseHistograms(snap);
+        expect(',');
+        expectKey("spans");
+        parseSpans(snap);
+        expect('}');
+        skipWs();
+        if (pos != src.size())
+            fail("trailing content after snapshot document");
+        return snap;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string& why) const
+    {
+        HETARCH_FATAL("obs snapshot parse error at byte ", pos, ": ",
+                      why);
+    }
+
+    void skipWs()
+    {
+        while (pos < src.size() &&
+               std::isspace(static_cast<unsigned char>(src[pos])))
+            ++pos;
+    }
+
+    char peek()
+    {
+        skipWs();
+        if (pos >= src.size())
+            fail("unexpected end of input");
+        return src[pos];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', found '" +
+                 src[pos] + "'");
+        ++pos;
+    }
+
+    bool consume(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos;
+        return true;
+    }
+
+    void expectKey(const char* key)
+    {
+        const auto name = parseString();
+        if (name != key)
+            fail("expected key \"" + std::string(key) + "\", found \"" +
+                 name + "\"");
+        expect(':');
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos < src.size() && src[pos] != '"') {
+            char c = src[pos++];
+            if (c == '\\') {
+                if (pos >= src.size())
+                    fail("unterminated escape");
+                const char esc = src[pos++];
+                switch (esc) {
+                  case '"':
+                    c = '"';
+                    break;
+                  case '\\':
+                    c = '\\';
+                    break;
+                  case 'n':
+                    c = '\n';
+                    break;
+                  case 't':
+                    c = '\t';
+                    break;
+                  default:
+                    fail("unsupported escape sequence");
+                }
+            }
+            out += c;
+        }
+        if (pos >= src.size())
+            fail("unterminated string");
+        ++pos; // closing quote
+        return out;
+    }
+
+    std::uint64_t parseU64()
+    {
+        skipWs();
+        const std::size_t begin = pos;
+        while (pos < src.size() &&
+               std::isdigit(static_cast<unsigned char>(src[pos])))
+            ++pos;
+        if (pos == begin)
+            fail("expected an unsigned integer");
+        return std::strtoull(src.substr(begin, pos - begin).c_str(),
+                             nullptr, 10);
+    }
+
+    void parseCounters(Snapshot& snap)
+    {
+        expect('{');
+        if (consume('}'))
+            return;
+        do {
+            const auto name = parseString();
+            expect(':');
+            snap.counters.emplace_back(name, parseU64());
+        } while (consume(','));
+        expect('}');
+    }
+
+    void parseHistograms(Snapshot& snap)
+    {
+        expect('{');
+        if (consume('}'))
+            return;
+        do {
+            Snapshot::HistogramEntry entry;
+            entry.name = parseString();
+            expect(':');
+            expect('{');
+            expectKey("count");
+            entry.count = parseU64();
+            expect(',');
+            expectKey("sum");
+            entry.sum = parseU64();
+            expect(',');
+            expectKey("buckets");
+            expect('[');
+            if (!consume(']')) {
+                do {
+                    expect('[');
+                    const auto lo = parseU64();
+                    expect(',');
+                    const auto count = parseU64();
+                    expect(']');
+                    entry.buckets.emplace_back(lo, count);
+                } while (consume(','));
+                expect(']');
+            }
+            expect('}');
+            snap.histograms.push_back(std::move(entry));
+        } while (consume(','));
+        expect('}');
+    }
+
+    void parseSpans(Snapshot& snap)
+    {
+        expect('[');
+        if (consume(']'))
+            return;
+        do {
+            SpanRecord span;
+            expect('{');
+            expectKey("name");
+            span.name = parseString();
+            expect(',');
+            expectKey("start_ns");
+            span.startNs = parseU64();
+            expect(',');
+            expectKey("dur_ns");
+            span.durNs = parseU64();
+            expect(',');
+            expectKey("thread");
+            span.thread = static_cast<std::uint32_t>(parseU64());
+            expect('}');
+            snap.spans.push_back(std::move(span));
+        } while (consume(','));
+        expect(']');
+    }
+
+    const std::string& src;
+    std::size_t pos = 0;
+};
+
+/** --metrics-out destination captured by configureMetricsFromArgs. */
+std::string&
+requestedMetricsPath()
+{
+    static std::string path;
+    return path;
+}
+
+void
+writeRequestedSnapshot()
+{
+    const auto& path = requestedMetricsPath();
+    if (!path.empty())
+        writeSnapshotFile(Registry::instance().snapshot(), path);
+}
+
+} // namespace
+
+void
+writeSnapshotJson(const Snapshot& snap, std::ostream& os)
+{
+    os << "{\n  \"schema\": \"hetarch-obs-v1\",\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : snap.counters) {
+        os << (first ? "\n    " : ",\n    ");
+        writeString(os, name);
+        os << ": " << value;
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+
+    first = true;
+    for (const auto& h : snap.histograms) {
+        os << (first ? "\n    " : ",\n    ");
+        writeString(os, h.name);
+        os << ": {\"count\": " << h.count << ", \"sum\": " << h.sum
+           << ", \"buckets\": [";
+        bool first_bucket = true;
+        for (const auto& [lo, count] : h.buckets) {
+            os << (first_bucket ? "" : ", ") << '[' << lo << ", "
+               << count << ']';
+            first_bucket = false;
+        }
+        os << "]}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"spans\": [";
+
+    first = true;
+    for (const auto& span : snap.spans) {
+        os << (first ? "\n    " : ",\n    ") << "{\"name\": ";
+        writeString(os, span.name);
+        os << ", \"start_ns\": " << span.startNs
+           << ", \"dur_ns\": " << span.durNs
+           << ", \"thread\": " << span.thread << '}';
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "]\n}\n";
+}
+
+std::string
+toJson(const Snapshot& snap)
+{
+    std::ostringstream os;
+    writeSnapshotJson(snap, os);
+    return os.str();
+}
+
+Snapshot
+parseSnapshotJson(const std::string& text)
+{
+    return Parser(text).parse();
+}
+
+bool
+writeSnapshotFile(const Snapshot& snap, const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("obs: cannot write metrics snapshot to '", path, "'");
+        return false;
+    }
+    writeSnapshotJson(snap, out);
+    return out.good();
+}
+
+TextTable
+snapshotTable(const Snapshot& snap)
+{
+    TextTable t({"metric", "kind", "count", "sum", "mean"});
+    for (const auto& [name, value] : snap.counters)
+        t.addRow({name, "counter", std::to_string(value), "", ""});
+    for (const auto& h : snap.histograms) {
+        const double mean =
+            h.count ? static_cast<double>(h.sum) /
+                          static_cast<double>(h.count)
+                    : 0.0;
+        t.addRow({h.name, "histogram", std::to_string(h.count),
+                  std::to_string(h.sum),
+                  h.count ? formatFixed(mean, 1) : ""});
+    }
+    return t;
+}
+
+const std::string&
+metricsOutPath()
+{
+    return requestedMetricsPath();
+}
+
+bool
+flushConfiguredMetrics()
+{
+    auto& path = requestedMetricsPath();
+    if (path.empty())
+        return false;
+    writeSnapshotFile(Registry::instance().snapshot(), path);
+    path.clear(); // disarm the atexit writer
+    return true;
+}
+
+void
+configureMetricsFromArgs(int& argc, char** argv)
+{
+    auto& path = requestedMetricsPath();
+    const bool already_registered = !path.empty();
+    if (const char* env = std::getenv("HETARCH_METRICS_OUT"))
+        path = env;
+
+    constexpr const char* kFlag = "--metrics-out=";
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0)
+            path = argv[i] + std::strlen(kFlag);
+        else
+            argv[out++] = argv[i];
+    }
+    argc = out;
+
+    if (path.empty())
+        return;
+    setTimingEnabled(true);
+    setTracingEnabled(true);
+    if (!already_registered)
+        std::atexit(writeRequestedSnapshot);
+}
+
+} // namespace obs
+} // namespace hetarch

@@ -1,0 +1,208 @@
+#include "obs/obs.hh"
+
+#include <map>
+#include <mutex>
+
+namespace hetarch {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> gTiming{false};
+std::atomic<bool> gTracing{false};
+
+/** Small dense per-thread tag for span records. */
+std::uint32_t
+currentThreadTag()
+{
+    static std::atomic<std::uint32_t> next{0};
+    thread_local const std::uint32_t tag =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return tag;
+}
+
+} // namespace
+
+void
+Histogram::merge(const LocalHistogram& local) noexcept
+{
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        if (local.buckets[i])
+            buckets[i].fetch_add(local.buckets[i],
+                                 std::memory_order_relaxed);
+    n.fetch_add(local.n, std::memory_order_relaxed);
+    total.fetch_add(local.total, std::memory_order_relaxed);
+}
+
+void
+Histogram::reset() noexcept
+{
+    for (auto& b : buckets)
+        b.store(0, std::memory_order_relaxed);
+    n.store(0, std::memory_order_relaxed);
+    total.store(0, std::memory_order_relaxed);
+}
+
+bool
+timingEnabled() noexcept
+{
+    return gTiming.load(std::memory_order_relaxed);
+}
+
+void
+setTimingEnabled(bool on) noexcept
+{
+    gTiming.store(on, std::memory_order_relaxed);
+}
+
+bool
+tracingEnabled() noexcept
+{
+    return gTracing.load(std::memory_order_relaxed);
+}
+
+void
+setTracingEnabled(bool on) noexcept
+{
+    gTracing.store(on, std::memory_order_relaxed);
+}
+
+Span::Span(const char* name) noexcept
+    : label(name), active(tracingEnabled())
+{
+    if (active)
+        startNs = Registry::instance().nowNs();
+}
+
+Span::~Span()
+{
+    if (!active)
+        return;
+    auto& registry = Registry::instance();
+    registry.addSpan(label, startNs, registry.nowNs() - startNs);
+}
+
+struct Registry::Impl
+{
+    /** Trace-log bound; spans beyond it are counted but dropped. */
+    static constexpr std::size_t kMaxSpans = 4096;
+
+    mutable std::mutex mutex;
+    // Node-stable containers: handles returned from counter()/
+    // histogram() stay valid for the process lifetime.
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+    std::vector<SpanRecord> spans;
+    std::uint64_t spansDropped = 0;
+    std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+};
+
+Registry::Registry() : impl(std::make_unique<Impl>()) {}
+Registry::~Registry() = default;
+
+Registry&
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+Counter&
+Registry::counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(impl->mutex);
+    auto& slot = impl->counters[name];
+    if (!slot)
+        slot.reset(new Counter());
+    return *slot;
+}
+
+Histogram&
+Registry::histogram(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(impl->mutex);
+    auto& slot = impl->histograms[name];
+    if (!slot)
+        slot.reset(new Histogram());
+    return *slot;
+}
+
+void
+Registry::addSpan(const char* name, std::uint64_t start_ns,
+                  std::uint64_t dur_ns)
+{
+    const std::uint32_t thread = currentThreadTag();
+    std::lock_guard<std::mutex> lock(impl->mutex);
+    if (impl->spans.size() >= Impl::kMaxSpans) {
+        ++impl->spansDropped;
+        return;
+    }
+    impl->spans.push_back({name, start_ns, dur_ns, thread});
+}
+
+std::uint64_t
+Registry::nowNs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - impl->epoch)
+            .count());
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    Snapshot snap;
+    std::lock_guard<std::mutex> lock(impl->mutex);
+    // std::map iteration is name-sorted already — the stable order the
+    // JSON schema promises.
+    snap.counters.reserve(impl->counters.size());
+    for (const auto& [name, c] : impl->counters)
+        snap.counters.emplace_back(name, c->load());
+
+    snap.histograms.reserve(impl->histograms.size());
+    for (const auto& [name, h] : impl->histograms) {
+        Snapshot::HistogramEntry entry;
+        entry.name = name;
+        entry.count = h->count();
+        entry.sum = h->sum();
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+            const auto c = h->bucket(i);
+            if (c)
+                entry.buckets.emplace_back(Histogram::bucketLowerBound(i),
+                                           c);
+        }
+        snap.histograms.push_back(std::move(entry));
+    }
+
+    snap.spans = impl->spans;
+    return snap;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(impl->mutex);
+    for (auto& [_, c] : impl->counters)
+        c->reset();
+    for (auto& [_, h] : impl->histograms)
+        h->reset();
+    impl->spans.clear();
+    impl->spansDropped = 0;
+}
+
+Counter&
+counter(const std::string& name)
+{
+    return Registry::instance().counter(name);
+}
+
+Histogram&
+histogram(const std::string& name)
+{
+    return Registry::instance().histogram(name);
+}
+
+} // namespace obs
+} // namespace hetarch

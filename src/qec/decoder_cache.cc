@@ -1,14 +1,29 @@
 #include "qec/decoder_cache.hh"
 
 #include <cstring>
+#include <future>
 #include <mutex>
 #include <unordered_map>
 
 #include "core/logging.hh"
+#include "obs/obs.hh"
 #include "qec/surface_circuit.hh"
 
 namespace hetarch {
 namespace qec {
+
+namespace {
+
+// Telemetry.  get() counts a miss exactly when it claims the build of
+// a previously-absent key, so the hit/miss split depends only on the
+// sequence of distinct circuits — not on which thread wins a race —
+// and stays bit-identical across worker counts while no eviction
+// occurs (working set within capacity).
+obs::Counter& cCacheHits = obs::counter("qec.decoder_cache.hits");
+obs::Counter& cCacheMisses = obs::counter("qec.decoder_cache.misses");
+obs::Counter& cCacheEvictions = obs::counter("qec.decoder_cache.evictions");
+
+} // namespace
 
 std::uint64_t
 hashCircuit(const stab::Circuit& circuit)
@@ -109,9 +124,16 @@ struct DecoderCache::Impl
     /** Whole-cache eviction threshold; sweeps touch shapes in bursts. */
     static constexpr std::size_t kCapacity = 128;
 
+    /**
+     * Entries hold futures, not finished setups: the first requester
+     * of a key claims the build and every concurrent requester waits
+     * on the same future, so each key is built exactly once.
+     */
+    using SetupFuture =
+        std::shared_future<std::shared_ptr<const DecoderSetup>>;
+
     mutable std::mutex mutex;
-    std::unordered_map<Key, std::shared_ptr<const DecoderSetup>, KeyHash>
-        entries;
+    std::unordered_map<Key, SetupFuture, KeyHash> entries;
     std::size_t hitCount = 0;
 };
 
@@ -130,21 +152,35 @@ DecoderCache::get(const stab::Circuit& circuit, DecoderKind kind)
 {
     const Impl::Key key{hashCircuit(circuit), circuit.ops().size(),
                         circuit.numDetectors(), kind};
+    std::promise<std::shared_ptr<const DecoderSetup>> promise;
+    Impl::SetupFuture future;
     {
         std::lock_guard<std::mutex> lock(impl->mutex);
         auto it = impl->entries.find(key);
         if (it != impl->entries.end()) {
             ++impl->hitCount;
-            return it->second;
+            cCacheHits.add();
+            future = it->second;
+        } else {
+            cCacheMisses.add();
+            if (impl->entries.size() >= Impl::kCapacity) {
+                cCacheEvictions.add(impl->entries.size());
+                impl->entries.clear();
+            }
+            impl->entries.emplace(key, promise.get_future().share());
         }
     }
-    // Build outside the lock: setups are deterministic, so two threads
-    // racing on the same key produce interchangeable results.
+    if (future.valid()) {
+        // A concurrent builder may still be working; wait for its
+        // result (never the pool's caller building it — the builder
+        // runs on its own thread and needs no help to finish).
+        return future.get();
+    }
+    // This thread claimed the build; do it outside the lock.  Setups
+    // are deterministic, so waiters get exactly what a fresh build
+    // would produce.
     auto setup = DecoderSetup::build(circuit, kind);
-    std::lock_guard<std::mutex> lock(impl->mutex);
-    if (impl->entries.size() >= Impl::kCapacity)
-        impl->entries.clear();
-    impl->entries.emplace(key, setup);
+    promise.set_value(setup);
     return setup;
 }
 

@@ -6,11 +6,26 @@
 #include "core/logging.hh"
 #include "exec/shot_scheduler.hh"
 #include "exec/thread_pool.hh"
+#include "obs/obs.hh"
 #include "qec/surface_circuit.hh"
 #include "stab/dem.hh"
 
 namespace hetarch {
 namespace qec {
+
+namespace {
+
+// Telemetry.  Counters and the syndrome-weight histogram are functions
+// of the sampled data alone, hence thread-count invariant; only the
+// chunk-decode timer varies between runs.
+obs::Counter& cShotsDecoded = obs::counter("qec.decode.shots");
+obs::Counter& cLogicalFailures = obs::counter("qec.decode.logical_failures");
+obs::Counter& cShotsCompleted =
+    obs::counter("exec.scheduler.shots_completed");
+obs::Histogram& hSyndromeWeight = obs::histogram("qec.syndrome_weight");
+obs::Histogram& hDecodeChunkNs = obs::histogram("qec.decode_chunk_ns");
+
+} // namespace
 
 double
 MemoryResult::perRound() const
@@ -30,37 +45,54 @@ countLogicalFailures(const DecoderSetup& setup, DecoderKind decoder,
 {
     std::size_t failures = 0;
     std::vector<std::uint8_t> syndrome(samples.numDetectors);
+    // Accumulated off the hot loop, merged as a handful of atomic adds.
+    obs::LocalHistogram weights;
+    obs::ScopedTimer timer(hDecodeChunkNs);
 
     if (decoder == DecoderKind::GreedyDem) {
         for (std::size_t s = 0; s < samples.shots; ++s) {
-            for (std::size_t d = 0; d < samples.numDetectors; ++d)
+            std::uint64_t weight = 0;
+            for (std::size_t d = 0; d < samples.numDetectors; ++d) {
                 syndrome[d] = samples.det(s, d);
+                weight += syndrome[d];
+            }
+            weights.record(weight);
             const auto predicted = setup.greedy->decode(syndrome);
             const auto actual =
                 static_cast<std::uint32_t>(samples.obs(s, 0));
             if ((predicted & 1u) != actual)
                 ++failures;
         }
-        return failures;
+    } else {
+        // Decoder instances are local to the chunk: construction is
+        // cheap (they only bind the shared graphs) and all per-decode
+        // scratch state stays on this thread.
+        UnionFindDecoder dec_z(setup.graphZ);
+        UnionFindDecoder dec_x(setup.graphX);
+        for (std::size_t s = 0; s < samples.shots; ++s) {
+            std::uint64_t weight = 0;
+            for (std::size_t d = 0; d < samples.numDetectors; ++d) {
+                syndrome[d] = samples.det(s, d);
+                weight += syndrome[d];
+            }
+            weights.record(weight);
+            std::uint32_t predicted = 0;
+            if (setup.graphZ.numNodes())
+                predicted ^=
+                    dec_z.decode(setup.graphZ.projectSyndrome(syndrome));
+            if (setup.graphX.numNodes())
+                predicted ^=
+                    dec_x.decode(setup.graphX.projectSyndrome(syndrome));
+            const auto actual =
+                static_cast<std::uint32_t>(samples.obs(s, 0));
+            if ((predicted & 1u) != actual)
+                ++failures;
+        }
     }
 
-    // Decoder instances are local to the chunk: construction is cheap
-    // (they only bind the shared graphs) and all per-decode scratch
-    // state stays on this thread.
-    UnionFindDecoder dec_z(setup.graphZ);
-    UnionFindDecoder dec_x(setup.graphX);
-    for (std::size_t s = 0; s < samples.shots; ++s) {
-        for (std::size_t d = 0; d < samples.numDetectors; ++d)
-            syndrome[d] = samples.det(s, d);
-        std::uint32_t predicted = 0;
-        if (setup.graphZ.numNodes())
-            predicted ^= dec_z.decode(setup.graphZ.projectSyndrome(syndrome));
-        if (setup.graphX.numNodes())
-            predicted ^= dec_x.decode(setup.graphX.projectSyndrome(syndrome));
-        const auto actual = static_cast<std::uint32_t>(samples.obs(s, 0));
-        if ((predicted & 1u) != actual)
-            ++failures;
-    }
+    hSyndromeWeight.merge(weights);
+    cShotsDecoded.add(samples.shots);
+    cLogicalFailures.add(failures);
     return failures;
 }
 
@@ -88,6 +120,7 @@ runMemoryExperiment(const stab::Circuit& circuit, std::size_t shots,
         Rng chunk_rng = exec::ShotScheduler::chunkRng(base, chunk.index);
         const auto samples = frame.sampleDetectors(chunk.count, chunk_rng);
         failures[i] = countLogicalFailures(*setup, decoder, samples);
+        cShotsCompleted.add(chunk.count);
     });
     for (auto f : failures)
         result.failures += f;

@@ -1,14 +1,24 @@
 #include "stab/frame.hh"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "core/logging.hh"
+#include "obs/obs.hh"
 
 namespace hetarch {
 namespace stab {
 
 namespace {
+
+// Telemetry.  Flip counts are per 64-lane word (idle lanes of a final
+// partial batch included), so they are bit-identical for any chunking
+// of a shot budget and any worker count.
+obs::Counter& cSamplerCalls = obs::counter("stab.sampler.calls");
+obs::Counter& cSamplerShots = obs::counter("stab.sampler.shots");
+obs::Counter& cSamplerBatches = obs::counter("stab.sampler.batches");
+obs::Counter& cFrameFlips = obs::counter("stab.sampler.frame_flips");
 
 /** One 64-shot batch of frame state. */
 struct Batch
@@ -16,6 +26,7 @@ struct Batch
     std::vector<std::uint64_t> x;     // X-flip per qubit (bit = shot)
     std::vector<std::uint64_t> z;     // Z-flip per qubit
     std::vector<std::uint64_t> meas;  // measurement flips, in record order
+    std::uint64_t flips = 0;          // noise-op error lanes applied
 
     explicit Batch(std::size_t nq, std::size_t n_meas)
         : x(nq, 0), z(nq, 0)
@@ -74,12 +85,18 @@ runBatch(const Circuit& circ, Batch& b, Rng& rng)
             b.x[op.targets[0]] = 0;
             b.z[op.targets[0]] = 0;
             break;
-          case OpCode::X_ERROR:
-            b.x[op.targets[0]] ^= rng.biasedWord(op.params[0]);
+          case OpCode::X_ERROR: {
+            const std::uint64_t err = rng.biasedWord(op.params[0]);
+            b.x[op.targets[0]] ^= err;
+            b.flips += std::popcount(err);
             break;
-          case OpCode::Z_ERROR:
-            b.z[op.targets[0]] ^= rng.biasedWord(op.params[0]);
+          }
+          case OpCode::Z_ERROR: {
+            const std::uint64_t err = rng.biasedWord(op.params[0]);
+            b.z[op.targets[0]] ^= err;
+            b.flips += std::popcount(err);
             break;
+          }
           case OpCode::PAULI1: {
             const double px = op.params[0];
             const double py = op.params[1];
@@ -97,6 +114,7 @@ runBatch(const Circuit& circ, Batch& b, Rng& rng)
             const std::uint64_t mz = err & ~pick_x & ~pick_y;
             b.x[op.targets[0]] ^= mx | my;
             b.z[op.targets[0]] ^= mz | my;
+            b.flips += std::popcount(err);
             break;
           }
           case OpCode::DEPOL1: {
@@ -109,6 +127,7 @@ runBatch(const Circuit& circ, Batch& b, Rng& rng)
             const std::uint64_t mz = err & ~pick_x & ~pick_y;
             b.x[op.targets[0]] ^= mx | my;
             b.z[op.targets[0]] ^= mz | my;
+            b.flips += std::popcount(err);
             break;
           }
           case OpCode::DEPOL2: {
@@ -138,6 +157,7 @@ runBatch(const Circuit& circ, Batch& b, Rng& rng)
             b.z[qa] ^= err & v1;
             b.x[qb] ^= err & v2;
             b.z[qb] ^= err & v3;
+            b.flips += std::popcount(err);
             break;
           }
           case OpCode::DETECTOR:
@@ -164,11 +184,17 @@ FrameSimulator::sampleDetectors(std::size_t shots, Rng& rng) const
     out.detectors.assign(shots * out.numDetectors, 0);
     out.observables.assign(shots * out.numObservables, 0);
 
+    // Batched locally, flushed as single adds after the loop.
+    std::uint64_t batches = 0;
+    std::uint64_t flips = 0;
+
     std::size_t done = 0;
     while (done < shots) {
         const std::size_t lanes = std::min<std::size_t>(64, shots - done);
         Batch batch(circ.numQubits(), circ.numMeasurements());
         runBatch(circ, batch, rng);
+        ++batches;
+        flips += batch.flips;
 
         // Fold measurement-flip words into detector/observable words.
         std::size_t det_idx = 0;
@@ -196,6 +222,10 @@ FrameSimulator::sampleDetectors(std::size_t shots, Rng& rng) const
         }
         done += lanes;
     }
+    cSamplerCalls.add();
+    cSamplerShots.add(shots);
+    cSamplerBatches.add(batches);
+    cFrameFlips.add(flips);
     return out;
 }
 

@@ -9,11 +9,19 @@
 #include "distill/module_sim.hh"
 #include "exec/thread_pool.hh"
 #include "lint/verify_cell.hh"
+#include "obs/obs.hh"
 #include "qec/noise_model.hh"
 #include "uec/experiment.hh"
 
 namespace hetarch {
 namespace teleport {
+
+namespace {
+
+obs::Counter& cCtPreps = obs::counter("teleport.ct_preps");
+obs::Histogram& hCtPrepNs = obs::histogram("teleport.ct_prep_ns");
+
+} // namespace
 
 double
 composeLogicalErrors(const std::vector<double>& errors)
@@ -60,6 +68,9 @@ CtResult
 prepareCtState(const qec::CssCode& code_a, const qec::CssCode& code_b,
                const CtConfig& config)
 {
+    cCtPreps.add();
+    obs::ScopedTimer timer(hCtPrepNs);
+    obs::Span span("teleport.prepare_ct_state");
     CtResult out;
 
     // The three sub-module characterizations below are independent

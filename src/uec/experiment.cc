@@ -2,6 +2,7 @@
 
 #include "core/logging.hh"
 #include "exec/thread_pool.hh"
+#include "obs/obs.hh"
 #include "qec/css_circuit.hh"
 #include "qec/memory_experiment.hh"
 #include "qec/surface_circuit.hh"
@@ -10,6 +11,12 @@ namespace hetarch {
 namespace uec {
 
 namespace {
+
+obs::Counter& cUecExperiments = obs::counter("uec.memory_experiments");
+obs::Counter& cLatticeExperiments =
+    obs::counter("uec.lattice_experiments");
+obs::Counter& cPseudothresholdEvals =
+    obs::counter("uec.pseudothreshold_evals");
 
 bool
 isSurface(const qec::CssCode& code)
@@ -24,6 +31,7 @@ uecLogicalErrorPerRound(const qec::CssCode& code, double ts_ns,
                         std::size_t rounds, std::size_t shots,
                         std::uint64_t seed, const UecNoise& base_noise)
 {
+    cUecExperiments.add();
     UecNoise noise = base_noise;
     noise.ts = ts_ns;
     const auto assignment = optimizeAssignment(code);
@@ -40,6 +48,7 @@ homogeneousLogicalErrorPerRound(const qec::CssCode& code,
                                 std::uint64_t seed,
                                 const LatticeNoise& noise)
 {
+    cLatticeExperiments.add();
     Rng rng(seed);
     if (isSurface(code)) {
         // Native parallel extraction on the square lattice.
@@ -68,6 +77,7 @@ pseudothreshold(const qec::CssCode& code, std::size_t shots,
 {
     // Logical error at physical rate p under code capacity.
     auto p_logical = [&](double p, std::uint64_t s) {
+        cPseudothresholdEvals.add();
         const auto circ = qec::codeCapacityMemoryZ(code, 1, p, p);
         Rng rng(s);
         const auto res = qec::runMemoryExperiment(

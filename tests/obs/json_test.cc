@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the stable v1 snapshot JSON: golden schema output,
+ * serialize/parse round-trips, and loud failure on malformed input.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.hh"
+#include "obs/obs.hh"
+
+namespace hetarch {
+namespace {
+
+obs::Snapshot
+sampleSnapshot()
+{
+    obs::Snapshot snap;
+    snap.counters = {{"a.count", 3}, {"b.count", 0}};
+    obs::Snapshot::HistogramEntry h;
+    h.name = "a.hist_ns";
+    h.count = 3;
+    h.sum = 9;
+    h.buckets = {{1, 1}, {2, 1}, {4, 1}};
+    snap.histograms.push_back(h);
+    snap.spans.push_back({"phase.one", 10, 250, 0});
+    return snap;
+}
+
+TEST(ObsJson, GoldenSchema)
+{
+    const char* expected = R"({
+  "schema": "hetarch-obs-v1",
+  "counters": {
+    "a.count": 3,
+    "b.count": 0
+  },
+  "histograms": {
+    "a.hist_ns": {"count": 3, "sum": 9, "buckets": [[1, 1], [2, 1], [4, 1]]}
+  },
+  "spans": [
+    {"name": "phase.one", "start_ns": 10, "dur_ns": 250, "thread": 0}
+  ]
+}
+)";
+    EXPECT_EQ(obs::toJson(sampleSnapshot()), expected);
+}
+
+TEST(ObsJson, RoundTripPreservesEverything)
+{
+    const auto snap = sampleSnapshot();
+    const auto parsed = obs::parseSnapshotJson(obs::toJson(snap));
+
+    ASSERT_EQ(parsed.counters.size(), snap.counters.size());
+    for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+        EXPECT_EQ(parsed.counters[i].first, snap.counters[i].first);
+        EXPECT_EQ(parsed.counters[i].second, snap.counters[i].second);
+    }
+    ASSERT_EQ(parsed.histograms.size(), snap.histograms.size());
+    for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+        const auto& a = snap.histograms[i];
+        const auto& b = parsed.histograms[i];
+        EXPECT_EQ(b.name, a.name);
+        EXPECT_EQ(b.count, a.count);
+        EXPECT_EQ(b.sum, a.sum);
+        EXPECT_EQ(b.buckets, a.buckets);
+    }
+    ASSERT_EQ(parsed.spans.size(), snap.spans.size());
+    for (std::size_t i = 0; i < snap.spans.size(); ++i) {
+        EXPECT_EQ(parsed.spans[i].name, snap.spans[i].name);
+        EXPECT_EQ(parsed.spans[i].startNs, snap.spans[i].startNs);
+        EXPECT_EQ(parsed.spans[i].durNs, snap.spans[i].durNs);
+        EXPECT_EQ(parsed.spans[i].thread, snap.spans[i].thread);
+    }
+}
+
+TEST(ObsJson, EmptySnapshotRoundTrips)
+{
+    obs::Snapshot empty;
+    const auto parsed = obs::parseSnapshotJson(obs::toJson(empty));
+    EXPECT_TRUE(parsed.counters.empty());
+    EXPECT_TRUE(parsed.histograms.empty());
+    EXPECT_TRUE(parsed.spans.empty());
+}
+
+TEST(ObsJson, RegistrySnapshotRoundTrips)
+{
+    obs::counter("test.json.counter").add(5);
+    obs::histogram("test.json.hist").record(17);
+    const auto snap = obs::Registry::instance().snapshot();
+    const auto parsed = obs::parseSnapshotJson(obs::toJson(snap));
+    EXPECT_EQ(parsed.counters.size(), snap.counters.size());
+    EXPECT_EQ(parsed.histograms.size(), snap.histograms.size());
+    EXPECT_EQ(obs::toJson(parsed), obs::toJson(snap));
+}
+
+TEST(ObsJsonDeath, MalformedInputIsFatal)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_EXIT(obs::parseSnapshotJson("{"), ::testing::ExitedWithCode(1),
+                "parse error");
+    EXPECT_EXIT(obs::parseSnapshotJson("[]"),
+                ::testing::ExitedWithCode(1), "parse error");
+    EXPECT_EXIT(
+        obs::parseSnapshotJson(
+            "{\"schema\": \"hetarch-obs-v2\", \"counters\": {}, "
+            "\"histograms\": {}, \"spans\": []}"),
+        ::testing::ExitedWithCode(1), "unsupported snapshot schema");
+    const auto good = obs::toJson(obs::Snapshot{});
+    EXPECT_EXIT(obs::parseSnapshotJson(good + "x"),
+                ::testing::ExitedWithCode(1), "trailing content");
+}
+
+} // namespace
+} // namespace hetarch

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the observability primitives: counter/histogram
+ * semantics, bucket geometry, local-batch merging, the timing/tracing
+ * gates, and registry snapshot/reset behavior.  The concurrent tests
+ * run under the TSan CI job.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.hh"
+#include "obs/obs.hh"
+
+namespace hetarch {
+namespace {
+
+/** Restores the default worker count when a test exits. */
+struct ThreadCountGuard
+{
+    explicit ThreadCountGuard(unsigned n) { exec::setThreadCount(n); }
+    ~ThreadCountGuard() { exec::setThreadCount(0); }
+};
+
+/** Leaves timing/tracing the way the test found them. */
+struct FlagGuard
+{
+    FlagGuard()
+        : timing(obs::timingEnabled()), tracing(obs::tracingEnabled())
+    {
+    }
+    ~FlagGuard()
+    {
+        obs::setTimingEnabled(timing);
+        obs::setTracingEnabled(tracing);
+    }
+    bool timing, tracing;
+};
+
+TEST(ObsCounter, AddLoadAndInterning)
+{
+    auto& c = obs::counter("test.obs.counter_basics");
+    const auto before = c.load();
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.load(), before + 42);
+
+    // Same name -> same slot.
+    auto& again = obs::counter("test.obs.counter_basics");
+    EXPECT_EQ(&again, &c);
+}
+
+TEST(ObsCounter, ResetZeroesButKeepsHandleValid)
+{
+    auto& c = obs::counter("test.obs.counter_reset");
+    c.add(7);
+    obs::Registry::instance().reset();
+    EXPECT_EQ(c.load(), 0u);
+    c.add(3);
+    EXPECT_EQ(c.load(), 3u);
+}
+
+TEST(ObsHistogram, BucketGeometry)
+{
+    // Bucket 0 holds exactly 0; bucket i holds [2^(i-1), 2^i).
+    EXPECT_EQ(obs::Histogram::bucketIndex(0), 0u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(1), 1u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(2), 2u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(3), 2u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(4), 3u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(~std::uint64_t{0}), 64u);
+
+    EXPECT_EQ(obs::Histogram::bucketLowerBound(0), 0u);
+    EXPECT_EQ(obs::Histogram::bucketLowerBound(1), 1u);
+    EXPECT_EQ(obs::Histogram::bucketLowerBound(64),
+              std::uint64_t{1} << 63);
+
+    // Every value lands in the bucket whose range contains it.
+    for (std::uint64_t v : {std::uint64_t{1}, std::uint64_t{5},
+                            std::uint64_t{1023}, std::uint64_t{1024}}) {
+        const auto i = obs::Histogram::bucketIndex(v);
+        EXPECT_GE(v, obs::Histogram::bucketLowerBound(i));
+        ASSERT_LT(i + 1, obs::Histogram::kBuckets);
+        EXPECT_LT(v, obs::Histogram::bucketLowerBound(i + 1));
+    }
+}
+
+TEST(ObsHistogram, RecordAccumulatesCountSumBuckets)
+{
+    auto& h = obs::histogram("test.obs.hist_record");
+    obs::Registry::instance().reset();
+    h.record(0);
+    h.record(1);
+    h.record(6);
+    h.record(7);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 14u);
+    EXPECT_EQ(h.bucket(0), 1u); // the 0
+    EXPECT_EQ(h.bucket(1), 1u); // the 1
+    EXPECT_EQ(h.bucket(3), 2u); // 6 and 7 in [4, 8)
+}
+
+TEST(ObsHistogram, LocalBatchMergeMatchesDirectRecords)
+{
+    auto& direct = obs::histogram("test.obs.hist_direct");
+    auto& merged = obs::histogram("test.obs.hist_merged");
+    obs::Registry::instance().reset();
+
+    obs::LocalHistogram local;
+    for (std::uint64_t v = 0; v < 100; ++v) {
+        direct.record(v * v);
+        local.record(v * v);
+    }
+    merged.merge(local);
+
+    EXPECT_EQ(merged.count(), direct.count());
+    EXPECT_EQ(merged.sum(), direct.sum());
+    for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i)
+        EXPECT_EQ(merged.bucket(i), direct.bucket(i)) << "bucket " << i;
+}
+
+TEST(ObsConcurrency, ParallelCounterAddsAreExact)
+{
+    ThreadCountGuard guard(8);
+    auto& c = obs::counter("test.obs.parallel_adds");
+    auto& h = obs::histogram("test.obs.parallel_hist");
+    obs::Registry::instance().reset();
+
+    constexpr std::size_t kTasks = 10000;
+    exec::parallelFor(kTasks, [&](std::size_t i) {
+        c.add();
+        h.record(i % 17);
+    });
+    EXPECT_EQ(c.load(), kTasks);
+    EXPECT_EQ(h.count(), kTasks);
+}
+
+TEST(ObsTimer, RespectsTimingFlag)
+{
+    FlagGuard flags;
+    auto& h = obs::histogram("test.obs.timer");
+    obs::Registry::instance().reset();
+
+    obs::setTimingEnabled(false);
+    {
+        obs::ScopedTimer t(h);
+    }
+    EXPECT_EQ(h.count(), 0u);
+
+    obs::setTimingEnabled(true);
+    {
+        obs::ScopedTimer t(h);
+    }
+    EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(ObsSpan, CapturedOnlyWhileTracingEnabled)
+{
+    FlagGuard flags;
+    obs::Registry::instance().reset();
+
+    obs::setTracingEnabled(false);
+    {
+        obs::Span span("test.obs.span_off");
+    }
+    obs::setTracingEnabled(true);
+    {
+        obs::Span span("test.obs.span_on");
+    }
+
+    const auto snap = obs::Registry::instance().snapshot();
+    bool saw_on = false;
+    for (const auto& s : snap.spans) {
+        EXPECT_NE(s.name, "test.obs.span_off");
+        saw_on = saw_on || s.name == "test.obs.span_on";
+    }
+    EXPECT_TRUE(saw_on);
+}
+
+TEST(ObsSnapshot, NameSortedAndComplete)
+{
+    obs::counter("test.obs.zz_last").add(2);
+    obs::counter("test.obs.aa_first").add(1);
+
+    const auto snap = obs::Registry::instance().snapshot();
+    ASSERT_GE(snap.counters.size(), 2u);
+    for (std::size_t i = 1; i < snap.counters.size(); ++i)
+        EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+
+    bool saw_first = false, saw_last = false;
+    for (const auto& [name, value] : snap.counters) {
+        saw_first = saw_first || name == "test.obs.aa_first";
+        saw_last = saw_last || name == "test.obs.zz_last";
+    }
+    EXPECT_TRUE(saw_first);
+    EXPECT_TRUE(saw_last);
+}
+
+} // namespace
+} // namespace hetarch

@@ -2,7 +2,8 @@
  * @file
  * hetarch-lint: static verification for .circ files.
  *
- * Usage: hetarch-lint [--strict] [--no-determinism] FILE...
+ * Usage: hetarch-lint [--strict] [--no-determinism]
+ *                     [--metrics-out=FILE] FILE...
  *
  * Parses each file (parse errors are fatal and exit 1), runs the full
  * lint pipeline and prints the report.  Exit status:
@@ -18,15 +19,21 @@
 #include <vector>
 
 #include "lint/lint.hh"
+#include "obs/json.hh"
+#include "obs/obs.hh"
 #include "stab/circuit_io.hh"
 
 namespace {
+
+hetarch::obs::Counter& cFiles = hetarch::obs::counter("lint.files");
+hetarch::obs::Counter& cErrors = hetarch::obs::counter("lint.errors");
+hetarch::obs::Counter& cWarnings = hetarch::obs::counter("lint.warnings");
 
 int
 usage()
 {
     std::cerr << "usage: hetarch-lint [--strict] [--no-determinism] "
-                 "FILE...\n";
+                 "[--metrics-out=FILE] FILE...\n";
     return 1;
 }
 
@@ -36,6 +43,10 @@ int
 main(int argc, char** argv)
 {
     using namespace hetarch;
+
+    // Consumes --metrics-out=PATH (or HETARCH_METRICS_OUT) and arms
+    // the snapshot writer; lint.* counters land in the JSON artifact.
+    obs::configureMetricsFromArgs(argc, argv);
 
     bool strict = false;
     lint::LintOptions options;
@@ -73,6 +84,9 @@ main(int argc, char** argv)
         // diagnostics already carry the line number.
         const auto circ = stab::parseCircuit(text.str());
         const auto report = lint::lintCircuit(circ, options);
+        cFiles.add();
+        cErrors.add(report.errorCount());
+        cWarnings.add(report.warningCount());
 
         const bool ok = strict ? report.cleanStrict() : report.clean();
         std::cout << path << ": "
