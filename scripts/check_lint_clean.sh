@@ -1,31 +1,126 @@
 #!/usr/bin/env bash
-# Run hetarch-lint over every .circ fixture: files under good/ must
-# pass --strict, files under bad/ must be rejected (parse failure or
-# findings).  Registered with CTest as lint.fixtures; also runnable by
-# hand:
+# Run hetarch-lint over every .circ fixture and pin the CLI contract:
+#
+#   good/    must pass --strict, and the --format=json document must
+#            parse with strict_clean=true
+#   bad/     must be rejected (parse failure -> exit 1, or findings
+#            -> exit 2; never 0)
+#   faults/  structurally clean circuits with injected fault-tolerance
+#            damage; each file's "# expect-distance:" and
+#            "# expect-finding:" annotations are checked against the
+#            --distance --format=json output
+#
+# Also pins the exit-code contract: 0 clean / 1 unreadable-or-parse
+# failure / 2 findings above threshold (--strict promotes warnings).
+#
+# JSON assertions need python3; without it only exit codes are checked.
+# Registered with CTest as lint.fixtures; also runnable by hand:
 #   scripts/check_lint_clean.sh build/tools/hetarch-lint
 set -u
 
 LINT=${1:?usage: check_lint_clean.sh path/to/hetarch-lint [fixtures-dir]}
 DIR=${2:-$(dirname "$0")/../tests/lint/fixtures}
+PYTHON=$(command -v python3 || true)
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
 
 fail=0
 shopt -s nullglob
 
+# check_json FILE.json EXPECT_STRICT_CLEAN EXPECT_DISTANCE EXPECT_PASS
+# Empty expectation strings skip that check.
+check_json() {
+    [ -n "$PYTHON" ] || return 0
+    "$PYTHON" - "$1" "$2" "$3" "$4" <<'PYEOF'
+import json, sys
+path, strict_clean, distance, finding_pass = sys.argv[1:5]
+with open(path) as fh:
+    doc = json.load(fh)
+if doc["schema"] != "hetarch-lint-v1":
+    sys.exit(f"{path}: unexpected schema {doc['schema']!r}")
+f = doc["files"][0]
+if strict_clean and f["strict_clean"] != (strict_clean == "true"):
+    sys.exit(f"{path}: strict_clean={f['strict_clean']}, "
+             f"expected {strict_clean}")
+if distance:
+    want = None if distance == "unbounded" else int(distance)
+    got = f["faults"]["min_distance"] if f["faults"] else "<no faults>"
+    if got != want:
+        sys.exit(f"{path}: min_distance={got}, expected {want}")
+if finding_pass:
+    passes = sorted({x["pass"] for x in f["findings"]})
+    if finding_pass not in passes:
+        sys.exit(f"{path}: no finding from pass {finding_pass!r}; "
+                 f"have {passes}")
+PYEOF
+}
+
+annotation() { # FILE KEY -> value or empty
+    sed -n "s/^# $2: *//p" "$1" | head -n 1
+}
+
 for f in "$DIR"/good/*.circ; do
-    if ! "$LINT" --strict "$f" > /dev/null 2>&1; then
+    if ! "$LINT" --strict --format=json "$f" > "$TMP/out.json" 2>&1; then
         echo "FAIL: expected clean under --strict: $f"
         "$LINT" --strict "$f"
+        fail=1
+    elif ! check_json "$TMP/out.json" true "" ""; then
+        echo "FAIL: JSON report for $f"
         fail=1
     fi
 done
 
 for f in "$DIR"/bad/*.circ; do
-    if "$LINT" --strict "$f" > /dev/null 2>&1; then
-        echo "FAIL: expected a rejection: $f"
+    "$LINT" --strict "$f" > /dev/null 2>&1
+    rc=$?
+    if [ "$rc" -ne 1 ] && [ "$rc" -ne 2 ]; then
+        echo "FAIL: expected rejection (exit 1 or 2), got $rc: $f"
         fail=1
     fi
 done
+
+for f in "$DIR"/faults/*.circ; do
+    expect_distance=$(annotation "$f" expect-distance)
+    expect_finding=$(annotation "$f" expect-finding)
+    "$LINT" --distance --format=json "$f" > "$TMP/out.json" 2>&1
+    rc=$?
+    # Fault fixtures are structurally clean: only lint findings (exit
+    # 2) may reject them, never a parse failure.
+    if [ "$rc" -ne 0 ] && [ "$rc" -ne 2 ]; then
+        echo "FAIL: fault fixture did not parse (exit $rc): $f"
+        fail=1
+    elif ! check_json "$TMP/out.json" "" "$expect_distance" \
+                      "$expect_finding"; then
+        echo "FAIL: fault annotations not satisfied: $f"
+        fail=1
+    fi
+done
+
+# --- exit-code contract -----------------------------------------------
+expect_rc() { # DESCRIPTION EXPECTED_RC CMD...
+    local desc=$1 want=$2
+    shift 2
+    "$@" > /dev/null 2>&1
+    local got=$?
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL: $desc: exit $got, expected $want"
+        fail=1
+    fi
+}
+
+expect_rc "clean file exits 0" 0 \
+    "$LINT" --strict "$DIR/good/bell_pair.circ"
+expect_rc "unreadable file exits 1" 1 \
+    "$LINT" "$DIR/does_not_exist.circ"
+expect_rc "usage error exits 1" 1 \
+    "$LINT" --expect-distance=3 "$DIR/good/bell_pair.circ"
+# miswired_observable carries a warning-level finding only: accepted by
+# default, rejected by --strict (the contract this PR makes explicit).
+expect_rc "warnings accepted without --strict" 0 \
+    "$LINT" --distance "$DIR/faults/miswired_observable.circ"
+expect_rc "--strict fails on warnings" 2 \
+    "$LINT" --strict --distance "$DIR/faults/miswired_observable.circ"
 
 if [ "$fail" -eq 0 ]; then
     echo "all fixtures behave as expected"

@@ -44,6 +44,8 @@ std::atomic<unsigned> gOverride{0};
 unsigned
 defaultThreadCount()
 {
+    // Startup-only configuration read; nothing writes the environment.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char* env = std::getenv("HETARCH_THREADS")) {
         const long parsed = std::strtol(env, nullptr, 10);
         if (parsed >= 1 &&

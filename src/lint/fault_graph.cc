@@ -1,0 +1,52 @@
+#include "lint/fault_graph.hh"
+
+#include "core/logging.hh"
+
+namespace hetarch {
+namespace lint {
+
+FaultGraph
+FaultGraph::fromDem(const stab::DetectorErrorModel& dem)
+{
+    FaultGraph g;
+    g.nDetectors = dem.numDetectors;
+    g.inc.resize(g.numNodes());
+
+    const auto boundary = g.boundaryNode();
+    for (std::uint32_t i = 0; i < dem.mechanisms.size(); ++i) {
+        const auto& m = dem.mechanisms[i];
+        const auto ndet = m.detectors.size();
+        if (ndet == 0) {
+            // The DEM builder never emits no-op mechanisms, so a
+            // detector-free mechanism must flip an observable.
+            HETARCH_ASSERT(m.observables != 0,
+                           "DEM mechanism flips nothing");
+            g.undetectable.push_back(i);
+            continue;
+        }
+        if (ndet > 2) {
+            g.hyperedges.push_back(i);
+            g.hyperObs |= m.observables;
+            continue;
+        }
+        FaultEdge e;
+        e.u = m.detectors[0];
+        e.v = ndet == 2 ? m.detectors[1] : boundary;
+        e.mechanism = i;
+        e.observables = m.observables;
+        e.probability = m.probability;
+        const auto id = static_cast<std::uint32_t>(g.edgeList.size());
+        g.inc[e.u].push_back(id);
+        g.inc[e.v].push_back(id);
+        g.edgeList.push_back(e);
+    }
+
+    const auto counts = dem.detectorFlipCounts();
+    for (std::uint32_t d = 0; d < counts.size(); ++d)
+        if (counts[d] == 0)
+            g.dead.push_back(d);
+    return g;
+}
+
+} // namespace lint
+} // namespace hetarch

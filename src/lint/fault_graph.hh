@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fault graph: boundary-aware graphlike decomposition of a detector
+ * error model, the substrate of the static fault-path analyzer.
+ *
+ * Every DEM mechanism flips a set of detectors.  Mechanisms flipping
+ * one or two detectors are *graphlike* and become edges of an
+ * undirected multigraph over detector nodes — one-detector mechanisms
+ * connect to a virtual boundary node, exactly as in
+ * qec::DecodingGraph::fromDem.  Mechanisms flipping more than two
+ * detectors (hyperedges, e.g. Y errors on surface-code data qubits)
+ * are excluded from the graph but tracked, so analyses over the graph
+ * can state precisely what they certify: properties of the graphlike
+ * subset of fault sets.
+ *
+ * The classification also surfaces the two coverage pathologies the
+ * analyzer reports directly:
+ *   - undetectable mechanisms: flip an observable but no detector
+ *     (a distance-1 hole — a single fault causes a silent logical
+ *     error);
+ *   - dead detectors: no mechanism (graphlike or not) ever flips them,
+ *     so they carry no syndrome information.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stab/dem.hh"
+
+namespace hetarch {
+namespace lint {
+
+/** One graphlike mechanism, as an edge between two nodes. */
+struct FaultEdge
+{
+    /** First endpoint (a detector id; never the boundary). */
+    std::uint32_t u = 0;
+    /** Second endpoint: a detector id or FaultGraph::boundaryNode(). */
+    std::uint32_t v = 0;
+    /** Index into dem.mechanisms. */
+    std::uint32_t mechanism = 0;
+    /** Logical observables flipped when the mechanism fires. */
+    std::uint32_t observables = 0;
+    double probability = 0.0;
+};
+
+/** The graphlike fault graph of a DEM (immutable after fromDem). */
+class FaultGraph
+{
+  public:
+    /** Classify every mechanism of @p dem and build the graph. */
+    static FaultGraph fromDem(const stab::DetectorErrorModel& dem);
+
+    std::size_t numDetectors() const { return nDetectors; }
+    /** Node id of the virtual boundary (== numDetectors()). */
+    std::uint32_t boundaryNode() const
+    {
+        return static_cast<std::uint32_t>(nDetectors);
+    }
+    /** Detector nodes plus the boundary. */
+    std::size_t numNodes() const { return nDetectors + 1; }
+
+    /** Graphlike mechanisms, in ascending mechanism order. */
+    const std::vector<FaultEdge>& edges() const { return edgeList; }
+
+    /**
+     * Edge ids incident to each node, indexed [0, numNodes()); the
+     * last entry is the boundary.  Each list is ascending, so graph
+     * traversals that scan it in order are deterministic.
+     */
+    const std::vector<std::vector<std::uint32_t>>& incidence() const
+    {
+        return inc;
+    }
+
+    /** Mechanisms flipping an observable but no detector (ascending). */
+    const std::vector<std::uint32_t>& undetectableMechanisms() const
+    {
+        return undetectable;
+    }
+
+    /** Mechanisms flipping more than two detectors (ascending). */
+    const std::vector<std::uint32_t>& hyperedgeMechanisms() const
+    {
+        return hyperedges;
+    }
+
+    /** OR of observable masks over the excluded hyperedge mechanisms. */
+    std::uint32_t hyperedgeObservables() const { return hyperObs; }
+
+    /** Detectors no mechanism at all can flip (ascending). */
+    const std::vector<std::uint32_t>& deadDetectors() const
+    {
+        return dead;
+    }
+
+  private:
+    std::size_t nDetectors = 0;
+    std::vector<FaultEdge> edgeList;
+    std::vector<std::vector<std::uint32_t>> inc;
+    std::vector<std::uint32_t> undetectable;
+    std::vector<std::uint32_t> hyperedges;
+    std::uint32_t hyperObs = 0;
+    std::vector<std::uint32_t> dead;
+};
+
+} // namespace lint
+} // namespace hetarch

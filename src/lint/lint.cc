@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/logging.hh"
+#include "lint/faults.hh"
 
 namespace hetarch {
 namespace lint {
@@ -373,6 +374,18 @@ lintCircuit(const stab::Circuit& circuit, const LintOptions& options)
         } else {
             report.add("determinism", Severity::Info, kNoOpIndex,
                        "pass skipped: circuit has structural errors");
+        }
+    }
+    if (options.checkFaults) {
+        // The analyzer builds the DEM, which presumes the detectors
+        // are deterministic — only enter it on an error-free circuit.
+        if (report.clean()) {
+            FaultOptions fault_options;
+            fault_options.maxWeight = options.faultMaxWeight;
+            passFaults(circuit, report, fault_options);
+        } else {
+            report.add("fault-distance", Severity::Info, kNoOpIndex,
+                       "pass skipped: circuit has errors");
         }
     }
     return report;

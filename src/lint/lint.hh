@@ -93,6 +93,19 @@ struct LintOptions
      * in a hurry may disable it.
      */
     bool checkDeterminism = true;
+
+    /**
+     * Run the static fault-path analyzer (faults.hh): certified
+     * circuit distance per observable, detector-coverage holes, and
+     * union-bound error budgets.  Off by default; it builds the
+     * detector error model, which presumes deterministic detectors,
+     * so lintCircuit only runs it when every earlier pass is clean.
+     */
+    bool checkFaults = false;
+
+    /** Union-bound weight override for the faults pass (0 = derive
+        ceil(distance / 2) per observable). */
+    std::size_t faultMaxWeight = 0;
 };
 
 // --- individual passes ------------------------------------------------

@@ -1,0 +1,467 @@
+#include "lint/report_json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "core/logging.hh"
+
+namespace hetarch {
+namespace lint {
+
+namespace {
+
+/** Emit a JSON string literal (finding messages stay in ASCII). */
+void
+writeString(std::ostream& os, const std::string& s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            os << c;
+        }
+    }
+    os << '"';
+}
+
+/** Shortest round-trip decimal form of a double. */
+void
+writeDouble(std::ostream& os, double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    os << buf;
+}
+
+void
+writeIndexArray(std::ostream& os, const std::vector<std::uint32_t>& xs)
+{
+    os << '[';
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        os << (i ? ", " : "") << xs[i];
+    os << ']';
+}
+
+/** Distance / op-index fields render their sentinel as null. */
+void
+writeOrNull(std::ostream& os, std::size_t v, std::size_t sentinel)
+{
+    if (v == sentinel)
+        os << "null";
+    else
+        os << v;
+}
+
+void
+writeFaults(std::ostream& os, const FaultAnalysis& fa)
+{
+    os << "{\"dead_detectors\": ";
+    writeIndexArray(os, fa.deadDetectors);
+    os << ", \"hyperedge_mechanisms\": " << fa.numHyperedges
+       << ", \"min_distance\": ";
+    writeOrNull(os, fa.minDistance(), kInfiniteDistance);
+    os << ", \"num_detectors\": " << fa.numDetectors
+       << ", \"num_mechanisms\": " << fa.numMechanisms
+       << ", \"observables\": [";
+    bool first = true;
+    for (const auto& of : fa.observables) {
+        os << (first ? "" : ", ") << "{\"certificate\": ";
+        writeIndexArray(os, of.certificate.mechanisms);
+        os << ", \"distance\": ";
+        writeOrNull(os, of.distance, kInfiniteDistance);
+        os << ", \"graphlike\": " << (of.graphlike ? "true" : "false")
+           << ", \"observable\": " << of.observable
+           << ", \"union_bound\": ";
+        writeDouble(os, of.unionBound);
+        os << ", \"union_bound_weight\": " << of.unionBoundWeight
+           << '}';
+        first = false;
+    }
+    os << "], \"undetectable_mechanisms\": ";
+    writeIndexArray(os, fa.undetectableMechanisms);
+    os << '}';
+}
+
+/**
+ * Recursive-descent parser for the v1 lint document, in the same
+ * strict style as the obs snapshot parser: every deviation is fatal
+ * with a byte offset.
+ */
+class Parser
+{
+  public:
+    explicit Parser(const std::string& text) : src(text) {}
+
+    LintDocument parse()
+    {
+        LintDocument doc;
+        expect('{');
+        expectKey("files");
+        expect('[');
+        if (!consume(']')) {
+            do
+                doc.files.push_back(parseFile());
+            while (consume(','));
+            expect(']');
+        }
+        expect(',');
+        expectKey("schema");
+        const auto schema = parseString();
+        if (schema != "hetarch-lint-v1")
+            fail("unsupported lint report schema '" + schema + "'");
+        expect('}');
+        skipWs();
+        if (pos != src.size())
+            fail("trailing content after lint document");
+        return doc;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string& why) const
+    {
+        HETARCH_FATAL("lint report parse error at byte ", pos, ": ",
+                      why);
+    }
+
+    void skipWs()
+    {
+        while (pos < src.size() &&
+               std::isspace(static_cast<unsigned char>(src[pos])))
+            ++pos;
+    }
+
+    char peek()
+    {
+        skipWs();
+        if (pos >= src.size())
+            fail("unexpected end of input");
+        return src[pos];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', found '" +
+                 src[pos] + "'");
+        ++pos;
+    }
+
+    bool consume(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos;
+        return true;
+    }
+
+    bool consumeWord(const char* word)
+    {
+        skipWs();
+        const std::size_t len = std::string(word).size();
+        if (src.compare(pos, len, word) != 0)
+            return false;
+        pos += len;
+        return true;
+    }
+
+    void expectKey(const char* key)
+    {
+        const auto name = parseString();
+        if (name != key)
+            fail("expected key \"" + std::string(key) + "\", found \"" +
+                 name + "\"");
+        expect(':');
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos < src.size() && src[pos] != '"') {
+            char c = src[pos++];
+            if (c == '\\') {
+                if (pos >= src.size())
+                    fail("unterminated escape");
+                const char esc = src[pos++];
+                switch (esc) {
+                  case '"':
+                    c = '"';
+                    break;
+                  case '\\':
+                    c = '\\';
+                    break;
+                  case 'n':
+                    c = '\n';
+                    break;
+                  case 't':
+                    c = '\t';
+                    break;
+                  default:
+                    fail("unsupported escape sequence");
+                }
+            }
+            out += c;
+        }
+        if (pos >= src.size())
+            fail("unterminated string");
+        ++pos; // closing quote
+        return out;
+    }
+
+    std::uint64_t parseU64()
+    {
+        skipWs();
+        const std::size_t begin = pos;
+        while (pos < src.size() &&
+               std::isdigit(static_cast<unsigned char>(src[pos])))
+            ++pos;
+        if (pos == begin)
+            fail("expected an unsigned integer");
+        return std::strtoull(src.substr(begin, pos - begin).c_str(),
+                             nullptr, 10);
+    }
+
+    /** A u64 or the literal null mapping to @p sentinel. */
+    std::size_t parseU64OrNull(std::size_t sentinel)
+    {
+        skipWs();
+        if (consumeWord("null"))
+            return sentinel;
+        return static_cast<std::size_t>(parseU64());
+    }
+
+    bool parseBool()
+    {
+        if (consumeWord("true"))
+            return true;
+        if (consumeWord("false"))
+            return false;
+        fail("expected a boolean");
+    }
+
+    double parseDouble()
+    {
+        skipWs();
+        const std::size_t begin = pos;
+        auto in_number = [this] {
+            const char c = src[pos];
+            return std::isdigit(static_cast<unsigned char>(c)) ||
+                   c == '-' || c == '+' || c == '.' || c == 'e' ||
+                   c == 'E';
+        };
+        while (pos < src.size() && in_number())
+            ++pos;
+        if (pos == begin)
+            fail("expected a number");
+        return std::strtod(src.substr(begin, pos - begin).c_str(),
+                           nullptr);
+    }
+
+    std::vector<std::uint32_t> parseIndexArray()
+    {
+        std::vector<std::uint32_t> out;
+        expect('[');
+        if (consume(']'))
+            return out;
+        do
+            out.push_back(static_cast<std::uint32_t>(parseU64()));
+        while (consume(','));
+        expect(']');
+        return out;
+    }
+
+    Severity parseSeverity()
+    {
+        const auto name = parseString();
+        if (name == "info")
+            return Severity::Info;
+        if (name == "warning")
+            return Severity::Warning;
+        if (name == "error")
+            return Severity::Error;
+        fail("unknown severity '" + name + "'");
+    }
+
+    FaultAnalysis parseFaults()
+    {
+        FaultAnalysis fa;
+        expect('{');
+        expectKey("dead_detectors");
+        fa.deadDetectors = parseIndexArray();
+        expect(',');
+        expectKey("hyperedge_mechanisms");
+        fa.numHyperedges = parseU64();
+        expect(',');
+        expectKey("min_distance");
+        // Derived from the observables on output; discard on input.
+        (void)parseU64OrNull(kInfiniteDistance);
+        expect(',');
+        expectKey("num_detectors");
+        fa.numDetectors = parseU64();
+        expect(',');
+        expectKey("num_mechanisms");
+        fa.numMechanisms = parseU64();
+        expect(',');
+        expectKey("observables");
+        expect('[');
+        if (!consume(']')) {
+            do {
+                ObservableFaults of;
+                expect('{');
+                expectKey("certificate");
+                of.certificate.mechanisms = parseIndexArray();
+                expect(',');
+                expectKey("distance");
+                of.distance = parseU64OrNull(kInfiniteDistance);
+                expect(',');
+                expectKey("graphlike");
+                of.graphlike = parseBool();
+                expect(',');
+                expectKey("observable");
+                of.observable = static_cast<std::uint32_t>(parseU64());
+                expect(',');
+                expectKey("union_bound");
+                of.unionBound = parseDouble();
+                expect(',');
+                expectKey("union_bound_weight");
+                of.unionBoundWeight = parseU64();
+                expect('}');
+                fa.observables.push_back(std::move(of));
+            } while (consume(','));
+            expect(']');
+        }
+        expect(',');
+        expectKey("undetectable_mechanisms");
+        fa.undetectableMechanisms = parseIndexArray();
+        expect('}');
+        return fa;
+    }
+
+    FileReport parseFile()
+    {
+        FileReport file;
+        expect('{');
+        expectKey("clean");
+        (void)parseBool(); // derived from the findings
+        expect(',');
+        expectKey("errors");
+        (void)parseU64();
+        expect(',');
+        expectKey("faults");
+        skipWs();
+        if (consumeWord("null")) {
+            file.hasFaults = false;
+        } else {
+            file.hasFaults = true;
+            file.faults = parseFaults();
+        }
+        expect(',');
+        expectKey("findings");
+        expect('[');
+        if (!consume(']')) {
+            do {
+                LintFinding f;
+                expect('{');
+                expectKey("message");
+                f.message = parseString();
+                expect(',');
+                expectKey("op");
+                f.opIndex = parseU64OrNull(kNoOpIndex);
+                expect(',');
+                expectKey("pass");
+                f.pass = parseString();
+                expect(',');
+                expectKey("severity");
+                f.severity = parseSeverity();
+                expect('}');
+                file.report.findings.push_back(std::move(f));
+            } while (consume(','));
+            expect(']');
+        }
+        expect(',');
+        expectKey("infos");
+        (void)parseU64();
+        expect(',');
+        expectKey("path");
+        file.path = parseString();
+        expect(',');
+        expectKey("strict_clean");
+        (void)parseBool();
+        expect(',');
+        expectKey("warnings");
+        (void)parseU64();
+        expect('}');
+        return file;
+    }
+
+    const std::string& src;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+std::string
+toLintJson(const LintDocument& doc)
+{
+    std::ostringstream os;
+    os << "{\n  \"files\": [";
+    bool first = true;
+    for (const auto& file : doc.files) {
+        const auto errors = file.report.errorCount();
+        const auto warnings = file.report.warningCount();
+        const auto infos =
+            file.report.findings.size() - errors - warnings;
+        os << (first ? "\n    " : ",\n    ");
+        os << "{\"clean\": " << (errors == 0 ? "true" : "false")
+           << ", \"errors\": " << errors << ", \"faults\": ";
+        if (file.hasFaults)
+            writeFaults(os, file.faults);
+        else
+            os << "null";
+        os << ", \"findings\": [";
+        bool first_finding = true;
+        for (const auto& f : file.report.findings) {
+            os << (first_finding ? "" : ", ") << "{\"message\": ";
+            writeString(os, f.message);
+            os << ", \"op\": ";
+            writeOrNull(os, f.opIndex, kNoOpIndex);
+            os << ", \"pass\": ";
+            writeString(os, f.pass);
+            os << ", \"severity\": \"" << severityName(f.severity)
+               << "\"}";
+            first_finding = false;
+        }
+        os << "], \"infos\": " << infos << ", \"path\": ";
+        writeString(os, file.path);
+        os << ", \"strict_clean\": "
+           << (errors + warnings == 0 ? "true" : "false")
+           << ", \"warnings\": " << warnings << '}';
+        first = false;
+    }
+    os << (first ? "" : "\n  ")
+       << "],\n  \"schema\": \"hetarch-lint-v1\"\n}\n";
+    return os.str();
+}
+
+LintDocument
+parseLintJson(const std::string& text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace lint
+} // namespace hetarch

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Stable-schema JSON serialization of lint reports, the machine
+ * interface of `hetarch-lint --format=json`.
+ *
+ * Schema (version hetarch-lint-v1; field order fixed, names sorted):
+ *
+ *   {
+ *     "files": [
+ *       {
+ *         "clean": <bool>,            // no errors
+ *         "errors": <u64>,
+ *         "faults": null | {          // present with --distance
+ *           "dead_detectors": [<u64>, ...],
+ *           "hyperedge_mechanisms": <u64>,
+ *           "min_distance": null | <u64>,
+ *           "num_detectors": <u64>,
+ *           "num_mechanisms": <u64>,
+ *           "observables": [
+ *             { "certificate": [<u64>, ...],
+ *               "distance": null | <u64>,
+ *               "graphlike": <bool>,
+ *               "observable": <u64>,
+ *               "union_bound": <double>,
+ *               "union_bound_weight": <u64> }, ... ],
+ *           "undetectable_mechanisms": [<u64>, ...]
+ *         },
+ *         "findings": [
+ *           { "message": <string>, "op": null | <u64>,
+ *             "pass": <string>, "severity": "info|warning|error" },
+ *           ... ],
+ *         "infos": <u64>,
+ *         "path": <string>,
+ *         "strict_clean": <bool>,     // no errors and no warnings
+ *         "warnings": <u64>
+ *       }, ... ],
+ *     "schema": "hetarch-lint-v1"
+ *   }
+ *
+ * Like hetarch-obs-v1, parseLintJson accepts exactly this schema and
+ * is fatal on any deviation: the parser exists for our own artifacts
+ * (scripts, CI gates, round-trip tests), not for arbitrary JSON.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/faults.hh"
+#include "lint/lint.hh"
+
+namespace hetarch {
+namespace lint {
+
+/** One linted unit (a file or a named builder circuit). */
+struct FileReport
+{
+    std::string path;
+    LintReport report;
+    /** Whether the fault analyzer ran (faults is meaningful). */
+    bool hasFaults = false;
+    FaultAnalysis faults;
+};
+
+/** A whole hetarch-lint run. */
+struct LintDocument
+{
+    std::vector<FileReport> files;
+};
+
+/** Serialize @p doc in the stable v1 schema. */
+std::string toLintJson(const LintDocument& doc);
+
+/**
+ * Parse a v1 lint document.  Fatal (exit 1) on malformed input or a
+ * schema mismatch; the round-trip inverse of toLintJson.
+ */
+LintDocument parseLintJson(const std::string& text);
+
+} // namespace lint
+} // namespace hetarch

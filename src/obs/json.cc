@@ -372,6 +372,8 @@ configureMetricsFromArgs(int& argc, char** argv)
 {
     auto& path = requestedMetricsPath();
     const bool already_registered = !path.empty();
+    // Startup-only configuration read; nothing writes the environment.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char* env = std::getenv("HETARCH_METRICS_OUT"))
         path = env;
 

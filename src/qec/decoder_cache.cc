@@ -22,6 +22,8 @@ namespace {
 obs::Counter& cCacheHits = obs::counter("qec.decoder_cache.hits");
 obs::Counter& cCacheMisses = obs::counter("qec.decoder_cache.misses");
 obs::Counter& cCacheEvictions = obs::counter("qec.decoder_cache.evictions");
+obs::Counter& cFaultHits = obs::counter("qec.decoder_cache.fault_hits");
+obs::Counter& cFaultMisses = obs::counter("qec.decoder_cache.fault_misses");
 
 } // namespace
 
@@ -132,8 +134,41 @@ struct DecoderCache::Impl
     using SetupFuture =
         std::shared_future<std::shared_ptr<const DecoderSetup>>;
 
+    /** Fault analyses are keyed on circuit content plus options. */
+    struct FaultKey
+    {
+        std::uint64_t hash;
+        std::uint64_t numOps;
+        std::uint64_t numDetectors;
+        std::uint64_t maxWeight;
+        bool unionBound;
+
+        bool operator==(const FaultKey& other) const
+        {
+            return hash == other.hash && numOps == other.numOps &&
+                   numDetectors == other.numDetectors &&
+                   maxWeight == other.maxWeight &&
+                   unionBound == other.unionBound;
+        }
+    };
+
+    struct FaultKeyHash
+    {
+        std::size_t operator()(const FaultKey& k) const
+        {
+            return static_cast<std::size_t>(
+                k.hash ^ (k.numOps * 0x9e3779b97f4a7c15ull) ^
+                (k.maxWeight * 0xff51afd7ed558ccdull) ^
+                (static_cast<std::uint64_t>(k.unionBound) << 63));
+        }
+    };
+
+    using FaultFuture =
+        std::shared_future<std::shared_ptr<const lint::FaultAnalysis>>;
+
     mutable std::mutex mutex;
     std::unordered_map<Key, SetupFuture, KeyHash> entries;
+    std::unordered_map<FaultKey, FaultFuture, FaultKeyHash> faultEntries;
     std::size_t hitCount = 0;
 };
 
@@ -184,18 +219,73 @@ DecoderCache::get(const stab::Circuit& circuit, DecoderKind kind)
     return setup;
 }
 
+std::shared_ptr<const lint::FaultAnalysis>
+DecoderCache::faultAnalysis(const stab::Circuit& circuit,
+                            const lint::FaultOptions& options)
+{
+    const Impl::FaultKey key{hashCircuit(circuit), circuit.ops().size(),
+                             circuit.numDetectors(), options.maxWeight,
+                             options.unionBound};
+    std::promise<std::shared_ptr<const lint::FaultAnalysis>> promise;
+    Impl::FaultFuture future;
+    Impl::SetupFuture setup_future;
+    {
+        std::lock_guard<std::mutex> lock(impl->mutex);
+        auto it = impl->faultEntries.find(key);
+        if (it != impl->faultEntries.end()) {
+            ++impl->hitCount;
+            cFaultHits.add();
+            future = it->second;
+        } else {
+            cFaultMisses.add();
+            if (impl->faultEntries.size() >= Impl::kCapacity)
+                impl->faultEntries.clear();
+            impl->faultEntries.emplace(key, promise.get_future().share());
+            // Reuse the DEM of an already-cached decoder setup for the
+            // same circuit (either kind) instead of rebuilding it.
+            for (auto kind : {DecoderKind::UnionFind,
+                              DecoderKind::GreedyDem}) {
+                const Impl::Key setup_key{key.hash, key.numOps,
+                                          key.numDetectors, kind};
+                auto sit = impl->entries.find(setup_key);
+                if (sit != impl->entries.end()) {
+                    setup_future = sit->second;
+                    break;
+                }
+            }
+        }
+    }
+    if (future.valid())
+        return future.get();
+
+    // This thread claimed the build.  The analyzer is deterministic,
+    // so waiters get exactly what a fresh run would produce.
+    std::shared_ptr<const lint::FaultAnalysis> analysis;
+    if (setup_future.valid()) {
+        const auto setup = setup_future.get();
+        analysis = std::make_shared<const lint::FaultAnalysis>(
+            lint::analyzeFaults(setup->dem, options));
+    } else {
+        analysis = std::make_shared<const lint::FaultAnalysis>(
+            lint::analyzeCircuitFaults(circuit, options));
+    }
+    promise.set_value(analysis);
+    return analysis;
+}
+
 void
 DecoderCache::clear()
 {
     std::lock_guard<std::mutex> lock(impl->mutex);
     impl->entries.clear();
+    impl->faultEntries.clear();
 }
 
 std::size_t
 DecoderCache::size() const
 {
     std::lock_guard<std::mutex> lock(impl->mutex);
-    return impl->entries.size();
+    return impl->entries.size() + impl->faultEntries.size();
 }
 
 std::size_t

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "lint/faults.hh"
 #include "qec/dem_decoder.hh"
 #include "qec/union_find.hh"
 #include "stab/circuit.hh"
@@ -79,9 +80,20 @@ class DecoderCache
     std::shared_ptr<const DecoderSetup> get(const stab::Circuit& circuit,
                                             DecoderKind kind);
 
+    /**
+     * Cached static fault analysis of @p circuit
+     * (lint::analyzeCircuitFaults).  When a decoder setup for the same
+     * circuit is already cached, its DEM is reused instead of being
+     * rebuilt — the fault graph shares the serial prefix of the
+     * decoding pipeline.  Build-once semantics match get().
+     */
+    std::shared_ptr<const lint::FaultAnalysis>
+    faultAnalysis(const stab::Circuit& circuit,
+                  const lint::FaultOptions& options = {});
+
     /** Drop all cached setups. */
     void clear();
-    /** Number of cached setups. */
+    /** Number of cached setups (decoder and fault entries). */
     std::size_t size() const;
     /** Cache hits since construction (for tests and perf reports). */
     std::size_t hits() const;

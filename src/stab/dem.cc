@@ -52,6 +52,41 @@ DetectorErrorModel::totalErrorWeight() const
     return w;
 }
 
+std::vector<std::uint32_t>
+DetectorErrorModel::detectorFlipCounts() const
+{
+    std::vector<std::uint32_t> counts(numDetectors, 0);
+    for (const auto& m : mechanisms)
+        for (auto d : m.detectors)
+            ++counts[d];
+    return counts;
+}
+
+std::uint32_t
+DetectorErrorModel::flippableObservables() const
+{
+    std::uint32_t mask = 0;
+    for (const auto& m : mechanisms)
+        mask |= m.observables;
+    return mask;
+}
+
+std::pair<std::vector<std::uint8_t>, std::uint32_t>
+DetectorErrorModel::applyMechanisms(
+    const std::vector<std::uint32_t>& indices) const
+{
+    std::vector<std::uint8_t> dets(numDetectors, 0);
+    std::uint32_t obs = 0;
+    for (auto i : indices) {
+        HETARCH_ASSERT(i < mechanisms.size(),
+                       "mechanism index out of range");
+        for (auto d : mechanisms[i].detectors)
+            dets[d] ^= 1;
+        obs ^= mechanisms[i].observables;
+    }
+    return {std::move(dets), obs};
+}
+
 std::pair<std::vector<std::uint8_t>, std::uint32_t>
 DetectorErrorModel::sample(Rng& rng) const
 {

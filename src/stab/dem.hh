@@ -51,6 +51,26 @@ struct DetectorErrorModel
 
     /** Sum of mechanism probabilities (diagnostic). */
     double totalErrorWeight() const;
+
+    /**
+     * How many mechanisms flip each detector.  A zero entry is a dead
+     * detector: no modeled error can ever fire it, so it contributes
+     * nothing to decoding (the fault analyzer flags these).
+     */
+    std::vector<std::uint32_t> detectorFlipCounts() const;
+
+    /** Bitmask of observables flipped by at least one mechanism. */
+    std::uint32_t flippableObservables() const;
+
+    /**
+     * Combined effect of firing exactly the mechanisms in @p indices:
+     * XOR of their detector sets and observable masks.  Order does not
+     * matter; firing the same mechanism twice cancels.  This is how a
+     * fault-path certificate is checked: a valid undetected logical
+     * fault leaves every detector at 0 with the observable bit set.
+     */
+    std::pair<std::vector<std::uint8_t>, std::uint32_t>
+    applyMechanisms(const std::vector<std::uint32_t>& indices) const;
 };
 
 /**

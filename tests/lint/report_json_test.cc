@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the hetarch-lint-v1 JSON schema: serialization with
+ * name-sorted keys, exact round-trips through the strict parser
+ * (including null distances and fault payloads), and fatal rejection
+ * of malformed or schema-deviating documents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lint/faults.hh"
+#include "lint/lint.hh"
+#include "lint/report_json.hh"
+#include "qec/css_circuit.hh"
+#include "qec/css_code.hh"
+#include "stab/dem.hh"
+
+namespace hetarch {
+namespace lint {
+namespace {
+
+LintDocument
+sampleDocument()
+{
+    LintDocument doc;
+
+    FileReport plain;
+    plain.path = "plain.circ";
+    plain.report.add("liveness", Severity::Warning, 4,
+                     "qubit 1 never measured");
+    plain.report.add("prob-range", Severity::Info, kNoOpIndex,
+                     "zero probability \"noise\"\n\ttrailing");
+    doc.files.push_back(plain);
+
+    FileReport analyzed;
+    analyzed.path = "analyzed";
+    analyzed.hasFaults = true;
+    analyzed.faults = analyzeCircuitFaults(
+        qec::codeCapacityMemoryZ(qec::makeRepetition(3), 2, 0.01,
+                                 0.01));
+    doc.files.push_back(analyzed);
+
+    // An analysis with an unbounded observable: distance serializes
+    // as null.
+    FileReport unbounded;
+    unbounded.path = "unbounded";
+    unbounded.hasFaults = true;
+    stab::DetectorErrorModel dem;
+    dem.numDetectors = 1;
+    dem.numObservables = 1;
+    stab::ErrorMechanism m;
+    m.probability = 0.25;
+    m.detectors = {0};
+    dem.mechanisms = {m};
+    unbounded.faults = analyzeFaults(dem);
+    doc.files.push_back(unbounded);
+
+    return doc;
+}
+
+bool
+sameReport(const LintReport& a, const LintReport& b)
+{
+    if (a.findings.size() != b.findings.size())
+        return false;
+    for (std::size_t i = 0; i < a.findings.size(); ++i) {
+        const auto& x = a.findings[i];
+        const auto& y = b.findings[i];
+        if (x.pass != y.pass || x.severity != y.severity ||
+            x.opIndex != y.opIndex || x.message != y.message)
+            return false;
+    }
+    return true;
+}
+
+TEST(LintJson, RoundTripsExactly)
+{
+    const auto doc = sampleDocument();
+    const auto text = toLintJson(doc);
+    const auto parsed = parseLintJson(text);
+
+    ASSERT_EQ(parsed.files.size(), doc.files.size());
+    for (std::size_t i = 0; i < doc.files.size(); ++i) {
+        EXPECT_EQ(parsed.files[i].path, doc.files[i].path);
+        EXPECT_EQ(parsed.files[i].hasFaults, doc.files[i].hasFaults);
+        EXPECT_TRUE(sameReport(parsed.files[i].report,
+                               doc.files[i].report))
+            << doc.files[i].path;
+        if (doc.files[i].hasFaults) {
+            EXPECT_TRUE(parsed.files[i].faults == doc.files[i].faults)
+                << doc.files[i].path;
+        }
+    }
+    // Serialization is a pure function of the document.
+    EXPECT_EQ(toLintJson(parsed), text);
+}
+
+TEST(LintJson, GoldenShapeIsStable)
+{
+    // Key order is part of the contract: name-sorted, schema last.
+    LintDocument doc;
+    FileReport file;
+    file.path = "x.circ";
+    doc.files.push_back(file);
+    const auto text = toLintJson(doc);
+
+    EXPECT_NE(text.find("\"clean\": true"), std::string::npos) << text;
+    EXPECT_NE(text.find("\"schema\": \"hetarch-lint-v1\""),
+              std::string::npos);
+    EXPECT_LT(text.find("\"clean\""), text.find("\"errors\""));
+    EXPECT_LT(text.find("\"errors\""), text.find("\"faults\""));
+    EXPECT_LT(text.find("\"faults\""), text.find("\"findings\""));
+    EXPECT_LT(text.find("\"findings\""), text.find("\"infos\""));
+    EXPECT_LT(text.find("\"infos\""), text.find("\"path\""));
+    EXPECT_LT(text.find("\"path\""), text.find("\"strict_clean\""));
+    EXPECT_LT(text.find("\"strict_clean\""), text.find("\"warnings\""));
+    EXPECT_NE(text.find("\"faults\": null"), std::string::npos);
+}
+
+TEST(LintJson, DerivedCountsMatchFindings)
+{
+    const auto doc = sampleDocument();
+    const auto text = toLintJson(doc);
+    // plain.circ has one warning and one info, no errors.
+    EXPECT_NE(text.find("\"errors\": 0"), std::string::npos);
+    EXPECT_NE(text.find("\"warnings\": 1"), std::string::npos);
+    EXPECT_NE(text.find("\"infos\": 1"), std::string::npos);
+    EXPECT_NE(text.find("\"strict_clean\": false"), std::string::npos);
+    // The unbounded observable serializes a null distance.
+    EXPECT_NE(text.find("\"distance\": null"), std::string::npos);
+    EXPECT_NE(text.find("\"min_distance\": null"), std::string::npos);
+}
+
+using LintJsonDeathTest = ::testing::Test;
+
+TEST(LintJsonDeathTest, MalformedDocumentsAreFatal)
+{
+    EXPECT_DEATH(parseLintJson(""), "parse error at byte");
+    EXPECT_DEATH(parseLintJson("{}"), "parse error at byte");
+    EXPECT_DEATH(parseLintJson("{\"files\": []}"),
+                 "parse error at byte");
+    // Wrong schema string.
+    EXPECT_DEATH(
+        parseLintJson("{\"files\": [], \"schema\": \"hetarch-lint-v2\"}"),
+        "parse error at byte");
+    // Keys out of sorted order inside a file object.
+    const auto doc = toLintJson(sampleDocument());
+    auto swapped = doc;
+    const auto clean_pos = swapped.find("\"clean\"");
+    ASSERT_NE(clean_pos, std::string::npos);
+    swapped.replace(clean_pos, 7, "\"zlean\"");
+    EXPECT_DEATH(parseLintJson(swapped), "parse error at byte");
+    // Trailing garbage after the document.
+    EXPECT_DEATH(parseLintJson(doc + "x"), "parse error at byte");
+}
+
+} // namespace
+} // namespace lint
+} // namespace hetarch

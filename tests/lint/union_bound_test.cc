@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Cross-validation of the static union-bound pass against Monte-Carlo
+ * decoding: for every (distance, noise) grid point the analytic bound
+ * e_k at k = ceil(d / 2) must dominate the empirical logical error
+ * rate measured by qec::runMemoryExperiment at fixed seeds.  Also
+ * pins basic analytic properties (monotonicity in weight, scaling
+ * with noise strength) that make the bound trustworthy as a budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "lint/faults.hh"
+#include "qec/memory_experiment.hh"
+#include "qec/surface_circuit.hh"
+#include "stab/dem.hh"
+
+namespace hetarch {
+namespace lint {
+namespace {
+
+qec::CircuitNoise
+scaledNoise(double scale)
+{
+    qec::CircuitNoise noise; // paper defaults
+    noise.p1 *= scale;
+    noise.p2 *= scale;
+    // Stretch coherences so idle noise scales down alongside the gate
+    // errors; otherwise idling dominates and the grid points collapse.
+    noise.dataT1 /= scale;
+    noise.dataT2 /= scale;
+    noise.ancT1 /= scale;
+    noise.ancT2 /= scale;
+    return noise;
+}
+
+TEST(UnionBoundVsMonteCarlo, BoundDominatesEmpiricalRateOnGrid)
+{
+    // Noise low enough that the bound is non-vacuous (< 1) yet high
+    // enough that 20k shots see failures at d=3.
+    const std::size_t kShots = 20000;
+    for (std::size_t d : {3u, 5u}) {
+        for (double scale : {0.1, 0.3}) {
+            const auto noise = scaledNoise(scale);
+            const auto circuit = qec::surfaceMemoryZ(d, d, noise);
+            const auto fa = analyzeCircuitFaults(circuit);
+            ASSERT_EQ(fa.observables.size(), 1u);
+            const auto bound = fa.observables[0].unionBound;
+            ASSERT_EQ(fa.observables[0].distance, d);
+
+            Rng rng(12345 + d * 100 +
+                    static_cast<std::uint64_t>(scale * 10));
+            const auto mc = qec::runMemoryExperiment(
+                circuit, kShots, d, qec::DecoderKind::UnionFind, rng);
+            EXPECT_GE(bound, mc.perShot())
+                << "d=" << d << " scale=" << scale << " bound=" << bound
+                << " empirical=" << mc.perShot() << " ("
+                << mc.failures << "/" << mc.shots << ")";
+        }
+    }
+}
+
+TEST(UnionBoundVsMonteCarlo, BoundIsNonVacuousAtLowNoise)
+{
+    // A budget that always reads 1.0 would pass dominance trivially;
+    // pin that the grid above actually exercises bounds below 1.
+    const auto circuit = qec::surfaceMemoryZ(3, 3, scaledNoise(0.1));
+    const auto fa = analyzeCircuitFaults(circuit);
+    EXPECT_LT(fa.observables[0].unionBound, 1.0);
+    EXPECT_GT(fa.observables[0].unionBound, 0.0);
+}
+
+TEST(UnionBoundAnalytic, DecreasesWithWeight)
+{
+    // e_k over probabilities summing below 1 is decreasing in k, so
+    // deeper certified distances buy exponentially smaller budgets.
+    const auto dem = stab::buildDetectorErrorModel(
+        qec::surfaceMemoryZ(3, 3, scaledNoise(0.1)));
+    double prev = unionBoundAtWeight(dem, 1);
+    for (std::size_t k = 2; k <= 4; ++k) {
+        const double cur = unionBoundAtWeight(dem, k);
+        EXPECT_LT(cur, prev) << "k=" << k;
+        prev = cur;
+    }
+}
+
+TEST(UnionBoundAnalytic, ScalesWithNoiseStrength)
+{
+    const auto weak = analyzeCircuitFaults(
+        qec::surfaceMemoryZ(3, 3, scaledNoise(0.1)));
+    const auto strong = analyzeCircuitFaults(
+        qec::surfaceMemoryZ(3, 3, scaledNoise(0.3)));
+    EXPECT_LT(weak.observables[0].unionBound,
+              strong.observables[0].unionBound);
+}
+
+} // namespace
+} // namespace lint
+} // namespace hetarch

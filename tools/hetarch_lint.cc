@@ -1,40 +1,201 @@
 /**
  * @file
- * hetarch-lint: static verification for .circ files.
+ * hetarch-lint: static verification for .circ files and the repo's
+ * circuit builders.
  *
- * Usage: hetarch-lint [--strict] [--no-determinism]
- *                     [--metrics-out=FILE] FILE...
+ * Usage: hetarch-lint [options] [FILE...]
  *
- * Parses each file (parse errors are fatal and exit 1), runs the full
- * lint pipeline and prints the report.  Exit status:
- *   0  every file is clean (no errors; with --strict, no warnings)
- *   1  a file could not be read or parsed
- *   2  lint findings above the acceptance threshold
+ *   --strict            fail (exit 2) on warnings, not just errors
+ *   --no-determinism    skip the symbolic determinism pass
+ *   --distance          run the fault-path analyzer: certified circuit
+ *                       distance, detector coverage, union bounds
+ *   --max-weight=K      evaluate the union bound at weight K instead
+ *                       of ceil(distance / 2)
+ *   --expect-distance=D fail (exit 2) unless every analyzed unit has
+ *                       certified distance exactly D (implies checks
+ *                       of --distance output; requires --distance)
+ *   --format=text|json  report format; json emits the stable
+ *                       hetarch-lint-v1 document on stdout
+ *   --builders[=a,b]    lint builder-generated circuits (all, or the
+ *                       named subset); combines with FILE arguments
+ *   --list-builders     print known builder names and exit
+ *   --drop-detector=N   drop the N-th DETECTOR op before analysis (a
+ *                       perturbation knob for the CI certification
+ *                       gate's negative self-check)
+ *   --metrics-out=FILE  write an obs metrics snapshot on exit
+ *
+ * Exit status (the contract scripts/check_lint_clean.sh pins):
+ *   0  every unit is clean (no errors; with --strict, no warnings)
+ *      and every --expect-distance check passed
+ *   1  usage error, unreadable file, or parse failure
+ *   2  lint findings above the acceptance threshold, or a certified
+ *      distance differing from --expect-distance
  */
 
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/logging.hh"
+#include "distill/dejmps.hh"
+#include "lint/faults.hh"
 #include "lint/lint.hh"
+#include "lint/report_json.hh"
 #include "obs/json.hh"
 #include "obs/obs.hh"
+#include "qec/css_circuit.hh"
+#include "qec/css_code.hh"
+#include "qec/decoder_cache.hh"
+#include "qec/surface_circuit.hh"
 #include "stab/circuit_io.hh"
+#include "uec/assignment.hh"
+#include "uec/lattice_baseline.hh"
+#include "uec/uec_circuit.hh"
 
 namespace {
 
-hetarch::obs::Counter& cFiles = hetarch::obs::counter("lint.files");
-hetarch::obs::Counter& cErrors = hetarch::obs::counter("lint.errors");
-hetarch::obs::Counter& cWarnings = hetarch::obs::counter("lint.warnings");
+using namespace hetarch;
+
+obs::Counter& cFiles = obs::counter("lint.files");
+obs::Counter& cErrors = obs::counter("lint.errors");
+obs::Counter& cWarnings = obs::counter("lint.warnings");
+
+/** One named generator from the repo's circuit-builder surface. */
+struct Builder
+{
+    const char* name;
+    stab::Circuit (*make)();
+};
+
+stab::Circuit
+makeUecSteane()
+{
+    const auto code = qec::makeSteane();
+    return uec::uecMemoryZ(code, uec::roundRobinAssignment(code), 2,
+                           uec::UecNoise{});
+}
+
+stab::Circuit
+makeUecChainedSteane()
+{
+    const auto code = qec::makeSteane();
+    uec::UecChain chain;
+    chain.numUscExt = 1;
+    return uec::uecChainedMemoryZ(
+        code, uec::roundRobinAssignment(code, chain.numRegisters()),
+        chain, 2, uec::UecNoise{});
+}
+
+const std::vector<Builder>&
+builderRegistry()
+{
+    static const std::vector<Builder> builders = {
+        {"surface-d3",
+         [] { return qec::surfaceMemoryZ(3, 3, qec::CircuitNoise{}); }},
+        {"surface-d5",
+         [] { return qec::surfaceMemoryZ(5, 5, qec::CircuitNoise{}); }},
+        {"surface-d7",
+         [] { return qec::surfaceMemoryZ(7, 7, qec::CircuitNoise{}); }},
+        {"surface-x-d3",
+         [] {
+             return qec::surfaceMemory(3, 3, qec::CircuitNoise{},
+                                       qec::MemoryBasis::X);
+         }},
+        {"css-rep3",
+         [] {
+             return qec::codeCapacityMemoryZ(qec::makeRepetition(3), 2,
+                                             0.01, 0.01);
+         }},
+        {"css-steane",
+         [] {
+             return qec::codeCapacityMemoryZ(qec::makeSteane(), 2, 0.01,
+                                             0.01);
+         }},
+        {"uec-steane", makeUecSteane},
+        {"uec-chained-steane", makeUecChainedSteane},
+        {"lattice-steane",
+         [] {
+             const auto code = qec::makeSteane();
+             return uec::latticeMemoryZ(code, uec::embedOnLattice(code),
+                                        2, uec::LatticeNoise{});
+         }},
+        {"dejmps", [] { return distill::dejmpsCircuit(); }},
+    };
+    return builders;
+}
 
 int
 usage()
 {
-    std::cerr << "usage: hetarch-lint [--strict] [--no-determinism] "
-                 "[--metrics-out=FILE] FILE...\n";
+    std::cerr
+        << "usage: hetarch-lint [--strict] [--no-determinism]\n"
+           "                    [--distance] [--max-weight=K]\n"
+           "                    [--expect-distance=D] "
+           "[--format=text|json]\n"
+           "                    [--builders[=name,...]] "
+           "[--list-builders]\n"
+           "                    [--drop-detector=N] "
+           "[--metrics-out=FILE] [FILE...]\n";
     return 1;
+}
+
+/** A unit of work: a file path or a builder circuit, plus its label. */
+struct Unit
+{
+    std::string label;
+    const Builder* builder = nullptr; ///< null: label is a file path
+};
+
+bool
+parseSize(const std::string& text, std::size_t& out)
+{
+    if (text.empty())
+        return false;
+    std::size_t consumed = 0;
+    try {
+        out = std::stoull(text, &consumed);
+    } catch (const std::exception&) {
+        return false;
+    }
+    return consumed == text.size();
+}
+
+stab::Circuit
+loadUnit(const Unit& unit)
+{
+    if (unit.builder)
+        return unit.builder->make();
+    std::ifstream in(unit.label);
+    if (!in)
+        HETARCH_FATAL("hetarch-lint: cannot read '", unit.label, "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    // parseCircuit is fatal (exit 1) on malformed input; its
+    // diagnostics already carry the line number.
+    return stab::parseCircuit(text.str());
+}
+
+/** Remove the N-th DETECTOR op (the certification gate's saboteur). */
+stab::Circuit
+dropDetector(const stab::Circuit& circuit, std::size_t index)
+{
+    std::vector<stab::Op> ops(circuit.ops().begin(),
+                              circuit.ops().end());
+    std::size_t seen = 0;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (ops[i].code != stab::OpCode::DETECTOR)
+            continue;
+        if (seen++ == index) {
+            ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i));
+            return stab::Circuit::fromRawOps(circuit.numQubits(),
+                                             std::move(ops));
+        }
+    }
+    HETARCH_FATAL("hetarch-lint: --drop-detector=", index,
+                  " but the circuit has only ", seen, " detectors");
 }
 
 } // namespace
@@ -42,60 +203,157 @@ usage()
 int
 main(int argc, char** argv)
 {
-    using namespace hetarch;
-
     // Consumes --metrics-out=PATH (or HETARCH_METRICS_OUT) and arms
     // the snapshot writer; lint.* counters land in the JSON artifact.
     obs::configureMetricsFromArgs(argc, argv);
 
     bool strict = false;
+    bool distance = false;
+    bool json = false;
+    bool have_expect = false;
+    bool have_drop = false;
+    std::size_t expect_distance = 0;
+    std::size_t drop_index = 0;
     lint::LintOptions options;
-    std::vector<std::string> files;
+    lint::FaultOptions fault_options;
+    std::vector<Unit> units;
+
+    auto add_builders = [&units](const std::string& csv) -> bool {
+        std::istringstream ss(csv);
+        std::string name;
+        while (std::getline(ss, name, ',')) {
+            const Builder* found = nullptr;
+            for (const auto& b : builderRegistry())
+                if (name == b.name)
+                    found = &b;
+            if (!found) {
+                std::cerr << "hetarch-lint: unknown builder '" << name
+                          << "' (try --list-builders)\n";
+                return false;
+            }
+            units.push_back({std::string("builder:") + found->name,
+                             found});
+        }
+        return true;
+    };
+
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        const auto value = [&arg] {
+            return arg.substr(arg.find('=') + 1);
+        };
         if (arg == "--strict") {
             strict = true;
         } else if (arg == "--no-determinism") {
             options.checkDeterminism = false;
+        } else if (arg == "--distance") {
+            distance = true;
+        } else if (arg.rfind("--max-weight=", 0) == 0) {
+            if (!parseSize(value(), fault_options.maxWeight))
+                return usage();
+        } else if (arg.rfind("--expect-distance=", 0) == 0) {
+            if (!parseSize(value(), expect_distance))
+                return usage();
+            have_expect = true;
+        } else if (arg.rfind("--drop-detector=", 0) == 0) {
+            if (!parseSize(value(), drop_index))
+                return usage();
+            have_drop = true;
+        } else if (arg == "--format=text") {
+            json = false;
+        } else if (arg == "--format=json") {
+            json = true;
+        } else if (arg == "--list-builders") {
+            for (const auto& b : builderRegistry())
+                std::cout << b.name << "\n";
+            return 0;
+        } else if (arg == "--builders") {
+            for (const auto& b : builderRegistry())
+                units.push_back({std::string("builder:") + b.name, &b});
+        } else if (arg.rfind("--builders=", 0) == 0) {
+            if (!add_builders(value()))
+                return 1;
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
-            std::cerr << "hetarch-lint: unknown option '" << arg << "'\n";
+            std::cerr << "hetarch-lint: unknown option '" << arg
+                      << "'\n";
             return usage();
         } else {
-            files.push_back(arg);
+            units.push_back({arg, nullptr});
         }
     }
-    if (files.empty())
+    if (units.empty())
         return usage();
-
-    bool accepted = true;
-    for (const auto& path : files) {
-        std::ifstream in(path);
-        if (!in) {
-            std::cerr << "hetarch-lint: cannot read '" << path << "'\n";
-            return 1;
-        }
-        std::ostringstream text;
-        text << in.rdbuf();
-
-        // parseCircuit is fatal (exit 1) on malformed input; its
-        // diagnostics already carry the line number.
-        const auto circ = stab::parseCircuit(text.str());
-        const auto report = lint::lintCircuit(circ, options);
-        cFiles.add();
-        cErrors.add(report.errorCount());
-        cWarnings.add(report.warningCount());
-
-        const bool ok = strict ? report.cleanStrict() : report.clean();
-        std::cout << path << ": "
-                  << (ok ? "clean" : "FAIL")
-                  << " (" << report.errorCount() << " errors, "
-                  << report.warningCount() << " warnings)\n";
-        if (!report.findings.empty())
-            std::cout << report.toString();
-        accepted = accepted && ok;
+    if (have_expect && !distance) {
+        std::cerr << "hetarch-lint: --expect-distance requires "
+                     "--distance\n";
+        return usage();
     }
+
+    lint::LintDocument doc;
+    bool accepted = true;
+    for (const auto& unit : units) {
+        auto circ = loadUnit(unit);
+        if (have_drop)
+            circ = dropDetector(circ, drop_index);
+
+        lint::FileReport file;
+        file.path = unit.label;
+        file.report = lint::lintCircuit(circ, options);
+        // The analyzer presumes deterministic detectors, so it only
+        // runs on an error-free circuit — same rule as lintCircuit.
+        if (distance && file.report.clean()) {
+            const auto analysis =
+                qec::DecoderCache::instance().faultAnalysis(
+                    circ, fault_options);
+            file.hasFaults = true;
+            file.faults = *analysis;
+            lint::faultFindings(file.faults, file.report);
+        }
+        cFiles.add();
+        cErrors.add(file.report.errorCount());
+        cWarnings.add(file.report.warningCount());
+
+        bool ok = strict ? file.report.cleanStrict()
+                         : file.report.clean();
+        if (have_expect) {
+            const auto got = file.hasFaults
+                                 ? file.faults.minDistance()
+                                 : lint::kInfiniteDistance;
+            if (got != expect_distance) {
+                std::cerr << "hetarch-lint: " << unit.label
+                          << ": certified distance ";
+                if (got == lint::kInfiniteDistance)
+                    std::cerr << "unbounded";
+                else
+                    std::cerr << got;
+                std::cerr << ", expected " << expect_distance << "\n";
+                ok = false;
+            }
+        }
+
+        if (!json) {
+            std::cout << unit.label << ": " << (ok ? "clean" : "FAIL")
+                      << " (" << file.report.errorCount() << " errors, "
+                      << file.report.warningCount() << " warnings)";
+            if (file.hasFaults) {
+                std::cout << " distance=";
+                const auto d = file.faults.minDistance();
+                if (d == lint::kInfiniteDistance)
+                    std::cout << "unbounded";
+                else
+                    std::cout << d;
+            }
+            std::cout << "\n";
+            if (!file.report.findings.empty())
+                std::cout << file.report.toString();
+        }
+        accepted = accepted && ok;
+        doc.files.push_back(std::move(file));
+    }
+    if (json)
+        std::cout << lint::toLintJson(doc);
     return accepted ? 0 : 2;
 }
