@@ -1,19 +1,34 @@
 /**
  * @file
- * Ablation: weighted union-find vs greedy DEM decoding on the d = 3
- * surface code, where both apply.  Compares logical error rates and
- * throughput.
+ * Decoder ablations:
+ *
+ *  - weighted union-find vs greedy DEM decoding on the d = 3 surface
+ *    code, where both apply (logical error rates and throughput);
+ *  - the bit-packed sparse decode pipeline vs the dense per-shot
+ *    reference loop on the fig. 6 workload (d = 7, fig6 noise) — the
+ *    sparse path enumerates fired detectors from packed words, skips
+ *    weight-0 shots entirely, and feeds fired lists to the
+ *    arena-backed decodeSparse; the dense arm replays the pre-packed
+ *    implementation (unpack every detector of every shot, project the
+ *    full syndrome, decode dense).
+ *
+ * The sparse-vs-dense arm cross-checks that both loops count the same
+ * failures before reporting the speedup.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdint>
 #include <iostream>
+#include <vector>
 
 #include "core/table.hh"
 #include "core/units.hh"
 #include "qec/memory_experiment.hh"
 #include "qec/surface_circuit.hh"
+#include "qec/union_find.hh"
+#include "stab/frame.hh"
 
 #include "bench_util.hh"
 
@@ -31,6 +46,48 @@ noiseModel(double p2)
     noise.dataT1 = noise.dataT2 = 0.5 * ms;
     noise.ancT1 = noise.ancT2 = 0.5 * ms;
     return noise;
+}
+
+/** The fig. 6 noise point (p2 = 1e-2, p1 = 1e-3, T1 = T2 = 0.1 ms). */
+qec::CircuitNoise
+fig6Noise()
+{
+    qec::CircuitNoise noise;
+    noise.p2 = 1e-2;
+    noise.p1 = 1e-3;
+    noise.dataT1 = noise.dataT2 = 0.1 * ms;
+    noise.ancT1 = noise.ancT2 = 0.1 * ms;
+    return noise;
+}
+
+/**
+ * The pre-packed decode loop, kept as the dense reference arm: unpack
+ * each shot's full detector row, project the dense syndrome, decode
+ * with the const (allocation-per-call) union-find path, and compare
+ * every observable.
+ */
+std::size_t
+denseReferenceFailures(const qec::DecoderSetup& setup,
+                       const stab::DetectorSamples& samples)
+{
+    std::size_t failures = 0;
+    std::vector<std::uint8_t> detectors(samples.numDetectors);
+    qec::UnionFindDecoder dec_z(setup.graphZ);
+    qec::UnionFindDecoder dec_x(setup.graphX);
+    for (std::size_t s = 0; s < samples.shots; ++s) {
+        for (std::size_t d = 0; d < samples.numDetectors; ++d)
+            detectors[d] = samples.det(s, d);
+        std::uint32_t predicted = 0;
+        predicted ^=
+            dec_z.decode(setup.graphZ.projectSyndrome(detectors));
+        predicted ^=
+            dec_x.decode(setup.graphX.projectSyndrome(detectors));
+        std::uint32_t actual = 0;
+        for (std::size_t k = 0; k < samples.numObservables && k < 32; ++k)
+            actual |= static_cast<std::uint32_t>(samples.obs(s, k)) << k;
+        failures += predicted != actual;
+    }
+    return failures;
 }
 
 void
@@ -51,26 +108,104 @@ BM_DecodeShot(benchmark::State& state)
 }
 BENCHMARK(BM_DecodeShot)->Arg(0)->Arg(1);
 
+void
+BM_DecodeBufferSparse(benchmark::State& state)
+{
+    // Production kernel on a pre-sampled fig. 6 d=7 buffer: packed
+    // fired-detector enumeration + trivial-shot bypass + decodeSparse.
+    const auto circ = qec::surfaceMemoryZ(7, 7, fig6Noise());
+    const auto setup =
+        qec::DecoderSetup::build(circ, qec::DecoderKind::UnionFind);
+    const stab::FrameSimulator sim(circ);
+    Rng rng(5);
+    const auto samples = sim.sampleDetectors(256, rng);
+    for (auto _ : state) {
+        auto failures = qec::countLogicalFailures(
+            *setup, qec::DecoderKind::UnionFind, samples);
+        benchmark::DoNotOptimize(failures);
+    }
+    state.SetItemsProcessed(state.iterations() * samples.shots);
+}
+BENCHMARK(BM_DecodeBufferSparse);
+
+void
+BM_DecodeBufferDense(benchmark::State& state)
+{
+    // The pre-packed loop on the identical buffer, for the speedup
+    // denominator.
+    const auto circ = qec::surfaceMemoryZ(7, 7, fig6Noise());
+    const auto setup =
+        qec::DecoderSetup::build(circ, qec::DecoderKind::UnionFind);
+    const stab::FrameSimulator sim(circ);
+    Rng rng(5);
+    const auto samples = sim.sampleDetectors(256, rng);
+    for (auto _ : state) {
+        auto failures = denseReferenceFailures(*setup, samples);
+        benchmark::DoNotOptimize(failures);
+    }
+    state.SetItemsProcessed(state.iterations() * samples.shots);
+}
+BENCHMARK(BM_DecodeBufferDense);
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
     hetarch::bench::configure(argc, argv);
+    const double shot_scale = hetarch::bench::runScale().shotScale;
+    using clock = std::chrono::steady_clock;
+
     std::cout << "\n=== Ablation: union-find vs greedy DEM decoder "
                  "(surface d=3) ===\n";
     TextTable t({"p2", "p_L(union-find)", "p_L(greedy-dem)"});
+    const auto shots_pl =
+        static_cast<std::size_t>(20000 * shot_scale);
     for (double p2 : {2e-3, 5e-3, 1e-2}) {
         const auto circ = qec::surfaceMemoryZ(3, 3, noiseModel(p2));
         Rng rng_a(11), rng_b(11);
         const auto uf = qec::runMemoryExperiment(
-            circ, 20000, 3, qec::DecoderKind::UnionFind, rng_a);
+            circ, shots_pl, 3, qec::DecoderKind::UnionFind, rng_a);
         const auto gd = qec::runMemoryExperiment(
-            circ, 20000, 3, qec::DecoderKind::GreedyDem, rng_b);
+            circ, shots_pl, 3, qec::DecoderKind::GreedyDem, rng_b);
         t.addRow({formatSci(p2, 2), formatSci(uf.perRound(), 3),
                   formatSci(gd.perRound(), 3)});
     }
     t.print(std::cout);
+
+    std::cout << "\n=== Ablation: sparse packed decode vs dense "
+                 "reference loop (fig6 noise, single thread) ===\n";
+    TextTable s({"distance", "shots", "sparse(ms)", "dense(ms)",
+                 "speedup", "failures-equal"});
+    for (std::size_t d : {5ul, 7ul}) {
+        const auto circ = qec::surfaceMemoryZ(d, d, fig6Noise());
+        const auto setup =
+            qec::DecoderSetup::build(circ, qec::DecoderKind::UnionFind);
+        const stab::FrameSimulator sim(circ);
+        const auto shots = static_cast<std::size_t>(2048 * shot_scale);
+        Rng rng(5);
+        const auto samples = sim.sampleDetectors(shots, rng);
+
+        const auto s0 = clock::now();
+        const auto sparse_failures = qec::countLogicalFailures(
+            *setup, qec::DecoderKind::UnionFind, samples);
+        const auto s1 = clock::now();
+
+        const auto d0 = clock::now();
+        const auto dense_failures =
+            denseReferenceFailures(*setup, samples);
+        const auto d1 = clock::now();
+
+        const double s_ms =
+            std::chrono::duration<double, std::milli>(s1 - s0).count();
+        const double d_ms =
+            std::chrono::duration<double, std::milli>(d1 - d0).count();
+        s.addRow({std::to_string(d), std::to_string(shots),
+                  formatFixed(s_ms, 2), formatFixed(d_ms, 2),
+                  formatFixed(d_ms / s_ms, 1) + "x",
+                  sparse_failures == dense_failures ? "yes" : "NO"});
+    }
+    s.print(std::cout);
     std::cout.flush();
 
     hetarch::bench::exportMetrics();

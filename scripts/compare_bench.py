@@ -37,6 +37,31 @@ TIMING_TOLERANCE = 0.5
 
 SCHEMA = "hetarch-obs-v1"
 
+# Companion-counter rules: when the key counter appears in a snapshot,
+# every listed companion must appear too.  Exact comparison alone can't
+# catch instrumentation that silently vanishes from BOTH sides when a
+# baseline is regenerated; these rules pin counters a pipeline is
+# contractually required to emit (the trivial-shot decode bypass must
+# be live on every decoding path).
+REQUIRED_COMPANIONS = {
+    "qec.decode.shots": ("qec.decode.trivial_shots",),
+}
+
+
+def check_required_counters(name, doc, which):
+    """Enforce REQUIRED_COMPANIONS on one snapshot."""
+    failures = []
+    counters = doc.get("counters", {})
+    for key, companions in sorted(REQUIRED_COMPANIONS.items()):
+        if key not in counters:
+            continue
+        for companion in companions:
+            if companion not in counters:
+                failures.append(
+                    f"{name}: {which} snapshot has '{key}' but lacks "
+                    f"its required companion counter '{companion}'")
+    return failures
+
 
 def load_json(path):
     try:
@@ -120,6 +145,8 @@ def run_compare(args):
             failures.append(f"{name}: metrics artifact missing")
             continue
         failures += compare_counters(name, base_doc, cur_doc)
+        failures += check_required_counters(name, base_doc, "baseline")
+        failures += check_required_counters(name, cur_doc, "current")
 
         bench = f"BENCH_{name}.json"
         base_bench = os.path.join(args.baseline, bench)
@@ -147,7 +174,8 @@ def self_test():
     """Exercise the comparator against synthetic artifacts."""
     metrics = {
         "schema": SCHEMA,
-        "counters": {"exec.tasks": 128, "qec.decode.shots": 4096},
+        "counters": {"exec.tasks": 128, "qec.decode.shots": 4096,
+                     "qec.decode.trivial_shots": 512},
         "histograms": {},
         "spans": [],
     }
@@ -205,6 +233,20 @@ def self_test():
     slow["benchmarks"][0]["real_time"] = 9000.0
     checks.append(("slow timing is advisory",
                    result(metrics, metrics, slow) == 0))
+
+    # A required companion dropped from BOTH sides must still fail:
+    # exact comparison alone would call the snapshots identical.
+    no_companion = json.loads(json.dumps(metrics))
+    del no_companion["counters"]["qec.decode.trivial_shots"]
+    checks.append(("companion counter dropped from both sides",
+                   result(no_companion, no_companion, bench) == 1))
+
+    # The companion rule is dormant when the key counter is absent.
+    no_decode = json.loads(json.dumps(metrics))
+    del no_decode["counters"]["qec.decode.shots"]
+    del no_decode["counters"]["qec.decode.trivial_shots"]
+    checks.append(("companion rule dormant without key counter",
+                   result(no_decode, no_decode, bench) == 0))
 
     # A wrong schema tag must fail.
     bad_schema = json.loads(json.dumps(metrics))

@@ -62,6 +62,20 @@ void informImpl(const std::string& msg);
         } \
     } while (0)
 
+/**
+ * Assert an internal invariant on a hot path: compiled to nothing in
+ * release builds (NDEBUG), a full HETARCH_ASSERT otherwise.  Use for
+ * per-element bounds checks in accessors that production loops hit
+ * millions of times per second.
+ */
+#ifdef NDEBUG
+#define HETARCH_DEBUG_ASSERT(cond, ...) \
+    do { \
+    } while (0)
+#else
+#define HETARCH_DEBUG_ASSERT(cond, ...) HETARCH_ASSERT(cond, ##__VA_ARGS__)
+#endif
+
 /** Report a suspicious-but-survivable condition. */
 template <typename... Args>
 void

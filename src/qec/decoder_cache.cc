@@ -59,6 +59,7 @@ DecoderSetup::build(const stab::Circuit& circuit, DecoderKind kind)
 {
     auto setup = std::make_shared<DecoderSetup>();
     setup->dem = stab::buildDetectorErrorModel(circuit);
+    setup->program = stab::FrameProgram::compile(circuit);
 
     if (kind == DecoderKind::GreedyDem) {
         // The decoder keeps a reference to setup->dem, which lives at

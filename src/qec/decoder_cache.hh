@@ -24,6 +24,7 @@
 #include "qec/union_find.hh"
 #include "stab/circuit.hh"
 #include "stab/dem.hh"
+#include "stab/frame_program.hh"
 
 namespace hetarch {
 namespace qec {
@@ -47,6 +48,13 @@ enum class DecoderKind
 struct DecoderSetup
 {
     stab::DetectorErrorModel dem;
+
+    /**
+     * The circuit lowered once into a frame program (see
+     * frame_program.hh); every sampling chunk of a memory experiment
+     * shares it instead of re-scanning the op list per batch.
+     */
+    std::shared_ptr<const stab::FrameProgram> program;
 
     // Union-find path.
     DecodingGraph graphZ;

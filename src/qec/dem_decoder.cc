@@ -38,6 +38,29 @@ DemDecoder::decode(const std::vector<std::uint8_t>& detectors) const
     for (std::uint32_t d = 0; d < detectors.size(); ++d)
         if (detectors[d])
             residual.push_back(d);
+    std::vector<std::uint32_t> next;
+    return decodeResidual(residual, next);
+}
+
+std::uint32_t
+DemDecoder::decodeSparse(std::span<const std::uint32_t> fired)
+{
+    return decodeSparse(fired, residualBuf, nextBuf);
+}
+
+std::uint32_t
+DemDecoder::decodeSparse(std::span<const std::uint32_t> fired,
+                         std::vector<std::uint32_t>& residual,
+                         std::vector<std::uint32_t>& next) const
+{
+    residual.assign(fired.begin(), fired.end());
+    return decodeResidual(residual, next);
+}
+
+std::uint32_t
+DemDecoder::decodeResidual(std::vector<std::uint32_t>& residual,
+                           std::vector<std::uint32_t>& next) const
+{
     if (residual.empty())
         return 0;
 
@@ -75,12 +98,12 @@ DemDecoder::decode(const std::vector<std::uint8_t>& detectors) const
             break; // nothing helps; give up with current prediction
         const auto& mech = model.mechanisms[best];
         prediction ^= mech.observables;
-        std::vector<std::uint32_t> next;
+        next.clear();
         std::set_symmetric_difference(residual.begin(), residual.end(),
                                       mech.detectors.begin(),
                                       mech.detectors.end(),
                                       std::back_inserter(next));
-        residual = std::move(next);
+        std::swap(residual, next);
     }
     return prediction;
 }

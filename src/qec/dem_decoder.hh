@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "stab/dem.hh"
@@ -31,16 +32,41 @@ class DemDecoder
 
     /**
      * Decode a full detector event vector; returns the predicted
-     * observable mask.
+     * observable mask.  Reference entry point: const and thread-safe,
+     * but scans all detectors and allocates the residual per call.
      */
     std::uint32_t decode(const std::vector<std::uint8_t>& detectors) const;
 
+    /**
+     * Decode a sparse syndrome given as the ascending list of fired
+     * detector ids.  Bit-identical to decode() on the equivalent dense
+     * vector (the algorithm is inherently sparse; decode() merely
+     * builds this list first).  Reuses internal buffers, so it is not
+     * const and must not be called concurrently on one instance.
+     */
+    std::uint32_t decodeSparse(std::span<const std::uint32_t> fired);
+
+    /**
+     * As above, with caller-provided scratch: const and thread-safe,
+     * so chunk workers can share one cached decoder and keep their
+     * residual buffers thread-local.
+     */
+    std::uint32_t decodeSparse(std::span<const std::uint32_t> fired,
+                               std::vector<std::uint32_t>& residual,
+                               std::vector<std::uint32_t>& next) const;
+
   private:
+    std::uint32_t decodeResidual(std::vector<std::uint32_t>& residual,
+                                 std::vector<std::uint32_t>& next) const;
+
     const stab::DetectorErrorModel& model;
     /** Exact single-mechanism lookup: detector signature -> best mech. */
     std::map<std::vector<std::uint32_t>, std::size_t> exact;
     /** Mechanisms sorted by descending probability (for greedy pass). */
     std::vector<std::size_t> byProbability;
+    /** Reused scratch for decodeSparse (cleared, never shrunk). */
+    std::vector<std::uint32_t> residualBuf;
+    std::vector<std::uint32_t> nextBuf;
 };
 
 } // namespace qec

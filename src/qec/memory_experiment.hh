@@ -45,8 +45,9 @@ struct MemoryResult
 };
 
 /**
- * Sample @p shots shots of @p circuit, decode each, and count logical
- * failures of observable 0.
+ * Sample @p shots shots of @p circuit, decode each, and count shots
+ * where the decoder's prediction disagrees with *any* recorded
+ * observable (all observables are XOR-compared, not just observable 0).
  *
  * For DecoderKind::UnionFind the circuit's detectors must be tagged
  * (kTagZ/kTagX); both graphs are decoded and their observable
@@ -64,9 +65,15 @@ MemoryResult runMemoryExperiment(const stab::Circuit& circuit,
 
 /**
  * Decode every shot of a pre-sampled buffer against @p setup and count
- * logical failures of observable 0.  This is the per-chunk kernel of
- * runMemoryExperiment, exposed so tests can cross-check the chunked
- * path against a whole-buffer decode.
+ * logical failures (all observables compared).  This is the per-chunk
+ * kernel of runMemoryExperiment, exposed so tests can cross-check the
+ * chunked path against a whole-buffer decode.
+ *
+ * Shots are consumed straight from the packed buffer: one
+ * detector-major pass per 64-shot word block enumerates each lane's
+ * fired detectors, weight-0 shots bypass the decoder entirely (counted
+ * by qec.decode.trivial_shots), and non-trivial shots are decoded
+ * through the sparse entry points (decodeSparse) with reused scratch.
  */
 std::size_t countLogicalFailures(const DecoderSetup& setup,
                                  DecoderKind decoder,

@@ -9,11 +9,26 @@
  * the class become boundary edges; with two, ordinary edges; with more
  * than two, they are decomposed onto existing elementary edges (the
  * same convention Stim/PyMatching use for Y-type correlations).
+ *
+ * Two decode entry points share the algorithm:
+ *
+ *   - decode(dense) allocates fresh state per call and scans every
+ *     node.  It is the reference implementation — simple, const,
+ *     thread-safe.
+ *   - decodeSparse(span of fired node ids) runs on an epoch-versioned
+ *     scratch arena owned by the decoder: per-node/per-edge state is
+ *     lazily re-initialized the first time a decode touches it, so a
+ *     weight-w syndrome costs O(cluster size), not O(graph size), and
+ *     no per-shot allocation survives warm-up.  Outputs are
+ *     bit-identical to decode() — the growth schedule, frontier
+ *     merge order and peeling order are replicated exactly, which the
+ *     packed-pipeline tests pin.
  */
 
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "stab/dem.hh"
@@ -71,6 +86,15 @@ class DecodingGraph
     std::vector<std::uint8_t>
     projectSyndrome(const std::vector<std::uint8_t>& detectors) const;
 
+    /**
+     * Project an ascending list of fired global detector ids onto this
+     * graph, appending the kept node ids to @p out (ascending, since
+     * node ids are assigned in detector order).  The sparse analogue
+     * of projectSyndrome.
+     */
+    void projectSparse(std::span<const std::uint32_t> fired,
+                       std::vector<std::uint32_t>& out) const;
+
   private:
     std::size_t nNodes = 0;
     std::vector<GraphEdge> edgeList;
@@ -81,7 +105,10 @@ class DecodingGraph
 
 /**
  * Union-find decoder.  Construct once per graph, then decode many
- * syndromes.
+ * syndromes.  decode() is const and thread-safe; decodeSparse() uses
+ * the decoder's scratch arena and must not be called concurrently on
+ * one instance (use one decoder per worker, as the chunked experiment
+ * path does).
  */
 class UnionFindDecoder
 {
@@ -90,12 +117,55 @@ class UnionFindDecoder
 
     /**
      * Decode one syndrome (bit per node).  Returns the predicted
-     * logical-observable mask of the correction.
+     * logical-observable mask of the correction.  Reference
+     * implementation: allocates per call.
      */
     std::uint32_t decode(const std::vector<std::uint8_t>& syndrome) const;
 
+    /**
+     * Decode a sparse syndrome given as the ascending list of fired
+     * node ids.  Bit-identical to decode() on the equivalent dense
+     * vector; runs on the reusable arena (no per-shot allocation once
+     * warm).
+     */
+    std::uint32_t decodeSparse(std::span<const std::uint32_t> fired);
+
   private:
+    void touchNode(std::size_t v);
+    std::vector<std::pair<std::size_t, std::size_t>>&
+    adjOf(std::size_t v);
+    std::size_t findRoot(std::size_t x);
+    std::size_t unite(std::size_t a, std::size_t b);
+
     const DecodingGraph& g;
+
+    // --- epoch-versioned scratch arena (decodeSparse only) ----------
+    // A slot is valid iff its epoch stamp equals `epoch`; bumping
+    // `epoch` invalidates everything in O(1).  Sized n+1 (last slot =
+    // virtual boundary node) or #edges at construction.
+    std::uint64_t epoch = 0;
+    std::vector<std::uint64_t> nodeEpoch;
+    std::vector<std::uint64_t> edgeEpoch;
+    std::vector<std::uint64_t> adjNodeEpoch;
+    std::vector<std::uint64_t> visitedEpoch;
+    std::vector<std::int32_t> parent;
+    std::vector<std::uint8_t> odd;
+    std::vector<std::uint8_t> touchesBoundary;
+    std::vector<std::uint8_t> materialized;
+    std::vector<std::uint8_t> defect;
+    std::vector<std::vector<std::int32_t>> frontier;
+    std::vector<std::vector<std::int32_t>> members;
+    std::vector<std::int32_t> grown;
+    std::vector<std::vector<std::pair<std::size_t, std::size_t>>> adj;
+    std::vector<std::pair<std::size_t, std::size_t>> parentEdge;
+    // Reused per-decode buffers (cleared, never shrunk).
+    std::vector<std::size_t> worklist;
+    std::vector<std::size_t> touchedNodes;
+    std::vector<std::size_t> grownEdges;
+    std::vector<std::size_t> rootsBuf;
+    std::vector<std::size_t> orderBuf;
+    std::vector<std::int32_t> keepBuf;
+    std::vector<std::int32_t> edgesNowBuf;
 };
 
 } // namespace qec

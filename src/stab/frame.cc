@@ -20,25 +20,15 @@ obs::Counter& cSamplerShots = obs::counter("stab.sampler.shots");
 obs::Counter& cSamplerBatches = obs::counter("stab.sampler.batches");
 obs::Counter& cFrameFlips = obs::counter("stab.sampler.frame_flips");
 
-/** One 64-shot batch of frame state. */
-struct Batch
-{
-    std::vector<std::uint64_t> x;     // X-flip per qubit (bit = shot)
-    std::vector<std::uint64_t> z;     // Z-flip per qubit
-    std::vector<std::uint64_t> meas;  // measurement flips, in record order
-    std::uint64_t flips = 0;          // noise-op error lanes applied
-
-    explicit Batch(std::size_t nq, std::size_t n_meas)
-        : x(nq, 0), z(nq, 0)
-    {
-        meas.reserve(n_meas);
-    }
-};
-
-/** Run the circuit once over a 64-shot batch. */
+/** Legacy interpreter: run the circuit once over a 64-shot batch. */
 void
-runBatch(const Circuit& circ, Batch& b, Rng& rng)
+runBatchReference(const Circuit& circ, FrameScratch& b, Rng& rng,
+                  std::uint64_t& flips)
 {
+    b.x.assign(circ.numQubits(), 0);
+    b.z.assign(circ.numQubits(), 0);
+    b.meas.clear();
+    b.meas.reserve(circ.numMeasurements());
     for (const auto& op : circ.ops()) {
         switch (op.code) {
           case OpCode::H:
@@ -88,13 +78,13 @@ runBatch(const Circuit& circ, Batch& b, Rng& rng)
           case OpCode::X_ERROR: {
             const std::uint64_t err = rng.biasedWord(op.params[0]);
             b.x[op.targets[0]] ^= err;
-            b.flips += std::popcount(err);
+            flips += std::popcount(err);
             break;
           }
           case OpCode::Z_ERROR: {
             const std::uint64_t err = rng.biasedWord(op.params[0]);
             b.z[op.targets[0]] ^= err;
-            b.flips += std::popcount(err);
+            flips += std::popcount(err);
             break;
           }
           case OpCode::PAULI1: {
@@ -114,7 +104,7 @@ runBatch(const Circuit& circ, Batch& b, Rng& rng)
             const std::uint64_t mz = err & ~pick_x & ~pick_y;
             b.x[op.targets[0]] ^= mx | my;
             b.z[op.targets[0]] ^= mz | my;
-            b.flips += std::popcount(err);
+            flips += std::popcount(err);
             break;
           }
           case OpCode::DEPOL1: {
@@ -127,7 +117,7 @@ runBatch(const Circuit& circ, Batch& b, Rng& rng)
             const std::uint64_t mz = err & ~pick_x & ~pick_y;
             b.x[op.targets[0]] ^= mx | my;
             b.z[op.targets[0]] ^= mz | my;
-            b.flips += std::popcount(err);
+            flips += std::popcount(err);
             break;
           }
           case OpCode::DEPOL2: {
@@ -157,7 +147,7 @@ runBatch(const Circuit& circ, Batch& b, Rng& rng)
             b.z[qa] ^= err & v1;
             b.x[qb] ^= err & v2;
             b.z[qb] ^= err & v3;
-            b.flips += std::popcount(err);
+            flips += std::popcount(err);
             break;
           }
           case OpCode::DETECTOR:
@@ -169,54 +159,171 @@ runBatch(const Circuit& circ, Batch& b, Rng& rng)
 
 } // namespace
 
-FrameSimulator::FrameSimulator(const Circuit& circuit)
-    : circ(circuit)
+std::size_t
+DetectorSamples::shotWeight(std::size_t shot) const
 {
+    HETARCH_DEBUG_ASSERT(shot < shots, "shot ", shot, " out of range");
+    const std::size_t w = shot / 64;
+    const std::uint64_t bit = std::uint64_t{1} << (shot % 64);
+    std::size_t weight = 0;
+    for (std::size_t d = 0; d < numDetectors; ++d)
+        weight += (detWords[d * numWords + w] & bit) != 0;
+    return weight;
+}
+
+std::vector<std::uint8_t>
+DetectorSamples::unpackedDetectors() const
+{
+    std::vector<std::uint8_t> out(shots * numDetectors);
+    for (std::size_t s = 0; s < shots; ++s)
+        for (std::size_t d = 0; d < numDetectors; ++d)
+            out[s * numDetectors + d] = det(s, d);
+    return out;
+}
+
+std::vector<std::uint8_t>
+DetectorSamples::unpackedObservables() const
+{
+    std::vector<std::uint8_t> out(shots * numObservables);
+    for (std::size_t s = 0; s < shots; ++s)
+        for (std::size_t k = 0; k < numObservables; ++k)
+            out[s * numObservables + k] = obs(s, k);
+    return out;
+}
+
+void
+DetectorSamples::resize(std::size_t n_shots, std::size_t n_detectors,
+                        std::size_t n_observables)
+{
+    shots = n_shots;
+    numDetectors = n_detectors;
+    numObservables = n_observables;
+    numWords = (n_shots + 63) / 64;
+    detWords.assign(numDetectors * numWords, 0);
+    obsWords.assign(numObservables * numWords, 0);
+}
+
+void
+DetectorSamples::append(const DetectorSamples& other)
+{
+    HETARCH_ASSERT(numDetectors == other.numDetectors &&
+                       numObservables == other.numObservables,
+                   "appending incompatible sample buffers");
+    HETARCH_ASSERT(shots % 64 == 0,
+                   "append requires a 64-aligned shot count so packed "
+                   "rows concatenate word-wise");
+    const std::size_t words = numWords + other.numWords;
+    std::vector<std::uint64_t> dets(numDetectors * words, 0);
+    for (std::size_t d = 0; d < numDetectors; ++d) {
+        std::copy_n(detWords.begin() +
+                        static_cast<std::ptrdiff_t>(d * numWords),
+                    numWords,
+                    dets.begin() + static_cast<std::ptrdiff_t>(d * words));
+        std::copy_n(other.detWords.begin() +
+                        static_cast<std::ptrdiff_t>(d * other.numWords),
+                    other.numWords,
+                    dets.begin() +
+                        static_cast<std::ptrdiff_t>(d * words + numWords));
+    }
+    std::vector<std::uint64_t> obss(numObservables * words, 0);
+    for (std::size_t k = 0; k < numObservables; ++k) {
+        std::copy_n(obsWords.begin() +
+                        static_cast<std::ptrdiff_t>(k * numWords),
+                    numWords,
+                    obss.begin() + static_cast<std::ptrdiff_t>(k * words));
+        std::copy_n(other.obsWords.begin() +
+                        static_cast<std::ptrdiff_t>(k * other.numWords),
+                    other.numWords,
+                    obss.begin() +
+                        static_cast<std::ptrdiff_t>(k * words + numWords));
+    }
+    shots += other.shots;
+    numWords = words;
+    detWords = std::move(dets);
+    obsWords = std::move(obss);
+}
+
+FrameSimulator::FrameSimulator(const Circuit& circuit)
+    : circ(&circuit), prog(FrameProgram::compile(circuit))
+{
+}
+
+FrameSimulator::FrameSimulator(std::shared_ptr<const FrameProgram> program)
+    : prog(std::move(program))
+{
+    HETARCH_ASSERT(prog, "null frame program");
 }
 
 DetectorSamples
 FrameSimulator::sampleDetectors(std::size_t shots, Rng& rng) const
 {
     DetectorSamples out;
-    out.shots = shots;
-    out.numDetectors = circ.numDetectors();
-    out.numObservables = circ.numObservables();
-    out.detectors.assign(shots * out.numDetectors, 0);
-    out.observables.assign(shots * out.numObservables, 0);
+    out.resize(shots, prog->numDetectors(), prog->numObservables());
 
     // Batched locally, flushed as single adds after the loop.
     std::uint64_t batches = 0;
     std::uint64_t flips = 0;
 
+    FrameScratch scratch;
+    for (std::size_t w = 0; w < out.numWords; ++w) {
+        const std::size_t lanes = std::min<std::size_t>(64, shots - w * 64);
+        flips += prog->runBatch(scratch, rng);
+        ++batches;
+        const std::uint64_t mask =
+            lanes == 64 ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << lanes) - 1;
+        prog->foldAnnotations(scratch, mask, out.detWords.data() + w,
+                              out.numWords, out.obsWords.data() + w,
+                              out.numWords);
+    }
+    cSamplerCalls.add();
+    cSamplerShots.add(shots);
+    cSamplerBatches.add(batches);
+    cFrameFlips.add(flips);
+    return out;
+}
+
+DetectorSamples
+FrameSimulator::sampleDetectorsReference(std::size_t shots, Rng& rng) const
+{
+    HETARCH_ASSERT(circ,
+                   "reference sampling needs a Circuit-constructed "
+                   "FrameSimulator");
+    DetectorSamples out;
+    out.resize(shots, circ->numDetectors(), circ->numObservables());
+
+    std::uint64_t batches = 0;
+    std::uint64_t flips = 0;
+
+    FrameScratch batch;
     std::size_t done = 0;
     while (done < shots) {
         const std::size_t lanes = std::min<std::size_t>(64, shots - done);
-        Batch batch(circ.numQubits(), circ.numMeasurements());
-        runBatch(circ, batch, rng);
+        runBatchReference(*circ, batch, rng, flips);
         ++batches;
-        flips += batch.flips;
 
-        // Fold measurement-flip words into detector/observable words.
+        // Fold measurement-flip words into detector/observable values
+        // by re-scanning the op list, exactly like the pre-compiled
+        // sampler did — bit by bit through the packed layout.
+        const std::size_t word = done / 64;
         std::size_t det_idx = 0;
-        for (const auto& op : circ.ops()) {
+        for (const auto& op : circ->ops()) {
             if (op.code == OpCode::DETECTOR) {
-                std::uint64_t word = 0;
+                std::uint64_t w = 0;
                 for (auto m : op.targets)
-                    word ^= batch.meas[m];
+                    w ^= batch.meas[m];
                 for (std::size_t lane = 0; lane < lanes; ++lane) {
-                    out.detectors[(done + lane) * out.numDetectors +
-                                  det_idx] =
-                        static_cast<std::uint8_t>((word >> lane) & 1);
+                    out.detWords[det_idx * out.numWords + word] |=
+                        ((w >> lane) & 1) << lane;
                 }
                 ++det_idx;
             } else if (op.code == OpCode::OBSERVABLE) {
-                std::uint64_t word = 0;
+                std::uint64_t w = 0;
                 for (auto m : op.targets)
-                    word ^= batch.meas[m];
+                    w ^= batch.meas[m];
                 for (std::size_t lane = 0; lane < lanes; ++lane) {
-                    out.observables[(done + lane) * out.numObservables +
-                                    op.id] ^=
-                        static_cast<std::uint8_t>((word >> lane) & 1);
+                    out.obsWords[op.id * out.numWords + word] ^=
+                        ((w >> lane) & 1) << lane;
                 }
             }
         }
@@ -232,11 +339,11 @@ FrameSimulator::sampleDetectors(std::size_t shots, Rng& rng) const
 std::vector<std::uint8_t>
 FrameSimulator::sampleMeasurementFlips(Rng& rng) const
 {
-    Batch batch(circ.numQubits(), circ.numMeasurements());
-    runBatch(circ, batch, rng);
-    std::vector<std::uint8_t> out(batch.meas.size());
+    FrameScratch scratch;
+    prog->runBatch(scratch, rng);
+    std::vector<std::uint8_t> out(scratch.meas.size());
     for (std::size_t i = 0; i < out.size(); ++i)
-        out[i] = static_cast<std::uint8_t>(batch.meas[i] & 1);
+        out[i] = static_cast<std::uint8_t>(scratch.meas[i] & 1);
     return out;
 }
 

@@ -9,57 +9,139 @@
  * reference outcomes at all — this is exactly Stim's trick, and it is
  * what makes 10^5-shot surface-code experiments cheap.
  *
- * 64 shots are propagated simultaneously, one per bit of a 64-bit word.
+ * 64 shots are propagated simultaneously, one per bit of a 64-bit
+ * word, and — since the bit-packed pipeline — *stay* packed through
+ * the output: DetectorSamples stores detector-major words whose bit
+ * lanes are shots, so the sampler's 64-way parallelism survives to the
+ * decoder instead of being unpacked into per-shot byte arrays at the
+ * boundary.  The sampler itself runs a FrameProgram (the circuit
+ * lowered once, see frame_program.hh) rather than re-interpreting the
+ * op list per batch.
  */
 
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "core/logging.hh"
 #include "core/rng.hh"
 #include "stab/circuit.hh"
+#include "stab/frame_program.hh"
 
 namespace hetarch {
 namespace stab {
 
-/** Result of a batch of detector-sampling shots. */
+/**
+ * Result of a batch of detector-sampling shots, bit-packed.
+ *
+ * Layout is detector-major: detector d's word w is
+ * detWords[d * numWords + w], and shot s lives in bit lane (s % 64) of
+ * word s / 64.  Idle lanes of a final partial word are zero, so
+ * popcounts over words count real events only.  Observables use the
+ * same layout in obsWords.
+ */
 struct DetectorSamples
 {
     std::size_t shots = 0;
     std::size_t numDetectors = 0;
     std::size_t numObservables = 0;
-    /**
-     * detectors[shot * numDetectors + d]: whether detector d fired.
-     * Stored unpacked for decoder convenience.
-     */
-    std::vector<std::uint8_t> detectors;
-    /** observables[shot * numObservables + k]. */
-    std::vector<std::uint8_t> observables;
+    /** Packed words per detector/observable row: ceil(shots / 64). */
+    std::size_t numWords = 0;
+    std::vector<std::uint64_t> detWords;
+    std::vector<std::uint64_t> obsWords;
 
+    /** Word @p w of detector @p d's packed row. */
+    std::uint64_t detWord(std::size_t d, std::size_t w) const
+    {
+        HETARCH_DEBUG_ASSERT(d < numDetectors && w < numWords,
+                             "detector word (", d, ",", w,
+                             ") out of range");
+        return detWords[d * numWords + w];
+    }
+    /** Word @p w of observable @p k's packed row. */
+    std::uint64_t obsWord(std::size_t k, std::size_t w) const
+    {
+        HETARCH_DEBUG_ASSERT(k < numObservables && w < numWords,
+                             "observable word (", k, ",", w,
+                             ") out of range");
+        return obsWords[k * numWords + w];
+    }
+
+    /** Whether detector @p d fired in shot @p shot. */
     std::uint8_t det(std::size_t shot, std::size_t d) const
     {
-        return detectors[shot * numDetectors + d];
+        HETARCH_DEBUG_ASSERT(shot < shots && d < numDetectors,
+                             "detector sample (", shot, ",", d,
+                             ") out of range");
+        return static_cast<std::uint8_t>(
+            (detWords[d * numWords + shot / 64] >> (shot % 64)) & 1);
     }
+    /** Observable @p k's value in shot @p shot. */
     std::uint8_t obs(std::size_t shot, std::size_t k) const
     {
-        return observables[shot * numObservables + k];
+        HETARCH_DEBUG_ASSERT(shot < shots && k < numObservables,
+                             "observable sample (", shot, ",", k,
+                             ") out of range");
+        return static_cast<std::uint8_t>(
+            (obsWords[k * numWords + shot / 64] >> (shot % 64)) & 1);
     }
+
+    /** Number of fired detectors in shot @p shot (popcount column). */
+    std::size_t shotWeight(std::size_t shot) const;
+
+    /**
+     * Compat accessors: the pre-packing shot-major uint8 layout,
+     * detectors[shot * numDetectors + d].  O(shots x detectors); for
+     * tests and tools migrating incrementally, not for hot paths.
+     */
+    std::vector<std::uint8_t> unpackedDetectors() const;
+    /** observables[shot * numObservables + k]; see unpackedDetectors. */
+    std::vector<std::uint8_t> unpackedObservables() const;
+
+    /** Allocate zeroed rows for @p n_shots shots. */
+    void resize(std::size_t n_shots, std::size_t n_detectors,
+                std::size_t n_observables);
+
+    /**
+     * Append @p other's shots after this buffer's.  The current shot
+     * count must be a multiple of 64 (packed rows concatenate
+     * word-wise), which the 64-aligned chunks of exec::ShotScheduler
+     * guarantee for every chunk but the last.
+     */
+    void append(const DetectorSamples& other);
 };
 
 /**
- * Pauli-frame simulator over a fixed circuit.
+ * Pauli-frame simulator over a fixed circuit (or pre-compiled frame
+ * program — e.g. the one cached in qec::DecoderCache).
  */
 class FrameSimulator
 {
   public:
+    /** Compile @p circuit privately (one cheap lowering pass). */
     explicit FrameSimulator(const Circuit& circuit);
+    /** Share an already-compiled program; no reference to a Circuit. */
+    explicit FrameSimulator(std::shared_ptr<const FrameProgram> program);
 
     /**
-     * Sample @p shots Monte-Carlo shots of all detectors/observables.
-     * Shots are processed in batches of 64.
+     * Sample @p shots Monte-Carlo shots of all detectors/observables,
+     * bit-packed.  Shots are processed in batches of 64.
      */
     DetectorSamples sampleDetectors(std::size_t shots, Rng& rng) const;
+
+    /**
+     * Reference implementation: interpret the circuit op list per
+     * batch (the pre-FrameProgram path) and unpack each shot into the
+     * packed layout through the public accessor contract.  Consumes
+     * the RNG stream identically to sampleDetectors, so fixed seeds
+     * must produce bit-identical samples — the cross-validation tests
+     * and the ablation benches pin and measure exactly that.  Requires
+     * construction from a Circuit.
+     */
+    DetectorSamples sampleDetectorsReference(std::size_t shots,
+                                             Rng& rng) const;
 
     /**
      * Single-shot sampling of raw measurement *flips* relative to the
@@ -67,8 +149,11 @@ class FrameSimulator
      */
     std::vector<std::uint8_t> sampleMeasurementFlips(Rng& rng) const;
 
+    const FrameProgram& program() const { return *prog; }
+
   private:
-    const Circuit& circ;
+    const Circuit* circ = nullptr; ///< only for the reference path
+    std::shared_ptr<const FrameProgram> prog;
 };
 
 } // namespace stab

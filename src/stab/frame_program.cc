@@ -1,0 +1,267 @@
+#include "stab/frame_program.hh"
+
+#include <bit>
+#include <utility>
+
+#include "core/logging.hh"
+#include "obs/obs.hh"
+
+namespace hetarch {
+namespace stab {
+
+namespace {
+
+// Telemetry.  Compiles happen once per (circuit, call site) — via the
+// DecoderCache exactly once per cached setup — so the count is a
+// function of the workload, not of scheduling.
+obs::Counter& cProgramCompiles = obs::counter("stab.sampler.program_compiles");
+
+} // namespace
+
+std::shared_ptr<const FrameProgram>
+FrameProgram::compile(const Circuit& circuit, int depol2_retries)
+{
+    auto prog = std::make_shared<FrameProgram>();
+    prog->nQubits = circuit.numQubits();
+    prog->nMeas = circuit.numMeasurements();
+    prog->nDets = circuit.numDetectors();
+    prog->nObs = circuit.numObservables();
+    prog->depol2Retries = depol2_retries;
+
+    // Observable includes are concatenated per id; XOR-folding the
+    // combined list equals XOR-accumulating the individual includes.
+    std::vector<std::vector<std::uint32_t>> obs_meas(prog->nObs);
+
+    prog->detOffsets.push_back(0);
+    for (const auto& op : circuit.ops()) {
+        FrameOp f;
+        f.a = op.targets.empty() ? 0 : op.targets[0];
+        f.b = op.targets.size() > 1 ? op.targets[1] : 0;
+        switch (op.code) {
+          case OpCode::H:
+            f.code = FrameOpCode::H;
+            break;
+          case OpCode::S:
+          case OpCode::SDG:
+            f.code = FrameOpCode::SGate;
+            break;
+          case OpCode::X:
+          case OpCode::Y:
+          case OpCode::Z:
+            continue; // Paulis commute with the frame; no rng draw
+          case OpCode::CX:
+            f.code = FrameOpCode::CX;
+            break;
+          case OpCode::CZ:
+            f.code = FrameOpCode::CZ;
+            break;
+          case OpCode::SWAP:
+            f.code = FrameOpCode::Swap;
+            break;
+          case OpCode::M:
+            f.code = FrameOpCode::M;
+            break;
+          case OpCode::R:
+            f.code = FrameOpCode::R;
+            break;
+          case OpCode::MR:
+            f.code = FrameOpCode::MR;
+            break;
+          case OpCode::X_ERROR:
+            f.code = FrameOpCode::XError;
+            f.p0 = op.params[0];
+            break;
+          case OpCode::Z_ERROR:
+            f.code = FrameOpCode::ZError;
+            f.p0 = op.params[0];
+            break;
+          case OpCode::PAULI1: {
+            const double px = op.params[0];
+            const double py = op.params[1];
+            const double pz = op.params[2];
+            const double ptot = px + py + pz;
+            if (ptot <= 0.0)
+                continue; // interpreter breaks before any rng draw
+            const double rest = py + pz;
+            f.code = FrameOpCode::Pauli1;
+            f.p0 = ptot;
+            f.p1 = px / ptot;
+            f.p2 = rest > 0.0 ? py / rest : 0.0;
+            break;
+          }
+          case OpCode::DEPOL1:
+            f.code = FrameOpCode::Depol1;
+            f.p0 = op.params[0];
+            break;
+          case OpCode::DEPOL2:
+            f.code = FrameOpCode::Depol2;
+            f.p0 = op.params[0];
+            break;
+          case OpCode::DETECTOR:
+            for (auto m : op.targets)
+                prog->detMeas.push_back(m);
+            prog->detOffsets.push_back(
+                static_cast<std::uint32_t>(prog->detMeas.size()));
+            continue;
+          case OpCode::OBSERVABLE:
+            for (auto m : op.targets)
+                obs_meas[op.id].push_back(m);
+            continue;
+        }
+        prog->stream.push_back(f);
+    }
+    HETARCH_ASSERT(prog->detOffsets.size() == prog->nDets + 1,
+                   "detector count mismatch while compiling");
+
+    prog->obsOffsets.push_back(0);
+    for (auto& meas : obs_meas) {
+        prog->obsMeas.insert(prog->obsMeas.end(), meas.begin(),
+                             meas.end());
+        prog->obsOffsets.push_back(
+            static_cast<std::uint32_t>(prog->obsMeas.size()));
+    }
+
+    cProgramCompiles.add();
+    return prog;
+}
+
+std::uint64_t
+FrameProgram::runBatch(FrameScratch& scratch, Rng& rng) const
+{
+    scratch.x.assign(nQubits, 0);
+    scratch.z.assign(nQubits, 0);
+    scratch.meas.clear();
+    scratch.meas.reserve(nMeas);
+    auto& x = scratch.x;
+    auto& z = scratch.z;
+    std::uint64_t flips = 0;
+
+    for (const auto& op : stream) {
+        switch (op.code) {
+          case FrameOpCode::H:
+            std::swap(x[op.a], z[op.a]);
+            break;
+          case FrameOpCode::SGate:
+            z[op.a] ^= x[op.a];
+            break;
+          case FrameOpCode::CX:
+            x[op.b] ^= x[op.a];
+            z[op.a] ^= z[op.b];
+            break;
+          case FrameOpCode::CZ:
+            z[op.a] ^= x[op.b];
+            z[op.b] ^= x[op.a];
+            break;
+          case FrameOpCode::Swap:
+            std::swap(x[op.a], x[op.b]);
+            std::swap(z[op.a], z[op.b]);
+            break;
+          case FrameOpCode::M:
+            scratch.meas.push_back(x[op.a]);
+            // Measurement collapse randomizes the frame phase.
+            z[op.a] ^= rng();
+            break;
+          case FrameOpCode::R:
+            x[op.a] = 0;
+            z[op.a] = 0;
+            break;
+          case FrameOpCode::MR:
+            scratch.meas.push_back(x[op.a]);
+            x[op.a] = 0;
+            z[op.a] = 0;
+            break;
+          case FrameOpCode::XError: {
+            const std::uint64_t err = rng.biasedWord(op.p0);
+            x[op.a] ^= err;
+            flips += std::popcount(err);
+            break;
+          }
+          case FrameOpCode::ZError: {
+            const std::uint64_t err = rng.biasedWord(op.p0);
+            z[op.a] ^= err;
+            flips += std::popcount(err);
+            break;
+          }
+          case FrameOpCode::Pauli1: {
+            const std::uint64_t err = rng.biasedWord(op.p0);
+            const std::uint64_t pick_x = rng.biasedWord(op.p1);
+            const std::uint64_t pick_y = rng.biasedWord(op.p2);
+            const std::uint64_t mx = err & pick_x;
+            const std::uint64_t my = err & ~pick_x & pick_y;
+            const std::uint64_t mz = err & ~pick_x & ~pick_y;
+            x[op.a] ^= mx | my;
+            z[op.a] ^= mz | my;
+            flips += std::popcount(err);
+            break;
+          }
+          case FrameOpCode::Depol1: {
+            const std::uint64_t err = rng.biasedWord(op.p0);
+            const std::uint64_t pick_x = rng.biasedWord(1.0 / 3.0);
+            const std::uint64_t pick_y = rng.biasedWord(0.5);
+            const std::uint64_t mx = err & pick_x;
+            const std::uint64_t my = err & ~pick_x & pick_y;
+            const std::uint64_t mz = err & ~pick_x & ~pick_y;
+            x[op.a] ^= mx | my;
+            z[op.a] ^= mz | my;
+            flips += std::popcount(err);
+            break;
+          }
+          case FrameOpCode::Depol2: {
+            const std::uint64_t err = rng.biasedWord(op.p0);
+            if (!err)
+                break;
+            // Uniform non-identity two-qubit Pauli per erring lane:
+            // draw 4 random bits and reject the all-zero combination.
+            std::uint64_t v0 = rng(), v1 = rng(), v2 = rng(), v3 = rng();
+            for (int tries = 0; tries < depol2Retries; ++tries) {
+                const std::uint64_t zero = err & ~(v0 | v1 | v2 | v3);
+                if (!zero)
+                    break;
+                const std::uint64_t r0 = rng(), r1 = rng(), r2 = rng(),
+                                    r3 = rng();
+                v0 = (v0 & ~zero) | (r0 & zero);
+                v1 = (v1 & ~zero) | (r1 & zero);
+                v2 = (v2 & ~zero) | (r2 & zero);
+                v3 = (v3 & ~zero) | (r3 & zero);
+            }
+            // Any lane still all-zero after the retries (prob 16^-12
+            // at the default budget) is forced to X on qubit a.
+            const std::uint64_t still = err & ~(v0 | v1 | v2 | v3);
+            v0 |= still;
+            x[op.a] ^= err & v0;
+            z[op.a] ^= err & v1;
+            x[op.b] ^= err & v2;
+            z[op.b] ^= err & v3;
+            flips += std::popcount(err);
+            break;
+          }
+        }
+    }
+    return flips;
+}
+
+void
+FrameProgram::foldAnnotations(const FrameScratch& scratch,
+                              std::uint64_t lane_mask,
+                              std::uint64_t* det_words,
+                              std::size_t det_stride,
+                              std::uint64_t* obs_words,
+                              std::size_t obs_stride) const
+{
+    const auto* meas = scratch.meas.data();
+    for (std::size_t d = 0; d < nDets; ++d) {
+        std::uint64_t word = 0;
+        for (const auto* m = detMeasBegin(d); m != detMeasEnd(d); ++m)
+            word ^= meas[*m];
+        det_words[d * det_stride] = word & lane_mask;
+    }
+    for (std::size_t k = 0; k < nObs; ++k) {
+        std::uint64_t word = 0;
+        for (const auto* m = obsMeasBegin(k); m != obsMeasEnd(k); ++m)
+            word ^= meas[*m];
+        obs_words[k * obs_stride] = word & lane_mask;
+    }
+}
+
+} // namespace stab
+} // namespace hetarch

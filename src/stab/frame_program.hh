@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Compiled frame programs: a Circuit lowered once into a flat op
+ * stream plus sparse detector/observable XOR masks.
+ *
+ * The Pauli-frame sampler used to re-interpret the full op list per
+ * 64-shot batch — including the annotation ops it skips — and then
+ * re-scan it a second time to fold measurement flips into detectors.
+ * A FrameProgram hoists all of that out of the hot loop:
+ *
+ *   - unitary/noise/measure ops become a dense array of compact
+ *     FrameOps with pre-resolved noise plans (e.g. the PAULI1 channel's
+ *     conditional branch probabilities are divided out at compile
+ *     time), and ops that neither touch the frame nor consume
+ *     randomness (bare Paulis, annotations, zero-probability PAULI1)
+ *     are dropped entirely;
+ *   - DETECTOR/OBSERVABLE annotations become CSR lists of
+ *     measurement-record indices, so folding a batch is one sparse XOR
+ *     pass over packed words instead of an op-list scan.
+ *
+ * The compiled program consumes the RNG stream *identically* to the
+ * legacy interpreter: every op that draws randomness is kept (even
+ * no-op ones like X_ERROR(p=0), whose biasedWord call returns without
+ * drawing — dropping it would be safe, but keeping the call sites
+ * aligned makes the equivalence argument local to each opcode), the op
+ * order is unchanged, and pre-resolved probabilities are the same IEEE
+ * doubles the interpreter would compute per batch.  This is what lets
+ * fixed-seed artifacts survive the migration bit-for-bit.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/rng.hh"
+#include "stab/circuit.hh"
+
+namespace hetarch {
+namespace stab {
+
+/** Compact opcode set of the compiled frame stream. */
+enum class FrameOpCode : std::uint8_t
+{
+    H,       ///< swap x/z on qubit a
+    SGate,   ///< S or SDG: z ^= x on qubit a
+    CX,      ///< a = control, b = target
+    CZ,
+    Swap,
+    M,       ///< record x[a]; one rng draw collapses the z frame
+    R,       ///< clear x/z on qubit a
+    MR,      ///< record x[a], then clear (no rng draw)
+    XError,  ///< p0 = probability
+    ZError,  ///< p0 = probability
+    Pauli1,  ///< p0 = ptot, p1 = P(X | error), p2 = P(Y | error, not X)
+    Depol1,  ///< p0 = probability
+    Depol2,  ///< qubits a/b, p0 = probability
+};
+
+/** One compiled op.  Noise plans are pre-resolved into p0/p1/p2. */
+struct FrameOp
+{
+    FrameOpCode code;
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    double p0 = 0.0;
+    double p1 = 0.0;
+    double p2 = 0.0;
+};
+
+/** Reusable per-thread frame state for 64-shot batches. */
+struct FrameScratch
+{
+    std::vector<std::uint64_t> x;    ///< X-flip per qubit (bit = shot)
+    std::vector<std::uint64_t> z;    ///< Z-flip per qubit
+    std::vector<std::uint64_t> meas; ///< measurement flips, record order
+};
+
+/**
+ * A circuit lowered for batched frame simulation.  Immutable after
+ * compile(); safe to share across threads (DecoderCache stores one per
+ * circuit beside the DEM).
+ */
+class FrameProgram
+{
+  public:
+    /**
+     * Lower @p circuit.  @p depol2_retries is the rejection-sampling
+     * retry budget of the DEPOL2 channel; the default matches the
+     * legacy interpreter and must not be changed outside tests (the
+     * RNG-consumption contract pins it).
+     */
+    static std::shared_ptr<const FrameProgram>
+    compile(const Circuit& circuit, int depol2_retries = kDepol2Retries);
+
+    /** Legacy interpreter's DEPOL2 retry budget. */
+    static constexpr int kDepol2Retries = 12;
+
+    std::size_t numQubits() const { return nQubits; }
+    std::size_t numMeasurements() const { return nMeas; }
+    std::size_t numDetectors() const { return nDets; }
+    std::size_t numObservables() const { return nObs; }
+
+    const std::vector<FrameOp>& ops() const { return stream; }
+
+    /** Measurement indices of detector @p d (CSR view). */
+    const std::uint32_t* detMeasBegin(std::size_t d) const
+    {
+        return detMeas.data() + detOffsets[d];
+    }
+    const std::uint32_t* detMeasEnd(std::size_t d) const
+    {
+        return detMeas.data() + detOffsets[d + 1];
+    }
+    /** Measurement indices folded into observable @p k (CSR view). */
+    const std::uint32_t* obsMeasBegin(std::size_t k) const
+    {
+        return obsMeas.data() + obsOffsets[k];
+    }
+    const std::uint32_t* obsMeasEnd(std::size_t k) const
+    {
+        return obsMeas.data() + obsOffsets[k + 1];
+    }
+
+    /**
+     * Run one 64-shot batch into @p scratch (resized/cleared here, so
+     * callers just reuse one FrameScratch across batches).  Returns the
+     * number of applied noise-op error lanes (the frame_flips counter
+     * contribution), popcounted over all 64 lanes including idle lanes
+     * of a final partial batch — exactly the legacy accounting.
+     */
+    std::uint64_t runBatch(FrameScratch& scratch, Rng& rng) const;
+
+    /**
+     * XOR-fold the batch's measurement words into one packed word per
+     * detector/observable: detector d's word lands in @p det_words[d],
+     * observable k's in @p obs_words[k] (both masked by @p lane_mask so
+     * idle lanes of a partial batch stay zero).  The strides let
+     * callers write straight into detector-major packed sample
+     * buffers.
+     */
+    void foldAnnotations(const FrameScratch& scratch,
+                         std::uint64_t lane_mask, std::uint64_t* det_words,
+                         std::size_t det_stride, std::uint64_t* obs_words,
+                         std::size_t obs_stride) const;
+
+  private:
+    std::size_t nQubits = 0;
+    std::size_t nMeas = 0;
+    std::size_t nDets = 0;
+    std::size_t nObs = 0;
+    int depol2Retries = kDepol2Retries;
+    std::vector<FrameOp> stream;
+    std::vector<std::uint32_t> detOffsets; ///< size nDets + 1
+    std::vector<std::uint32_t> detMeas;
+    std::vector<std::uint32_t> obsOffsets; ///< size nObs + 1
+    std::vector<std::uint32_t> obsMeas;
+};
+
+} // namespace stab
+} // namespace hetarch

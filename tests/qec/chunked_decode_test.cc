@@ -36,20 +36,15 @@ wholeBufferFailures(const stab::Circuit& circuit, std::size_t shots,
     const exec::ShotScheduler sched(shots);
 
     stab::DetectorSamples all;
-    all.numDetectors = circuit.numDetectors();
-    all.numObservables = circuit.numObservables();
+    all.resize(0, circuit.numDetectors(), circuit.numObservables());
     for (std::size_t i = 0; i < sched.numChunks(); ++i) {
         const auto chunk = sched.chunk(i);
         Rng chunk_rng = exec::ShotScheduler::chunkRng(base, chunk.index);
         const auto part = frame.sampleDetectors(chunk.count, chunk_rng);
         EXPECT_EQ(part.shots, chunk.count);
-        all.shots += part.shots;
-        all.detectors.insert(all.detectors.end(),
-                             part.detectors.begin(),
-                             part.detectors.end());
-        all.observables.insert(all.observables.end(),
-                               part.observables.begin(),
-                               part.observables.end());
+        // Chunks are 64-aligned except the last, so packed rows
+        // concatenate word-wise.
+        all.append(part);
     }
     EXPECT_EQ(all.shots, shots);
 

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for compiled frame programs and the bit-packed sampler: the
+ * compiled fast path must be bit-identical to the op-list reference
+ * interpreter on fixed seeds (including RNG stream consumption), the
+ * packed layout must keep idle lanes zero, and the DEPOL2
+ * rejection-sampling loop must produce the advertised lane marginals —
+ * including the forced-X fallback when the retry budget is exhausted.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+#include "core/rng.hh"
+#include "stab/circuit.hh"
+#include "stab/frame.hh"
+#include "stab/frame_program.hh"
+
+namespace hetarch {
+namespace stab {
+namespace {
+
+/** A circuit touching every opcode the compiler handles. */
+Circuit
+kitchenSinkCircuit()
+{
+    Circuit c(4);
+    c.h(0);
+    c.s(1);
+    c.sdg(2);
+    c.x(0); // dropped by the compiler: no frame effect, no rng draw
+    c.y(1);
+    c.z(2);
+    c.cx(0, 1);
+    c.cz(1, 2);
+    c.swap(2, 3);
+    c.xError(0, 0.3);
+    c.zError(1, 0.2);
+    c.xError(2, 0.0); // kept: biasedWord(0) draws nothing either way
+    c.pauliChannel1(0, 0.1, 0.05, 0.02);
+    c.pauliChannel1(1, 0.0, 0.0, 0.0); // dropped: breaks before drawing
+    c.pauliChannel1(2, 0.1, 0.0, 0.0); // rest == 0 branch
+    c.depolarize1(3, 0.15);
+    c.depolarize2(0, 1, 0.2);
+    const auto m0 = c.measureReset(0);
+    const auto m1 = c.measure(1);
+    c.reset(2);
+    const auto m2 = c.measure(2);
+    c.detector({m0});
+    c.detector({m0, m1});
+    c.detector({m2});
+    c.observableInclude(0, {m1});
+    c.observableInclude(0, {m2});
+    c.observableInclude(1, {m0});
+    return c;
+}
+
+TEST(FrameProgram, CompileDropsInertOpsAndBuildsCsrMasks)
+{
+    const auto c = kitchenSinkCircuit();
+    const auto prog = FrameProgram::compile(c);
+
+    EXPECT_EQ(prog->numQubits(), c.numQubits());
+    EXPECT_EQ(prog->numMeasurements(), c.numMeasurements());
+    EXPECT_EQ(prog->numDetectors(), 3u);
+    EXPECT_EQ(prog->numObservables(), 2u);
+
+    // 3 Paulis, the zero-probability PAULI1, and 6 annotations are
+    // gone; everything else (including the p=0 X_ERROR) is kept.
+    std::size_t interpreted = 0;
+    for (const auto& op : c.ops()) {
+        switch (op.code) {
+          case OpCode::X:
+          case OpCode::Y:
+          case OpCode::Z:
+          case OpCode::DETECTOR:
+          case OpCode::OBSERVABLE:
+            break;
+          case OpCode::PAULI1:
+            if (op.params[0] + op.params[1] + op.params[2] > 0.0)
+                ++interpreted;
+            break;
+          default:
+            ++interpreted;
+        }
+    }
+    EXPECT_EQ(prog->ops().size(), interpreted);
+
+    // Detector 1 = {m0, m1} = measurement records 0 and 1.
+    ASSERT_EQ(prog->detMeasEnd(1) - prog->detMeasBegin(1), 2);
+    EXPECT_EQ(prog->detMeasBegin(1)[0], 0u);
+    EXPECT_EQ(prog->detMeasBegin(1)[1], 1u);
+    // Observable 0 concatenates both includes: {m1, m2}.
+    ASSERT_EQ(prog->obsMeasEnd(0) - prog->obsMeasBegin(0), 2);
+    EXPECT_EQ(prog->obsMeasBegin(0)[0], 1u);
+    EXPECT_EQ(prog->obsMeasBegin(0)[1], 2u);
+    // Observable 1 = {m0}.
+    ASSERT_EQ(prog->obsMeasEnd(1) - prog->obsMeasBegin(1), 1);
+    EXPECT_EQ(prog->obsMeasBegin(1)[0], 0u);
+}
+
+TEST(FrameProgram, PackedSamplerMatchesReferenceBitForBit)
+{
+    const auto c = kitchenSinkCircuit();
+    const FrameSimulator sim(c);
+
+    for (const std::size_t shots : {std::size_t{64}, std::size_t{37},
+                                    std::size_t{1000}}) {
+        for (const std::uint64_t seed : {1ull, 42ull, 987654321ull}) {
+            Rng rng_fast(seed);
+            Rng rng_ref(seed);
+            const auto fast = sim.sampleDetectors(shots, rng_fast);
+            const auto ref = sim.sampleDetectorsReference(shots, rng_ref);
+
+            ASSERT_EQ(fast.shots, ref.shots);
+            ASSERT_EQ(fast.numWords, ref.numWords);
+            EXPECT_EQ(fast.detWords, ref.detWords)
+                << "shots=" << shots << " seed=" << seed;
+            EXPECT_EQ(fast.obsWords, ref.obsWords)
+                << "shots=" << shots << " seed=" << seed;
+
+            // Both paths must also consume the RNG stream identically:
+            // the next draw after sampling has to agree.
+            EXPECT_EQ(rng_fast(), rng_ref())
+                << "rng stream diverged at shots=" << shots
+                << " seed=" << seed;
+        }
+    }
+}
+
+TEST(FrameProgram, IdleLanesOfFinalPartialWordStayZero)
+{
+    Circuit c(1);
+    c.xError(0, 1.0); // every live lane fires
+    c.detector({c.measure(0)});
+    const FrameSimulator sim(c);
+    Rng rng(7);
+    const std::size_t shots = 100; // 64 + 36 live lanes
+    const auto s = sim.sampleDetectors(shots, rng);
+    ASSERT_EQ(s.numWords, 2u);
+    EXPECT_EQ(s.detWord(0, 0), ~std::uint64_t{0});
+    EXPECT_EQ(s.detWord(0, 1), (std::uint64_t{1} << 36) - 1);
+    // shotWeight popcounts whole columns, so idle-lane garbage would
+    // show up here too.
+    for (std::size_t shot = 0; shot < shots; ++shot)
+        EXPECT_EQ(s.shotWeight(shot), 1u);
+}
+
+/**
+ * Observe the full two-qubit Pauli applied by DEPOL2 via ancilla
+ * readout: CX/H draw no randomness, so the gadget leaves the channel's
+ * RNG stream untouched.  Readout of (x0, z0, x1, z1):
+ *   - cx(0,a) copies qubit 0's X frame onto ancilla a;
+ *   - cx(a,0) then h(a) moves qubit 0's Z frame into a's X frame;
+ * and measuring an ancilla records its X frame.
+ */
+Circuit
+depol2ProbeCircuit()
+{
+    Circuit c(6);
+    c.depolarize2(0, 1, 1.0);
+    c.cx(0, 2);
+    c.detector({c.measure(2)}); // x0
+    c.cx(3, 0);
+    c.h(3);
+    c.detector({c.measure(3)}); // z0
+    c.cx(1, 4);
+    c.detector({c.measure(4)}); // x1
+    c.cx(5, 1);
+    c.h(5);
+    c.detector({c.measure(5)}); // z1
+    return c;
+}
+
+TEST(FrameProgram, Depol2LaneMarginalsAreUniformOverNonIdentityPaulis)
+{
+    const auto c = depol2ProbeCircuit();
+    const FrameSimulator sim(c);
+    Rng rng(12345);
+    const std::size_t shots = 60000;
+    const auto s = sim.sampleDetectors(shots, rng);
+
+    std::array<std::size_t, 16> histogram{};
+    for (std::size_t shot = 0; shot < shots; ++shot) {
+        const unsigned pauli = s.det(shot, 0) | (s.det(shot, 1) << 1) |
+                               (s.det(shot, 2) << 2) |
+                               (s.det(shot, 3) << 3);
+        ++histogram[pauli];
+    }
+    // At p=1 every lane errs, so the identity must never appear and
+    // each of the 15 non-identity two-qubit Paulis is ~uniform.
+    EXPECT_EQ(histogram[0], 0u);
+    for (unsigned pauli = 1; pauli < 16; ++pauli) {
+        const double freq = static_cast<double>(histogram[pauli]) /
+                            static_cast<double>(shots);
+        EXPECT_NEAR(freq, 1.0 / 15.0, 0.01) << "pauli " << pauli;
+    }
+}
+
+TEST(FrameProgram, Depol2ExhaustedRetriesForceXOnFirstQubit)
+{
+    // Compile with a zero retry budget (test hook): a lane whose first
+    // 4-bit draw is all-zero (probability 1/16) skips the rejection
+    // loop entirely and is forced to X on the first qubit, so the
+    // X-on-qubit-0 outcome absorbs the identity's probability mass.
+    const auto c = depol2ProbeCircuit();
+    const auto prog = FrameProgram::compile(c, 0);
+    const FrameSimulator sim(prog);
+    Rng rng(777);
+    const std::size_t shots = 60000;
+    const auto s = sim.sampleDetectors(shots, rng);
+
+    std::array<std::size_t, 16> histogram{};
+    for (std::size_t shot = 0; shot < shots; ++shot) {
+        const unsigned pauli = s.det(shot, 0) | (s.det(shot, 1) << 1) |
+                               (s.det(shot, 2) << 2) |
+                               (s.det(shot, 3) << 3);
+        ++histogram[pauli];
+    }
+    EXPECT_EQ(histogram[0], 0u);
+    const auto freq = [&](unsigned pauli) {
+        return static_cast<double>(histogram[pauli]) /
+               static_cast<double>(shots);
+    };
+    EXPECT_NEAR(freq(0b0001), 2.0 / 16.0, 0.01); // X on qubit 0
+    for (unsigned pauli = 2; pauli < 16; ++pauli)
+        EXPECT_NEAR(freq(pauli), 1.0 / 16.0, 0.01) << "pauli " << pauli;
+}
+
+TEST(FrameProgram, PackedAccessorsRejectOutOfRangeInDebugBuilds)
+{
+#ifdef NDEBUG
+    GTEST_SKIP() << "bounds asserts compile out under NDEBUG";
+#else
+    Circuit c(1);
+    c.detector({c.measure(0)});
+    c.observableInclude(0, {0});
+    const FrameSimulator sim(c);
+    Rng rng(1);
+    const auto s = sim.sampleDetectors(10, rng);
+    EXPECT_DEATH((void)s.det(10, 0), "out of range");
+    EXPECT_DEATH((void)s.det(0, 1), "out of range");
+    EXPECT_DEATH((void)s.obs(10, 0), "out of range");
+    EXPECT_DEATH((void)s.obs(0, 1), "out of range");
+#endif
+}
+
+} // namespace
+} // namespace stab
+} // namespace hetarch
