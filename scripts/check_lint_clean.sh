@@ -9,6 +9,15 @@
 #            damage; each file's "# expect-distance:" and
 #            "# expect-finding:" annotations are checked against the
 #            --distance --format=json output
+#   timing/  structurally clean circuits with schedule-layer damage;
+#            each file's "# timing-device:" / "# storage-device:" /
+#            "# storage-qubits:" / "# expect-latency:" /
+#            "# expect-hazard:" annotations are swept through --timing,
+#            hazard-free fixtures must exit 0 with the annotated
+#            latency, hazardous ones must exit 2 with the annotated
+#            pass in the hetarch-sched-v1 JSON; one negative self-check
+#            perturbs every duration (--scale-durations=2) and demands
+#            the latency pin then fails
 #
 # Also pins the exit-code contract: 0 clean / 1 unreadable-or-parse
 # failure / 2 findings above threshold (--strict promotes warnings).
@@ -94,6 +103,82 @@ for f in "$DIR"/faults/*.circ; do
                       "$expect_finding"; then
         echo "FAIL: fault annotations not satisfied: $f"
         fail=1
+    fi
+done
+
+# check_sched_json FILE.json EXPECT_HAZARD_PASSES (space-separated; "" = none)
+check_sched_json() {
+    [ -n "$PYTHON" ] || return 0
+    "$PYTHON" - "$1" "$2" <<'PYEOF'
+import json, sys
+path, hazard_passes = sys.argv[1:3]
+with open(path) as fh:
+    doc = json.load(fh)
+if doc["schema"] != "hetarch-sched-v1":
+    sys.exit(f"{path}: unexpected schema {doc['schema']!r}")
+f = doc["files"][0]
+have = sorted({h["pass"] for h in f["hazards"]})
+want = sorted(set(hazard_passes.split()))
+if have != want:
+    sys.exit(f"{path}: hazard passes {have}, expected {want}")
+if f["critical_path_ns"] <= 0:
+    sys.exit(f"{path}: non-positive critical path")
+PYEOF
+}
+
+# Assemble the --timing invocation a fixture's annotations describe.
+timing_args() { # FILE -> sets TIMING_ARGS array
+    TIMING_ARGS=(--timing)
+    local dev storage qubits
+    dev=$(annotation "$1" timing-device)
+    [ -n "$dev" ] && TIMING_ARGS+=("--device=$dev")
+    storage=$(annotation "$1" storage-device)
+    [ -n "$storage" ] && TIMING_ARGS+=("--storage-device=$storage")
+    qubits=$(annotation "$1" storage-qubits)
+    [ -n "$qubits" ] && TIMING_ARGS+=("--storage-qubits=$qubits")
+}
+
+for f in "$DIR"/timing/*.circ; do
+    expect_latency=$(annotation "$f" expect-latency)
+    expect_hazards=$(sed -n 's/^# expect-hazard: *//p' "$f" | tr '\n' ' ')
+    expect_hazards=${expect_hazards% }
+    timing_args "$f"
+    latency_args=()
+    [ -n "$expect_latency" ] && \
+        latency_args=("--expect-latency=$expect_latency")
+
+    "$LINT" "${TIMING_ARGS[@]}" "${latency_args[@]}" --format=json \
+        "$f" > "$TMP/out.json" 2>&1
+    rc=$?
+    if [ -z "$expect_hazards" ]; then
+        # sched-reset-gap is warning-severity: promote it with --strict
+        # so warning fixtures are still rejected below.
+        if [ "$rc" -ne 0 ]; then
+            echo "FAIL: expected clean timing run (exit 0, got $rc): $f"
+            fail=1
+        fi
+    else
+        "$LINT" --strict "${TIMING_ARGS[@]}" "$f" > /dev/null 2>&1
+        if [ $? -ne 2 ]; then
+            echo "FAIL: expected hazard rejection (exit 2): $f"
+            fail=1
+        fi
+    fi
+    if ! check_sched_json "$TMP/out.json" "$expect_hazards"; then
+        echo "FAIL: sched annotations not satisfied: $f"
+        fail=1
+    fi
+
+    # Negative self-check: doubling every duration must break the
+    # annotated latency pin (exit 2), proving the pin has teeth.
+    if [ -n "$expect_latency" ]; then
+        "$LINT" "${TIMING_ARGS[@]}" --scale-durations=2 \
+            "--expect-latency=$expect_latency" "$f" > /dev/null 2>&1
+        if [ $? -ne 2 ]; then
+            echo "FAIL: perturbed durations did not break the" \
+                 "latency pin: $f"
+            fail=1
+        fi
     fi
 done
 

@@ -45,6 +45,10 @@ SCHEMA = "hetarch-obs-v1"
 # be live on every decoding path).
 REQUIRED_COMPANIONS = {
     "qec.decode.shots": ("qec.decode.trivial_shots",),
+    # The schedule analyzer's memoization telemetry must stay live on
+    # every pipeline that runs an analysis.
+    "lint.sched.analyses": ("lint.sched.cache_hits",
+                            "lint.sched.cache_misses"),
 }
 
 
@@ -175,7 +179,10 @@ def self_test():
     metrics = {
         "schema": SCHEMA,
         "counters": {"exec.tasks": 128, "qec.decode.shots": 4096,
-                     "qec.decode.trivial_shots": 512},
+                     "qec.decode.trivial_shots": 512,
+                     "lint.sched.analyses": 12,
+                     "lint.sched.cache_hits": 6,
+                     "lint.sched.cache_misses": 6},
         "histograms": {},
         "spans": [],
     }
@@ -247,6 +254,12 @@ def self_test():
     del no_decode["counters"]["qec.decode.trivial_shots"]
     checks.append(("companion rule dormant without key counter",
                    result(no_decode, no_decode, bench) == 0))
+
+    # Same contract for the schedule analyzer's cache telemetry.
+    no_sched_cache = json.loads(json.dumps(metrics))
+    del no_sched_cache["counters"]["lint.sched.cache_hits"]
+    checks.append(("sched cache companion dropped from both sides",
+                   result(no_sched_cache, no_sched_cache, bench) == 1))
 
     # A wrong schema tag must fail.
     bad_schema = json.loads(json.dumps(metrics))

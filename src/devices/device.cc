@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "core/logging.hh"
 
@@ -9,6 +10,23 @@ namespace hetarch {
 namespace devices {
 
 using namespace units;
+
+namespace {
+
+/**
+ * Render a time in milliseconds for device labels: up to six
+ * significant digits, no trailing zeros — "0.1", "2.5", "25" instead
+ * of std::to_string's fixed "0.100000".
+ */
+std::string
+formatMs(double t_ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", t_ns / units::ms);
+    return buf;
+}
+
+} // namespace
 
 void
 DeviceModel::validate() const
@@ -130,7 +148,7 @@ DeviceModel
 storageWithCoherence(double ts_ns, int modes)
 {
     DeviceModel d = multimodeResonator3D();
-    d.name = "storage-ts-" + std::to_string(ts_ns / units::ms) + "ms";
+    d.name = "storage-ts-" + formatMs(ts_ns) + "ms";
     d.t1 = ts_ns;
     d.t2 = ts_ns;
     d.modes = modes;
@@ -141,7 +159,7 @@ DeviceModel
 computeWithCoherence(double tc_ns)
 {
     DeviceModel d = fixedFrequencyTransmon();
-    d.name = "compute-tc-" + std::to_string(tc_ns / units::ms) + "ms";
+    d.name = "compute-tc-" + formatMs(tc_ns) + "ms";
     d.t1 = tc_ns;
     d.t2 = tc_ns;
     return d;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "lint/schedule.hh"
+#include "qec/decoder_cache.hh"
+
 namespace hetarch {
 namespace dse {
 
@@ -31,6 +34,28 @@ estimateBurden(const module::Module& mod)
     est.jointCostFlops =
         std::pow(8.0, static_cast<double>(est.totalQubits));
     return est;
+}
+
+ScheduleBurden
+estimateScheduleBurden(const stab::Circuit& circuit,
+                       const lint::sched::TimingModel& model)
+{
+    // Both layers are memoized: sweeps re-cost the same circuit under
+    // many timing assignments, sharing one fault analysis, and re-cost
+    // the same (circuit, model) pair across repetitions for free.
+    const auto faults =
+        qec::DecoderCache::instance().faultAnalysis(circuit);
+    lint::sched::SchedOptions options;
+    options.faults = faults.get();
+    const auto analysis =
+        lint::sched::ScheduleCache::instance().analysis(circuit, model,
+                                                        options);
+    ScheduleBurden out;
+    out.criticalPathNs = analysis->criticalPathNs;
+    out.totalIdleNs = analysis->totalIdleNs;
+    out.idleBound = analysis->certifiedIdleBound();
+    out.hazardErrors = analysis->hazardErrors();
+    return out;
 }
 
 } // namespace dse

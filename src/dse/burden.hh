@@ -14,7 +14,9 @@
 
 #include <cstddef>
 
+#include "lint/timing_model.hh"
 #include "module/module.hh"
+#include "stab/circuit.hh"
 
 namespace hetarch {
 namespace dse {
@@ -40,6 +42,40 @@ struct BurdenEstimate
  * (one density-matrix operation each; 8^n flops per n-qubit op).
  */
 BurdenEstimate estimateBurden(const module::Module& mod);
+
+/**
+ * Schedule-aware burden of one circuit on one timing assignment: the
+ * static analyzer's certified latency and idle-decoherence budget
+ * (lint/schedule.hh), fed by the cached fault structure so the bound
+ * is evaluated at k = ceil(distance / 2) per observable.  This is the
+ * term that lets design-space sweeps rank architectures by certified
+ * time cost without simulating a single shot.
+ */
+struct ScheduleBurden
+{
+    double criticalPathNs = 0.0; ///< makespan of the ASAP schedule
+    double totalIdleNs = 0.0;    ///< decohering wait time, summed
+    double idleBound = 0.0;      ///< worst certified idle bound
+    std::size_t hazardErrors = 0; ///< schedule defects (0 = runnable)
+
+    /**
+     * Rank key: latency inflated by the idle-decoherence budget.  A
+     * hazardous schedule cannot run at all, so it sorts last.
+     */
+    double score() const
+    {
+        if (hazardErrors > 0)
+            return 1e300;
+        return criticalPathNs * (1.0 + idleBound);
+    }
+};
+
+/**
+ * Analyze @p circuit under @p model (memoized via ScheduleCache and
+ * qec::DecoderCache; the circuit must have deterministic detectors).
+ */
+ScheduleBurden estimateScheduleBurden(const stab::Circuit& circuit,
+                                      const lint::sched::TimingModel& model);
 
 } // namespace dse
 } // namespace hetarch

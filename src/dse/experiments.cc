@@ -9,9 +9,11 @@
 #include "core/units.hh"
 #include "devices/device.hh"
 #include "distill/module_sim.hh"
+#include "dse/burden.hh"
 #include "exec/thread_pool.hh"
 #include "qec/css_code.hh"
 #include "qec/memory_experiment.hh"
+#include "qec/surface_circuit.hh"
 #include "teleport/code_teleport.hh"
 #include "uec/experiment.hh"
 
@@ -89,6 +91,31 @@ table2Cells()
     add_cell(usc, cells::characterizeUsc(usc));
     const auto usc_ext = cells::makeUscExt(storage, compute);
     add_cell(usc_ext, cells::characterizeUsc(usc_ext));
+    return t;
+}
+
+TextTable
+scheduleBurdenTable()
+{
+    TextTable t({"circuit", "device", "latency(us)", "idle(us)",
+                 "idle-bound", "hazards", "score(us)"});
+    const std::vector<devices::DeviceModel> archs = {
+        devices::fixedFrequencyTransmon(), devices::fluxTunableQubit()};
+    for (const std::size_t d : {3u, 5u, 7u}) {
+        const auto circ =
+            qec::surfaceMemoryZ(d, d, qec::CircuitNoise{});
+        for (const auto& dev : archs) {
+            const auto model = lint::sched::TimingModel::uniform(
+                dev, circ.numQubits());
+            const auto burden = estimateScheduleBurden(circ, model);
+            t.addRow({"surface-d" + std::to_string(d), dev.name,
+                      formatFixed(units::toUs(burden.criticalPathNs), 1),
+                      formatFixed(units::toUs(burden.totalIdleNs), 1),
+                      formatSci(burden.idleBound, 3),
+                      std::to_string(burden.hazardErrors),
+                      formatFixed(units::toUs(burden.score()), 1)});
+        }
+    }
     return t;
 }
 

@@ -32,6 +32,15 @@ TextTable table1Devices();
 TextTable table2Cells();
 
 /**
+ * Schedule-aware architecture ranking: surface-code memory circuits
+ * (d = 3, 5, 7) costed on each Table 1 compute device by the static
+ * schedule analyzer — certified critical-path latency, idle time,
+ * idle-decoherence bound, and the combined burden score — with no
+ * Monte-Carlo sampling at all (dse::estimateScheduleBurden).
+ */
+TextTable scheduleBurdenTable();
+
+/**
  * Fig. 3: best output-register EP infidelity over 100 us, heterogeneous
  * (Ts = 12.5 ms) vs homogeneous (Ts = Tc = 0.5 ms).
  */

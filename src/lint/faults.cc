@@ -5,6 +5,7 @@
 
 #include "core/logging.hh"
 #include "exec/thread_pool.hh"
+#include "lint/schedule.hh"
 #include "obs/obs.hh"
 
 namespace hetarch {
@@ -129,18 +130,14 @@ verifyFaultPath(const stab::DetectorErrorModel& dem,
 double
 unionBoundAtWeight(const stab::DetectorErrorModel& dem, std::size_t weight)
 {
-    if (weight == 0)
-        return 1.0; // zero faults already "suffice": vacuous bound
-    // Elementary symmetric polynomial e_k by the standard O(n*k) DP,
-    // accumulating mechanisms in index order (deterministic).
-    std::vector<double> e(weight + 1, 0.0);
-    e[0] = 1.0;
-    for (const auto& m : dem.mechanisms) {
-        const auto top = std::min(weight, dem.mechanisms.size());
-        for (std::size_t k = top; k >= 1; --k)
-            e[k] += e[k - 1] * m.probability;
-    }
-    return std::min(1.0, e[weight]);
+    // Shared e_k kernel (schedule.hh): the schedule analyzer's idle
+    // bound and this union bound are the same polynomial over
+    // different mechanism sets.
+    std::vector<double> probs;
+    probs.reserve(dem.mechanisms.size());
+    for (const auto& m : dem.mechanisms)
+        probs.push_back(m.probability);
+    return sched::elementarySymmetricBound(probs, weight);
 }
 
 FaultAnalysis

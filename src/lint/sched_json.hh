@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Stable JSON interchange for schedule analyses: the
+ * `hetarch-sched-v1` document, a sibling of `hetarch-lint-v1`
+ * (report_json.hh) with the same contract — keys emitted in sorted
+ * order, doubles in shortest round-trip form, and a strict parser that
+ * fails fatally (with a byte offset) on any structural deviation, so
+ * schema drift breaks loudly in CI rather than silently in a consumer.
+ *
+ * Serialized per file: critical path, timed-op count, total idle time,
+ * per-qubit busy/idle decompositions, per-observable idle bounds, and
+ * the hazard findings.  The raw per-op schedule and the individual
+ * idle windows stay in-process only (they are bulky and derivable);
+ * parsing therefore returns an analysis with those vectors empty.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/schedule.hh"
+
+namespace hetarch {
+namespace lint {
+namespace sched {
+
+/** One analyzed unit of a sched document. */
+struct SchedFileReport
+{
+    std::string path;    ///< file path or builder:<name> label
+    std::string device;  ///< TimingModel::name the unit was costed with
+    ScheduleAnalysis analysis;
+};
+
+/** A full tool invocation's worth of schedule reports. */
+struct SchedDocument
+{
+    std::vector<SchedFileReport> files;
+};
+
+/** Render @p doc as a hetarch-sched-v1 JSON document. */
+std::string toSchedJson(const SchedDocument& doc);
+
+/**
+ * Parse a hetarch-sched-v1 document.  Strict: unknown schema, missing
+ * or re-ordered keys, and malformed values are fatal.
+ */
+SchedDocument parseSchedJson(const std::string& text);
+
+} // namespace sched
+} // namespace lint
+} // namespace hetarch

@@ -1,6 +1,5 @@
 #include "qec/decoder_cache.hh"
 
-#include <cstring>
 #include <future>
 #include <mutex>
 #include <unordered_map>
@@ -8,6 +7,7 @@
 #include "core/logging.hh"
 #include "obs/obs.hh"
 #include "qec/surface_circuit.hh"
+#include "stab/circuit_stats.hh"
 
 namespace hetarch {
 namespace qec {
@@ -30,28 +30,10 @@ obs::Counter& cFaultMisses = obs::counter("qec.decoder_cache.fault_misses");
 std::uint64_t
 hashCircuit(const stab::Circuit& circuit)
 {
-    // FNV-1a over the full op stream, including noise parameters: two
-    // circuits decode identically iff all of this matches.
-    std::uint64_t h = 1469598103934665603ull;
-    auto mix = [&h](std::uint64_t v) {
-        h ^= v;
-        h *= 1099511628211ull;
-    };
-    mix(circuit.numQubits());
-    for (const auto& op : circuit.ops()) {
-        mix(static_cast<std::uint64_t>(op.code));
-        mix(op.id);
-        mix(op.targets.size());
-        for (auto t : op.targets)
-            mix(t);
-        mix(op.params.size());
-        for (double p : op.params) {
-            std::uint64_t bits;
-            std::memcpy(&bits, &p, sizeof bits);
-            mix(bits);
-        }
-    }
-    return h;
+    // Canonical implementation lives with the circuit IR so every
+    // cache (decoder setups, fault analyses, schedule analyses) keys
+    // on the identical content hash.
+    return stab::hashCircuit(circuit);
 }
 
 std::shared_ptr<const DecoderSetup>
@@ -186,7 +168,7 @@ DecoderCache::instance()
 std::shared_ptr<const DecoderSetup>
 DecoderCache::get(const stab::Circuit& circuit, DecoderKind kind)
 {
-    const Impl::Key key{hashCircuit(circuit), circuit.ops().size(),
+    const Impl::Key key{qec::hashCircuit(circuit), circuit.ops().size(),
                         circuit.numDetectors(), kind};
     std::promise<std::shared_ptr<const DecoderSetup>> promise;
     Impl::SetupFuture future;
@@ -224,7 +206,8 @@ std::shared_ptr<const lint::FaultAnalysis>
 DecoderCache::faultAnalysis(const stab::Circuit& circuit,
                             const lint::FaultOptions& options)
 {
-    const Impl::FaultKey key{hashCircuit(circuit), circuit.ops().size(),
+    const Impl::FaultKey key{qec::hashCircuit(circuit),
+                             circuit.ops().size(),
                              circuit.numDetectors(), options.maxWeight,
                              options.unionBound};
     std::promise<std::shared_ptr<const lint::FaultAnalysis>> promise;

@@ -1,6 +1,7 @@
 #include "stab/circuit_stats.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 namespace hetarch {
@@ -66,6 +67,31 @@ analyzeCircuit(const Circuit& circuit)
         }
     }
     return stats;
+}
+
+std::uint64_t
+hashCircuit(const Circuit& circuit)
+{
+    std::uint64_t h = 1469598103934665603ull; // FNV offset basis
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull; // FNV prime
+    };
+    mix(circuit.numQubits());
+    for (const auto& op : circuit.ops()) {
+        mix(static_cast<std::uint64_t>(op.code));
+        mix(op.id);
+        mix(op.targets.size());
+        for (auto t : op.targets)
+            mix(t);
+        mix(op.params.size());
+        for (double p : op.params) {
+            std::uint64_t bits;
+            std::memcpy(&bits, &p, sizeof bits);
+            mix(bits);
+        }
+    }
+    return h;
 }
 
 } // namespace stab

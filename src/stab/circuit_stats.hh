@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "stab/circuit.hh"
 
@@ -38,6 +39,14 @@ struct CircuitStats
 
 /** Compute statistics for @p circuit. */
 CircuitStats analyzeCircuit(const Circuit& circuit);
+
+/**
+ * Content hash of a circuit: FNV-1a over the full op stream including
+ * noise parameters, so two circuits hash alike iff they simulate,
+ * decode, and schedule identically.  The memoization key of
+ * qec::DecoderCache and lint::sched::ScheduleCache.
+ */
+std::uint64_t hashCircuit(const Circuit& circuit);
 
 } // namespace stab
 } // namespace hetarch

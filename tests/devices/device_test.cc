@@ -84,6 +84,20 @@ TEST(Devices, UnphysicalCoherenceDies)
     EXPECT_DEATH(d.validate(), "unphysical");
 }
 
+TEST(Devices, CoherenceFactoryNamesAreCleanFixedPrecision)
+{
+    // The swept-variant labels feed table/figure legends and metrics
+    // keys; pin that they print as clean millisecond values instead of
+    // raw nanosecond floats ("storage-ts-500000.000000ms" regression).
+    EXPECT_EQ(storageWithCoherence(0.5 * ms).name, "storage-ts-0.5ms");
+    EXPECT_EQ(storageWithCoherence(12.5 * ms).name,
+              "storage-ts-12.5ms");
+    EXPECT_EQ(storageWithCoherence(25.0 * ms).name, "storage-ts-25ms");
+    EXPECT_EQ(storageWithCoherence(50.0 * ms).name, "storage-ts-50ms");
+    EXPECT_EQ(computeWithCoherence(0.1 * ms).name, "compute-tc-0.1ms");
+    EXPECT_EQ(computeWithCoherence(2.0 * ms).name, "compute-tc-2ms");
+}
+
 TEST(Devices, ControlOverheadAdvantage)
 {
     // A 10-mode resonator stores 10 qubits on 0 extra control lines

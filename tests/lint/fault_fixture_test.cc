@@ -83,6 +83,7 @@ const char* const kCorpus[] = {
     "dropped_detector",
     "skipped_round",
     "miswired_observable",
+    "uec_steane_hook",
 };
 
 TEST(FaultFixtures, AnnotationsMatchAnalyzerOutput)

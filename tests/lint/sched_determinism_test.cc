@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Worker-count invariance of the schedule analyzer.  The per-observable
+ * idle-bound fan-out runs on the exec engine; by the engine's
+ * determinism contract (size-only partition, pre-sized slots, ordered
+ * reduction) the full ScheduleAnalysis — timeline, idle windows,
+ * bounds, hazards — must be bit-identical at 1, 2, and 8 workers, and
+ * the deterministic obs counters the analyzer bumps must move by the
+ * same deltas.  Companion of fault_determinism_test.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "devices/device.hh"
+#include "exec/thread_pool.hh"
+#include "lint/faults.hh"
+#include "lint/schedule.hh"
+#include "obs/obs.hh"
+#include "qec/css_circuit.hh"
+#include "qec/css_code.hh"
+#include "qec/surface_circuit.hh"
+#include "uec/assignment.hh"
+#include "uec/uec_circuit.hh"
+
+namespace hetarch {
+namespace lint {
+namespace sched {
+namespace {
+
+/** Restore the worker-count default even when an assertion throws. */
+struct ThreadCountGuard
+{
+    ~ThreadCountGuard() { exec::setThreadCount(0); }
+};
+
+std::vector<stab::Circuit>
+corpus()
+{
+    std::vector<stab::Circuit> circuits;
+    circuits.push_back(qec::surfaceMemoryZ(3, 3, qec::CircuitNoise{}));
+    circuits.push_back(qec::surfaceMemoryZ(5, 5, qec::CircuitNoise{}));
+    circuits.push_back(
+        qec::codeCapacityMemoryZ(qec::makeSteane(), 2, 0.01, 0.01));
+    const auto code = qec::makeSteane();
+    circuits.push_back(uec::uecMemoryZ(
+        code, uec::roundRobinAssignment(code), 2, uec::UecNoise{}));
+    return circuits;
+}
+
+TEST(SchedDeterminism, AnalysisBitIdenticalAtOneTwoEightWorkers)
+{
+    ThreadCountGuard guard;
+    auto& opsScheduled = obs::counter("lint.sched.ops_scheduled");
+
+    for (const auto& circuit : corpus()) {
+        const auto faults = analyzeCircuitFaults(circuit);
+        const auto model = TimingModel::uniform(
+            devices::fixedFrequencyTransmon(), circuit.numQubits());
+        SchedOptions options;
+        options.faults = &faults;
+
+        exec::setThreadCount(1);
+        const auto before1 = opsScheduled.load();
+        const auto serial = analyzeSchedule(circuit, model, options);
+        const auto delta1 = opsScheduled.load() - before1;
+
+        for (unsigned workers : {2u, 8u}) {
+            exec::setThreadCount(workers);
+            const auto before = opsScheduled.load();
+            const auto parallel =
+                analyzeSchedule(circuit, model, options);
+            const auto delta = opsScheduled.load() - before;
+            EXPECT_TRUE(parallel == serial)
+                << "analysis diverged at " << workers << " workers";
+            EXPECT_EQ(delta, delta1)
+                << "counter delta diverged at " << workers
+                << " workers";
+        }
+    }
+}
+
+TEST(SchedDeterminism, StableAcrossRepeatedRuns)
+{
+    // Same thread count, repeated runs: no dependence on allocation
+    // addresses, map iteration order, or scheduling.
+    const auto circuit = qec::surfaceMemoryZ(3, 3, qec::CircuitNoise{});
+    const auto model = TimingModel::uniform(
+        devices::fluxTunableQubit(), circuit.numQubits());
+    const auto first = analyzeSchedule(circuit, model);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_TRUE(analyzeSchedule(circuit, model) == first);
+}
+
+TEST(SchedDeterminism, NestedInsideParallelForStillCorrect)
+{
+    // The engine serializes nested parallelFor; an analysis launched
+    // from inside a worker must still match the top-level result.
+    ThreadCountGuard guard;
+    exec::setThreadCount(4);
+    const auto circuit =
+        qec::codeCapacityMemoryZ(qec::makeRepetition(3), 2, 0.01, 0.01);
+    const auto model = TimingModel::uniform(
+        devices::fixedFrequencyTransmon(), circuit.numQubits());
+    const auto outer = analyzeSchedule(circuit, model);
+
+    std::vector<ScheduleAnalysis> nested(4);
+    exec::parallelFor(nested.size(), [&](std::size_t i) {
+        nested[i] = analyzeSchedule(circuit, model);
+    });
+    for (const auto& a : nested)
+        EXPECT_TRUE(a == outer);
+}
+
+} // namespace
+} // namespace sched
+} // namespace lint
+} // namespace hetarch

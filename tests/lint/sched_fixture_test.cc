@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Table-driven sweep over the timing fixture corpus
+ * (tests/lint/fixtures/timing/): each .circ file carries
+ * "# timing-device:" / "# storage-device:" / "# storage-qubits:" /
+ * "# expect-latency:" / "# expect-hazard:" annotations, and the
+ * schedule analyzer must reproduce exactly those expectations.  The
+ * same corpus is swept through the hetarch-lint CLI (--timing) by
+ * scripts/check_lint_clean.sh; this test exercises the library path
+ * with full structural access.  Companion of fault_fixture_test.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "devices/device.hh"
+#include "lint/lint.hh"
+#include "lint/schedule.hh"
+#include "stab/circuit_io.hh"
+
+#ifndef HETARCH_LINT_FIXTURE_DIR
+#error "HETARCH_LINT_FIXTURE_DIR must point at tests/lint/fixtures"
+#endif
+
+namespace hetarch {
+namespace lint {
+namespace sched {
+namespace {
+
+struct Fixture
+{
+    std::string name;
+    std::string text;
+    std::string device = "fixed-frequency-transmon";
+    std::string storageDevice;
+    std::vector<std::uint32_t> storageQubits;
+    /** Parsed "# expect-latency:" (< 0 = not annotated). */
+    double expectLatency = -1.0;
+    /** Every "# expect-hazard:" line, in file order. */
+    std::vector<std::string> expectHazards;
+};
+
+std::vector<std::string>
+annotations(const std::string& text, const std::string& key)
+{
+    std::vector<std::string> out;
+    const std::string tag = "# " + key + ": ";
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line))
+        if (line.rfind(tag, 0) == 0)
+            out.push_back(line.substr(tag.size()));
+    return out;
+}
+
+std::string
+annotation(const std::string& text, const std::string& key)
+{
+    const auto all = annotations(text, key);
+    return all.empty() ? "" : all.front();
+}
+
+Fixture
+loadFixture(const std::string& name)
+{
+    const std::string path = std::string(HETARCH_LINT_FIXTURE_DIR) +
+                             "/timing/" + name + ".circ";
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "missing fixture " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    Fixture f;
+    f.name = name;
+    f.text = buf.str();
+    const auto device = annotation(f.text, "timing-device");
+    EXPECT_FALSE(device.empty()) << name << " lacks # timing-device";
+    f.device = device;
+    f.storageDevice = annotation(f.text, "storage-device");
+    const auto qubits = annotation(f.text, "storage-qubits");
+    if (!qubits.empty()) {
+        std::istringstream ss(qubits);
+        std::string item;
+        while (std::getline(ss, item, ','))
+            f.storageQubits.push_back(static_cast<std::uint32_t>(
+                std::stoul(item)));
+        EXPECT_FALSE(f.storageQubits.empty()) << name;
+    }
+    const auto latency = annotation(f.text, "expect-latency");
+    if (!latency.empty())
+        f.expectLatency = std::strtod(latency.c_str(), nullptr);
+    f.expectHazards = annotations(f.text, "expect-hazard");
+    return f;
+}
+
+devices::DeviceModel
+catalogDevice(const std::string& name)
+{
+    for (const auto& d : devices::table1Catalog())
+        if (d.name == name)
+            return d;
+    ADD_FAILURE() << "unknown catalog device " << name;
+    return devices::fixedFrequencyTransmon();
+}
+
+TimingModel
+fixtureModel(const Fixture& f, std::size_t num_qubits)
+{
+    if (f.storageQubits.empty())
+        return TimingModel::uniform(catalogDevice(f.device),
+                                    num_qubits);
+    return TimingModel::withStorage(catalogDevice(f.device),
+                                    catalogDevice(f.storageDevice),
+                                    num_qubits, f.storageQubits);
+}
+
+/** Every fixture in the corpus; keep in sync with the directory. */
+const char* const kCorpus[] = {
+    "clean_parity",       "gate_on_storage", "measure_storage",
+    "storage_capacity",   "storage_port_conflict",
+    "measure_then_reuse",
+};
+
+/** The one warning-severity pass; everything else is an error. */
+bool
+isWarningPass(const std::string& pass)
+{
+    return pass == "sched-reset-gap";
+}
+
+TEST(TimingFixtures, AnnotationsMatchAnalyzerOutput)
+{
+    for (const auto* name : kCorpus) {
+        const auto fixture = loadFixture(name);
+        const auto circuit = stab::parseCircuit(fixture.text);
+
+        // Timing fixtures are structurally sound: the damage lives in
+        // the schedule layer, not the IR.
+        const auto lint_report = lintCircuit(circuit);
+        EXPECT_TRUE(lint_report.clean())
+            << name << "\n" << lint_report.toString();
+
+        const auto analysis = analyzeSchedule(
+            circuit, fixtureModel(fixture, circuit.numQubits()));
+
+        if (fixture.expectLatency >= 0.0) {
+            EXPECT_NEAR(analysis.criticalPathNs, fixture.expectLatency,
+                        1e-6 * std::max(1.0, fixture.expectLatency))
+                << name << ": annotated latency mismatch";
+        }
+
+        // Exactly the annotated hazard passes fire, with the pinned
+        // severity split (sched-reset-gap warns, the rest error).
+        std::vector<std::string> firing;
+        for (const auto& h : analysis.hazards) {
+            firing.push_back(h.pass);
+            EXPECT_EQ(h.severity, isWarningPass(h.pass)
+                                      ? Severity::Warning
+                                      : Severity::Error)
+                << name << ": " << h.pass;
+        }
+        for (const auto& want : fixture.expectHazards) {
+            const auto hits = static_cast<std::size_t>(
+                std::count(firing.begin(), firing.end(), want));
+            EXPECT_GE(hits, 1u)
+                << name << ": annotated hazard " << want
+                << " did not fire";
+        }
+        for (const auto& got : firing) {
+            const auto annotated = static_cast<std::size_t>(
+                std::count(fixture.expectHazards.begin(),
+                           fixture.expectHazards.end(), got));
+            EXPECT_GE(annotated, 1u)
+                << name << ": unannotated hazard " << got;
+        }
+        if (fixture.expectHazards.empty()) {
+            EXPECT_TRUE(analysis.hazards.empty())
+                << name << ": expected a hazard-free schedule";
+        }
+    }
+}
+
+TEST(TimingFixtures, PerturbedDurationsBreakAnnotatedLatencies)
+{
+    // The negative self-check the CI timing gate relies on: scaling
+    // every duration must move an annotated latency off its pin.
+    for (const auto* name : kCorpus) {
+        const auto fixture = loadFixture(name);
+        if (fixture.expectLatency < 0.0)
+            continue;
+        const auto circuit = stab::parseCircuit(fixture.text);
+        auto model = fixtureModel(fixture, circuit.numQubits());
+        model.scaleDurations(2.0);
+        const auto analysis = analyzeSchedule(circuit, model);
+        EXPECT_GT(std::abs(analysis.criticalPathNs -
+                           fixture.expectLatency),
+                  1e-6 * fixture.expectLatency)
+            << name;
+    }
+}
+
+} // namespace
+} // namespace sched
+} // namespace lint
+} // namespace hetarch

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the hetarch-sched-v1 JSON schema: serialization with
+ * name-sorted keys, round-trips through the strict parser (modulo the
+ * documented omission of the raw per-op schedule and idle-window
+ * lists), and fatal rejection of malformed or schema-deviating
+ * documents.  Sibling of report_json_test.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "devices/device.hh"
+#include "lint/sched_json.hh"
+#include "lint/schedule.hh"
+#include "qec/css_circuit.hh"
+#include "qec/css_code.hh"
+#include "qec/surface_circuit.hh"
+
+namespace hetarch {
+namespace lint {
+namespace sched {
+namespace {
+
+SchedDocument
+sampleDocument()
+{
+    SchedDocument doc;
+
+    {
+        const auto circuit = qec::codeCapacityMemoryZ(
+            qec::makeRepetition(3), 2, 0.01, 0.01);
+        const auto model = TimingModel::uniform(
+            devices::fixedFrequencyTransmon(), circuit.numQubits());
+        doc.files.push_back({"builder:css-rep3", model.name,
+                             analyzeSchedule(circuit, model)});
+    }
+    {
+        // A hazardous unit so the hazards array serializes non-empty.
+        stab::Circuit c(3);
+        c.reset(0);
+        c.x(0);
+        c.swap(0, 2);
+        c.x(2);
+        const auto model = TimingModel::withStorage(
+            devices::fixedFrequencyTransmon(),
+            devices::multimodeResonator3D(), c.numQubits(), {2});
+        doc.files.push_back(
+            {"hazard.circ", model.name, analyzeSchedule(c, model)});
+    }
+    {
+        // An empty-circuit unit: every array serializes empty.
+        doc.files.push_back({"empty.circ", "unit",
+                             analyzeSchedule(stab::Circuit(0),
+                                             TimingModel::unit(0))});
+    }
+    return doc;
+}
+
+/** The parser contract: everything except the bulky in-process-only
+    schedule / idleWindows vectors survives the round trip. */
+void
+expectSameModuloOmissions(const ScheduleAnalysis& parsed,
+                          const ScheduleAnalysis& original)
+{
+    EXPECT_EQ(parsed.criticalPathNs, original.criticalPathNs);
+    EXPECT_EQ(parsed.opsScheduled, original.opsScheduled);
+    EXPECT_EQ(parsed.totalIdleNs, original.totalIdleNs);
+    EXPECT_TRUE(parsed.qubits == original.qubits);
+    EXPECT_TRUE(parsed.observables == original.observables);
+    ASSERT_EQ(parsed.hazards.size(), original.hazards.size());
+    for (std::size_t i = 0; i < parsed.hazards.size(); ++i) {
+        EXPECT_EQ(parsed.hazards[i].pass, original.hazards[i].pass);
+        EXPECT_EQ(parsed.hazards[i].severity,
+                  original.hazards[i].severity);
+        EXPECT_EQ(parsed.hazards[i].opIndex,
+                  original.hazards[i].opIndex);
+        EXPECT_EQ(parsed.hazards[i].message,
+                  original.hazards[i].message);
+    }
+    EXPECT_TRUE(parsed.schedule.empty());
+    EXPECT_TRUE(parsed.idleWindows.empty());
+}
+
+TEST(SchedJson, RoundTripsExactly)
+{
+    const auto doc = sampleDocument();
+    const auto text = toSchedJson(doc);
+    const auto parsed = parseSchedJson(text);
+
+    ASSERT_EQ(parsed.files.size(), doc.files.size());
+    for (std::size_t i = 0; i < doc.files.size(); ++i) {
+        EXPECT_EQ(parsed.files[i].path, doc.files[i].path);
+        EXPECT_EQ(parsed.files[i].device, doc.files[i].device);
+        expectSameModuloOmissions(parsed.files[i].analysis,
+                                  doc.files[i].analysis);
+    }
+    // Serialization is a pure function of the (parsed) document.
+    EXPECT_EQ(toSchedJson(parsed), text);
+}
+
+TEST(SchedJson, GoldenShapeIsStable)
+{
+    // Key order is part of the contract: name-sorted per object,
+    // schema last.
+    const auto doc = sampleDocument();
+    const auto text = toSchedJson(doc);
+
+    EXPECT_NE(text.find("\"schema\": \"hetarch-sched-v1\""),
+              std::string::npos);
+    EXPECT_LT(text.find("\"critical_path_ns\""), text.find("\"device\""));
+    EXPECT_LT(text.find("\"device\""), text.find("\"hazards\""));
+    EXPECT_LT(text.find("\"hazards\""), text.find("\"observables\""));
+    EXPECT_LT(text.find("\"observables\""), text.find("\"path\""));
+    EXPECT_LT(text.find("\"path\""), text.find("\"qubits\""));
+    EXPECT_LT(text.find("\"qubits\""), text.find("\"timed_ops\""));
+    EXPECT_LT(text.find("\"timed_ops\""),
+              text.find("\"total_idle_ns\""));
+    // Hazard objects: message < op < pass < severity.
+    EXPECT_NE(text.find("\"pass\": \"sched-gateset\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"severity\": \"error\""), std::string::npos);
+}
+
+TEST(SchedJson, EmptyDocument)
+{
+    const SchedDocument empty;
+    const auto text = toSchedJson(empty);
+    const auto parsed = parseSchedJson(text);
+    EXPECT_TRUE(parsed.files.empty());
+    EXPECT_EQ(toSchedJson(parsed), text);
+}
+
+using SchedJsonDeathTest = ::testing::Test;
+
+TEST(SchedJsonDeathTest, MalformedDocumentsAreFatal)
+{
+    EXPECT_DEATH(parseSchedJson(""), "parse error at byte");
+    EXPECT_DEATH(parseSchedJson("{}"), "parse error at byte");
+    EXPECT_DEATH(parseSchedJson("{\"files\": []}"),
+                 "parse error at byte");
+    // Wrong schema string.
+    EXPECT_DEATH(parseSchedJson(
+                     "{\"files\": [], \"schema\": \"hetarch-sched-v2\"}"),
+                 "parse error at byte");
+    // Keys out of sorted order inside a file object.
+    const auto doc = toSchedJson(sampleDocument());
+    auto swapped = doc;
+    const auto pos = swapped.find("\"critical_path_ns\"");
+    ASSERT_NE(pos, std::string::npos);
+    swapped.replace(pos, 18, "\"xritical_path_ns\"");
+    EXPECT_DEATH(parseSchedJson(swapped), "parse error at byte");
+    // Trailing garbage after the document.
+    EXPECT_DEATH(parseSchedJson(doc + "x"), "parse error at byte");
+}
+
+} // namespace
+} // namespace sched
+} // namespace lint
+} // namespace hetarch

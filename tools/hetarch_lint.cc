@@ -22,28 +22,52 @@
  *   --drop-detector=N   drop the N-th DETECTOR op before analysis (a
  *                       perturbation knob for the CI certification
  *                       gate's negative self-check)
+ *   --timing            run the static schedule analyzer: certified
+ *                       critical-path latency, per-qubit idle windows,
+ *                       idle-decoherence bounds, and timing hazards
+ *                       (lint/schedule.hh); hazards join the findings
+ *   --device=NAME       Table 1 catalog entry (or "unit") every qubit
+ *                       is costed with [fixed-frequency-transmon]
+ *   --storage-device=N  catalog entry for the shared storage instance
+ *                       [3d-multimode-resonator]
+ *   --storage-qubits=Q, comma-separated qubits hosted on ONE shared
+ *                       storage instance (heterogeneous register)
+ *   --expect-latency=NS fail (exit 2) unless every analyzed unit's
+ *                       critical path is NS (relative tolerance 1e-6;
+ *                       requires --timing)
+ *   --scale-durations=X multiply every device duration by X (the
+ *                       timing gate's negative self-check knob)
  *   --metrics-out=FILE  write an obs metrics snapshot on exit
+ *
+ * With --timing --format=json the stable hetarch-sched-v1 document is
+ * emitted instead of hetarch-lint-v1.
  *
  * Exit status (the contract scripts/check_lint_clean.sh pins):
  *   0  every unit is clean (no errors; with --strict, no warnings)
- *      and every --expect-distance check passed
+ *      and every --expect-distance / --expect-latency check passed
  *   1  usage error, unreadable file, or parse failure
  *   2  lint findings above the acceptance threshold, or a certified
- *      distance differing from --expect-distance
+ *      distance/latency differing from the expectation
  */
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/logging.hh"
+#include "devices/device.hh"
 #include "distill/dejmps.hh"
 #include "lint/faults.hh"
 #include "lint/lint.hh"
 #include "lint/report_json.hh"
+#include "lint/sched_json.hh"
+#include "lint/schedule.hh"
 #include "obs/json.hh"
 #include "obs/obs.hh"
 #include "qec/css_circuit.hh"
@@ -135,6 +159,11 @@ usage()
            "                    [--distance] [--max-weight=K]\n"
            "                    [--expect-distance=D] "
            "[--format=text|json]\n"
+           "                    [--timing] [--device=NAME]\n"
+           "                    [--storage-device=NAME] "
+           "[--storage-qubits=Q,...]\n"
+           "                    [--expect-latency=NS] "
+           "[--scale-durations=X]\n"
            "                    [--builders[=name,...]] "
            "[--list-builders]\n"
            "                    [--drop-detector=N] "
@@ -161,6 +190,47 @@ parseSize(const std::string& text, std::size_t& out)
         return false;
     }
     return consumed == text.size();
+}
+
+bool
+parseDouble(const std::string& text, double& out)
+{
+    if (text.empty())
+        return false;
+    std::size_t consumed = 0;
+    try {
+        out = std::stod(text, &consumed);
+    } catch (const std::exception&) {
+        return false;
+    }
+    return consumed == text.size();
+}
+
+bool
+parseQubitList(const std::string& csv, std::vector<std::uint32_t>& out)
+{
+    std::istringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        std::size_t q = 0;
+        if (!parseSize(item, q))
+            return false;
+        out.push_back(static_cast<std::uint32_t>(q));
+    }
+    return !out.empty();
+}
+
+/** Table 1 catalog entry (or "unit") by name, or nullopt-style fail. */
+bool
+findDevice(const std::string& name, devices::DeviceModel& out)
+{
+    for (const auto& d : devices::table1Catalog()) {
+        if (d.name == name) {
+            out = d;
+            return true;
+        }
+    }
+    return false;
 }
 
 stab::Circuit
@@ -212,8 +282,15 @@ main(int argc, char** argv)
     bool json = false;
     bool have_expect = false;
     bool have_drop = false;
+    bool timing = false;
+    bool have_expect_latency = false;
     std::size_t expect_distance = 0;
     std::size_t drop_index = 0;
+    double expect_latency = 0.0;
+    double scale_durations = 1.0;
+    std::string device_name = "fixed-frequency-transmon";
+    std::string storage_name = "3d-multimode-resonator";
+    std::vector<std::uint32_t> storage_qubits;
     lint::LintOptions options;
     lint::FaultOptions fault_options;
     std::vector<Unit> units;
@@ -259,6 +336,23 @@ main(int argc, char** argv)
             if (!parseSize(value(), drop_index))
                 return usage();
             have_drop = true;
+        } else if (arg == "--timing") {
+            timing = true;
+        } else if (arg.rfind("--device=", 0) == 0) {
+            device_name = value();
+        } else if (arg.rfind("--storage-device=", 0) == 0) {
+            storage_name = value();
+        } else if (arg.rfind("--storage-qubits=", 0) == 0) {
+            if (!parseQubitList(value(), storage_qubits))
+                return usage();
+        } else if (arg.rfind("--expect-latency=", 0) == 0) {
+            if (!parseDouble(value(), expect_latency))
+                return usage();
+            have_expect_latency = true;
+        } else if (arg.rfind("--scale-durations=", 0) == 0) {
+            if (!parseDouble(value(), scale_durations) ||
+                scale_durations <= 0.0)
+                return usage();
         } else if (arg == "--format=text") {
             json = false;
         } else if (arg == "--format=json") {
@@ -291,8 +385,28 @@ main(int argc, char** argv)
                      "--distance\n";
         return usage();
     }
+    if (have_expect_latency && !timing) {
+        std::cerr << "hetarch-lint: --expect-latency requires "
+                     "--timing\n";
+        return usage();
+    }
+    devices::DeviceModel compute_dev;
+    devices::DeviceModel storage_dev;
+    if (timing && device_name != "unit" &&
+        !findDevice(device_name, compute_dev)) {
+        std::cerr << "hetarch-lint: unknown device '" << device_name
+                  << "'\n";
+        return usage();
+    }
+    if (timing && !storage_qubits.empty() &&
+        !findDevice(storage_name, storage_dev)) {
+        std::cerr << "hetarch-lint: unknown storage device '"
+                  << storage_name << "'\n";
+        return usage();
+    }
 
     lint::LintDocument doc;
+    lint::sched::SchedDocument sched_doc;
     bool accepted = true;
     for (const auto& unit : units) {
         auto circ = loadUnit(unit);
@@ -304,13 +418,49 @@ main(int argc, char** argv)
         file.report = lint::lintCircuit(circ, options);
         // The analyzer presumes deterministic detectors, so it only
         // runs on an error-free circuit — same rule as lintCircuit.
+        std::shared_ptr<const lint::FaultAnalysis> fault_analysis;
         if (distance && file.report.clean()) {
-            const auto analysis =
+            fault_analysis =
                 qec::DecoderCache::instance().faultAnalysis(
                     circ, fault_options);
             file.hasFaults = true;
-            file.faults = *analysis;
+            file.faults = *fault_analysis;
             lint::faultFindings(file.faults, file.report);
+        }
+
+        std::shared_ptr<const lint::sched::ScheduleAnalysis> sched;
+        if (timing) {
+            // Validate before TimingModel::withStorage: its
+            // out-of-range assert is an internal contract, but a bad
+            // --storage-qubits index is a user error (exit 1).
+            for (auto q : storage_qubits)
+                if (q >= circ.numQubits())
+                    HETARCH_FATAL("hetarch-lint: --storage-qubits=", q,
+                                  " outside the ", circ.numQubits(),
+                                  "-qubit register of '", unit.label,
+                                  "'");
+            lint::sched::TimingModel model;
+            if (device_name == "unit") {
+                model = lint::sched::TimingModel::unit(
+                    circ.numQubits());
+            } else if (storage_qubits.empty()) {
+                model = lint::sched::TimingModel::uniform(
+                    compute_dev, circ.numQubits());
+            } else {
+                model = lint::sched::TimingModel::withStorage(
+                    compute_dev, storage_dev, circ.numQubits(),
+                    storage_qubits);
+            }
+            if (scale_durations != 1.0)
+                model.scaleDurations(scale_durations);
+            lint::sched::SchedOptions sched_options;
+            sched_options.faults =
+                fault_analysis ? fault_analysis.get() : nullptr;
+            sched = lint::sched::ScheduleCache::instance().analysis(
+                circ, model, sched_options);
+            lint::sched::scheduleFindings(*sched, file.report);
+            sched_doc.files.push_back(
+                {unit.label, model.name, *sched});
         }
         cFiles.add();
         cErrors.add(file.report.errorCount());
@@ -333,6 +483,18 @@ main(int argc, char** argv)
                 ok = false;
             }
         }
+        if (have_expect_latency && sched) {
+            const double got = sched->criticalPathNs;
+            const double tol =
+                1e-6 * std::max(1.0, std::abs(expect_latency));
+            if (std::abs(got - expect_latency) > tol) {
+                std::cerr << "hetarch-lint: " << unit.label
+                          << ": critical path " << got
+                          << " ns, expected " << expect_latency
+                          << " ns\n";
+                ok = false;
+            }
+        }
 
         if (!json) {
             std::cout << unit.label << ": " << (ok ? "clean" : "FAIL")
@@ -346,6 +508,9 @@ main(int argc, char** argv)
                 else
                     std::cout << d;
             }
+            if (sched)
+                std::cout << " latency=" << sched->criticalPathNs
+                          << "ns";
             std::cout << "\n";
             if (!file.report.findings.empty())
                 std::cout << file.report.toString();
@@ -353,7 +518,10 @@ main(int argc, char** argv)
         accepted = accepted && ok;
         doc.files.push_back(std::move(file));
     }
+    // --timing --format=json emits the sched document; the lint-v1
+    // schema stays exactly as its parser pins it.
     if (json)
-        std::cout << lint::toLintJson(doc);
+        std::cout << (timing ? lint::sched::toSchedJson(sched_doc)
+                             : lint::toLintJson(doc));
     return accepted ? 0 : 2;
 }
