@@ -75,8 +75,11 @@ denseReferenceFailures(const qec::DecoderSetup& setup,
     qec::UnionFindDecoder dec_z(setup.graphZ);
     qec::UnionFindDecoder dec_x(setup.graphX);
     for (std::size_t s = 0; s < samples.shots; ++s) {
+        const std::size_t w = s / 64;
+        const std::size_t lane = s % 64;
         for (std::size_t d = 0; d < samples.numDetectors; ++d)
-            detectors[d] = samples.det(s, d);
+            detectors[d] = static_cast<std::uint8_t>(
+                (samples.detWord(d, w) >> lane) & 1);
         std::uint32_t predicted = 0;
         predicted ^=
             dec_z.decode(setup.graphZ.projectSyndrome(detectors));
@@ -84,7 +87,9 @@ denseReferenceFailures(const qec::DecoderSetup& setup,
             dec_x.decode(setup.graphX.projectSyndrome(detectors));
         std::uint32_t actual = 0;
         for (std::size_t k = 0; k < samples.numObservables && k < 32; ++k)
-            actual |= static_cast<std::uint32_t>(samples.obs(s, k)) << k;
+            actual |= static_cast<std::uint32_t>(
+                          (samples.obsWord(k, w) >> lane) & 1)
+                      << k;
         failures += predicted != actual;
     }
     return failures;

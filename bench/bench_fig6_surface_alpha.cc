@@ -68,8 +68,11 @@ BM_UnionFindDecode_d13(benchmark::State& state)
     std::vector<std::uint8_t> full(samples.numDetectors);
     std::size_t shot = 0;
     for (auto _ : state) {
+        // 64 shots = lanes of word 0 in the packed buffer.
+        const std::size_t lane = shot % 64;
         for (std::size_t d = 0; d < samples.numDetectors; ++d)
-            full[d] = samples.det(shot % 64, d);
+            full[d] = static_cast<std::uint8_t>(
+                (samples.detWord(d, 0) >> lane) & 1);
         auto obs = decoder.decode(graph.projectSyndrome(full));
         benchmark::DoNotOptimize(obs);
         ++shot;

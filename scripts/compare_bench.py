@@ -49,6 +49,14 @@ REQUIRED_COMPANIONS = {
     # every pipeline that runs an analysis.
     "lint.sched.analyses": ("lint.sched.cache_hits",
                             "lint.sched.cache_misses"),
+    # The streaming engine's window accounting must stay live wherever
+    # streaming decode runs: dropping any of these silently would hide
+    # a commit-rule or storage-bound regression.
+    "qec.stream.shots": ("qec.stream.blocks",
+                         "qec.stream.windows",
+                         "qec.stream.committed_rounds",
+                         "qec.stream.lane_decodes",
+                         "qec.stream.carry_defects"),
 }
 
 
@@ -182,7 +190,13 @@ def self_test():
                      "qec.decode.trivial_shots": 512,
                      "lint.sched.analyses": 12,
                      "lint.sched.cache_hits": 6,
-                     "lint.sched.cache_misses": 6},
+                     "lint.sched.cache_misses": 6,
+                     "qec.stream.shots": 4096,
+                     "qec.stream.blocks": 448,
+                     "qec.stream.windows": 64,
+                     "qec.stream.committed_rounds": 448,
+                     "qec.stream.lane_decodes": 3800,
+                     "qec.stream.carry_defects": 900},
         "histograms": {},
         "spans": [],
     }
@@ -260,6 +274,18 @@ def self_test():
     del no_sched_cache["counters"]["lint.sched.cache_hits"]
     checks.append(("sched cache companion dropped from both sides",
                    result(no_sched_cache, no_sched_cache, bench) == 1))
+
+    # And for the streaming engine's window accounting.
+    no_windows = json.loads(json.dumps(metrics))
+    del no_windows["counters"]["qec.stream.windows"]
+    checks.append(("stream window companion dropped from both sides",
+                   result(no_windows, no_windows, bench) == 1))
+    no_stream = json.loads(json.dumps(metrics))
+    for key in list(no_stream["counters"]):
+        if key.startswith("qec.stream."):
+            del no_stream["counters"][key]
+    checks.append(("stream rule dormant without key counter",
+                   result(no_stream, no_stream, bench) == 0))
 
     # A wrong schema tag must fail.
     bad_schema = json.loads(json.dumps(metrics))

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Bounded single-producer/single-consumer handoff queue for streaming
+ * pipelines.
+ *
+ * The streaming decode driver (qec/stream_experiment.hh) runs one
+ * sampler task and one decoder task on the exec pool; this queue is
+ * the channel between them.  It is deliberately simple — one mutex and
+ * two condition variables — because the payloads are whole syndrome
+ * blocks (microseconds of downstream work each), so lock cost is
+ * noise.  What matters is the *bounded* capacity: a slow consumer
+ * stalls the producer (backpressure) instead of letting sampled
+ * syndromes pile up, which is what keeps streaming memory usage
+ * independent of the total round count.
+ *
+ * Both push() and pop() report the nanoseconds they spent blocked so
+ * callers can feed advisory stall histograms.  A free-list lets the
+ * consumer hand exhausted payloads back to the producer, so a steady
+ * pipeline recycles ~capacity buffers instead of allocating per block.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include <chrono>
+
+namespace hetarch {
+namespace exec {
+
+template <typename T>
+class BlockQueue
+{
+  public:
+    explicit BlockQueue(std::size_t capacity)
+        : cap(capacity ? capacity : 1)
+    {
+    }
+
+    /**
+     * Enqueue an item, blocking while the queue is full.  Adds any
+     * blocked time to @p wait_ns (when non-null).  Returns false —
+     * dropping the item — iff close() was called.
+     */
+    bool push(T&& item, std::uint64_t* wait_ns = nullptr)
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        if (items.size() >= cap && !closed) {
+            const auto t0 = std::chrono::steady_clock::now();
+            notFull.wait(lock, [&] {
+                return items.size() < cap || closed;
+            });
+            if (wait_ns)
+                *wait_ns += static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count());
+        }
+        if (closed)
+            return false;
+        items.push_back(std::move(item));
+        lock.unlock();
+        notEmpty.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue into @p out, blocking while the queue is empty and not
+     * closed.  Adds any blocked time to @p wait_ns (when non-null).
+     * Returns false iff the queue is drained *and* closed.
+     */
+    bool pop(T& out, std::uint64_t* wait_ns = nullptr)
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        if (items.empty() && !closed) {
+            const auto t0 = std::chrono::steady_clock::now();
+            notEmpty.wait(lock, [&] { return !items.empty() || closed; });
+            if (wait_ns)
+                *wait_ns += static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count());
+        }
+        if (items.empty())
+            return false; // closed and drained
+        out = std::move(items.front());
+        items.pop_front();
+        lock.unlock();
+        notFull.notify_one();
+        return true;
+    }
+
+    /**
+     * Mark the stream complete: pending items remain poppable, then
+     * pop() returns false; subsequent push() calls are rejected.
+     */
+    void close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            closed = true;
+        }
+        notEmpty.notify_all();
+        notFull.notify_all();
+    }
+
+    /** Hand a spent payload back for reuse (consumer side). */
+    void recycle(T&& item)
+    {
+        std::lock_guard<std::mutex> lock(freeMtx);
+        freeList.push_back(std::move(item));
+    }
+
+    /**
+     * Take a recycled payload if one is available (producer side).
+     * Returns false — leaving @p out untouched — when the free-list is
+     * empty.
+     */
+    bool takeRecycled(T& out)
+    {
+        std::lock_guard<std::mutex> lock(freeMtx);
+        if (freeList.empty())
+            return false;
+        out = std::move(freeList.back());
+        freeList.pop_back();
+        return true;
+    }
+
+  private:
+    const std::size_t cap;
+    std::mutex mtx;
+    std::condition_variable notFull;
+    std::condition_variable notEmpty;
+    std::deque<T> items;
+    bool closed = false;
+
+    std::mutex freeMtx;
+    std::vector<T> freeList;
+};
+
+} // namespace exec
+} // namespace hetarch

@@ -335,17 +335,25 @@ writeSnapshotFile(const Snapshot& snap, const std::string& path)
 TextTable
 snapshotTable(const Snapshot& snap)
 {
-    TextTable t({"metric", "kind", "count", "sum", "mean"});
+    TextTable t(
+        {"metric", "kind", "count", "sum", "mean", "p50", "p90", "p99"});
     for (const auto& [name, value] : snap.counters)
-        t.addRow({name, "counter", std::to_string(value), "", ""});
+        t.addRow({name, "counter", std::to_string(value), "", "", "", "",
+                  ""});
     for (const auto& h : snap.histograms) {
         const double mean =
             h.count ? static_cast<double>(h.sum) /
                           static_cast<double>(h.count)
                     : 0.0;
+        // Quantiles are estimated from the power-of-two buckets at
+        // display time; they are never serialized (schema unchanged).
         t.addRow({h.name, "histogram", std::to_string(h.count),
                   std::to_string(h.sum),
-                  h.count ? formatFixed(mean, 1) : ""});
+                  h.count ? formatFixed(mean, 1) : "",
+                  h.count ? formatFixed(histogramQuantile(h, 0.5), 1) : "",
+                  h.count ? formatFixed(histogramQuantile(h, 0.9), 1) : "",
+                  h.count ? formatFixed(histogramQuantile(h, 0.99), 1)
+                          : ""});
     }
     return t;
 }

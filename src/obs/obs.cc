@@ -43,6 +43,32 @@ Histogram::reset() noexcept
     total.store(0, std::memory_order_relaxed);
 }
 
+double
+histogramQuantile(const Snapshot::HistogramEntry& h, double q)
+{
+    if (h.count == 0 || h.buckets.empty())
+        return 0.0;
+    q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+    // Continuous 0-based rank; the value at rank r is interpolated
+    // uniformly across the records of the bucket containing r.
+    const double rank = q * static_cast<double>(h.count - 1);
+    std::uint64_t below = 0;
+    for (const auto& [lo, count] : h.buckets) {
+        if (rank < static_cast<double>(below + count)) {
+            if (lo == 0)
+                return 0.0; // bucket 0 holds the exact value 0
+            const double width = static_cast<double>(lo); // [lo, 2*lo)
+            const double frac = (rank - static_cast<double>(below)) /
+                                static_cast<double>(count);
+            return static_cast<double>(lo) + frac * width;
+        }
+        below += count;
+    }
+    // Unreachable when count/buckets are consistent: rank < count.
+    const auto& last = h.buckets.back();
+    return last.first == 0 ? 0.0 : 2.0 * static_cast<double>(last.first);
+}
+
 bool
 timingEnabled() noexcept
 {

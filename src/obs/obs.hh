@@ -245,6 +245,16 @@ struct Snapshot
 };
 
 /**
+ * Estimate the @p q quantile (0..1) of a snapshotted histogram by
+ * linear interpolation inside its power-of-two buckets.  Display-time
+ * estimation only: quantiles are derived from the stored buckets, never
+ * serialized, so the v1 snapshot schema (and the determinism contract —
+ * histograms stay advisory) is unchanged.  Returns 0 for an empty
+ * histogram; the relative error is bounded by the 2x bucket width.
+ */
+double histogramQuantile(const Snapshot::HistogramEntry& h, double q);
+
+/**
  * Process-wide metric registry.  Registration interns by name (two
  * lookups of the same name return the same slot); snapshots copy the
  * current values without pausing writers.

@@ -9,6 +9,7 @@
 #include "exec/shot_scheduler.hh"
 #include "exec/thread_pool.hh"
 #include "obs/obs.hh"
+#include "qec/sliding_window.hh"
 #include "qec/surface_circuit.hh"
 #include "stab/dem.hh"
 
@@ -46,85 +47,26 @@ std::size_t
 countLogicalFailures(const DecoderSetup& setup, DecoderKind decoder,
                      const stab::DetectorSamples& samples)
 {
-    std::size_t failures = 0;
-    std::size_t trivial = 0;
-    // Accumulated off the hot loop, merged as a handful of atomic adds.
-    obs::LocalHistogram weights;
     obs::ScopedTimer timer(hDecodeChunkNs);
 
-    const std::size_t n_obs = samples.numObservables;
-    const std::uint32_t obs_mask =
-        n_obs >= 32 ? 0xffffffffu
-                    : (1u << static_cast<std::uint32_t>(n_obs)) - 1u;
-
-    // Decoder instances are local to the chunk: construction is cheap
-    // (they only bind the shared graphs) and all per-decode arena
-    // state stays on this thread.  The greedy decoder stays shared
-    // (its lookup tables are expensive) with thread-local residual
-    // scratch instead.
-    UnionFindDecoder dec_z(setup.graphZ);
-    UnionFindDecoder dec_x(setup.graphX);
-    std::vector<std::uint32_t> nodes;    // projected UF syndrome
-    std::vector<std::uint32_t> residual; // greedy scratch
-    std::vector<std::uint32_t> residual_next;
-
-    // Fired-detector lists for the 64 shot lanes of one word block,
-    // filled by one detector-major pass over the packed words.
-    std::vector<std::vector<std::uint32_t>> fired(64);
-
+    // The decode kernel is local to the chunk: construction is cheap
+    // (it only binds the shared graphs) and all per-decode arena state
+    // stays on this thread.  Whole-buffer mode replays the historical
+    // per-word-block loop exactly.
+    SlidingWindowDecoder kernel(setup, decoder);
+    std::size_t failures = 0;
     for (std::size_t w = 0; w < samples.numWords; ++w) {
         const std::size_t lanes =
             std::min<std::size_t>(64, samples.shots - w * 64);
-        for (std::size_t l = 0; l < lanes; ++l)
-            fired[l].clear();
-        for (std::size_t d = 0; d < samples.numDetectors; ++d) {
-            std::uint64_t word = samples.detWord(d, w);
-            while (word) {
-                const auto l =
-                    static_cast<std::size_t>(std::countr_zero(word));
-                word &= word - 1;
-                fired[l].push_back(static_cast<std::uint32_t>(d));
-            }
-        }
-
-        for (std::size_t l = 0; l < lanes; ++l) {
-            const std::size_t s = w * 64 + l;
-            const auto& f = fired[l]; // ascending detector ids
-            weights.record(f.size());
-            std::uint32_t predicted = 0;
-            if (f.empty()) {
-                // Weight-0 fast path: both decoders map the empty
-                // syndrome to the zero correction, so skip them
-                // entirely (no syndrome object, no decoder call).
-                ++trivial;
-            } else if (decoder == DecoderKind::GreedyDem) {
-                predicted = setup.greedy->decodeSparse(f, residual,
-                                                       residual_next);
-            } else {
-                if (setup.graphZ.numNodes()) {
-                    nodes.clear();
-                    setup.graphZ.projectSparse(f, nodes);
-                    predicted ^= dec_z.decodeSparse(nodes);
-                }
-                if (setup.graphX.numNodes()) {
-                    nodes.clear();
-                    setup.graphX.projectSparse(f, nodes);
-                    predicted ^= dec_x.decodeSparse(nodes);
-                }
-            }
-            std::uint32_t actual = 0;
-            for (std::size_t k = 0; k < n_obs && k < 32; ++k)
-                actual |= static_cast<std::uint32_t>(samples.obs(s, k))
-                          << k;
-            if ((predicted & obs_mask) != actual)
-                ++failures;
-        }
+        kernel.beginBatch(lanes);
+        kernel.pushBufferColumn(samples, w);
+        failures += kernel.finishBatch();
     }
 
-    hSyndromeWeight.merge(weights);
+    hSyndromeWeight.merge(kernel.stats().syndromeWeights);
     cShotsDecoded.add(samples.shots);
     cLogicalFailures.add(failures);
-    cTrivialShots.add(trivial);
+    cTrivialShots.add(kernel.stats().trivialShots);
     return failures;
 }
 
@@ -139,7 +81,6 @@ runMemoryExperiment(const stab::Circuit& circuit, std::size_t shots,
         return result;
 
     const auto setup = DecoderCache::instance().get(circuit, decoder);
-    const stab::FrameSimulator frame(setup->program);
 
     // One draw fixes the experiment's base stream; every chunk derives
     // its generator from (base, chunkIndex), so the partition — and
@@ -150,8 +91,28 @@ runMemoryExperiment(const stab::Circuit& circuit, std::size_t shots,
     exec::parallelFor(sched.numChunks(), [&](std::size_t i) {
         const auto chunk = sched.chunk(i);
         Rng chunk_rng = exec::ShotScheduler::chunkRng(base, chunk.index);
-        const auto samples = frame.sampleDetectors(chunk.count, chunk_rng);
-        failures[i] = countLogicalFailures(*setup, decoder, samples);
+        // Stream the chunk round-by-round through the whole-buffer
+        // kernel instead of materializing a DetectorSamples buffer.
+        // RNG-consumption parity makes the sampled bits — and hence
+        // the failures and every data-dependent counter — identical
+        // to the historical sample-then-decode path.
+        stab::DetectorStream stream(setup->program, chunk.count);
+        SlidingWindowDecoder kernel(*setup, decoder);
+        stab::SyndromeBlock block;
+        while (stream.next(chunk_rng, block)) {
+            if (block.slice == 0)
+                kernel.beginBatch(block.lanes);
+            kernel.pushBlock(block);
+            if (block.lastSliceOfBatch)
+                failures[i] += kernel.finishBatch();
+        }
+        const auto& st = kernel.stats();
+        hSyndromeWeight.merge(st.syndromeWeights);
+        if (obs::timingEnabled())
+            hDecodeChunkNs.record(st.decodeNs);
+        cShotsDecoded.add(chunk.count);
+        cLogicalFailures.add(failures[i]);
+        cTrivialShots.add(st.trivialShots);
         cShotsCompleted.add(chunk.count);
     });
     for (auto f : failures)

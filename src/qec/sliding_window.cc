@@ -1,0 +1,315 @@
+#include "qec/sliding_window.hh"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+
+#include "core/logging.hh"
+
+namespace hetarch {
+namespace qec {
+
+namespace {
+
+// Advisory decode-latency distribution, one record per window decode
+// point (timing-gated like every duration histogram).
+obs::Histogram& hWindowDecodeNs =
+    obs::histogram("qec.stream.window_decode_ns");
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+SlidingWindowDecoder::SlidingWindowDecoder(const DecoderSetup& setup,
+                                           DecoderKind kind,
+                                           const WindowConfig& config)
+    : setup(setup), kind(kind), decZ(setup.graphZ), decX(setup.graphX)
+{
+    const auto& prog = *setup.program;
+    nRounds = std::max<std::size_t>(prog.numSlices(), 1);
+    isWindowed =
+        config.windowRounds > 0 && config.windowRounds < nRounds;
+    if (!isWindowed) {
+        window = commit = nRounds;
+        detColumn.assign(prog.numDetectors(), 0);
+        obsAccum.assign(prog.numObservables(), 0);
+        return;
+    }
+    HETARCH_ASSERT(kind == DecoderKind::UnionFind,
+                   "sliding-window decoding needs correction-edge "
+                   "output, which only the union-find decoder provides");
+    window = config.windowRounds;
+    commit = config.commitRounds
+                 ? std::min(config.commitRounds, window)
+                 : std::max<std::size_t>(window / 2, 1);
+    obsAccum.assign(prog.numObservables(), 0);
+
+    // Node -> round maps, from the program's slice detector ranges.
+    const DecodingGraph* graphs[2] = {&setup.graphZ, &setup.graphX};
+    for (std::size_t g = 0; g < 2; ++g)
+        nodeRound[g].assign(graphs[g]->numNodes(), 0);
+    for (std::size_t s = 0; s < prog.numSlices(); ++s) {
+        const auto& info = prog.sliceInfo(s);
+        for (std::size_t d = info.detBegin; d < info.detEnd; ++d)
+            for (std::size_t g = 0; g < 2; ++g) {
+                const auto n = graphs[g]->detectorToNode()[d];
+                if (n >= 0)
+                    nodeRound[g][static_cast<std::size_t>(n)] =
+                        static_cast<std::uint32_t>(s);
+            }
+    }
+}
+
+void
+SlidingWindowDecoder::beginBatch(std::size_t n_lanes)
+{
+    HETARCH_ASSERT(n_lanes >= 1 && n_lanes <= 64,
+                   "batch lanes out of range");
+    lanes = n_lanes;
+    pushedRounds = 0;
+    windowBase = 0;
+    predicted.fill(0);
+    shotWeight.fill(0);
+    std::fill(obsAccum.begin(), obsAccum.end(), 0);
+    if (!isWindowed) {
+        std::fill(detColumn.begin(), detColumn.end(), 0);
+    } else {
+        for (auto& per_graph : pending)
+            for (auto& pend : per_graph)
+                pend.clear();
+    }
+}
+
+void
+SlidingWindowDecoder::pushBlock(const stab::SyndromeBlock& block)
+{
+    HETARCH_ASSERT(block.slice == pushedRounds,
+                   "blocks must arrive in round order");
+    ++acc.blocks;
+    for (std::size_t k = 0; k < obsAccum.size(); ++k)
+        obsAccum[k] ^= block.obsWords[k];
+    pushedRounds = block.slice + 1;
+
+    if (!isWindowed) {
+        std::copy(block.detWords.begin(), block.detWords.end(),
+                  detColumn.begin() + block.detBegin);
+        return;
+    }
+
+    // Extract the round's fired detectors per lane and project them
+    // onto both graphs; the pending lists are the only syndrome
+    // storage, so a consumed block can be recycled immediately.
+    for (std::size_t l = 0; l < lanes; ++l)
+        blockFired[l].clear();
+    for (std::size_t i = 0; i < block.detWords.size(); ++i) {
+        std::uint64_t word = block.detWords[i];
+        while (word) {
+            const auto l =
+                static_cast<std::size_t>(std::countr_zero(word));
+            word &= word - 1;
+            blockFired[l].push_back(block.detBegin +
+                                    static_cast<std::uint32_t>(i));
+        }
+    }
+    for (std::size_t l = 0; l < lanes; ++l) {
+        if (blockFired[l].empty())
+            continue;
+        shotWeight[l] += static_cast<std::uint32_t>(blockFired[l].size());
+        if (setup.graphZ.numNodes())
+            setup.graphZ.projectSparse(blockFired[l], pending[0][l]);
+        if (setup.graphX.numNodes())
+            setup.graphX.projectSparse(blockFired[l], pending[1][l]);
+    }
+
+    if (pushedRounds == nRounds) {
+        decodeWindow(nRounds, nRounds); // final window commits all
+    } else if (pushedRounds - windowBase == window) {
+        decodeWindow(pushedRounds, windowBase + commit);
+        windowBase += commit;
+    }
+}
+
+void
+SlidingWindowDecoder::pushBufferColumn(const stab::DetectorSamples& samples,
+                                       std::size_t w)
+{
+    HETARCH_ASSERT(!isWindowed,
+                   "pushBufferColumn is the whole-buffer ingestion path");
+    for (std::size_t d = 0; d < samples.numDetectors; ++d)
+        detColumn[d] = samples.detWord(d, w);
+    for (std::size_t k = 0; k < samples.numObservables; ++k)
+        obsAccum[k] = samples.obsWord(k, w);
+    pushedRounds = nRounds;
+}
+
+void
+SlidingWindowDecoder::decodeWindowLane(std::size_t graph, std::size_t lane,
+                                       std::size_t commit_end,
+                                       bool final_window)
+{
+    auto& pend = pending[graph][lane];
+    if (pend.empty())
+        return;
+    ++acc.laneDecodes;
+    auto& dec = graph == 0 ? decZ : decX;
+
+    if (final_window) {
+        // Everything commits: apply the full correction mask, no edge
+        // recording needed.
+        predicted[lane] ^= dec.decodeSparse(pend);
+        pend.clear();
+        return;
+    }
+
+    edgesBuf.clear();
+    (void)dec.decodeSparse(pend, &edgesBuf);
+
+    const auto& edges =
+        (graph == 0 ? setup.graphZ : setup.graphX).edges();
+    const auto& rounds = nodeRound[graph];
+    flipsBuf.clear();
+    for (const auto eid : edgesBuf) {
+        const auto& e = edges[eid];
+        const std::uint32_t ru = rounds[static_cast<std::size_t>(e.u)];
+        const std::uint32_t rv =
+            e.v < 0 ? ru : rounds[static_cast<std::size_t>(e.v)];
+        if (std::min(ru, rv) >= commit_end)
+            continue; // entirely retained: re-decoded next window
+        predicted[lane] ^= e.observables;
+        if (std::max(ru, rv) >= commit_end)
+            // Crossing edge: its committed half deposited parity on
+            // the retained endpoint.
+            flipsBuf.push_back(static_cast<std::uint32_t>(
+                ru >= commit_end ? e.u : e.v));
+    }
+
+    // Carry = retained pending defects XOR the crossing-edge flips
+    // (parity-reduced: two flips on one node cancel).
+    std::sort(flipsBuf.begin(), flipsBuf.end());
+    nodesBuf.clear();
+    for (std::size_t i = 0; i < flipsBuf.size();) {
+        std::size_t j = i;
+        while (j < flipsBuf.size() && flipsBuf[j] == flipsBuf[i])
+            ++j;
+        if ((j - i) % 2)
+            nodesBuf.push_back(flipsBuf[i]);
+        i = j;
+    }
+    keepBuf.clear();
+    for (const auto v : pend)
+        if (rounds[v] >= commit_end)
+            keepBuf.push_back(v);
+    pend.clear();
+    std::set_symmetric_difference(keepBuf.begin(), keepBuf.end(),
+                                  nodesBuf.begin(), nodesBuf.end(),
+                                  std::back_inserter(pend));
+    acc.carryDefects += pend.size();
+}
+
+void
+SlidingWindowDecoder::decodeWindow(std::size_t window_end,
+                                   std::size_t commit_end)
+{
+    const bool timed = obs::timingEnabled();
+    const std::uint64_t t0 = timed ? nowNs() : 0;
+
+    const bool final_window = commit_end >= nRounds;
+    ++acc.windows;
+    acc.committedRounds += commit_end - windowBase;
+    for (std::size_t l = 0; l < lanes; ++l)
+        for (std::size_t g = 0; g < 2; ++g)
+            decodeWindowLane(g, l, commit_end, final_window);
+    (void)window_end;
+
+    if (timed) {
+        const std::uint64_t dt = nowNs() - t0;
+        acc.decodeNs += dt;
+        hWindowDecodeNs.record(dt);
+    }
+}
+
+std::size_t
+SlidingWindowDecoder::finishBatch()
+{
+    HETARCH_ASSERT(pushedRounds == nRounds,
+                   "finishBatch before every round was pushed");
+    const bool timed = obs::timingEnabled();
+    const std::uint64_t t0 = timed ? nowNs() : 0;
+
+    if (!isWindowed) {
+        // The historical whole-buffer loop: one detector-major pass
+        // enumerates each lane's fired detectors, then every lane is
+        // decoded through the sparse entry points in lane order.
+        for (std::size_t l = 0; l < lanes; ++l)
+            blockFired[l].clear();
+        for (std::size_t d = 0; d < detColumn.size(); ++d) {
+            std::uint64_t word = detColumn[d];
+            while (word) {
+                const auto l =
+                    static_cast<std::size_t>(std::countr_zero(word));
+                word &= word - 1;
+                blockFired[l].push_back(static_cast<std::uint32_t>(d));
+            }
+        }
+        for (std::size_t l = 0; l < lanes; ++l) {
+            const auto& f = blockFired[l]; // ascending detector ids
+            acc.syndromeWeights.record(f.size());
+            std::uint32_t pred = 0;
+            if (f.empty()) {
+                // Weight-0 fast path: both decoders map the empty
+                // syndrome to the zero correction.
+                ++acc.trivialShots;
+            } else if (kind == DecoderKind::GreedyDem) {
+                pred = setup.greedy->decodeSparse(f, residual,
+                                                  residualNext);
+            } else {
+                if (setup.graphZ.numNodes()) {
+                    nodesBuf.clear();
+                    setup.graphZ.projectSparse(f, nodesBuf);
+                    pred ^= decZ.decodeSparse(nodesBuf);
+                }
+                if (setup.graphX.numNodes()) {
+                    nodesBuf.clear();
+                    setup.graphX.projectSparse(f, nodesBuf);
+                    pred ^= decX.decodeSparse(nodesBuf);
+                }
+            }
+            predicted[l] = pred;
+        }
+    } else {
+        for (std::size_t l = 0; l < lanes; ++l) {
+            acc.syndromeWeights.record(shotWeight[l]);
+            if (shotWeight[l] == 0)
+                ++acc.trivialShots;
+        }
+    }
+
+    const std::size_t n_obs = obsAccum.size();
+    const std::uint32_t obs_mask =
+        n_obs >= 32 ? 0xffffffffu
+                    : (1u << static_cast<std::uint32_t>(n_obs)) - 1u;
+    std::size_t failures = 0;
+    for (std::size_t l = 0; l < lanes; ++l) {
+        std::uint32_t actual = 0;
+        for (std::size_t k = 0; k < n_obs && k < 32; ++k)
+            actual |= static_cast<std::uint32_t>((obsAccum[k] >> l) & 1)
+                      << k;
+        if ((predicted[l] & obs_mask) != actual)
+            ++failures;
+    }
+    acc.failures += failures;
+    acc.shots += lanes;
+    if (timed)
+        acc.decodeNs += nowNs() - t0;
+    return failures;
+}
+
+} // namespace qec
+} // namespace hetarch

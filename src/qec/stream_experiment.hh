@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Streaming syndrome engine: sampler -> bounded block queue ->
+ * sliding-window decoder, as a producer/consumer pair on the exec
+ * pool.
+ *
+ * runStreamingMemoryExperiment() re-expresses the batch memory
+ * experiment as a stream: the frame sampler emits packed per-round
+ * SyndromeBlocks (stab::DetectorStream) into a bounded queue and a
+ * single decoder task consumes them through one SlidingWindowDecoder.
+ * With the default (whole-buffer) window the result is bit-identical
+ * to runMemoryExperiment() for the same rng state and chunk size; with
+ * windowRounds < rounds the decoder commits as it goes and peak
+ * syndrome storage drops to the window, independent of the total round
+ * count.
+ *
+ * Determinism contract: one base stream draw, the ShotScheduler
+ * partition, and per-chunk derived generators fix the sampled bits;
+ * blocks travel in FIFO order through a single consumer, so failure
+ * counts and every data-dependent qec.stream.* counter are
+ * bit-identical at any worker count.  When the pool cannot actually
+ * run two tasks at once (one worker, or already inside a parallel
+ * region) the producer decodes each block inline in the same order —
+ * same stream, same result, no queue.
+ *
+ * Backpressure: the queue holds at most queueBlocks blocks, so a slow
+ * decoder stalls the sampler instead of letting syndromes accumulate.
+ * Stall time is advisory telemetry (qec.stream.backpressure_wait_ns),
+ * never a counter — it varies with scheduling.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.hh"
+#include "qec/memory_experiment.hh"
+#include "qec/sliding_window.hh"
+
+namespace hetarch {
+namespace qec {
+
+/** Configuration of the streaming engine. */
+struct StreamConfig
+{
+    /**
+     * Decode window in rounds; 0 (or >= the circuit's rounds) selects
+     * whole-buffer decoding, bit-identical to runMemoryExperiment.
+     */
+    std::size_t windowRounds = 0;
+    /** Rounds committed per window step; 0 picks windowRounds/2. */
+    std::size_t commitRounds = 0;
+    /** Bounded queue capacity in blocks (producer/consumer mode). */
+    std::size_t queueBlocks = 8;
+    /** Shots per scheduler chunk (0 = ShotScheduler default). */
+    std::size_t chunkShots = 0;
+};
+
+/** Result of a streaming memory experiment. */
+struct StreamingResult
+{
+    MemoryResult memory;
+
+    /** Effective window/commit after mode resolution. */
+    std::size_t windowRounds = 0;
+    std::size_t commitRounds = 0;
+    /** Peak simultaneously stored syndrome rounds (the memory bound). */
+    std::size_t peakStoredRounds = 0;
+    /** Whether sampler and decoder actually ran as a concurrent pair. */
+    bool paired = false;
+
+    // Deterministic decode statistics (see SlidingWindowDecoder::Stats).
+    std::uint64_t blocks = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t laneDecodes = 0;
+    std::uint64_t committedRounds = 0;
+    std::uint64_t carryDefects = 0;
+    std::uint64_t trivialShots = 0;
+
+    // Advisory (populated only when obs timing is enabled).
+    std::uint64_t decodeNs = 0;
+    std::uint64_t backpressureWaitNs = 0;
+};
+
+/**
+ * Stream @p shots shots of @p circuit through the sliding-window
+ * decoder.  Draws exactly one word from @p rng, like
+ * runMemoryExperiment — with a whole-buffer window and equal chunk
+ * size the two are bit-identical.  Windowed mode requires
+ * DecoderKind::UnionFind.
+ */
+StreamingResult
+runStreamingMemoryExperiment(const stab::Circuit& circuit,
+                             std::size_t shots, std::size_t rounds,
+                             DecoderKind decoder, Rng& rng,
+                             const StreamConfig& config = {});
+
+} // namespace qec
+} // namespace hetarch

@@ -265,7 +265,8 @@ UnionFindDecoder::unite(std::size_t a, std::size_t b)
 }
 
 std::uint32_t
-UnionFindDecoder::decodeSparse(std::span<const std::uint32_t> fired)
+UnionFindDecoder::decodeSparse(std::span<const std::uint32_t> fired,
+                               std::vector<std::uint32_t>* applied_edges)
 {
     const std::size_t n = g.numNodes();
     const std::size_t boundary = n; // virtual boundary node id
@@ -410,6 +411,9 @@ UnionFindDecoder::decodeSparse(std::span<const std::uint32_t> fired)
             if (defect[v]) {
                 const auto [p, eid] = parentEdge[v];
                 correction ^= g.edges()[eid].observables;
+                if (applied_edges)
+                    applied_edges->push_back(
+                        static_cast<std::uint32_t>(eid));
                 defect[v] = 0;
                 defect[p] ^= 1;
             }

@@ -127,8 +127,16 @@ class UnionFindDecoder
      * node ids.  Bit-identical to decode() on the equivalent dense
      * vector; runs on the reusable arena (no per-shot allocation once
      * warm).
+     *
+     * When @p applied_edges is non-null, the ids of the correction
+     * edges the peeling pass applied are appended to it (in peel
+     * order).  The sliding-window decoder uses this to split a
+     * window's correction into committed and deferred parts; passing
+     * nullptr skips the recording entirely.
      */
-    std::uint32_t decodeSparse(std::span<const std::uint32_t> fired);
+    std::uint32_t decodeSparse(std::span<const std::uint32_t> fired,
+                               std::vector<std::uint32_t>* applied_edges =
+                                   nullptr);
 
   private:
     void touchNode(std::size_t v);

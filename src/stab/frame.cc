@@ -243,6 +243,59 @@ DetectorSamples::append(const DetectorSamples& other)
     obsWords = std::move(obss);
 }
 
+DetectorStream::DetectorStream(
+    std::shared_ptr<const FrameProgram> program, std::size_t shots)
+    : prog(std::move(program)), nShots(shots),
+      nBatches((shots + 63) / 64)
+{
+    HETARCH_ASSERT(prog, "null frame program");
+}
+
+bool
+DetectorStream::next(Rng& rng, SyndromeBlock& block)
+{
+    if (curBatch >= nBatches) {
+        // Exhausted: flush the same telemetry one sampleDetectors()
+        // call over this chunk would have produced, exactly once.
+        if (!flushed) {
+            flushed = true;
+            cSamplerCalls.add();
+            cSamplerShots.add(nShots);
+            cSamplerBatches.add(nBatches);
+            cFrameFlips.add(flips);
+        }
+        return false;
+    }
+
+    if (curSlice == 0)
+        prog->beginStream(scratch);
+
+    const auto& info = prog->sliceInfo(curSlice);
+    const std::size_t lanes =
+        std::min<std::size_t>(64, nShots - curBatch * 64);
+    flips += prog->runSlice(curSlice, scratch, rng);
+
+    block.batch = curBatch;
+    block.slice = curSlice;
+    block.lanes = lanes;
+    block.detBegin = info.detBegin;
+    block.detWords.assign(info.detEnd - info.detBegin, 0);
+    block.obsWords.assign(prog->numObservables(), 0);
+    const std::uint64_t mask =
+        lanes == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << lanes) - 1;
+    prog->foldSlice(curSlice, scratch, mask, block.detWords.data(), 1,
+                    block.obsWords.data(), 1);
+
+    block.lastSliceOfBatch = curSlice + 1 == prog->numSlices();
+    if (block.lastSliceOfBatch) {
+        curSlice = 0;
+        ++curBatch;
+    } else {
+        ++curSlice;
+    }
+    return true;
+}
+
 FrameSimulator::FrameSimulator(const Circuit& circuit)
     : circ(&circuit), prog(FrameProgram::compile(circuit))
 {

@@ -69,7 +69,13 @@ struct DetectorSamples
         return obsWords[k * numWords + w];
     }
 
-    /** Whether detector @p d fired in shot @p shot. */
+    /**
+     * Whether detector @p d fired in shot @p shot.  Test-only compat
+     * accessor: per-(shot, detector) bit extraction re-derives the
+     * lane/word split on every call.  Production paths iterate packed
+     * word blocks directly (detWord / obsWord); every non-test call
+     * site has been migrated.
+     */
     std::uint8_t det(std::size_t shot, std::size_t d) const
     {
         HETARCH_DEBUG_ASSERT(shot < shots && d < numDetectors,
@@ -78,7 +84,7 @@ struct DetectorSamples
         return static_cast<std::uint8_t>(
             (detWords[d * numWords + shot / 64] >> (shot % 64)) & 1);
     }
-    /** Observable @p k's value in shot @p shot. */
+    /** Observable @p k's value in shot @p shot; test-only, see det(). */
     std::uint8_t obs(std::size_t shot, std::size_t k) const
     {
         HETARCH_DEBUG_ASSERT(shot < shots && k < numObservables,
@@ -92,9 +98,10 @@ struct DetectorSamples
     std::size_t shotWeight(std::size_t shot) const;
 
     /**
-     * Compat accessors: the pre-packing shot-major uint8 layout,
-     * detectors[shot * numDetectors + d].  O(shots x detectors); for
-     * tests and tools migrating incrementally, not for hot paths.
+     * Test-only compat accessors: the pre-packing shot-major uint8
+     * layout, detectors[shot * numDetectors + d].  O(shots x
+     * detectors); cross-validation tests compare layouts through
+     * these, production code iterates the packed words.
      */
     std::vector<std::uint8_t> unpackedDetectors() const;
     /** observables[shot * numObservables + k]; see unpackedDetectors. */
@@ -111,6 +118,64 @@ struct DetectorSamples
      * guarantee for every chunk but the last.
      */
     void append(const DetectorSamples& other);
+};
+
+/**
+ * One streaming unit of sampled data: the packed detector words of one
+ * program slice ("round") of one 64-shot batch, plus the slice's
+ * partial observable contribution.  Blocks of a batch arrive in slice
+ * order; a consumer XOR-accumulates obsWords across the batch's blocks
+ * to recover the full observable word.
+ */
+struct SyndromeBlock
+{
+    std::size_t batch = 0; ///< 64-shot batch index within the stream
+    std::size_t slice = 0; ///< program slice ("round") index
+    std::size_t lanes = 0; ///< active shot lanes (1..64)
+    bool lastSliceOfBatch = false;
+    std::uint32_t detBegin = 0; ///< global id of detWords[0]'s detector
+    std::vector<std::uint64_t> detWords; ///< word per slice detector
+    std::vector<std::uint64_t> obsWords; ///< partial obs XOR, per obs
+};
+
+/**
+ * Incremental detector sampling: emits the shots of one chunk as
+ * SyndromeBlocks, batch-major then slice-major, over the bounded
+ * measurement ring of FrameStreamScratch — peak storage is one slice
+ * plus the program's measurement lookback, independent of the round
+ * count.
+ *
+ * RNG and telemetry parity with FrameSimulator::sampleDetectors: the
+ * stream consumes the generator identically (sliced execution shares
+ * the batch interpreter) and flushes the same stab.sampler.* counter
+ * totals exactly once, when the stream is exhausted.
+ */
+class DetectorStream
+{
+  public:
+    DetectorStream(std::shared_ptr<const FrameProgram> program,
+                   std::size_t shots);
+
+    std::size_t shots() const { return nShots; }
+    std::size_t numBatches() const { return nBatches; }
+    std::size_t numSlices() const { return prog->numSlices(); }
+
+    /**
+     * Produce the next block into @p block (buffers are reused).
+     * Returns false once the stream is exhausted — the call that
+     * observes exhaustion flushes the sampler telemetry.
+     */
+    bool next(Rng& rng, SyndromeBlock& block);
+
+  private:
+    std::shared_ptr<const FrameProgram> prog;
+    std::size_t nShots;
+    std::size_t nBatches;
+    std::size_t curBatch = 0;
+    std::size_t curSlice = 0;
+    FrameStreamScratch scratch;
+    std::uint64_t flips = 0;
+    bool flushed = false;
 };
 
 /**

@@ -1,5 +1,6 @@
 #include "stab/frame_program.hh"
 
+#include <algorithm>
 #include <bit>
 #include <utility>
 
@@ -16,6 +17,124 @@ namespace {
 // function of the workload, not of scheduling.
 obs::Counter& cProgramCompiles = obs::counter("stab.sampler.program_compiles");
 
+/**
+ * Interpret ops in [begin, end) over the frame words, delivering each
+ * measurement word through @p record.  Shared by the whole-batch and
+ * sliced entry points so both consume the RNG stream identically — the
+ * op order, the draw sites and the pre-resolved probabilities are the
+ * same instructions either way.
+ */
+template <typename MeasSink>
+std::uint64_t
+interpretOps(const FrameOp* op, const FrameOp* end, std::uint64_t* x,
+             std::uint64_t* z, int depol2_retries, Rng& rng,
+             MeasSink&& record)
+{
+    std::uint64_t flips = 0;
+    for (; op != end; ++op) {
+        switch (op->code) {
+          case FrameOpCode::H:
+            std::swap(x[op->a], z[op->a]);
+            break;
+          case FrameOpCode::SGate:
+            z[op->a] ^= x[op->a];
+            break;
+          case FrameOpCode::CX:
+            x[op->b] ^= x[op->a];
+            z[op->a] ^= z[op->b];
+            break;
+          case FrameOpCode::CZ:
+            z[op->a] ^= x[op->b];
+            z[op->b] ^= x[op->a];
+            break;
+          case FrameOpCode::Swap:
+            std::swap(x[op->a], x[op->b]);
+            std::swap(z[op->a], z[op->b]);
+            break;
+          case FrameOpCode::M:
+            record(x[op->a]);
+            // Measurement collapse randomizes the frame phase.
+            z[op->a] ^= rng();
+            break;
+          case FrameOpCode::R:
+            x[op->a] = 0;
+            z[op->a] = 0;
+            break;
+          case FrameOpCode::MR:
+            record(x[op->a]);
+            x[op->a] = 0;
+            z[op->a] = 0;
+            break;
+          case FrameOpCode::XError: {
+            const std::uint64_t err = rng.biasedWord(op->p0);
+            x[op->a] ^= err;
+            flips += std::popcount(err);
+            break;
+          }
+          case FrameOpCode::ZError: {
+            const std::uint64_t err = rng.biasedWord(op->p0);
+            z[op->a] ^= err;
+            flips += std::popcount(err);
+            break;
+          }
+          case FrameOpCode::Pauli1: {
+            const std::uint64_t err = rng.biasedWord(op->p0);
+            const std::uint64_t pick_x = rng.biasedWord(op->p1);
+            const std::uint64_t pick_y = rng.biasedWord(op->p2);
+            const std::uint64_t mx = err & pick_x;
+            const std::uint64_t my = err & ~pick_x & pick_y;
+            const std::uint64_t mz = err & ~pick_x & ~pick_y;
+            x[op->a] ^= mx | my;
+            z[op->a] ^= mz | my;
+            flips += std::popcount(err);
+            break;
+          }
+          case FrameOpCode::Depol1: {
+            const std::uint64_t err = rng.biasedWord(op->p0);
+            const std::uint64_t pick_x = rng.biasedWord(1.0 / 3.0);
+            const std::uint64_t pick_y = rng.biasedWord(0.5);
+            const std::uint64_t mx = err & pick_x;
+            const std::uint64_t my = err & ~pick_x & pick_y;
+            const std::uint64_t mz = err & ~pick_x & ~pick_y;
+            x[op->a] ^= mx | my;
+            z[op->a] ^= mz | my;
+            flips += std::popcount(err);
+            break;
+          }
+          case FrameOpCode::Depol2: {
+            const std::uint64_t err = rng.biasedWord(op->p0);
+            if (!err)
+                break;
+            // Uniform non-identity two-qubit Pauli per erring lane:
+            // draw 4 random bits and reject the all-zero combination.
+            std::uint64_t v0 = rng(), v1 = rng(), v2 = rng(), v3 = rng();
+            for (int tries = 0; tries < depol2_retries; ++tries) {
+                const std::uint64_t zero = err & ~(v0 | v1 | v2 | v3);
+                if (!zero)
+                    break;
+                const std::uint64_t r0 = rng(), r1 = rng(), r2 = rng(),
+                                    r3 = rng();
+                v0 = (v0 & ~zero) | (r0 & zero);
+                v1 = (v1 & ~zero) | (r1 & zero);
+                v2 = (v2 & ~zero) | (r2 & zero);
+                v3 = (v3 & ~zero) | (r3 & zero);
+            }
+            // Any lane still all-zero after the retries (prob 16^-12
+            // at the default budget) is forced to X on qubit a.
+            const std::uint64_t still = err & ~(v0 | v1 | v2 | v3);
+            v0 |= still;
+            x[op->a] ^= err & v0;
+            z[op->a] ^= err & v1;
+            x[op->b] ^= err & v2;
+            z[op->b] ^= err & v3;
+            flips += std::popcount(err);
+            break;
+          }
+        }
+    }
+    return flips;
+}
+
 } // namespace
 
 std::shared_ptr<const FrameProgram>
@@ -31,6 +150,28 @@ FrameProgram::compile(const Circuit& circuit, int depol2_retries)
     // Observable includes are concatenated per id; XOR-folding the
     // combined list equals XOR-accumulating the individual includes.
     std::vector<std::vector<std::uint32_t>> obs_meas(prog->nObs);
+
+    // Slice tracking: a boundary is inserted just before a qubit's
+    // second measurement since the previous boundary, so one slice
+    // covers one measurement "round" (each detector and record belongs
+    // to exactly one slice; gate ops of the next round may spill into
+    // the previous slice, which only affects execution granularity).
+    constexpr std::uint32_t kNever = 0xffffffffu;
+    std::vector<std::uint32_t> meas_slice(prog->nQubits, kNever);
+    std::uint32_t cur_slice = 0;
+    std::uint32_t meas_count = 0;
+    FrameSliceInfo open; // ranges accumulate; begin fields are current
+    const auto close_slice = [&] {
+        open.opEnd = static_cast<std::uint32_t>(prog->stream.size());
+        open.measEnd = meas_count;
+        open.detEnd =
+            static_cast<std::uint32_t>(prog->detOffsets.size() - 1);
+        prog->slices.push_back(open);
+        open.opBegin = open.opEnd;
+        open.measBegin = open.measEnd;
+        open.detBegin = open.detEnd;
+        ++cur_slice;
+    };
 
     prog->detOffsets.push_back(0);
     for (const auto& op : circuit.ops()) {
@@ -59,13 +200,16 @@ FrameProgram::compile(const Circuit& circuit, int depol2_retries)
             f.code = FrameOpCode::Swap;
             break;
           case OpCode::M:
-            f.code = FrameOpCode::M;
+          case OpCode::MR:
+            f.code = op.code == OpCode::M ? FrameOpCode::M
+                                          : FrameOpCode::MR;
+            if (meas_slice[f.a] == cur_slice)
+                close_slice();
+            meas_slice[f.a] = cur_slice;
+            ++meas_count;
             break;
           case OpCode::R:
             f.code = FrameOpCode::R;
-            break;
-          case OpCode::MR:
-            f.code = FrameOpCode::MR;
             break;
           case OpCode::X_ERROR:
             f.code = FrameOpCode::XError;
@@ -121,6 +265,61 @@ FrameProgram::compile(const Circuit& circuit, int depol2_retries)
             static_cast<std::uint32_t>(prog->obsMeas.size()));
     }
 
+    // Close the tail slice; even an annotation-only or empty circuit
+    // gets one slice so streaming callers never special-case.
+    close_slice();
+    HETARCH_ASSERT(prog->slices.back().measEnd == prog->nMeas,
+                   "measurement count mismatch while slicing");
+
+    // Assign each observable include to the slice that records its
+    // measurement, so streaming folds can retire observable
+    // contributions as soon as a slice completes.
+    const auto slice_of = [&](std::uint32_t m) {
+        std::size_t lo = 0, hi = prog->slices.size() - 1;
+        while (lo < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            if (m < prog->slices[mid].measEnd)
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        return lo;
+    };
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+        by_slice(prog->slices.size());
+    for (std::size_t k = 0; k < prog->nObs; ++k)
+        for (const auto* m = prog->obsMeasBegin(k);
+             m != prog->obsMeasEnd(k); ++m)
+            by_slice[slice_of(*m)].emplace_back(
+                static_cast<std::uint32_t>(k), *m);
+    for (std::size_t s = 0; s < prog->slices.size(); ++s) {
+        prog->slices[s].obsBegin =
+            static_cast<std::uint32_t>(prog->sliceObsId.size());
+        for (const auto& [k, m] : by_slice[s]) {
+            prog->sliceObsId.push_back(k);
+            prog->sliceObsMeas.push_back(m);
+        }
+        prog->slices[s].obsEnd =
+            static_cast<std::uint32_t>(prog->sliceObsId.size());
+    }
+
+    // Measurement lookback: how far behind its own last record any
+    // slice's folds reach.  The streaming ring must keep a record
+    // alive from when it is written until the slice that folds it
+    // finishes, i.e. hold measEnd(s) - m records.
+    std::size_t look = 1;
+    for (const auto& s : prog->slices) {
+        for (std::size_t d = s.detBegin; d < s.detEnd; ++d)
+            for (const auto* m = prog->detMeasBegin(d);
+                 m != prog->detMeasEnd(d); ++m)
+                look = std::max<std::size_t>(look, s.measEnd - *m);
+        for (std::size_t e = s.obsBegin; e < s.obsEnd; ++e)
+            look = std::max<std::size_t>(
+                look, s.measEnd - prog->sliceObsMeas[e]);
+    }
+    prog->lookback = look;
+    prog->ringCapacity = std::bit_ceil(look);
+
     cProgramCompiles.add();
     return prog;
 }
@@ -132,112 +331,38 @@ FrameProgram::runBatch(FrameScratch& scratch, Rng& rng) const
     scratch.z.assign(nQubits, 0);
     scratch.meas.clear();
     scratch.meas.reserve(nMeas);
-    auto& x = scratch.x;
-    auto& z = scratch.z;
-    std::uint64_t flips = 0;
+    return interpretOps(stream.data(), stream.data() + stream.size(),
+                        scratch.x.data(), scratch.z.data(), depol2Retries,
+                        rng,
+                        [&](std::uint64_t w) { scratch.meas.push_back(w); });
+}
 
-    for (const auto& op : stream) {
-        switch (op.code) {
-          case FrameOpCode::H:
-            std::swap(x[op.a], z[op.a]);
-            break;
-          case FrameOpCode::SGate:
-            z[op.a] ^= x[op.a];
-            break;
-          case FrameOpCode::CX:
-            x[op.b] ^= x[op.a];
-            z[op.a] ^= z[op.b];
-            break;
-          case FrameOpCode::CZ:
-            z[op.a] ^= x[op.b];
-            z[op.b] ^= x[op.a];
-            break;
-          case FrameOpCode::Swap:
-            std::swap(x[op.a], x[op.b]);
-            std::swap(z[op.a], z[op.b]);
-            break;
-          case FrameOpCode::M:
-            scratch.meas.push_back(x[op.a]);
-            // Measurement collapse randomizes the frame phase.
-            z[op.a] ^= rng();
-            break;
-          case FrameOpCode::R:
-            x[op.a] = 0;
-            z[op.a] = 0;
-            break;
-          case FrameOpCode::MR:
-            scratch.meas.push_back(x[op.a]);
-            x[op.a] = 0;
-            z[op.a] = 0;
-            break;
-          case FrameOpCode::XError: {
-            const std::uint64_t err = rng.biasedWord(op.p0);
-            x[op.a] ^= err;
-            flips += std::popcount(err);
-            break;
-          }
-          case FrameOpCode::ZError: {
-            const std::uint64_t err = rng.biasedWord(op.p0);
-            z[op.a] ^= err;
-            flips += std::popcount(err);
-            break;
-          }
-          case FrameOpCode::Pauli1: {
-            const std::uint64_t err = rng.biasedWord(op.p0);
-            const std::uint64_t pick_x = rng.biasedWord(op.p1);
-            const std::uint64_t pick_y = rng.biasedWord(op.p2);
-            const std::uint64_t mx = err & pick_x;
-            const std::uint64_t my = err & ~pick_x & pick_y;
-            const std::uint64_t mz = err & ~pick_x & ~pick_y;
-            x[op.a] ^= mx | my;
-            z[op.a] ^= mz | my;
-            flips += std::popcount(err);
-            break;
-          }
-          case FrameOpCode::Depol1: {
-            const std::uint64_t err = rng.biasedWord(op.p0);
-            const std::uint64_t pick_x = rng.biasedWord(1.0 / 3.0);
-            const std::uint64_t pick_y = rng.biasedWord(0.5);
-            const std::uint64_t mx = err & pick_x;
-            const std::uint64_t my = err & ~pick_x & pick_y;
-            const std::uint64_t mz = err & ~pick_x & ~pick_y;
-            x[op.a] ^= mx | my;
-            z[op.a] ^= mz | my;
-            flips += std::popcount(err);
-            break;
-          }
-          case FrameOpCode::Depol2: {
-            const std::uint64_t err = rng.biasedWord(op.p0);
-            if (!err)
-                break;
-            // Uniform non-identity two-qubit Pauli per erring lane:
-            // draw 4 random bits and reject the all-zero combination.
-            std::uint64_t v0 = rng(), v1 = rng(), v2 = rng(), v3 = rng();
-            for (int tries = 0; tries < depol2Retries; ++tries) {
-                const std::uint64_t zero = err & ~(v0 | v1 | v2 | v3);
-                if (!zero)
-                    break;
-                const std::uint64_t r0 = rng(), r1 = rng(), r2 = rng(),
-                                    r3 = rng();
-                v0 = (v0 & ~zero) | (r0 & zero);
-                v1 = (v1 & ~zero) | (r1 & zero);
-                v2 = (v2 & ~zero) | (r2 & zero);
-                v3 = (v3 & ~zero) | (r3 & zero);
-            }
-            // Any lane still all-zero after the retries (prob 16^-12
-            // at the default budget) is forced to X on qubit a.
-            const std::uint64_t still = err & ~(v0 | v1 | v2 | v3);
-            v0 |= still;
-            x[op.a] ^= err & v0;
-            z[op.a] ^= err & v1;
-            x[op.b] ^= err & v2;
-            z[op.b] ^= err & v3;
-            flips += std::popcount(err);
-            break;
-          }
-        }
-    }
-    return flips;
+void
+FrameProgram::beginStream(FrameStreamScratch& scratch) const
+{
+    scratch.x.assign(nQubits, 0);
+    scratch.z.assign(nQubits, 0);
+    scratch.measRing.assign(ringCapacity, 0);
+    scratch.measCursor = 0;
+}
+
+std::uint64_t
+FrameProgram::runSlice(std::size_t s, FrameStreamScratch& scratch,
+                       Rng& rng) const
+{
+    const auto& info = slices[s];
+    HETARCH_DEBUG_ASSERT(scratch.measCursor == info.measBegin,
+                         "slices must run in order (cursor ",
+                         scratch.measCursor, ", slice starts at ",
+                         info.measBegin, ")");
+    const std::size_t mask = ringCapacity - 1;
+    auto* ring = scratch.measRing.data();
+    return interpretOps(stream.data() + info.opBegin,
+                        stream.data() + info.opEnd, scratch.x.data(),
+                        scratch.z.data(), depol2Retries, rng,
+                        [&](std::uint64_t w) {
+                            ring[scratch.measCursor++ & mask] = w;
+                        });
 }
 
 void
@@ -261,6 +386,28 @@ FrameProgram::foldAnnotations(const FrameScratch& scratch,
             word ^= meas[*m];
         obs_words[k * obs_stride] = word & lane_mask;
     }
+}
+
+void
+FrameProgram::foldSlice(std::size_t s, const FrameStreamScratch& scratch,
+                        std::uint64_t lane_mask, std::uint64_t* det_words,
+                        std::size_t det_stride, std::uint64_t* obs_words,
+                        std::size_t obs_stride) const
+{
+    const auto& info = slices[s];
+    HETARCH_DEBUG_ASSERT(scratch.measCursor == info.measEnd,
+                         "foldSlice(", s, ") before its runSlice");
+    const std::size_t mask = ringCapacity - 1;
+    const auto* ring = scratch.measRing.data();
+    for (std::size_t d = info.detBegin; d < info.detEnd; ++d) {
+        std::uint64_t word = 0;
+        for (const auto* m = detMeasBegin(d); m != detMeasEnd(d); ++m)
+            word ^= ring[*m & mask];
+        det_words[(d - info.detBegin) * det_stride] = word & lane_mask;
+    }
+    for (std::size_t e = info.obsBegin; e < info.obsEnd; ++e)
+        obs_words[sliceObsId[e] * obs_stride] ^=
+            ring[sliceObsMeas[e] & mask] & lane_mask;
 }
 
 } // namespace stab

@@ -78,6 +78,41 @@ struct FrameScratch
 };
 
 /**
+ * One compiled slice ("round") of the op stream: the half-open op,
+ * measurement-record, detector and per-slice-observable ranges it
+ * covers.  Slices partition the stream; boundaries fall where a qubit
+ * is measured for the second time since the previous boundary, which
+ * for round-structured circuits (every ancilla measured once per
+ * round) lands exactly one QEC round per slice.
+ */
+struct FrameSliceInfo
+{
+    std::uint32_t opBegin = 0;   ///< first compiled op of the slice
+    std::uint32_t opEnd = 0;
+    std::uint32_t measBegin = 0; ///< first measurement record
+    std::uint32_t measEnd = 0;
+    std::uint32_t detBegin = 0;  ///< first detector emitted in the slice
+    std::uint32_t detEnd = 0;
+    std::uint32_t obsBegin = 0;  ///< per-slice observable entry range
+    std::uint32_t obsEnd = 0;
+};
+
+/**
+ * Per-thread frame state for streaming slice execution.  Instead of
+ * the full measurement record, measurement flips land in a bounded
+ * power-of-two ring sized by the program's measurement lookback (how
+ * far back any detector reaches, ~2 rounds for memory circuits), so
+ * peak storage is independent of the round count.
+ */
+struct FrameStreamScratch
+{
+    std::vector<std::uint64_t> x;
+    std::vector<std::uint64_t> z;
+    std::vector<std::uint64_t> measRing; ///< pow2-sized record ring
+    std::size_t measCursor = 0; ///< absolute index of the next record
+};
+
+/**
  * A circuit lowered for batched frame simulation.  Immutable after
  * compile(); safe to share across threads (DecoderCache stores one per
  * circuit beside the DEM).
@@ -145,6 +180,58 @@ class FrameProgram
                          std::size_t det_stride, std::uint64_t* obs_words,
                          std::size_t obs_stride) const;
 
+    // --- streaming (sliced) execution -------------------------------
+    //
+    // Running beginStream() then runSlice(0..numSlices()-1) consumes
+    // the RNG stream *identically* to one runBatch() call: the slices
+    // partition the same op array and the interpreter is shared, so
+    // every draw happens in the same order with the same parameters.
+    // foldSlice() over all slices reproduces foldAnnotations() exactly
+    // (detectors are partitioned by slice; observable words accumulate
+    // per-slice XOR contributions and must start zeroed).
+
+    /** Number of compiled slices (>= 1 for a non-empty program). */
+    std::size_t numSlices() const { return slices.size(); }
+    /** Ranges of slice @p s. */
+    const FrameSliceInfo& sliceInfo(std::size_t s) const
+    {
+        return slices[s];
+    }
+    /**
+     * Measurement-record lookback: the farthest any slice's detectors
+     * or observable entries reach behind that slice's last record.
+     * The streaming ring holds this many words regardless of circuit
+     * length (bounded-memory guarantee).
+     */
+    std::size_t measLookback() const { return lookback; }
+    /** Power-of-two capacity of the streaming measurement ring. */
+    std::size_t measRingCapacity() const { return ringCapacity; }
+
+    /** Reset @p scratch for a fresh 64-shot streaming batch. */
+    void beginStream(FrameStreamScratch& scratch) const;
+
+    /**
+     * Run slice @p s of the current batch (slices must run in order
+     * from 0).  Returns the applied error-lane popcount, the same
+     * accounting as runBatch — summed over all slices it equals the
+     * runBatch return value for the identical RNG stream.
+     */
+    std::uint64_t runSlice(std::size_t s, FrameStreamScratch& scratch,
+                           Rng& rng) const;
+
+    /**
+     * Fold slice @p s's annotations from the measurement ring.
+     * Detector d in [detBegin, detEnd) is *assigned* to
+     * @p det_words[(d - detBegin) * det_stride]; the slice's share of
+     * observable k is *XORed* into @p obs_words[k * obs_stride].  Call
+     * after runSlice(s) and before runSlice of a slice that overwrites
+     * the lookback window.
+     */
+    void foldSlice(std::size_t s, const FrameStreamScratch& scratch,
+                   std::uint64_t lane_mask, std::uint64_t* det_words,
+                   std::size_t det_stride, std::uint64_t* obs_words,
+                   std::size_t obs_stride) const;
+
   private:
     std::size_t nQubits = 0;
     std::size_t nMeas = 0;
@@ -156,6 +243,12 @@ class FrameProgram
     std::vector<std::uint32_t> detMeas;
     std::vector<std::uint32_t> obsOffsets; ///< size nObs + 1
     std::vector<std::uint32_t> obsMeas;
+    std::vector<FrameSliceInfo> slices;
+    /** Per-slice observable entries: (observable id, record index). */
+    std::vector<std::uint32_t> sliceObsId;
+    std::vector<std::uint32_t> sliceObsMeas;
+    std::size_t lookback = 0;
+    std::size_t ringCapacity = 1;
 };
 
 } // namespace stab

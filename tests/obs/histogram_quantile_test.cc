@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Pins histogramQuantile: display-time quantile estimation over the
+ * power-of-two snapshot buckets.  Estimates must stay inside the
+ * bucket containing the true quantile (the documented error bound),
+ * be monotone in q, and never touch the serialized schema.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/obs.hh"
+
+namespace hetarch {
+namespace obs {
+namespace {
+
+Snapshot::HistogramEntry
+entry(std::uint64_t count, std::uint64_t sum,
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets)
+{
+    Snapshot::HistogramEntry h;
+    h.name = "test";
+    h.count = count;
+    h.sum = sum;
+    h.buckets = std::move(buckets);
+    return h;
+}
+
+TEST(HistogramQuantile, EmptyHistogramIsZero)
+{
+    EXPECT_EQ(histogramQuantile(entry(0, 0, {}), 0.5), 0.0);
+}
+
+TEST(HistogramQuantile, ZeroBucketIsExact)
+{
+    // Bucket 0 holds the exact value 0, so any quantile landing there
+    // is 0, not an interpolation artifact.
+    const auto h = entry(100, 50, {{0, 50}, {1, 50}});
+    EXPECT_EQ(histogramQuantile(h, 0.0), 0.0);
+    EXPECT_EQ(histogramQuantile(h, 0.25), 0.0);
+    const double p90 = histogramQuantile(h, 0.9);
+    EXPECT_GE(p90, 1.0);
+    EXPECT_LT(p90, 2.0);
+}
+
+TEST(HistogramQuantile, EstimateStaysInsideTheTrueBucket)
+{
+    // Values in [4,8) and [16,32): quantiles must land in the bucket
+    // holding the true order statistic.
+    const auto h = entry(20, 0, {{4, 10}, {16, 10}});
+    const double p25 = histogramQuantile(h, 0.25);
+    EXPECT_GE(p25, 4.0);
+    EXPECT_LT(p25, 8.0);
+    const double p90 = histogramQuantile(h, 0.9);
+    EXPECT_GE(p90, 16.0);
+    EXPECT_LT(p90, 32.0);
+}
+
+TEST(HistogramQuantile, MonotoneInQ)
+{
+    const auto h = entry(1000, 0, {{1, 900}, {64, 90}, {8192, 10}});
+    const double p50 = histogramQuantile(h, 0.5);
+    const double p90 = histogramQuantile(h, 0.9);
+    const double p99 = histogramQuantile(h, 0.99);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    // 90% of records are 1, so p50 and p90 sit in the [1,2) bucket
+    // while p99 reaches the [64,128) bucket (true value 100).
+    EXPECT_LT(p90, 2.0);
+    EXPECT_GE(p99, 64.0);
+    EXPECT_LT(p99, 128.0);
+}
+
+TEST(HistogramQuantile, WorksOnRegistrySnapshots)
+{
+    auto& h = histogram("test.qtile.snapshot_roundtrip");
+    for (int i = 0; i < 90; ++i)
+        h.record(10); // bucket [8,16)
+    for (int i = 0; i < 10; ++i)
+        h.record(1000); // bucket [512,1024)
+
+    const auto snap = Registry::instance().snapshot();
+    const Snapshot::HistogramEntry* found = nullptr;
+    for (const auto& e : snap.histograms)
+        if (e.name == "test.qtile.snapshot_roundtrip")
+            found = &e;
+    ASSERT_NE(found, nullptr);
+
+    const double p50 = histogramQuantile(*found, 0.5);
+    EXPECT_GE(p50, 8.0);
+    EXPECT_LT(p50, 16.0);
+    const double p99 = histogramQuantile(*found, 0.99);
+    EXPECT_GE(p99, 512.0);
+    EXPECT_LT(p99, 1024.0);
+
+    // Quantiles are display-time only: the serialized schema carries
+    // count/sum/buckets and nothing else.
+    const auto json = toJson(snap);
+    EXPECT_EQ(json.find("p50"), std::string::npos);
+    EXPECT_EQ(json.find("quantile"), std::string::npos);
+}
+
+} // namespace
+} // namespace obs
+} // namespace hetarch
