@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Throughput benchmark for the experiment job service
+ * (service/job_service.hh): a mixed batch of every job kind — memory,
+ * streaming memory, sweep point, distillation ensemble, and
+ * lint/fault/schedule analysis — submitted with fixed per-job seeds
+ * and drained at several scheduler widths.
+ *
+ * The artifact cross-checks the service determinism contract as it
+ * measures: every width must retire the batch with results
+ * bit-identical to the width-1 drain (the "identical" column), one
+ * victim per repeat is cancelled while queued, and the service.jobs.*
+ * counters land in the exported metrics snapshot so CI pins them
+ * exactly.
+ *
+ * The metrics snapshot is exported before the microbenchmarks, like
+ * every other bench.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/table.hh"
+#include "obs/obs.hh"
+#include "service/job_service.hh"
+
+#include "bench_util.hh"
+
+namespace {
+
+using namespace hetarch;
+using namespace hetarch::service;
+
+/** One repeat of the mixed-kind batch; seeds derived from `repeat`. */
+std::vector<JobSpec>
+repeatSpecs(std::uint64_t repeat, std::size_t shots)
+{
+    const double n = static_cast<double>(shots);
+    std::vector<JobSpec> specs;
+
+    JobSpec memory;
+    memory.name = "memory-" + std::to_string(repeat);
+    memory.kind = JobKind::Memory;
+    memory.seed = 100 + repeat;
+    memory.add("distance", ParamValue::num(3));
+    memory.add("rounds", ParamValue::num(3));
+    memory.add("shots", ParamValue::num(n));
+    memory.add("p1", ParamValue::num(1e-3));
+    memory.add("p2", ParamValue::num(1e-2));
+    specs.push_back(memory);
+
+    JobSpec stream;
+    stream.name = "stream-" + std::to_string(repeat);
+    stream.kind = JobKind::Stream;
+    stream.seed = 200 + repeat;
+    stream.add("distance", ParamValue::num(3));
+    stream.add("rounds", ParamValue::num(6));
+    stream.add("shots", ParamValue::num(n));
+    stream.add("p1", ParamValue::num(1e-3));
+    stream.add("p2", ParamValue::num(1e-2));
+    stream.add("window", ParamValue::num(4));
+    stream.add("commit", ParamValue::num(2));
+    specs.push_back(stream);
+
+    JobSpec sweep;
+    sweep.name = "sweep-" + std::to_string(repeat);
+    sweep.kind = JobKind::SweepPoint;
+    sweep.seed = 300 + repeat;
+    sweep.add("distance", ParamValue::num(3));
+    sweep.add("rounds", ParamValue::num(3));
+    sweep.add("shots", ParamValue::num(n));
+    sweep.add("p2", ParamValue::num(8e-3));
+    specs.push_back(sweep);
+
+    JobSpec distill;
+    distill.name = "distill-" + std::to_string(repeat);
+    distill.kind = JobKind::Distill;
+    distill.seed = 400 + repeat;
+    distill.add("trajectories", ParamValue::num(3));
+    distill.add("horizon_us", ParamValue::num(50));
+    specs.push_back(distill);
+
+    JobSpec analysis;
+    analysis.name = "analysis-" + std::to_string(repeat);
+    analysis.kind = JobKind::Analysis;
+    analysis.add("builder", ParamValue::str("surface-d3"));
+    analysis.add("distance", ParamValue::num(1));
+    analysis.add("timing", ParamValue::num(1));
+    specs.push_back(analysis);
+
+    // The victim: cancelled while queued, must retire without work.
+    JobSpec victim = memory;
+    victim.name = "victim-" + std::to_string(repeat);
+    victim.seed = 500 + repeat;
+    specs.push_back(victim);
+
+    return specs;
+}
+
+struct BatchRun
+{
+    std::vector<JobStatus> statuses;
+    double seconds = 0.0;
+    std::size_t done = 0, cancelled = 0;
+};
+
+/** Submit the whole batch, cancel the victims, drain, collect. */
+BatchRun
+runBatch(std::size_t repeats, std::size_t shots,
+         std::size_t max_concurrent)
+{
+    using clock = std::chrono::steady_clock;
+    ServiceConfig config;
+    config.autoStart = false;
+    config.maxQueued = repeats * 6 + 1;
+    config.maxConcurrent = max_concurrent;
+    JobService jobs(config);
+
+    std::vector<JobId> ids, victims;
+    for (std::uint64_t repeat = 0; repeat < repeats; ++repeat) {
+        for (const JobSpec& spec : repeatSpecs(repeat, shots)) {
+            const SubmitOutcome outcome = jobs.submit(spec);
+            ids.push_back(outcome.id);
+            if (spec.name.rfind("victim-", 0) == 0)
+                victims.push_back(outcome.id);
+        }
+    }
+    for (JobId id : victims)
+        jobs.cancel(id);
+
+    const auto t0 = clock::now();
+    jobs.drain();
+    const auto t1 = clock::now();
+
+    BatchRun run;
+    run.seconds = std::chrono::duration<double>(t1 - t0).count();
+    for (JobId id : ids) {
+        JobStatus status;
+        jobs.status(id, status);
+        run.done += status.state == JobState::Done;
+        run.cancelled += status.state == JobState::Cancelled;
+        run.statuses.push_back(status);
+    }
+    return run;
+}
+
+bool
+sameResults(const BatchRun& a, const BatchRun& b)
+{
+    if (a.statuses.size() != b.statuses.size())
+        return false;
+    for (std::size_t i = 0; i < a.statuses.size(); ++i)
+        if (a.statuses[i].state != b.statuses[i].state ||
+            !(a.statuses[i].result == b.statuses[i].result))
+            return false;
+    return true;
+}
+
+void
+BM_SubmitDrainMemory(benchmark::State& state)
+{
+    // One tiny memory job end-to-end: admission + validation +
+    // scheduling + decode + retirement.
+    ServiceConfig config;
+    config.autoStart = false;
+    JobService jobs(config);
+    JobSpec spec;
+    spec.name = "micro";
+    spec.kind = JobKind::Memory;
+    spec.seed = 9;
+    spec.add("distance", ParamValue::num(3));
+    spec.add("rounds", ParamValue::num(1));
+    spec.add("shots", ParamValue::num(32));
+    for (auto _ : state) {
+        const SubmitOutcome outcome = jobs.submit(spec);
+        jobs.drain();
+        JobStatus status;
+        jobs.status(outcome.id, status);
+        benchmark::DoNotOptimize(status);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SubmitDrainMemory);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    hetarch::bench::configure(argc, argv);
+    const double shot_scale = hetarch::bench::runScale().shotScale;
+
+    std::cout << "exec threads: " << exec::threadCount() << "\n";
+    std::cout << "\n=== Job service mixed-batch drain "
+                 "(5 kinds + 1 cancelled victim per repeat) ===\n";
+    const std::size_t repeats = 3;
+    const auto shots = std::max<std::size_t>(
+        50, static_cast<std::size_t>(400 * shot_scale));
+
+    TextTable t({"max-conc", "jobs", "done", "cancelled", "jobs/s",
+                 "identical"});
+    const BatchRun reference = runBatch(repeats, shots, 1);
+    for (std::size_t width : {std::size_t{1}, std::size_t{4},
+                              std::size_t{8}}) {
+        const BatchRun run = runBatch(repeats, shots, width);
+        const double rate =
+            run.seconds > 0.0
+                ? static_cast<double>(run.done) / run.seconds
+                : 0.0;
+        t.addRow({std::to_string(width),
+                  std::to_string(run.statuses.size()),
+                  std::to_string(run.done),
+                  std::to_string(run.cancelled), formatFixed(rate, 1),
+                  sameResults(run, reference) ? "yes" : "NO"});
+    }
+    t.print(std::cout);
+    std::cout.flush();
+
+    hetarch::bench::exportMetrics();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -27,8 +27,21 @@
 #   scripts/check_lint_clean.sh build/tools/hetarch-lint
 set -u
 
+case "${1:-}" in
+    -h|--help) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+esac
+
 LINT=${1:?usage: check_lint_clean.sh path/to/hetarch-lint [fixtures-dir]}
 DIR=${2:-$(dirname "$0")/../tests/lint/fixtures}
+if [ ! -x "$LINT" ]; then
+    echo "error: hetarch-lint binary '$LINT' not found or not executable" \
+         "(build first: cmake --build build --target hetarch-lint)" >&2
+    exit 1
+fi
+if [ ! -d "$DIR" ]; then
+    echo "error: fixtures directory '$DIR' not found" >&2
+    exit 1
+fi
 PYTHON=$(command -v python3 || true)
 
 TMP=$(mktemp -d)

@@ -57,6 +57,12 @@ REQUIRED_COMPANIONS = {
                          "qec.stream.committed_rounds",
                          "qec.stream.lane_decodes",
                          "qec.stream.carry_defects"),
+    # Every job the service admits must be accounted for in exactly
+    # one terminal tally; dropping any of these would hide lost jobs.
+    "service.jobs.submitted": ("service.jobs.completed",
+                               "service.jobs.failed",
+                               "service.jobs.cancelled",
+                               "service.jobs.rejected"),
 }
 
 

@@ -1,11 +1,31 @@
 #include "core/logging.hh"
 
 namespace hetarch {
+
+namespace {
+
+/** Nesting depth of ScopedFatalCapture on this thread. */
+thread_local int fatalCaptureDepth = 0;
+
+} // namespace
+
+ScopedFatalCapture::ScopedFatalCapture()
+{
+    ++fatalCaptureDepth;
+}
+
+ScopedFatalCapture::~ScopedFatalCapture()
+{
+    --fatalCaptureDepth;
+}
+
 namespace detail {
 
 [[noreturn]] void
 fatalImpl(const char* file, int line, const std::string& msg)
 {
+    if (fatalCaptureDepth > 0)
+        throw FatalError(msg);
     std::cerr << "fatal: " << msg << " (" << file << ":" << line << ")\n";
     std::exit(1);
 }

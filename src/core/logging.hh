@@ -13,9 +13,40 @@
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace hetarch {
+
+/**
+ * The exception HETARCH_FATAL raises while a ScopedFatalCapture is
+ * active on the current thread (instead of exiting the process).
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Redirect HETARCH_FATAL on the current thread: while at least one
+ * capture is alive, fatalImpl throws FatalError instead of printing
+ * and exiting.  This lets long-running services validate untrusted
+ * input through code paths written for one-shot CLI tools (circuit
+ * parsing, builder construction) without a malformed request killing
+ * the daemon.  Captures nest; the thread-local flag makes concurrent
+ * validations independent.  HETARCH_PANIC (internal invariants) still
+ * aborts — only user-error reporting is capturable.
+ */
+class ScopedFatalCapture
+{
+  public:
+    ScopedFatalCapture();
+    ~ScopedFatalCapture();
+
+    ScopedFatalCapture(const ScopedFatalCapture&) = delete;
+    ScopedFatalCapture& operator=(const ScopedFatalCapture&) = delete;
+};
 
 namespace detail {
 

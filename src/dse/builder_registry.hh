@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Named registry of the repo's circuit builders (surface / CSS / UEC /
+ * distillation generators), shared by every tool that accepts a
+ * "builder:<name>" unit instead of a .circ file — hetarch-lint's
+ * --builders sweep and the job service's analysis jobs resolve names
+ * through this one table, so the two surfaces can never drift apart.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stab/circuit.hh"
+
+namespace hetarch {
+namespace dse {
+
+/** One named generator from the repo's circuit-builder surface. */
+struct CircuitBuilder
+{
+    const char* name;
+    stab::Circuit (*make)();
+};
+
+/** All known builders, in registry order (stable across calls). */
+const std::vector<CircuitBuilder>& builderRegistry();
+
+/** Builder by name, or nullptr when unknown. */
+const CircuitBuilder* findBuilder(const std::string& name);
+
+} // namespace dse
+} // namespace hetarch

@@ -272,5 +272,11 @@ parallelInvoke(std::initializer_list<std::function<void()>> tasks)
                 [&](std::size_t i) { (*(begin + i))(); });
 }
 
+void
+parallelInvoke(const std::vector<std::function<void()>>& tasks)
+{
+    parallelFor(tasks.size(), [&](std::size_t i) { tasks[i](); });
+}
+
 } // namespace exec
 } // namespace hetarch

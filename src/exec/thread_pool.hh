@@ -31,6 +31,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <vector>
 
 namespace hetarch {
 namespace exec {
@@ -67,6 +68,12 @@ void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
  * wrapper over parallelFor).  Same thread-safety and nesting rules.
  */
 void parallelInvoke(std::initializer_list<std::function<void()>> tasks);
+
+/**
+ * parallelInvoke over a runtime-sized task set (the job service's
+ * batch dispatch shape).  Same thread-safety and nesting rules.
+ */
+void parallelInvoke(const std::vector<std::function<void()>>& tasks);
 
 /** True while the current thread is executing inside a parallelFor. */
 bool inParallelRegion();

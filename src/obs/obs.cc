@@ -69,6 +69,28 @@ histogramQuantile(const Snapshot::HistogramEntry& h, double q)
     return last.first == 0 ? 0.0 : 2.0 * static_cast<double>(last.first);
 }
 
+std::vector<std::pair<std::string, std::uint64_t>>
+counterDeltas(const Snapshot& before, const Snapshot& after)
+{
+    // Both counter lists are name-sorted (Registry::snapshot), so one
+    // merge pass suffices; `before` can only be a prefix-subset of
+    // `after` (counters register, never unregister).
+    std::vector<std::pair<std::string, std::uint64_t>> deltas;
+    std::size_t b = 0;
+    for (const auto& [name, value] : after.counters) {
+        std::uint64_t base = 0;
+        while (b < before.counters.size() &&
+               before.counters[b].first < name)
+            ++b;
+        if (b < before.counters.size() &&
+            before.counters[b].first == name)
+            base = before.counters[b].second;
+        if (value > base)
+            deltas.emplace_back(name, value - base);
+    }
+    return deltas;
+}
+
 bool
 timingEnabled() noexcept
 {

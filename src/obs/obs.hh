@@ -255,6 +255,18 @@ struct Snapshot
 double histogramQuantile(const Snapshot::HistogramEntry& h, double q);
 
 /**
+ * Per-counter difference @p after minus @p before, name-sorted, with
+ * zero-delta counters dropped.  Counters absent from @p before are
+ * treated as zero (registration interleaves with recording).  Used by
+ * the job service to attach "what this job recorded" deltas to
+ * results; when other work shares the registry concurrently a delta
+ * attributes that work too, so deltas are advisory telemetry, never
+ * part of a determinism contract.
+ */
+std::vector<std::pair<std::string, std::uint64_t>>
+counterDeltas(const Snapshot& before, const Snapshot& after);
+
+/**
  * Process-wide metric registry.  Registration interns by name (two
  * lookups of the same name return the same slot); snapshots copy the
  * current values without pausing writers.

@@ -42,6 +42,13 @@ struct MemoryResult
      * P_shot = (1 - (1 - 2 p_round)^rounds) / 2.
      */
     double perRound() const;
+
+    /** Exact comparison — the determinism contract is bit-identical. */
+    bool operator==(const MemoryResult& o) const
+    {
+        return shots == o.shots && failures == o.failures &&
+               rounds == o.rounds;
+    }
 };
 
 /**

@@ -80,6 +80,24 @@ struct StreamingResult
     // Advisory (populated only when obs timing is enabled).
     std::uint64_t decodeNs = 0;
     std::uint64_t backpressureWaitNs = 0;
+
+    /**
+     * Exact comparison over the deterministic fields.  `paired` and
+     * the advisory ns fields are scheduling-dependent and excluded —
+     * two runs that decoded the same stream compare equal regardless
+     * of whether the producer/consumer pair actually ran concurrently.
+     */
+    bool operator==(const StreamingResult& o) const
+    {
+        return memory == o.memory && windowRounds == o.windowRounds &&
+               commitRounds == o.commitRounds &&
+               peakStoredRounds == o.peakStoredRounds &&
+               blocks == o.blocks && windows == o.windows &&
+               laneDecodes == o.laneDecodes &&
+               committedRounds == o.committedRounds &&
+               carryDefects == o.carryDefects &&
+               trivialShots == o.trivialShots;
+    }
 };
 
 /**

@@ -1,0 +1,136 @@
+#include "service/job.hh"
+
+namespace hetarch {
+namespace service {
+
+const char*
+jobKindName(JobKind kind)
+{
+    switch (kind) {
+    case JobKind::Memory:
+        return "memory";
+    case JobKind::Stream:
+        return "stream";
+    case JobKind::SweepPoint:
+        return "sweep-point";
+    case JobKind::Distill:
+        return "distill";
+    case JobKind::Analysis:
+        return "analysis";
+    }
+    return "?";
+}
+
+bool
+parseJobKind(const std::string& name, JobKind& out)
+{
+    static constexpr JobKind kinds[] = {
+        JobKind::Memory,   JobKind::Stream,   JobKind::SweepPoint,
+        JobKind::Distill,  JobKind::Analysis,
+    };
+    for (JobKind k : kinds) {
+        if (name == jobKindName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+const char*
+jobStateName(JobState state)
+{
+    switch (state) {
+    case JobState::Queued:
+        return "queued";
+    case JobState::Running:
+        return "running";
+    case JobState::Done:
+        return "done";
+    case JobState::Failed:
+        return "failed";
+    case JobState::Cancelled:
+        return "cancelled";
+    }
+    return "?";
+}
+
+bool
+parseJobState(const std::string& name, JobState& out)
+{
+    static constexpr JobState states[] = {
+        JobState::Queued, JobState::Running,   JobState::Done,
+        JobState::Failed, JobState::Cancelled,
+    };
+    for (JobState s : states) {
+        if (name == jobStateName(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+isTerminalState(JobState state)
+{
+    return state == JobState::Done || state == JobState::Failed ||
+           state == JobState::Cancelled;
+}
+
+const ParamValue*
+JobSpec::find(const std::string& key) const
+{
+    for (const auto& [k, v] : params)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+double
+JobSpec::numberOr(const std::string& key, double fallback) const
+{
+    const ParamValue* p = find(key);
+    if (p == nullptr || p->kind != ParamValue::Kind::Number)
+        return fallback;
+    return p->number;
+}
+
+void
+JobResult::addU64(std::string key, std::uint64_t v)
+{
+    ResultValue value;
+    value.kind = ResultValue::Kind::U64;
+    value.u64 = v;
+    fields.emplace_back(std::move(key), std::move(value));
+}
+
+void
+JobResult::addReal(std::string key, double v)
+{
+    ResultValue value;
+    value.kind = ResultValue::Kind::Real;
+    value.real = v;
+    fields.emplace_back(std::move(key), std::move(value));
+}
+
+void
+JobResult::addText(std::string key, std::string v)
+{
+    ResultValue value;
+    value.kind = ResultValue::Kind::Text;
+    value.text = std::move(v);
+    fields.emplace_back(std::move(key), std::move(value));
+}
+
+const ResultValue*
+JobResult::find(const std::string& key) const
+{
+    for (const auto& [k, v] : fields)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+} // namespace service
+} // namespace hetarch

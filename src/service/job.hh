@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Experiment jobs as first-class objects (`hetarch::service`).
+ *
+ * A JobSpec names one unit of work the job service can run — a memory
+ * experiment (batch or streaming), a DSE sweep point, a distillation
+ * ensemble, or a static analysis — plus the metadata the scheduler
+ * needs (priority) and the determinism contract needs (a per-job
+ * seed).  Parameters are a flat ordered list of named scalars (number
+ * or string) so the wire protocol, validation, and the runners all
+ * speak one shape.
+ *
+ * Job lifecycle:
+ *
+ *     queued -> running -> done
+ *                       -> failed      (runner error)
+ *            -> cancelled              (while queued)
+ *               running -> cancelled   (cooperative, at phase bounds)
+ *
+ * A JobResult is an ordered list of named scalar fields.  Fields are
+ * the *deterministic* payload: for a fixed spec (kind, params, seed)
+ * they are bit-identical no matter how many workers the service runs
+ * or which jobs share the process — that is what the service
+ * determinism tests pin.  The advisory per-job obs counter delta
+ * travels next to the result (JobStatus::metricsDelta), never in it.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hetarch {
+namespace service {
+
+/** What kind of experiment a job runs. */
+enum class JobKind : std::uint8_t
+{
+    Memory,    ///< batch Monte-Carlo memory experiment
+    Stream,    ///< streaming sliding-window memory experiment
+    SweepPoint,///< one DSE grid point (logical error per round)
+    Distill,   ///< entanglement-distillation ensemble
+    Analysis,  ///< static lint / fault / schedule analysis
+};
+
+/** Wire name ("memory", "stream", "sweep-point", "distill", "analysis"). */
+const char* jobKindName(JobKind kind);
+
+/** Inverse of jobKindName; false when the name is unknown. */
+bool parseJobKind(const std::string& name, JobKind& out);
+
+/** Where a job is in its lifecycle. */
+enum class JobState : std::uint8_t
+{
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Cancelled,
+};
+
+/** Wire name ("queued", "running", "done", "failed", "cancelled"). */
+const char* jobStateName(JobState state);
+
+/** Inverse of jobStateName; false when the name is unknown. */
+bool parseJobState(const std::string& name, JobState& out);
+
+/** Done / Failed / Cancelled — the states a job can never leave. */
+bool isTerminalState(JobState state);
+
+/** Service-assigned job identifier; ids start at 1, 0 is invalid. */
+using JobId = std::uint64_t;
+inline constexpr JobId kInvalidJobId = 0;
+
+/** One job parameter: a number or a string. */
+struct ParamValue
+{
+    enum class Kind : std::uint8_t
+    {
+        Number,
+        Text,
+    };
+
+    Kind kind = Kind::Number;
+    double number = 0.0;
+    std::string text;
+
+    static ParamValue num(double v)
+    {
+        ParamValue p;
+        p.kind = Kind::Number;
+        p.number = v;
+        return p;
+    }
+    static ParamValue str(std::string v)
+    {
+        ParamValue p;
+        p.kind = Kind::Text;
+        p.text = std::move(v);
+        return p;
+    }
+
+    bool operator==(const ParamValue& o) const
+    {
+        return kind == o.kind && number == o.number && text == o.text;
+    }
+};
+
+/** Everything a client says about one job. */
+struct JobSpec
+{
+    /** Client label; free-form, need not be unique. */
+    std::string name;
+    JobKind kind = JobKind::Memory;
+    /** Higher runs first; FIFO (submission order) within a priority. */
+    std::int64_t priority = 0;
+    /** Per-job base seed — the whole reproducibility contract. */
+    std::uint64_t seed = 1;
+    /** Kind-specific parameters, in client order. */
+    std::vector<std::pair<std::string, ParamValue>> params;
+
+    /** First parameter named @p key, or nullptr. */
+    const ParamValue* find(const std::string& key) const;
+
+    /** Numeric parameter @p key, or @p fallback when absent. */
+    double numberOr(const std::string& key, double fallback) const;
+
+    void add(std::string key, ParamValue value)
+    {
+        params.emplace_back(std::move(key), std::move(value));
+    }
+
+    bool operator==(const JobSpec& o) const
+    {
+        return name == o.name && kind == o.kind &&
+               priority == o.priority && seed == o.seed &&
+               params == o.params;
+    }
+};
+
+/** One named scalar of a job result. */
+struct ResultValue
+{
+    enum class Kind : std::uint8_t
+    {
+        U64,  ///< exact count (shots, failures, ...)
+        Real, ///< derived rate / bound; round-trips bit-exactly
+        Text, ///< symbolic value ("unbounded", decoder name, ...)
+    };
+
+    Kind kind = Kind::U64;
+    std::uint64_t u64 = 0;
+    double real = 0.0;
+    std::string text;
+
+    bool operator==(const ResultValue& o) const
+    {
+        return kind == o.kind && u64 == o.u64 && real == o.real &&
+               text == o.text;
+    }
+};
+
+/** Ordered deterministic result payload of a completed job. */
+struct JobResult
+{
+    std::vector<std::pair<std::string, ResultValue>> fields;
+
+    void addU64(std::string key, std::uint64_t v);
+    void addReal(std::string key, double v);
+    void addText(std::string key, std::string v);
+
+    /** First field named @p key, or nullptr. */
+    const ResultValue* find(const std::string& key) const;
+
+    bool empty() const { return fields.empty(); }
+
+    bool operator==(const JobResult& o) const
+    {
+        return fields == o.fields;
+    }
+};
+
+/** Point-in-time view of one job (what status/watch report). */
+struct JobStatus
+{
+    JobId id = kInvalidJobId;
+    JobSpec spec;
+    JobState state = JobState::Queued;
+    /** Failure diagnostic (Failed) — empty otherwise. */
+    std::string error;
+    /** Deterministic result payload (Done) — empty otherwise. */
+    JobResult result;
+    /**
+     * Advisory per-job obs counter delta (obs::counterDeltas around
+     * the runner).  Exact when the service runs one job at a time;
+     * with concurrent jobs the shared registry attributes overlapping
+     * work, so this never joins a determinism comparison.
+     */
+    std::vector<std::pair<std::string, std::uint64_t>> metricsDelta;
+};
+
+} // namespace service
+} // namespace hetarch

@@ -1,0 +1,312 @@
+#include "service/job_service.hh"
+
+#include "core/logging.hh"
+#include "exec/thread_pool.hh"
+#include "obs/obs.hh"
+#include "service/job_validation.hh"
+
+namespace hetarch {
+namespace service {
+
+namespace {
+
+obs::Counter& jobsSubmitted = obs::counter("service.jobs.submitted");
+obs::Counter& jobsRejected = obs::counter("service.jobs.rejected");
+obs::Counter& jobsCompleted = obs::counter("service.jobs.completed");
+obs::Counter& jobsFailed = obs::counter("service.jobs.failed");
+obs::Counter& jobsCancelled = obs::counter("service.jobs.cancelled");
+
+} // namespace
+
+JobService::JobService(ServiceConfig config)
+    : config_(config), queue_(config.maxQueued)
+{
+    for (JobKind kind :
+         {JobKind::Memory, JobKind::Stream, JobKind::SweepPoint,
+          JobKind::Distill, JobKind::Analysis})
+        runners_[static_cast<std::size_t>(kind)] = builtinRunner(kind);
+    if (config_.autoStart)
+        start();
+}
+
+JobService::~JobService()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stopping_ = true;
+        for (JobId id = queue_.pop(); id != kInvalidJobId;
+             id = queue_.pop()) {
+            Job& job = *jobs_.at(id);
+            job.state = JobState::Cancelled;
+            jobsCancelled.add();
+        }
+        cvWork_.notify_all();
+        cvState_.notify_all();
+    }
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+}
+
+SubmitOutcome
+JobService::submit(JobSpec spec)
+{
+    const Validation validation = validateJob(spec);
+    if (!validation.ok) {
+        jobsRejected.add();
+        SubmitOutcome outcome;
+        outcome.error = validation.error;
+        return outcome;
+    }
+
+    std::lock_guard<std::mutex> lk(mu_);
+    SubmitOutcome outcome;
+    if (stopping_) {
+        jobsRejected.add();
+        outcome.error = "service is shutting down";
+        return outcome;
+    }
+    if (!queue_.push(nextId_, spec.priority)) {
+        jobsRejected.add();
+        outcome.error = "queue full (capacity " +
+                        std::to_string(queue_.capacity()) + ")";
+        return outcome;
+    }
+    auto job = std::make_unique<Job>();
+    job->id = nextId_;
+    job->spec = std::move(spec);
+    outcome.id = nextId_;
+    jobs_.emplace(nextId_, std::move(job));
+    ++nextId_;
+    jobsSubmitted.add();
+    cvWork_.notify_one();
+    return outcome;
+}
+
+bool
+JobService::cancel(JobId id)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return false;
+    Job& job = *it->second;
+    switch (job.state) {
+    case JobState::Queued:
+        queue_.remove(id);
+        job.state = JobState::Cancelled;
+        jobsCancelled.add();
+        cvState_.notify_all();
+        return true;
+    case JobState::Running:
+        job.cancelRequested.store(true, std::memory_order_relaxed);
+        return true;
+    case JobState::Done:
+    case JobState::Failed:
+    case JobState::Cancelled:
+        return false;
+    }
+    return false;
+}
+
+bool
+JobService::status(JobId id, JobStatus& out) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return false;
+    out = snapshot(*it->second);
+    return true;
+}
+
+std::vector<JobStatus>
+JobService::statusAll() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<JobStatus> all;
+    all.reserve(jobs_.size());
+    for (const auto& [id, job] : jobs_)
+        all.push_back(snapshot(*job));
+    return all;
+}
+
+JobStatus
+JobService::wait(JobId id)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        HETARCH_FATAL("wait on unknown job id ", id);
+    Job& job = *it->second;
+    cvState_.wait(lk, [&] { return isTerminalState(job.state); });
+    return snapshot(job);
+}
+
+void
+JobService::waitIdle()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    cvState_.wait(lk, [&] { return idleLocked(); });
+}
+
+void
+JobService::start()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (dispatcher_.joinable() || stopping_)
+        return;
+    dispatcher_ = std::thread([this] { dispatcherLoop(); });
+}
+
+void
+JobService::drain()
+{
+    if (dispatcher_.joinable())
+        HETARCH_PANIC("drain() requires manual mode (autoStart = false)");
+    std::unique_lock<std::mutex> lk(mu_);
+    if (dispatching_)
+        HETARCH_PANIC("drain() called concurrently");
+    while (!queue_.empty())
+        runBatch(lk);
+}
+
+void
+JobService::setRunner(JobKind kind, JobRunner runner)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    runners_[static_cast<std::size_t>(kind)] = std::move(runner);
+}
+
+std::size_t
+JobService::queuedCount() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return queue_.size();
+}
+
+void
+JobService::dispatcherLoop()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        cvWork_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+        runBatch(lk);
+    }
+}
+
+void
+JobService::runBatch(std::unique_lock<std::mutex>& lk)
+{
+    const std::vector<JobId> ids = queue_.popBatch(config_.maxConcurrent);
+    std::vector<Job*> batch;
+    batch.reserve(ids.size());
+    for (JobId id : ids) {
+        Job& job = *jobs_.at(id);
+        job.state = JobState::Running;
+        ++running_;
+        batch.push_back(&job);
+    }
+    if (batch.empty())
+        return;
+    dispatching_ = true;
+    lk.unlock();
+
+    // A singleton batch runs inline so the experiment itself can use
+    // the whole pool; a full batch fans out across jobs instead (the
+    // pool serializes nested regions, so per-job work goes serial).
+    if (batch.size() == 1) {
+        runOne(*batch.front());
+    } else {
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(batch.size());
+        for (Job* job : batch)
+            tasks.emplace_back([this, job] { runOne(*job); });
+        exec::parallelInvoke(tasks);
+    }
+
+    lk.lock();
+    dispatching_ = false;
+}
+
+void
+JobService::runOne(Job& job)
+{
+    JobRunner runner;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        runner = runners_[static_cast<std::size_t>(job.spec.kind)];
+    }
+
+    obs::Snapshot before;
+    if (config_.captureMetrics)
+        before = obs::Registry::instance().snapshot();
+
+    JobContext ctx(job.id, job.cancelRequested);
+    JobResult result;
+    std::string error;
+    bool failed = false;
+    try {
+        // Capture HETARCH_FATAL from experiment code: a bad spec that
+        // slipped past validation fails the job, not the process.
+        ScopedFatalCapture capture;
+        result = runner(job.spec, ctx);
+    } catch (const std::exception& e) {
+        failed = true;
+        error = e.what();
+    } catch (...) {
+        failed = true;
+        error = "unknown runner error";
+    }
+
+    std::vector<std::pair<std::string, std::uint64_t>> delta;
+    if (config_.captureMetrics) {
+        delta = obs::counterDeltas(before,
+                                   obs::Registry::instance().snapshot());
+    }
+
+    std::lock_guard<std::mutex> lk(mu_);
+    --running_;
+    job.metricsDelta = std::move(delta);
+    if (failed) {
+        job.state = JobState::Failed;
+        job.error = std::move(error);
+        jobsFailed.add();
+    } else if (job.cancelRequested.load(std::memory_order_relaxed)) {
+        // Cooperative cancellation: whatever the runner produced after
+        // the request is discarded, the job retires as cancelled.
+        job.state = JobState::Cancelled;
+        jobsCancelled.add();
+    } else {
+        job.state = JobState::Done;
+        job.result = std::move(result);
+        jobsCompleted.add();
+    }
+    cvState_.notify_all();
+}
+
+JobStatus
+JobService::snapshot(const Job& job) const
+{
+    JobStatus status;
+    status.id = job.id;
+    status.spec = job.spec;
+    status.state = job.state;
+    status.error = job.error;
+    status.result = job.result;
+    status.metricsDelta = job.metricsDelta;
+    return status;
+}
+
+bool
+JobService::idleLocked() const
+{
+    return queue_.empty() && running_ == 0;
+}
+
+} // namespace service
+} // namespace hetarch

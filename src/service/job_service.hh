@@ -1,0 +1,212 @@
+/**
+ * @file
+ * In-process experiment job service (`hetarch::service::JobService`).
+ *
+ * The service turns the repo's one-shot experiment entry points into
+ * schedulable jobs: clients submit JobSpecs, get back ids, and the
+ * service validates at admission, queues by priority (FIFO within a
+ * priority, hard queue capacity), runs batches of up to
+ * `maxConcurrent` jobs over the exec pool, and retires each job into
+ * a terminal state (`done` / `failed` / `cancelled`) that status() and
+ * wait() observe.
+ *
+ * Determinism contract: a job's result depends only on its spec —
+ * every runner seeds its own `Rng(spec.seed)` and the experiment
+ * kernels underneath are bit-identical at any worker count — so
+ * results are independent of batch composition, queue order, worker
+ * count, and whichever jobs happen to share the process.  The service
+ * determinism tests pin exactly this: N concurrent jobs equal the
+ * same specs run sequentially against the direct APIs.
+ *
+ * Two dispatch modes:
+ *   - autoStart (default): a dispatcher thread wakes on submit and
+ *     runs batches until shutdown.  Jobs in one batch execute via
+ *     exec::parallelFor, so a batch of one parallelizes *inside* the
+ *     experiment while a full batch parallelizes *across* jobs (the
+ *     pool serializes nested regions automatically).
+ *   - manual (autoStart = false): nothing runs until drain(), which
+ *     dispatches on the calling thread until the queue is empty.
+ *     Tests and benchmarks use this for deterministic batch shapes.
+ *
+ * Cancellation: a queued job cancels immediately; a running job gets
+ * a cooperative flag that runners poll at phase boundaries
+ * (JobContext::cancelled()) — the job retires as `cancelled` and its
+ * partial result is discarded.
+ *
+ * Observability (`service.jobs.*` counters, all event-driven and
+ * therefore thread-invariant): submitted (admitted only), rejected
+ * (validation or queue-full), completed, failed, cancelled.  With
+ * Config::captureMetrics the service additionally snapshots the obs
+ * registry around each runner and attaches the counter delta to the
+ * job's status — advisory, see JobStatus::metricsDelta.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/job.hh"
+#include "service/scheduler.hh"
+
+namespace hetarch {
+namespace service {
+
+/** Per-job view a runner gets while executing. */
+class JobContext
+{
+  public:
+    JobContext(JobId id, const std::atomic<bool>& cancel_flag)
+        : id_(id), cancelFlag_(cancel_flag)
+    {
+    }
+
+    JobId id() const { return id_; }
+
+    /** True once cancel() was requested; runners poll at phase bounds. */
+    bool cancelled() const
+    {
+        return cancelFlag_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    JobId id_;
+    const std::atomic<bool>& cancelFlag_;
+};
+
+/**
+ * Executes one job kind.  Runs with no service lock held; must derive
+ * all randomness from spec.seed and may throw (-> `failed`).
+ */
+using JobRunner =
+    std::function<JobResult(const JobSpec& spec, JobContext& ctx)>;
+
+/** The builtin runner for @p kind (memory/stream/sweep/distill/analysis). */
+JobRunner builtinRunner(JobKind kind);
+
+/** Service configuration, fixed at construction. */
+struct ServiceConfig
+{
+    /** Queued-job capacity (admission control). */
+    std::size_t maxQueued = 256;
+    /** Jobs dispatched per batch. */
+    std::size_t maxConcurrent = 4;
+    /** Start the dispatcher thread immediately. */
+    bool autoStart = true;
+    /** Attach advisory per-job obs counter deltas to statuses. */
+    bool captureMetrics = false;
+};
+
+/** What submit() returns: an id, or a rejection diagnostic. */
+struct SubmitOutcome
+{
+    JobId id = kInvalidJobId;
+    std::string error;
+
+    bool accepted() const { return id != kInvalidJobId; }
+};
+
+class JobService
+{
+  public:
+    explicit JobService(ServiceConfig config = {});
+
+    /** Cancels everything still queued, waits for running jobs. */
+    ~JobService();
+
+    JobService(const JobService&) = delete;
+    JobService& operator=(const JobService&) = delete;
+
+    /**
+     * Validate and enqueue @p spec.  Rejections (validation failure,
+     * queue full, shutting down) carry a diagnostic and never consume
+     * an id, so accepted ids are dense in submission order: 1, 2, ...
+     */
+    SubmitOutcome submit(JobSpec spec);
+
+    /**
+     * Cancel a job.  Queued: withdrawn and retired immediately.
+     * Running: cooperative flag set; the job retires as `cancelled`
+     * when its runner next yields.  Returns false for terminal or
+     * unknown ids.
+     */
+    bool cancel(JobId id);
+
+    /** Snapshot one job; false when @p id was never assigned. */
+    bool status(JobId id, JobStatus& out) const;
+
+    /** Snapshot every job, ascending by id. */
+    std::vector<JobStatus> statusAll() const;
+
+    /** Block until @p id is terminal, then return its snapshot. */
+    JobStatus wait(JobId id);
+
+    /** Block until no job is queued or running. */
+    void waitIdle();
+
+    /** Start the dispatcher thread (no-op when already started). */
+    void start();
+
+    /**
+     * Manual dispatch: run queued batches on the calling thread until
+     * the queue is empty.  Only valid while the dispatcher thread is
+     * not running.
+     */
+    void drain();
+
+    /**
+     * Replace the runner for @p kind on this instance (tests use this
+     * to inject blocking or recording runners).  Call before any job
+     * of that kind is dispatched.
+     */
+    void setRunner(JobKind kind, JobRunner runner);
+
+    const ServiceConfig& config() const { return config_; }
+
+    /** Queued jobs right now (admission headroom probe). */
+    std::size_t queuedCount() const;
+
+  private:
+    struct Job
+    {
+        JobId id = kInvalidJobId;
+        JobSpec spec;
+        JobState state = JobState::Queued;
+        std::string error;
+        JobResult result;
+        std::vector<std::pair<std::string, std::uint64_t>> metricsDelta;
+        std::atomic<bool> cancelRequested{false};
+    };
+
+    void dispatcherLoop();
+    /** Pop one batch, run it, retire every job in it.  @p lk held. */
+    void runBatch(std::unique_lock<std::mutex>& lk);
+    void runOne(Job& job);
+    JobStatus snapshot(const Job& job) const;
+    bool idleLocked() const;
+
+    ServiceConfig config_;
+    JobRunner runners_[5];
+
+    mutable std::mutex mu_;
+    std::condition_variable cvWork_;  ///< dispatcher wake-up
+    std::condition_variable cvState_; ///< waiters on job transitions
+    std::map<JobId, std::unique_ptr<Job>> jobs_;
+    JobQueue queue_;
+    JobId nextId_ = 1;
+    std::size_t running_ = 0;
+    bool stopping_ = false;
+    bool dispatching_ = false; ///< a drain() batch is in flight
+    std::thread dispatcher_;
+};
+
+} // namespace service
+} // namespace hetarch

@@ -1,0 +1,60 @@
+#include "service/scheduler.hh"
+
+namespace hetarch {
+namespace service {
+
+namespace {
+
+std::int64_t
+negate(std::int64_t priority)
+{
+    // Flip the sign without overflowing on INT64_MIN.
+    return -1 - priority;
+}
+
+} // namespace
+
+bool
+JobQueue::push(JobId id, std::int64_t priority)
+{
+    if (order_.size() >= capacity_)
+        return false;
+    order_.emplace(negate(priority), id);
+    priorityOf_.emplace(id, priority);
+    return true;
+}
+
+JobId
+JobQueue::pop()
+{
+    if (order_.empty())
+        return kInvalidJobId;
+    const auto it = order_.begin();
+    const JobId id = it->second;
+    order_.erase(it);
+    priorityOf_.erase(id);
+    return id;
+}
+
+std::vector<JobId>
+JobQueue::popBatch(std::size_t max)
+{
+    std::vector<JobId> batch;
+    while (batch.size() < max && !order_.empty())
+        batch.push_back(pop());
+    return batch;
+}
+
+bool
+JobQueue::remove(JobId id)
+{
+    const auto it = priorityOf_.find(id);
+    if (it == priorityOf_.end())
+        return false;
+    order_.erase(Key{negate(it->second), id});
+    priorityOf_.erase(it);
+    return true;
+}
+
+} // namespace service
+} // namespace hetarch

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Admission-controlled priority/FIFO queue for the job service.
+ *
+ * Scheduling order is strict priority (higher first) with FIFO
+ * tie-break by job id — ids are assigned in submission order, so two
+ * jobs at the same priority run in the order they arrived.  The queue
+ * holds ids only; the service owns the job records.
+ *
+ * Admission control is a hard capacity on *queued* jobs: push()
+ * refuses once the bound is reached and the service surfaces that as
+ * a `rejected` outcome instead of buffering without limit.
+ *
+ * Not thread-safe — JobService serializes access under its own mutex.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "service/job.hh"
+
+namespace hetarch {
+namespace service {
+
+class JobQueue
+{
+  public:
+    explicit JobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    /** Admit @p id at @p priority; false when the queue is full. */
+    bool push(JobId id, std::int64_t priority);
+
+    /** Highest-priority id (FIFO within priority), or kInvalidJobId. */
+    JobId pop();
+
+    /** Up to @p max ids in scheduling order. */
+    std::vector<JobId> popBatch(std::size_t max);
+
+    /** Withdraw a queued id (cancellation); false when absent. */
+    bool remove(JobId id);
+
+    std::size_t size() const { return order_.size(); }
+    bool empty() const { return order_.empty(); }
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    // Key sorts ascending, so store negated priority: the set's
+    // begin() is then (highest priority, lowest id).
+    using Key = std::pair<std::int64_t, JobId>;
+
+    std::size_t capacity_;
+    std::set<Key> order_;
+    std::unordered_map<JobId, std::int64_t> priorityOf_;
+};
+
+} // namespace service
+} // namespace hetarch

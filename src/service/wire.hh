@@ -1,0 +1,123 @@
+/**
+ * @file
+ * `hetarch-job-v1` — JSON-lines wire protocol of the job service.
+ *
+ * One request or response per line, fixed field order, strict
+ * grammar: like the hetarch-obs-v1 reader, the parser accepts exactly
+ * what the writer emits — unknown fields, reordered fields, duplicate
+ * keys, bad escapes, or trailing bytes are all errors, reported with
+ * a byte offset.  Unlike the obs reader the parser *returns* its
+ * diagnostic instead of exiting: the daemon answers a malformed line
+ * with an `error` response and keeps serving.
+ *
+ * Requests (client -> server):
+ *   {"schema":"hetarch-job-v1","type":"submit","name":N,"kind":K,
+ *    "priority":P,"seed":S,"params":{...}}
+ *   {"schema":"hetarch-job-v1","type":"status","id":I}
+ *   {"schema":"hetarch-job-v1","type":"cancel","id":I}
+ *   {"schema":"hetarch-job-v1","type":"wait"}
+ *   {"schema":"hetarch-job-v1","type":"shutdown"}
+ *
+ * Responses (server -> client):
+ *   submitted {id,name,state}        job admitted (state "queued")
+ *   rejected  {name,error}           admission refused
+ *   status    {id,name,kind,state,error,result,metrics}
+ *   cancelled {id,ok}
+ *   idle      {jobs}                 wait finished; total job count
+ *   error     {message}              malformed or unserviceable request
+ *   bye       {submitted,completed,failed,cancelled,rejected}
+ *
+ * Numbers: u64 and i64 print in decimal; reals print in shortest
+ * round-trip form and always carry a '.', 'e', or "inf"/"nan" marker
+ * so the reader can reconstruct the U64-vs-Real kind of a result
+ * field from the token shape alone.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/job.hh"
+
+namespace hetarch {
+namespace service {
+
+inline constexpr const char* kJobSchema = "hetarch-job-v1";
+
+/** Request kinds, in wire-name order. */
+enum class RequestType : std::uint8_t
+{
+    Submit,
+    Status,
+    Cancel,
+    Wait,
+    Shutdown,
+};
+
+/** One client request. */
+struct Request
+{
+    RequestType type = RequestType::Submit;
+    /** Submit payload. */
+    JobSpec job;
+    /** Status / Cancel target. */
+    JobId id = kInvalidJobId;
+};
+
+/** Response kinds, in wire-name order. */
+enum class ResponseType : std::uint8_t
+{
+    Submitted,
+    Rejected,
+    Status,
+    Cancelled,
+    Idle,
+    Error,
+    Bye,
+};
+
+/** One server response. */
+struct Response
+{
+    ResponseType type = ResponseType::Error;
+
+    JobId id = kInvalidJobId;  ///< Submitted / Status / Cancelled
+    std::string name;          ///< Submitted / Status / Rejected
+    JobKind kind = JobKind::Memory; ///< Status
+    JobState state = JobState::Queued; ///< Submitted / Status
+    std::string message;       ///< Rejected / Error / Status failure
+    bool ok = false;           ///< Cancelled
+    bool hasResult = false;    ///< Status: result is non-null
+    JobResult result;          ///< Status (Done jobs)
+    bool hasMetrics = false;   ///< Status: metrics is non-null
+    std::vector<std::pair<std::string, std::uint64_t>> metrics;
+    std::uint64_t jobs = 0;    ///< Idle
+    // Bye tallies.
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t rejected = 0;
+};
+
+/** Serialize (no trailing newline). */
+std::string writeRequestLine(const Request& request);
+std::string writeResponseLine(const Response& response);
+
+/**
+ * Strict parse of one line.  On failure @p error describes the first
+ * violation ("offset 12: expected '\"'") and @p out is unspecified.
+ */
+bool parseRequestLine(const std::string& line, Request& out,
+                      std::string& error);
+bool parseResponseLine(const std::string& line, Response& out,
+                       std::string& error);
+
+/** Status response for one job snapshot. */
+Response makeStatusResponse(const JobStatus& status);
+
+} // namespace service
+} // namespace hetarch

@@ -165,6 +165,20 @@ parseCircuit(const std::string& text)
 }
 
 bool
+tryParseCircuit(const std::string& text, Circuit& out,
+                std::string& error)
+{
+    ScopedFatalCapture capture;
+    try {
+        out = parseCircuit(text);
+    } catch (const FatalError& e) {
+        error = e.what();
+        return false;
+    }
+    return true;
+}
+
+bool
 circuitsEquivalent(const Circuit& a, const Circuit& b)
 {
     if (a.numQubits() != b.numQubits() ||

@@ -39,6 +39,17 @@ namespace stab {
  */
 Circuit parseCircuit(const std::string& text);
 
+/**
+ * Non-fatal parseCircuit for long-running callers (the job service's
+ * admission validation): on success @p out holds the circuit and true
+ * is returned; on malformed input @p error holds the line-numbered
+ * diagnostic and false is returned.  Same grammar and validation as
+ * parseCircuit — implemented by capturing its fatal path
+ * (ScopedFatalCapture), so the two can never drift apart.
+ */
+bool tryParseCircuit(const std::string& text, Circuit& out,
+                     std::string& error);
+
 /** Round-trip helper: parse(toString(c)) must reproduce c's ops. */
 bool circuitsEquivalent(const Circuit& a, const Circuit& b);
 

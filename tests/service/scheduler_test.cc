@@ -1,0 +1,88 @@
+/**
+ * JobQueue: strict priority order with FIFO tie-break, admission
+ * capacity, and cancellation-by-removal.
+ */
+
+#include <gtest/gtest.h>
+
+#include "service/scheduler.hh"
+
+namespace {
+
+using namespace hetarch::service;
+
+TEST(JobQueue, PriorityDescendingFifoWithinPriority)
+{
+    JobQueue queue(16);
+    ASSERT_TRUE(queue.push(1, 0));
+    ASSERT_TRUE(queue.push(2, 5));
+    ASSERT_TRUE(queue.push(3, 5));
+    ASSERT_TRUE(queue.push(4, 9));
+    ASSERT_TRUE(queue.push(5, -2));
+
+    EXPECT_EQ(queue.pop(), 4u); // highest priority
+    EXPECT_EQ(queue.pop(), 2u); // 5, submitted before 3
+    EXPECT_EQ(queue.pop(), 3u);
+    EXPECT_EQ(queue.pop(), 1u);
+    EXPECT_EQ(queue.pop(), 5u); // negative priority last
+    EXPECT_EQ(queue.pop(), kInvalidJobId);
+}
+
+TEST(JobQueue, ExtremePrioritiesDoNotOverflow)
+{
+    JobQueue queue(4);
+    ASSERT_TRUE(queue.push(1, INT64_MIN));
+    ASSERT_TRUE(queue.push(2, INT64_MAX));
+    ASSERT_TRUE(queue.push(3, 0));
+    EXPECT_EQ(queue.pop(), 2u);
+    EXPECT_EQ(queue.pop(), 3u);
+    EXPECT_EQ(queue.pop(), 1u);
+}
+
+TEST(JobQueue, CapacityIsAHardBound)
+{
+    JobQueue queue(2);
+    EXPECT_TRUE(queue.push(1, 0));
+    EXPECT_TRUE(queue.push(2, 0));
+    EXPECT_FALSE(queue.push(3, 100)); // priority does not bypass admission
+    EXPECT_EQ(queue.size(), 2u);
+
+    // Removal frees a slot.
+    EXPECT_TRUE(queue.remove(1));
+    EXPECT_TRUE(queue.push(3, 100));
+    EXPECT_EQ(queue.pop(), 3u);
+    EXPECT_EQ(queue.pop(), 2u);
+}
+
+TEST(JobQueue, RemoveUnknownIdIsRefused)
+{
+    JobQueue queue(4);
+    ASSERT_TRUE(queue.push(1, 0));
+    EXPECT_FALSE(queue.remove(99));
+    EXPECT_TRUE(queue.remove(1));
+    EXPECT_FALSE(queue.remove(1)); // already gone
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(JobQueue, PopBatchTakesSchedulingOrder)
+{
+    JobQueue queue(8);
+    ASSERT_TRUE(queue.push(1, 1));
+    ASSERT_TRUE(queue.push(2, 3));
+    ASSERT_TRUE(queue.push(3, 2));
+    ASSERT_TRUE(queue.push(4, 3));
+
+    const auto batch = queue.popBatch(3);
+    ASSERT_EQ(batch.size(), 3u);
+    EXPECT_EQ(batch[0], 2u);
+    EXPECT_EQ(batch[1], 4u);
+    EXPECT_EQ(batch[2], 3u);
+    EXPECT_EQ(queue.size(), 1u);
+
+    // A batch larger than the queue drains it without inventing ids.
+    const auto rest = queue.popBatch(10);
+    ASSERT_EQ(rest.size(), 1u);
+    EXPECT_EQ(rest[0], 1u);
+}
+
+} // namespace

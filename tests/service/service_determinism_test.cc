@@ -1,0 +1,263 @@
+/**
+ * The service determinism contract (the acceptance gate for the job
+ * service): a batch of concurrent jobs of every kind — one cancelled
+ * mid-queue — produces results bit-identical to sequential direct-API
+ * runs of the same specs, at 1, 2, and 8 exec workers, and the
+ * service.jobs.* counters are thread-invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hh"
+#include "distill/module_sim.hh"
+#include "exec/thread_pool.hh"
+#include "lint/lint.hh"
+#include "obs/obs.hh"
+#include "qec/memory_experiment.hh"
+#include "qec/noise_model.hh"
+#include "qec/stream_experiment.hh"
+#include "qec/surface_circuit.hh"
+#include "service/job_service.hh"
+
+namespace {
+
+using namespace hetarch;
+using namespace hetarch::service;
+
+struct ThreadCountGuard
+{
+    explicit ThreadCountGuard(unsigned n) { exec::setThreadCount(n); }
+    ~ThreadCountGuard() { exec::setThreadCount(0); }
+};
+
+qec::CircuitNoise
+fig6Noise()
+{
+    qec::CircuitNoise noise;
+    noise.p2 = 1e-2;
+    noise.p1 = 1e-3;
+    noise.dataT1 = noise.dataT2 = 0.1e6;
+    noise.ancT1 = noise.ancT2 = 0.1e6;
+    return noise;
+}
+
+constexpr std::uint64_t kMemorySeed = 41;
+constexpr std::uint64_t kStreamSeed = 43;
+constexpr std::uint64_t kSweepSeed = 47;
+constexpr std::uint64_t kDistillSeed = 53;
+
+std::vector<JobSpec>
+batchSpecs()
+{
+    std::vector<JobSpec> specs;
+
+    JobSpec memory;
+    memory.name = "memory";
+    memory.kind = JobKind::Memory;
+    memory.seed = kMemorySeed;
+    memory.add("distance", ParamValue::num(3));
+    memory.add("rounds", ParamValue::num(3));
+    memory.add("shots", ParamValue::num(400));
+    memory.add("p1", ParamValue::num(1e-3));
+    memory.add("p2", ParamValue::num(1e-2));
+    specs.push_back(memory);
+
+    JobSpec stream;
+    stream.name = "stream";
+    stream.kind = JobKind::Stream;
+    stream.seed = kStreamSeed;
+    stream.add("distance", ParamValue::num(3));
+    stream.add("rounds", ParamValue::num(6));
+    stream.add("shots", ParamValue::num(300));
+    stream.add("p1", ParamValue::num(1e-3));
+    stream.add("p2", ParamValue::num(1e-2));
+    stream.add("window", ParamValue::num(4));
+    stream.add("commit", ParamValue::num(2));
+    specs.push_back(stream);
+
+    JobSpec sweep;
+    sweep.name = "sweep";
+    sweep.kind = JobKind::SweepPoint;
+    sweep.seed = kSweepSeed;
+    sweep.add("distance", ParamValue::num(3));
+    sweep.add("rounds", ParamValue::num(3));
+    sweep.add("shots", ParamValue::num(300));
+    sweep.add("p2", ParamValue::num(8e-3));
+    specs.push_back(sweep);
+
+    JobSpec distill;
+    distill.name = "distill";
+    distill.kind = JobKind::Distill;
+    distill.seed = kDistillSeed;
+    distill.add("trajectories", ParamValue::num(3));
+    distill.add("horizon_us", ParamValue::num(50));
+    specs.push_back(distill);
+
+    JobSpec analysis;
+    analysis.name = "analysis";
+    analysis.kind = JobKind::Analysis;
+    analysis.add("builder", ParamValue::str("surface-d3"));
+    analysis.add("distance", ParamValue::num(1));
+    analysis.add("timing", ParamValue::num(1));
+    specs.push_back(analysis);
+
+    // The victim: same shape as the memory job, cancelled while
+    // queued, so it must retire without contributing work.
+    JobSpec victim = memory;
+    victim.name = "victim";
+    victim.seed = 59;
+    specs.push_back(victim);
+
+    return specs;
+}
+
+/** Run the batch through a fresh service; cancel the last job. */
+std::vector<JobStatus>
+runBatch(std::size_t max_concurrent)
+{
+    ServiceConfig config;
+    config.autoStart = false;
+    config.maxConcurrent = max_concurrent;
+    JobService jobs(config);
+
+    std::vector<JobId> ids;
+    for (const JobSpec& spec : batchSpecs()) {
+        const SubmitOutcome outcome = jobs.submit(spec);
+        EXPECT_TRUE(outcome.accepted()) << spec.name << ": "
+                                        << outcome.error;
+        ids.push_back(outcome.id);
+    }
+    EXPECT_TRUE(jobs.cancel(ids.back()));
+    jobs.drain();
+
+    std::vector<JobStatus> statuses;
+    for (JobId id : ids) {
+        JobStatus status;
+        EXPECT_TRUE(jobs.status(id, status));
+        statuses.push_back(status);
+    }
+    return statuses;
+}
+
+struct CounterSnapshot
+{
+    std::uint64_t submitted, rejected, completed, failed, cancelled;
+
+    static CounterSnapshot now()
+    {
+        return {obs::counter("service.jobs.submitted").load(),
+                obs::counter("service.jobs.rejected").load(),
+                obs::counter("service.jobs.completed").load(),
+                obs::counter("service.jobs.failed").load(),
+                obs::counter("service.jobs.cancelled").load()};
+    }
+};
+
+TEST(ServiceDeterminism, ConcurrentBatchesMatchDirectApisAtAnyWorkerCount)
+{
+    // Direct-API expectations, computed sequentially first.
+    const auto circuit3x3 = qec::surfaceMemoryZ(3, 3, fig6Noise());
+    Rng memory_rng(kMemorySeed);
+    const auto memory_direct = qec::runMemoryExperiment(
+        circuit3x3, 400, 3, qec::DecoderKind::UnionFind, memory_rng);
+
+    const auto circuit3x6 = qec::surfaceMemoryZ(3, 6, fig6Noise());
+    qec::StreamConfig stream_config;
+    stream_config.windowRounds = 4;
+    stream_config.commitRounds = 2;
+    Rng stream_rng(kStreamSeed);
+    const auto stream_direct = qec::runStreamingMemoryExperiment(
+        circuit3x6, 300, 6, qec::DecoderKind::UnionFind, stream_rng,
+        stream_config);
+
+    qec::CircuitNoise sweep_noise;
+    sweep_noise.p2 = 8e-3;
+    const double sweep_direct = qec::surfaceLogicalErrorPerRound(
+        3, 3, sweep_noise, 300, kSweepSeed);
+
+    distill::DistillConfig distill_config;
+    distill_config.seed = kDistillSeed;
+    const auto distill_direct = distill::simulateDistillationEnsemble(
+        distill_config, 50 * 1000.0, 3);
+
+    for (unsigned workers : {1u, 2u, 8u}) {
+        ThreadCountGuard guard(workers);
+        const CounterSnapshot before = CounterSnapshot::now();
+        const std::vector<JobStatus> statuses = runBatch(4);
+        const CounterSnapshot after = CounterSnapshot::now();
+        ASSERT_EQ(statuses.size(), 6u) << workers << " workers";
+
+        const JobStatus& memory = statuses[0];
+        EXPECT_EQ(memory.state, JobState::Done);
+        EXPECT_EQ(memory.result.find("failures")->u64,
+                  memory_direct.failures)
+            << workers << " workers";
+        EXPECT_EQ(memory.result.find("per_round")->real,
+                  memory_direct.perRound());
+
+        const JobStatus& stream = statuses[1];
+        EXPECT_EQ(stream.state, JobState::Done);
+        EXPECT_EQ(stream.result.find("failures")->u64,
+                  stream_direct.memory.failures)
+            << workers << " workers";
+        EXPECT_EQ(stream.result.find("windows")->u64,
+                  stream_direct.windows);
+        EXPECT_EQ(stream.result.find("carry_defects")->u64,
+                  stream_direct.carryDefects);
+        EXPECT_EQ(stream.result.find("peak_rounds")->u64,
+                  stream_direct.peakStoredRounds);
+
+        const JobStatus& sweep = statuses[2];
+        EXPECT_EQ(sweep.state, JobState::Done);
+        // Bit-identical double, not approximately equal.
+        EXPECT_EQ(sweep.result.find("per_round")->real, sweep_direct)
+            << workers << " workers";
+
+        const JobStatus& distilled = statuses[3];
+        EXPECT_EQ(distilled.state, JobState::Done);
+        EXPECT_EQ(distilled.result.find("distilled")->u64,
+                  distill_direct.totalDistilled())
+            << workers << " workers";
+        EXPECT_EQ(distilled.result.find("attempts")->u64,
+                  distill_direct.totalAttempts());
+        EXPECT_EQ(distilled.result.find("rate_per_ms")->real,
+                  distill_direct.meanDistilledRatePerMs());
+
+        const JobStatus& analysis = statuses[4];
+        EXPECT_EQ(analysis.state, JobState::Done);
+        EXPECT_EQ(analysis.result.find("errors")->u64, 0u);
+        ASSERT_NE(analysis.result.find("min_distance"), nullptr);
+        EXPECT_EQ(analysis.result.find("min_distance")->u64, 3u);
+        EXPECT_EQ(analysis.result.find("hazard_errors")->u64, 0u);
+
+        const JobStatus& victim = statuses[5];
+        EXPECT_EQ(victim.state, JobState::Cancelled);
+        EXPECT_TRUE(victim.result.empty());
+
+        // Counters are events, not timings: the same script moves
+        // them identically at every worker count.
+        EXPECT_EQ(after.submitted - before.submitted, 6u);
+        EXPECT_EQ(after.completed - before.completed, 5u);
+        EXPECT_EQ(after.cancelled - before.cancelled, 1u);
+        EXPECT_EQ(after.failed - before.failed, 0u);
+        EXPECT_EQ(after.rejected - before.rejected, 0u);
+    }
+}
+
+TEST(ServiceDeterminism, BatchWidthDoesNotChangeResults)
+{
+    ThreadCountGuard guard(2);
+    const std::vector<JobStatus> narrow = runBatch(1);
+    const std::vector<JobStatus> wide = runBatch(6);
+    ASSERT_EQ(narrow.size(), wide.size());
+    for (std::size_t i = 0; i < narrow.size(); ++i) {
+        EXPECT_EQ(narrow[i].state, wide[i].state) << i;
+        EXPECT_TRUE(narrow[i].result == wide[i].result)
+            << "job " << i << " diverged between maxConcurrent=1 and 6";
+    }
+}
+
+} // namespace

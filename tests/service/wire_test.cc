@@ -1,0 +1,281 @@
+/**
+ * hetarch-job-v1 wire protocol: writer/parser round trips for every
+ * request and response shape, and a table-driven malformed-line
+ * corpus proving the strict parser rejects (with a diagnostic, not a
+ * process exit) everything the writer could never have produced.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "service/wire.hh"
+
+namespace {
+
+using namespace hetarch;
+using namespace hetarch::service;
+
+Request
+reparseRequest(const Request& request)
+{
+    const std::string line = writeRequestLine(request);
+    Request out;
+    std::string error;
+    EXPECT_TRUE(parseRequestLine(line, out, error)) << line << "\n"
+                                                    << error;
+    return out;
+}
+
+Response
+reparseResponse(const Response& response)
+{
+    const std::string line = writeResponseLine(response);
+    Response out;
+    std::string error;
+    EXPECT_TRUE(parseResponseLine(line, out, error)) << line << "\n"
+                                                     << error;
+    return out;
+}
+
+TEST(Wire, SubmitRequestRoundTrips)
+{
+    Request request;
+    request.type = RequestType::Submit;
+    request.job.name = "quote\" slash\\ tab\t newline\n";
+    request.job.kind = JobKind::Stream;
+    request.job.priority = -3;
+    request.job.seed = 0xdeadbeefcafe;
+    request.job.add("distance", ParamValue::num(5));
+    request.job.add("p2", ParamValue::num(0.0123456789012345678));
+    request.job.add("decoder", ParamValue::str("union-find"));
+
+    const Request out = reparseRequest(request);
+    EXPECT_EQ(out.type, RequestType::Submit);
+    EXPECT_TRUE(out.job == request.job);
+}
+
+TEST(Wire, ExtremePrioritiesRoundTrip)
+{
+    for (std::int64_t priority :
+         {INT64_MIN, INT64_MIN + 1, std::int64_t{0}, INT64_MAX}) {
+        Request request;
+        request.type = RequestType::Submit;
+        request.job.name = "p";
+        request.job.priority = priority;
+        EXPECT_EQ(reparseRequest(request).job.priority, priority);
+    }
+}
+
+TEST(Wire, IdRequestsRoundTrip)
+{
+    for (RequestType type : {RequestType::Status, RequestType::Cancel}) {
+        Request request;
+        request.type = type;
+        request.id = 42;
+        const Request out = reparseRequest(request);
+        EXPECT_EQ(out.type, type);
+        EXPECT_EQ(out.id, 42u);
+    }
+}
+
+TEST(Wire, BareRequestsRoundTrip)
+{
+    for (RequestType type : {RequestType::Wait, RequestType::Shutdown}) {
+        Request request;
+        request.type = type;
+        EXPECT_EQ(reparseRequest(request).type, type);
+    }
+}
+
+TEST(Wire, StatusResponseRoundTripsWithResultKinds)
+{
+    Response response;
+    response.type = ResponseType::Status;
+    response.id = 7;
+    response.name = "mem";
+    response.kind = JobKind::Memory;
+    response.state = JobState::Done;
+    response.hasResult = true;
+    response.result.addU64("failures", 123);
+    response.result.addReal("per_shot", 0.061499999999999999);
+    response.result.addReal("whole", 3.0);
+    response.result.addText("note", "unbounded");
+    response.hasMetrics = true;
+    response.metrics.emplace_back("qec.memory.shots", 2000);
+
+    const Response out = reparseResponse(response);
+    EXPECT_EQ(out.state, JobState::Done);
+    ASSERT_TRUE(out.hasResult);
+    // Kind classification survives the trip: 123 stays a U64, 3.0
+    // stays a Real (the ".0" marker), bit patterns intact.
+    EXPECT_TRUE(out.result == response.result);
+    ASSERT_TRUE(out.hasMetrics);
+    EXPECT_EQ(out.metrics, response.metrics);
+}
+
+TEST(Wire, EveryResponseShapeRoundTrips)
+{
+    Response submitted;
+    submitted.type = ResponseType::Submitted;
+    submitted.id = 1;
+    submitted.name = "a";
+    submitted.state = JobState::Queued;
+    EXPECT_EQ(reparseResponse(submitted).type, ResponseType::Submitted);
+
+    Response rejected;
+    rejected.type = ResponseType::Rejected;
+    rejected.name = "b";
+    rejected.message = "queue full (capacity 3)";
+    const Response rejected_out = reparseResponse(rejected);
+    EXPECT_EQ(rejected_out.type, ResponseType::Rejected);
+    EXPECT_EQ(rejected_out.message, rejected.message);
+
+    Response cancelled;
+    cancelled.type = ResponseType::Cancelled;
+    cancelled.id = 2;
+    cancelled.ok = true;
+    EXPECT_TRUE(reparseResponse(cancelled).ok);
+
+    Response idle;
+    idle.type = ResponseType::Idle;
+    idle.jobs = 9;
+    EXPECT_EQ(reparseResponse(idle).jobs, 9u);
+
+    Response error;
+    error.type = ResponseType::Error;
+    error.message = "bad request: offset 0: expected '{'";
+    EXPECT_EQ(reparseResponse(error).message, error.message);
+
+    Response bye;
+    bye.type = ResponseType::Bye;
+    bye.submitted = 3;
+    bye.completed = 2;
+    bye.failed = 0;
+    bye.cancelled = 1;
+    bye.rejected = 1;
+    const Response bye_out = reparseResponse(bye);
+    EXPECT_EQ(bye_out.completed, 2u);
+    EXPECT_EQ(bye_out.rejected, 1u);
+}
+
+TEST(Wire, StatusWithoutResultStaysNull)
+{
+    Response response;
+    response.type = ResponseType::Status;
+    response.id = 4;
+    response.name = "pending";
+    response.kind = JobKind::Distill;
+    response.state = JobState::Running;
+    const Response out = reparseResponse(response);
+    EXPECT_FALSE(out.hasResult);
+    EXPECT_FALSE(out.hasMetrics);
+}
+
+// --- the malformed corpus --------------------------------------------
+
+struct BadLine
+{
+    const char* why;
+    const char* line;
+};
+
+const BadLine kBadRequests[] = {
+    {"empty object", "{}"},
+    {"not json", "submit please"},
+    {"truncated mid-string",
+     R"({"schema":"hetarch-job-v1","type":"sub)"},
+    {"truncated after key",
+     R"({"schema":"hetarch-job-v1","type":"status","id":)"},
+    {"wrong schema", R"({"schema":"hetarch-obs-v1","type":"wait"})"},
+    {"unknown type", R"({"schema":"hetarch-job-v1","type":"resume"})"},
+    {"unknown field after type",
+     R"({"schema":"hetarch-job-v1","type":"status","job":1})"},
+    {"missing id", R"({"schema":"hetarch-job-v1","type":"cancel"})"},
+    {"zero id", R"({"schema":"hetarch-job-v1","type":"cancel","id":0})"},
+    {"non-numeric id",
+     R"({"schema":"hetarch-job-v1","type":"cancel","id":"7"})"},
+    {"integer overflow",
+     R"({"schema":"hetarch-job-v1","type":"cancel","id":99999999999999999999999})"},
+    {"trailing garbage",
+     R"({"schema":"hetarch-job-v1","type":"wait"} extra)"},
+    {"second document",
+     R"({"schema":"hetarch-job-v1","type":"wait"}{"schema":"hetarch-job-v1","type":"wait"})"},
+    {"unknown kind",
+     R"({"schema":"hetarch-job-v1","type":"submit","name":"x","kind":"teleport","priority":0,"seed":1,"params":{}})"},
+    {"duplicate param key",
+     R"({"schema":"hetarch-job-v1","type":"submit","name":"x","kind":"memory","priority":0,"seed":1,"params":{"distance":3.0,"distance":5.0}})"},
+    {"bad escape in name",
+     R"({"schema":"hetarch-job-v1","type":"submit","name":"\x","kind":"memory","priority":0,"seed":1,"params":{}})"},
+    {"reordered fields",
+     R"({"type":"wait","schema":"hetarch-job-v1"})"},
+    {"missing params object",
+     R"({"schema":"hetarch-job-v1","type":"submit","name":"x","kind":"memory","priority":0,"seed":1})"},
+    {"negative seed",
+     R"({"schema":"hetarch-job-v1","type":"submit","name":"x","kind":"memory","priority":0,"seed":-1,"params":{}})"},
+    {"malformed param number",
+     R"({"schema":"hetarch-job-v1","type":"submit","name":"x","kind":"memory","priority":0,"seed":1,"params":{"p":1.2.3}})"},
+};
+
+TEST(Wire, MalformedRequestCorpusIsRejectedWithDiagnostics)
+{
+    for (const BadLine& bad : kBadRequests) {
+        Request out;
+        std::string error;
+        EXPECT_FALSE(parseRequestLine(bad.line, out, error))
+            << "accepted " << bad.why << ": " << bad.line;
+        EXPECT_FALSE(error.empty()) << bad.why;
+        EXPECT_NE(error.find("offset"), std::string::npos) << error;
+    }
+}
+
+const BadLine kBadResponses[] = {
+    {"empty line", ""},
+    {"bad state",
+     R"({"schema":"hetarch-job-v1","type":"submitted","id":1,"name":"a","state":"paused"})"},
+    {"unknown response type",
+     R"({"schema":"hetarch-job-v1","type":"done","id":1})"},
+    {"duplicate result field",
+     R"({"schema":"hetarch-job-v1","type":"status","id":1,"name":"a","kind":"memory","state":"done","error":"","result":{"shots":5,"shots":5},"metrics":null})"},
+    {"duplicate metric",
+     R"({"schema":"hetarch-job-v1","type":"status","id":1,"name":"a","kind":"memory","state":"done","error":"","result":null,"metrics":{"m":1,"m":2}})"},
+    {"bool where number expected",
+     R"({"schema":"hetarch-job-v1","type":"idle","jobs":true})"},
+    {"truncated bye",
+     R"({"schema":"hetarch-job-v1","type":"bye","submitted":3,"completed":2})"},
+    {"missing metrics field",
+     R"({"schema":"hetarch-job-v1","type":"status","id":1,"name":"a","kind":"memory","state":"done","error":"","result":null})"},
+};
+
+TEST(Wire, MalformedResponseCorpusIsRejectedWithDiagnostics)
+{
+    for (const BadLine& bad : kBadResponses) {
+        Response out;
+        std::string error;
+        EXPECT_FALSE(parseResponseLine(bad.line, out, error))
+            << "accepted " << bad.why << ": " << bad.line;
+        EXPECT_FALSE(error.empty()) << bad.why;
+    }
+}
+
+TEST(Wire, MakeStatusResponseMapsTerminalStates)
+{
+    JobStatus status;
+    status.id = 11;
+    status.spec.name = "s";
+    status.spec.kind = JobKind::Analysis;
+    status.state = JobState::Done;
+    status.result.addU64("errors", 0);
+
+    const Response done = makeStatusResponse(status);
+    EXPECT_TRUE(done.hasResult);
+
+    status.state = JobState::Failed;
+    status.error = "boom";
+    const Response failed = makeStatusResponse(status);
+    EXPECT_FALSE(failed.hasResult);
+    EXPECT_EQ(failed.message, "boom");
+}
+
+} // namespace

@@ -62,7 +62,7 @@
 
 #include "core/logging.hh"
 #include "devices/device.hh"
-#include "distill/dejmps.hh"
+#include "dse/builder_registry.hh"
 #include "lint/faults.hh"
 #include "lint/lint.hh"
 #include "lint/report_json.hh"
@@ -70,14 +70,8 @@
 #include "lint/schedule.hh"
 #include "obs/json.hh"
 #include "obs/obs.hh"
-#include "qec/css_circuit.hh"
-#include "qec/css_code.hh"
 #include "qec/decoder_cache.hh"
-#include "qec/surface_circuit.hh"
 #include "stab/circuit_io.hh"
-#include "uec/assignment.hh"
-#include "uec/lattice_baseline.hh"
-#include "uec/uec_circuit.hh"
 
 namespace {
 
@@ -87,69 +81,9 @@ obs::Counter& cFiles = obs::counter("lint.files");
 obs::Counter& cErrors = obs::counter("lint.errors");
 obs::Counter& cWarnings = obs::counter("lint.warnings");
 
-/** One named generator from the repo's circuit-builder surface. */
-struct Builder
-{
-    const char* name;
-    stab::Circuit (*make)();
-};
-
-stab::Circuit
-makeUecSteane()
-{
-    const auto code = qec::makeSteane();
-    return uec::uecMemoryZ(code, uec::roundRobinAssignment(code), 2,
-                           uec::UecNoise{});
-}
-
-stab::Circuit
-makeUecChainedSteane()
-{
-    const auto code = qec::makeSteane();
-    uec::UecChain chain;
-    chain.numUscExt = 1;
-    return uec::uecChainedMemoryZ(
-        code, uec::roundRobinAssignment(code, chain.numRegisters()),
-        chain, 2, uec::UecNoise{});
-}
-
-const std::vector<Builder>&
-builderRegistry()
-{
-    static const std::vector<Builder> builders = {
-        {"surface-d3",
-         [] { return qec::surfaceMemoryZ(3, 3, qec::CircuitNoise{}); }},
-        {"surface-d5",
-         [] { return qec::surfaceMemoryZ(5, 5, qec::CircuitNoise{}); }},
-        {"surface-d7",
-         [] { return qec::surfaceMemoryZ(7, 7, qec::CircuitNoise{}); }},
-        {"surface-x-d3",
-         [] {
-             return qec::surfaceMemory(3, 3, qec::CircuitNoise{},
-                                       qec::MemoryBasis::X);
-         }},
-        {"css-rep3",
-         [] {
-             return qec::codeCapacityMemoryZ(qec::makeRepetition(3), 2,
-                                             0.01, 0.01);
-         }},
-        {"css-steane",
-         [] {
-             return qec::codeCapacityMemoryZ(qec::makeSteane(), 2, 0.01,
-                                             0.01);
-         }},
-        {"uec-steane", makeUecSteane},
-        {"uec-chained-steane", makeUecChainedSteane},
-        {"lattice-steane",
-         [] {
-             const auto code = qec::makeSteane();
-             return uec::latticeMemoryZ(code, uec::embedOnLattice(code),
-                                        2, uec::LatticeNoise{});
-         }},
-        {"dejmps", [] { return distill::dejmpsCircuit(); }},
-    };
-    return builders;
-}
+// The builder table lives in dse::builderRegistry() so the lint tool
+// and the job service resolve names through one shared table.
+using dse::builderRegistry;
 
 int
 usage()
@@ -175,7 +109,7 @@ usage()
 struct Unit
 {
     std::string label;
-    const Builder* builder = nullptr; ///< null: label is a file path
+    const dse::CircuitBuilder* builder = nullptr; ///< null: file path
 };
 
 bool
@@ -299,10 +233,7 @@ main(int argc, char** argv)
         std::istringstream ss(csv);
         std::string name;
         while (std::getline(ss, name, ',')) {
-            const Builder* found = nullptr;
-            for (const auto& b : builderRegistry())
-                if (name == b.name)
-                    found = &b;
+            const auto* found = dse::findBuilder(name);
             if (!found) {
                 std::cerr << "hetarch-lint: unknown builder '" << name
                           << "' (try --list-builders)\n";
