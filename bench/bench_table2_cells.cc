@@ -2,10 +2,11 @@
  * @file
  * Paper Table 2: standard cells with design-rule status and
  * density-matrix characterization, plus characterization throughput.
- * Also prints the schedule-aware architecture ranking (the static
- * timing analyzer costing surface-code memories on each Table 1
- * compute device with zero Monte-Carlo shots), so the lint.sched.*
- * counters land in this binary's metrics snapshot.
+ * Also prints the schedule-aware architecture ranking and the
+ * dataflow-aware pressure ranking (the static analyzers costing
+ * circuits on Table 1 devices with zero Monte-Carlo shots), so the
+ * lint.sched.* and lint.flow.* counters land in this binary's metrics
+ * snapshot.
  */
 
 #include "bench_util.hh"
@@ -13,6 +14,7 @@
 #include "cells/design_rules.hh"
 #include "cells/standard_cells.hh"
 #include "devices/device.hh"
+#include "lint/dataflow.hh"
 #include "lint/schedule.hh"
 #include "qec/surface_circuit.hh"
 
@@ -69,11 +71,25 @@ BM_AnalyzeSchedule(benchmark::State& state)
 }
 BENCHMARK(BM_AnalyzeSchedule);
 
+void
+BM_AnalyzeFlow(benchmark::State& state)
+{
+    const auto circuit = qec::surfaceMemoryZ(5, 5, qec::CircuitNoise{});
+    const auto model = lint::sched::TimingModel::uniform(
+        devices::fixedFrequencyTransmon(), circuit.numQubits());
+    for (auto _ : state) {
+        auto analysis = lint::flow::analyzeFlow(circuit, model);
+        benchmark::DoNotOptimize(analysis);
+    }
+}
+BENCHMARK(BM_AnalyzeFlow);
+
 } // namespace
 
 // Hand-rolled main (instead of HETARCH_BENCH_MAIN): this binary prints
-// two artifacts — the cell table and the schedule-burden ranking —
-// before the metrics snapshot and the microbenchmarks.
+// three artifacts — the cell table, the schedule-burden ranking, and
+// the dataflow-pressure ranking — before the metrics snapshot and the
+// microbenchmarks.
 int
 main(int argc, char** argv)
 {
@@ -87,6 +103,9 @@ main(int argc, char** argv)
         ::hetarch::bench::printArtifact(
             "Schedule-aware architecture ranking (static, no shots)",
             ::hetarch::dse::scheduleBurdenTable());
+        ::hetarch::bench::printArtifact(
+            "Dataflow pressure ranking (static, no shots)",
+            ::hetarch::dse::flowPressureTable());
     }
     ::hetarch::bench::exportMetrics();
     ::benchmark::Initialize(&argc, argv);

@@ -18,6 +18,16 @@
 #            pass in the hetarch-sched-v1 JSON; one negative self-check
 #            perturbs every duration (--scale-durations=2) and demands
 #            the latency pin then fails
+#   flow/    structurally clean circuits with qubit-movement damage;
+#            the same register annotations plus "# flow-stale-after:" /
+#            "# expect-flow-hazard:" / "# expect-peak-storage:" /
+#            "# expect-budget:" are swept through --flow, hazard-free
+#            fixtures must exit 0 with the annotated peak occupancy
+#            pinned via --expect-peak-storage, hazardous ones must exit
+#            2 under --strict with exactly the annotated pass set in
+#            the hetarch-flow-v1 JSON; expect-budget caps the certified
+#            end-to-end budget (which must also be > 0); one negative
+#            self-check demands peak+1 on a clean fixture and must fail
 #
 # Also pins the exit-code contract: 0 clean / 1 unreadable-or-parse
 # failure / 2 findings above threshold (--strict promotes warnings).
@@ -192,6 +202,98 @@ for f in "$DIR"/timing/*.circ; do
                  "latency pin: $f"
             fail=1
         fi
+    fi
+done
+
+# check_flow_json FILE.json EXPECT_HAZARD_PASSES EXPECT_PEAK EXPECT_BUDGET
+# Empty expectation strings skip that check (hazards: "" = none).
+check_flow_json() {
+    [ -n "$PYTHON" ] || return 0
+    "$PYTHON" - "$1" "$2" "$3" "$4" <<'PYEOF'
+import json, sys
+path, hazard_passes, peak, budget_cap = sys.argv[1:5]
+with open(path) as fh:
+    doc = json.load(fh)
+if doc["schema"] != "hetarch-flow-v1":
+    sys.exit(f"{path}: unexpected schema {doc['schema']!r}")
+f = doc["files"][0]
+have = sorted({h["pass"] for h in f["hazards"]})
+want = sorted(set(hazard_passes.split()))
+if have != want:
+    sys.exit(f"{path}: hazard passes {have}, expected {want}")
+if peak and f["peak_storage"] != int(peak):
+    sys.exit(f"{path}: peak_storage={f['peak_storage']}, "
+             f"expected {peak}")
+if budget_cap:
+    budgets = [o["budget"] for o in f["observables"]]
+    worst = max(budgets) if budgets else 0.0
+    if not 0.0 < worst <= float(budget_cap):
+        sys.exit(f"{path}: certified budget {worst} outside "
+                 f"(0, {budget_cap}]")
+PYEOF
+}
+
+# Assemble the --flow invocation a fixture's annotations describe.  The
+# register annotations are shared with timing_args; expect-budget turns
+# on --distance so the gate union bound composes into the budget.
+flow_args() { # FILE -> sets FLOW_ARGS array
+    FLOW_ARGS=(--flow)
+    local dev storage qubits stale
+    dev=$(annotation "$1" timing-device)
+    [ -n "$dev" ] && FLOW_ARGS+=("--device=$dev")
+    storage=$(annotation "$1" storage-device)
+    [ -n "$storage" ] && FLOW_ARGS+=("--storage-device=$storage")
+    qubits=$(annotation "$1" storage-qubits)
+    [ -n "$qubits" ] && FLOW_ARGS+=("--storage-qubits=$qubits")
+    stale=$(annotation "$1" flow-stale-after)
+    [ -n "$stale" ] && FLOW_ARGS+=("--stale-after=$stale")
+    [ -n "$(annotation "$1" expect-budget)" ] && \
+        FLOW_ARGS+=(--distance --no-determinism)
+}
+
+for f in "$DIR"/flow/*.circ; do
+    expect_hazards=$(sed -n 's/^# expect-flow-hazard: *//p' "$f" |
+                     tr '\n' ' ')
+    expect_hazards=${expect_hazards% }
+    expect_peak=$(annotation "$f" expect-peak-storage)
+    expect_budget=$(annotation "$f" expect-budget)
+    flow_args "$f"
+    peak_args=()
+    [ -n "$expect_peak" ] && \
+        peak_args=("--expect-peak-storage=$expect_peak")
+
+    "$LINT" "${FLOW_ARGS[@]}" "${peak_args[@]}" --format=json \
+        "$f" > "$TMP/out.json" 2>&1
+    rc=$?
+    if [ -z "$expect_hazards" ]; then
+        if [ "$rc" -ne 0 ]; then
+            echo "FAIL: expected clean flow run (exit 0, got $rc): $f"
+            fail=1
+        fi
+        # Negative self-check: demanding one more mode of peak
+        # occupancy must break the pin (exit 2), proving it has teeth.
+        if [ -n "$expect_peak" ]; then
+            "$LINT" "${FLOW_ARGS[@]}" \
+                "--expect-peak-storage=$((expect_peak + 1))" \
+                "$f" > /dev/null 2>&1
+            if [ $? -ne 2 ]; then
+                echo "FAIL: perturbed peak-storage pin did not" \
+                     "fail: $f"
+                fail=1
+            fi
+        fi
+    else
+        # flow warnings (stale/orphan/reuse) need --strict promotion.
+        "$LINT" --strict "${FLOW_ARGS[@]}" "$f" > /dev/null 2>&1
+        if [ $? -ne 2 ]; then
+            echo "FAIL: expected flow hazard rejection (exit 2): $f"
+            fail=1
+        fi
+    fi
+    if ! check_flow_json "$TMP/out.json" "$expect_hazards" \
+                         "$expect_peak" "$expect_budget"; then
+        echo "FAIL: flow annotations not satisfied: $f"
+        fail=1
     fi
 done
 

@@ -49,6 +49,11 @@ REQUIRED_COMPANIONS = {
     # every pipeline that runs an analysis.
     "lint.sched.analyses": ("lint.sched.cache_hits",
                             "lint.sched.cache_misses"),
+    # Likewise for the dataflow analyzer: hazard and memoization
+    # telemetry must stay live wherever a flow analysis runs.
+    "lint.flow.analyses": ("lint.flow.hazards",
+                           "lint.flow.cache_hits",
+                           "lint.flow.cache_misses"),
     # The streaming engine's window accounting must stay live wherever
     # streaming decode runs: dropping any of these silently would hide
     # a commit-rule or storage-bound regression.
@@ -197,6 +202,10 @@ def self_test():
                      "lint.sched.analyses": 12,
                      "lint.sched.cache_hits": 6,
                      "lint.sched.cache_misses": 6,
+                     "lint.flow.analyses": 9,
+                     "lint.flow.hazards": 2,
+                     "lint.flow.cache_hits": 4,
+                     "lint.flow.cache_misses": 5,
                      "qec.stream.shots": 4096,
                      "qec.stream.blocks": 448,
                      "qec.stream.windows": 64,
@@ -280,6 +289,18 @@ def self_test():
     del no_sched_cache["counters"]["lint.sched.cache_hits"]
     checks.append(("sched cache companion dropped from both sides",
                    result(no_sched_cache, no_sched_cache, bench) == 1))
+
+    # And for the dataflow analyzer's hazard/cache telemetry.
+    no_flow_hazards = json.loads(json.dumps(metrics))
+    del no_flow_hazards["counters"]["lint.flow.hazards"]
+    checks.append(("flow hazard companion dropped from both sides",
+                   result(no_flow_hazards, no_flow_hazards, bench) == 1))
+    no_flow = json.loads(json.dumps(metrics))
+    for key in list(no_flow["counters"]):
+        if key.startswith("lint.flow."):
+            del no_flow["counters"][key]
+    checks.append(("flow rule dormant without key counter",
+                   result(no_flow, no_flow, bench) == 0))
 
     # And for the streaming engine's window accounting.
     no_windows = json.loads(json.dumps(metrics))

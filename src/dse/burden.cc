@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "lint/dataflow.hh"
 #include "lint/schedule.hh"
 #include "qec/decoder_cache.hh"
 
@@ -55,6 +56,31 @@ estimateScheduleBurden(const stab::Circuit& circuit,
     out.totalIdleNs = analysis->totalIdleNs;
     out.idleBound = analysis->certifiedIdleBound();
     out.hazardErrors = analysis->hazardErrors();
+    return out;
+}
+
+FlowPressure
+estimateFlowPressure(const stab::Circuit& circuit,
+                     const lint::sched::TimingModel& model)
+{
+    // Same two-layer memoization as estimateScheduleBurden: sweeps
+    // share one fault analysis per circuit and one flow analysis per
+    // (circuit, model, options) triple.
+    const auto faults =
+        qec::DecoderCache::instance().faultAnalysis(circuit);
+    lint::flow::FlowOptions options;
+    options.faults = faults.get();
+    options.gateBudget = true;
+    const auto analysis =
+        lint::flow::FlowCache::instance().analysis(circuit, model,
+                                                   options);
+    FlowPressure out;
+    out.swaps = analysis->swapCount;
+    out.movementNs = analysis->movementNs;
+    out.peakStorage = analysis->peakStorageOccupancy;
+    out.storageQubitNs = analysis->storageQubitNs;
+    out.hazardErrors = analysis->hazardErrors();
+    out.budget = analysis->maxBudget();
     return out;
 }
 

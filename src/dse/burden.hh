@@ -77,5 +77,42 @@ struct ScheduleBurden
 ScheduleBurden estimateScheduleBurden(const stab::Circuit& circuit,
                                       const lint::sched::TimingModel& model);
 
+/**
+ * Dataflow-aware pressure of one circuit on one timing assignment: the
+ * qubit-movement analyzer's residency/occupancy summary plus the
+ * certified end-to-end error budget (lint/dataflow.hh) — the gate
+ * union bound at k = ceil(distance / 2) composed with the live idle
+ * decoherence actually incurred by the ASAP schedule.  Where
+ * ScheduleBurden ranks by time, FlowPressure ranks by storage traffic
+ * and by the certified budget the movement costs.
+ */
+struct FlowPressure
+{
+    std::size_t swaps = 0;        ///< compute<->storage exchanges
+    double movementNs = 0.0;      ///< total time spent in SWAPs
+    std::size_t peakStorage = 0;  ///< max concurrently parked states
+    double storageQubitNs = 0.0;  ///< integral of parked states over time
+    std::size_t hazardErrors = 0; ///< dataflow defects (0 = runnable)
+    double budget = 0.0;          ///< worst certified observable budget
+
+    /**
+     * Rank key: the certified budget, with hazardous dataflow sorting
+     * last (a circuit that reads vacuum has no meaningful budget).
+     */
+    double score() const
+    {
+        if (hazardErrors > 0)
+            return 1e300;
+        return budget;
+    }
+};
+
+/**
+ * Analyze @p circuit under @p model (memoized via FlowCache and
+ * qec::DecoderCache; the circuit must have deterministic detectors).
+ */
+FlowPressure estimateFlowPressure(const stab::Circuit& circuit,
+                                  const lint::sched::TimingModel& model);
+
 } // namespace dse
 } // namespace hetarch

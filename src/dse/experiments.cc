@@ -9,6 +9,7 @@
 #include "core/units.hh"
 #include "devices/device.hh"
 #include "distill/module_sim.hh"
+#include "dse/builder_registry.hh"
 #include "dse/burden.hh"
 #include "exec/thread_pool.hh"
 #include "qec/css_code.hh"
@@ -115,6 +116,90 @@ scheduleBurdenTable()
                       std::to_string(burden.hazardErrors),
                       formatFixed(units::toUs(burden.score()), 1)});
         }
+    }
+    return t;
+}
+
+namespace {
+
+/**
+ * Distance-3 repetition memory whose data qubit 0 is parked on a
+ * storage mode (qubit 5) across the inter-round gap — the programmatic
+ * twin of tests/lint/fixtures/flow/clean_cell.circ, used to compare
+ * storage devices on identical traffic.
+ */
+stab::Circuit
+parkedRepetitionCell()
+{
+    stab::Circuit c;
+    c.reset(3);
+    c.reset(4);
+    for (std::uint32_t q : {0u, 1u, 2u})
+        c.xError(q, 0.01);
+    c.cx(0, 3);
+    c.cx(1, 3);
+    c.cx(1, 4);
+    c.cx(2, 4);
+    c.swap(0, 5);
+    const auto m3 = c.measureReset(3);
+    const auto m4 = c.measureReset(4);
+    c.detector({m3});
+    c.detector({m4});
+    c.xError(1, 0.01);
+    c.xError(2, 0.01);
+    c.swap(0, 5);
+    const auto d0 = c.measure(0);
+    const auto d1 = c.measure(1);
+    const auto d2 = c.measure(2);
+    c.detector({d0, d1, m3});
+    c.detector({d1, d2, m4});
+    c.observableInclude(0, {d2});
+    return c;
+}
+
+} // namespace
+
+TextTable
+flowPressureTable()
+{
+    TextTable t({"circuit", "storage", "swaps", "movement(us)", "peak",
+                 "storage(q*us)", "hazards", "budget"});
+    const auto compute = devices::fixedFrequencyTransmon();
+
+    auto add_row = [&](const std::string& name,
+                       const std::string& storage,
+                       const stab::Circuit& circ,
+                       const lint::sched::TimingModel& model) {
+        const auto p = estimateFlowPressure(circ, model);
+        t.addRow({name, storage, std::to_string(p.swaps),
+                  formatFixed(units::toUs(p.movementNs), 2),
+                  std::to_string(p.peakStorage),
+                  formatFixed(units::toUs(p.storageQubitNs), 2),
+                  std::to_string(p.hazardErrors),
+                  formatSci(p.budget, 3)});
+    };
+
+    // Registry builders on the homogeneous transmon assignment: zero
+    // movement by construction, so the budget column is the pure
+    // compute-side certified bound.
+    for (const auto& b : builderRegistry()) {
+        const auto circ = b.make();
+        add_row(b.name, "-", circ,
+                lint::sched::TimingModel::uniform(compute,
+                                                  circ.numQubits()));
+    }
+
+    // Heterogeneous comparison: the same parked repetition cell costed
+    // against each Table 1 storage device.  Identical traffic, so the
+    // rows differ only in swap latency and storage-side decoherence.
+    const auto cell = parkedRepetitionCell();
+    const std::vector<devices::DeviceModel> storages = {
+        devices::quantumMemory3D(), devices::multimodeResonator3D(),
+        devices::onChipMultimodeResonator()};
+    for (const auto& storage : storages) {
+        add_row("parked-rep-d3", storage.name, cell,
+                lint::sched::TimingModel::withStorage(
+                    compute, storage, cell.numQubits(), {5}));
     }
     return t;
 }

@@ -41,6 +41,16 @@ TextTable table2Cells();
 TextTable scheduleBurdenTable();
 
 /**
+ * Dataflow-aware architecture ranking: every registry builder costed
+ * on the homogeneous transmon assignment by the static dataflow
+ * analyzer (swaps, peak storage occupancy, certified end-to-end error
+ * budget; dse::estimateFlowPressure), followed by a heterogeneous
+ * comparison of a parked repetition cell against each Table 1 storage
+ * device.  Like scheduleBurdenTable, no Monte-Carlo sampling at all.
+ */
+TextTable flowPressureTable();
+
+/**
  * Fig. 3: best output-register EP infidelity over 100 us, heterogeneous
  * (Ts = 12.5 ms) vs homogeneous (Ts = Tc = 0.5 ms).
  */

@@ -1,0 +1,311 @@
+#include "lint/flow_json.hh"
+
+#include <sstream>
+
+#include "core/logging.hh"
+#include "core/strict_json.hh"
+
+namespace hetarch {
+namespace lint {
+namespace flow {
+
+namespace {
+
+namespace cj = core::json;
+
+/**
+ * Recursive-descent parser for the v1 flow document on the shared
+ * strict scanner: every deviation is fatal with a byte offset.
+ */
+class Parser : private cj::Scanner
+{
+  public:
+    explicit Parser(const std::string& text) : Scanner(text) {}
+
+    FlowDocument parse()
+    {
+        FlowDocument doc;
+        expect('{');
+        expectKey("files");
+        expect('[');
+        if (!consume(']')) {
+            do
+                doc.files.push_back(parseFile());
+            while (consume(','));
+            expect(']');
+        }
+        expect(',');
+        expectKey("schema");
+        const auto schema = parseString();
+        if (schema != "hetarch-flow-v1")
+            fail("unsupported flow report schema '" + schema + "'");
+        expect('}');
+        finish();
+        return doc;
+    }
+
+  private:
+    Severity parseSeverity()
+    {
+        const auto name = parseString();
+        if (name == "info")
+            return Severity::Info;
+        if (name == "warning")
+            return Severity::Warning;
+        if (name == "error")
+            return Severity::Error;
+        fail("unknown severity '" + name + "'");
+    }
+
+    FlowFileReport parseFile()
+    {
+        FlowFileReport file;
+        auto& a = file.analysis;
+        expect('{');
+        expectKey("critical_path_ns");
+        a.criticalPathNs = parseDouble();
+        expect(',');
+        expectKey("device");
+        file.device = parseString();
+        expect(',');
+        expectKey("hazards");
+        expect('[');
+        if (!consume(']')) {
+            do {
+                LintFinding f;
+                expect('{');
+                expectKey("message");
+                f.message = parseString();
+                expect(',');
+                expectKey("op");
+                f.opIndex = parseU64OrNull(kNoOpIndex);
+                expect(',');
+                expectKey("pass");
+                f.pass = parseString();
+                expect(',');
+                expectKey("severity");
+                f.severity = parseSeverity();
+                expect('}');
+                a.hazards.push_back(std::move(f));
+            } while (consume(','));
+            expect(']');
+        }
+        expect(',');
+        expectKey("instances");
+        expect('[');
+        if (!consume(']')) {
+            do {
+                InstancePressure p;
+                expect('{');
+                expectKey("device");
+                p.device = parseString();
+                expect(',');
+                expectKey("instance");
+                p.instance = static_cast<std::uint32_t>(parseU64());
+                expect(',');
+                expectKey("modes");
+                p.modes = static_cast<int>(parseU64());
+                expect(',');
+                expectKey("peak_occupancy");
+                p.peakOccupancy = parseU64();
+                expect(',');
+                expectKey("residencies");
+                p.residencies = parseU64();
+                expect(',');
+                expectKey("storage_qubit_ns");
+                p.storageQubitNs = parseDouble();
+                expect('}');
+                a.instances.push_back(std::move(p));
+            } while (consume(','));
+            expect(']');
+        }
+        expect(',');
+        expectKey("live_idle_ns");
+        a.liveIdleNs = parseDouble();
+        expect(',');
+        expectKey("live_idle_windows");
+        a.liveIdleWindows = parseU64();
+        expect(',');
+        expectKey("movement_ns");
+        a.movementNs = parseDouble();
+        expect(',');
+        expectKey("observables");
+        expect('[');
+        if (!consume(']')) {
+            do {
+                ObservableBudget b;
+                expect('{');
+                expectKey("budget");
+                b.budget = parseDouble();
+                expect(',');
+                expectKey("gate_bound");
+                b.gateBound = parseDouble();
+                expect(',');
+                expectKey("idle_bound");
+                b.idleBound = parseDouble();
+                expect(',');
+                expectKey("observable");
+                b.observable = static_cast<std::uint32_t>(parseU64());
+                expect(',');
+                expectKey("weight");
+                b.weight = parseU64();
+                expect('}');
+                a.observables.push_back(b);
+            } while (consume(','));
+            expect(']');
+        }
+        expect(',');
+        expectKey("path");
+        file.path = parseString();
+        expect(',');
+        expectKey("peak_storage");
+        a.peakStorageOccupancy = parseU64();
+        expect(',');
+        expectKey("residencies");
+        expect('[');
+        if (!consume(']')) {
+            do {
+                ResidencyInterval r;
+                expect('{');
+                expectKey("deposit_op");
+                r.depositOp = static_cast<std::uint32_t>(parseU64());
+                expect(',');
+                expectKey("end_ns");
+                r.endNs = parseDouble();
+                expect(',');
+                expectKey("instance");
+                r.instance = static_cast<std::uint32_t>(parseU64());
+                expect(',');
+                expectKey("orphaned");
+                r.orphaned = parseBool();
+                expect(',');
+                expectKey("qubit");
+                r.qubit = static_cast<std::uint32_t>(parseU64());
+                expect(',');
+                expectKey("retrieve_op");
+                r.retrieveOp = parseU64OrNull(kNoOpIndex);
+                expect(',');
+                expectKey("start_ns");
+                r.startNs = parseDouble();
+                expect('}');
+                a.residencies.push_back(r);
+            } while (consume(','));
+            expect(']');
+        }
+        expect(',');
+        expectKey("storage_qubit_ns");
+        a.storageQubitNs = parseDouble();
+        expect(',');
+        expectKey("swaps");
+        a.swapCount = parseU64();
+        expect(',');
+        expectKey("timed_ops");
+        a.opsTracked = parseU64();
+        expect('}');
+        return file;
+    }
+};
+
+} // namespace
+
+std::string
+toFlowJson(const FlowDocument& doc)
+{
+    std::ostringstream os;
+    os << "{\n  \"files\": [";
+    bool first = true;
+    for (const auto& file : doc.files) {
+        const auto& a = file.analysis;
+        os << (first ? "\n    " : ",\n    ");
+        os << "{\"critical_path_ns\": ";
+        cj::writeDouble(os, a.criticalPathNs);
+        os << ", \"device\": ";
+        cj::writeString(os, file.device);
+        os << ", \"hazards\": [";
+        bool first_inner = true;
+        for (const auto& h : a.hazards) {
+            os << (first_inner ? "" : ", ") << "{\"message\": ";
+            cj::writeString(os, h.message);
+            os << ", \"op\": ";
+            cj::writeOrNull(os, h.opIndex, kNoOpIndex);
+            os << ", \"pass\": ";
+            cj::writeString(os, h.pass);
+            os << ", \"severity\": \"" << severityName(h.severity)
+               << "\"}";
+            first_inner = false;
+        }
+        os << "], \"instances\": [";
+        first_inner = true;
+        for (const auto& p : a.instances) {
+            os << (first_inner ? "" : ", ") << "{\"device\": ";
+            cj::writeString(os, p.device);
+            os << ", \"instance\": " << p.instance
+               << ", \"modes\": " << p.modes
+               << ", \"peak_occupancy\": " << p.peakOccupancy
+               << ", \"residencies\": " << p.residencies
+               << ", \"storage_qubit_ns\": ";
+            cj::writeDouble(os, p.storageQubitNs);
+            os << '}';
+            first_inner = false;
+        }
+        os << "], \"live_idle_ns\": ";
+        cj::writeDouble(os, a.liveIdleNs);
+        os << ", \"live_idle_windows\": " << a.liveIdleWindows
+           << ", \"movement_ns\": ";
+        cj::writeDouble(os, a.movementNs);
+        os << ", \"observables\": [";
+        first_inner = true;
+        for (const auto& b : a.observables) {
+            os << (first_inner ? "" : ", ") << "{\"budget\": ";
+            cj::writeDouble(os, b.budget);
+            os << ", \"gate_bound\": ";
+            cj::writeDouble(os, b.gateBound);
+            os << ", \"idle_bound\": ";
+            cj::writeDouble(os, b.idleBound);
+            os << ", \"observable\": " << b.observable
+               << ", \"weight\": " << b.weight << '}';
+            first_inner = false;
+        }
+        os << "], \"path\": ";
+        cj::writeString(os, file.path);
+        os << ", \"peak_storage\": " << a.peakStorageOccupancy
+           << ", \"residencies\": [";
+        first_inner = true;
+        for (const auto& r : a.residencies) {
+            os << (first_inner ? "" : ", ") << "{\"deposit_op\": "
+               << r.depositOp << ", \"end_ns\": ";
+            cj::writeDouble(os, r.endNs);
+            os << ", \"instance\": " << r.instance << ", \"orphaned\": "
+               << (r.orphaned ? "true" : "false") << ", \"qubit\": "
+               << r.qubit << ", \"retrieve_op\": ";
+            cj::writeOrNull(os, r.retrieveOp, kNoOpIndex);
+            os << ", \"start_ns\": ";
+            cj::writeDouble(os, r.startNs);
+            os << '}';
+            first_inner = false;
+        }
+        os << "], \"storage_qubit_ns\": ";
+        cj::writeDouble(os, a.storageQubitNs);
+        os << ", \"swaps\": " << a.swapCount
+           << ", \"timed_ops\": " << a.opsTracked << '}';
+        first = false;
+    }
+    os << (first ? "" : "\n  ")
+       << "],\n  \"schema\": \"hetarch-flow-v1\"\n}\n";
+    return os.str();
+}
+
+FlowDocument
+parseFlowJson(const std::string& text)
+{
+    try {
+        return Parser(text).parse();
+    } catch (const cj::ScanError& e) {
+        HETARCH_FATAL("flow report parse error at byte ", e.offset,
+                      ": ", e.reason);
+    }
+}
+
+} // namespace flow
+} // namespace lint
+} // namespace hetarch

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Stable JSON interchange for dataflow analyses: the
+ * `hetarch-flow-v1` document, a sibling of `hetarch-sched-v1`
+ * (sched_json.hh) with the same contract — keys emitted in sorted
+ * order, doubles in shortest round-trip form, and a strict parser that
+ * fails fatally (with a byte offset) on any structural deviation, so
+ * schema drift breaks loudly in CI rather than silently in a consumer.
+ *
+ * Serialized per file: the movement/pressure scalars, per-instance
+ * storage pressure, per-mode residency intervals, per-observable
+ * certified budgets, and the hazard findings.  That is the whole
+ * FlowAnalysis — a parsed document round-trips bit-identically except
+ * opsTracked-independent derived state (nothing; the struct is fully
+ * covered).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/dataflow.hh"
+
+namespace hetarch {
+namespace lint {
+namespace flow {
+
+/** One analyzed unit of a flow document. */
+struct FlowFileReport
+{
+    std::string path;    ///< file path or builder:<name> label
+    std::string device;  ///< TimingModel::name the unit was costed with
+    FlowAnalysis analysis;
+};
+
+/** A full tool invocation's worth of dataflow reports. */
+struct FlowDocument
+{
+    std::vector<FlowFileReport> files;
+};
+
+/** Render @p doc as a hetarch-flow-v1 JSON document. */
+std::string toFlowJson(const FlowDocument& doc);
+
+/**
+ * Parse a hetarch-flow-v1 document.  Strict: unknown schema, missing
+ * or re-ordered keys, and malformed values are fatal.
+ */
+FlowDocument parseFlowJson(const std::string& text);
+
+} // namespace flow
+} // namespace lint
+} // namespace hetarch

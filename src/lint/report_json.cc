@@ -1,51 +1,16 @@
 #include "lint/report_json.hh"
 
-#include <cctype>
-#include <cstdio>
-#include <cstdlib>
 #include <sstream>
 
 #include "core/logging.hh"
+#include "core/strict_json.hh"
 
 namespace hetarch {
 namespace lint {
 
 namespace {
 
-/** Emit a JSON string literal (finding messages stay in ASCII). */
-void
-writeString(std::ostream& os, const std::string& s)
-{
-    os << '"';
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            os << "\\\"";
-            break;
-          case '\\':
-            os << "\\\\";
-            break;
-          case '\n':
-            os << "\\n";
-            break;
-          case '\t':
-            os << "\\t";
-            break;
-          default:
-            os << c;
-        }
-    }
-    os << '"';
-}
-
-/** Shortest round-trip decimal form of a double. */
-void
-writeDouble(std::ostream& os, double v)
-{
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    os << buf;
-}
+namespace cj = core::json;
 
 void
 writeIndexArray(std::ostream& os, const std::vector<std::uint32_t>& xs)
@@ -56,16 +21,6 @@ writeIndexArray(std::ostream& os, const std::vector<std::uint32_t>& xs)
     os << ']';
 }
 
-/** Distance / op-index fields render their sentinel as null. */
-void
-writeOrNull(std::ostream& os, std::size_t v, std::size_t sentinel)
-{
-    if (v == sentinel)
-        os << "null";
-    else
-        os << v;
-}
-
 void
 writeFaults(std::ostream& os, const FaultAnalysis& fa)
 {
@@ -73,7 +28,7 @@ writeFaults(std::ostream& os, const FaultAnalysis& fa)
     writeIndexArray(os, fa.deadDetectors);
     os << ", \"hyperedge_mechanisms\": " << fa.numHyperedges
        << ", \"min_distance\": ";
-    writeOrNull(os, fa.minDistance(), kInfiniteDistance);
+    cj::writeOrNull(os, fa.minDistance(), kInfiniteDistance);
     os << ", \"num_detectors\": " << fa.numDetectors
        << ", \"num_mechanisms\": " << fa.numMechanisms
        << ", \"observables\": [";
@@ -82,11 +37,11 @@ writeFaults(std::ostream& os, const FaultAnalysis& fa)
         os << (first ? "" : ", ") << "{\"certificate\": ";
         writeIndexArray(os, of.certificate.mechanisms);
         os << ", \"distance\": ";
-        writeOrNull(os, of.distance, kInfiniteDistance);
+        cj::writeOrNull(os, of.distance, kInfiniteDistance);
         os << ", \"graphlike\": " << (of.graphlike ? "true" : "false")
            << ", \"observable\": " << of.observable
            << ", \"union_bound\": ";
-        writeDouble(os, of.unionBound);
+        cj::writeDouble(os, of.unionBound);
         os << ", \"union_bound_weight\": " << of.unionBoundWeight
            << '}';
         first = false;
@@ -97,14 +52,13 @@ writeFaults(std::ostream& os, const FaultAnalysis& fa)
 }
 
 /**
- * Recursive-descent parser for the v1 lint document, in the same
- * strict style as the obs snapshot parser: every deviation is fatal
- * with a byte offset.
+ * Recursive-descent parser for the v1 lint document on the shared
+ * strict scanner: every deviation is fatal with a byte offset.
  */
-class Parser
+class Parser : private cj::Scanner
 {
   public:
-    explicit Parser(const std::string& text) : src(text) {}
+    explicit Parser(const std::string& text) : Scanner(text) {}
 
     LintDocument parse()
     {
@@ -124,153 +78,11 @@ class Parser
         if (schema != "hetarch-lint-v1")
             fail("unsupported lint report schema '" + schema + "'");
         expect('}');
-        skipWs();
-        if (pos != src.size())
-            fail("trailing content after lint document");
+        finish();
         return doc;
     }
 
   private:
-    [[noreturn]] void fail(const std::string& why) const
-    {
-        HETARCH_FATAL("lint report parse error at byte ", pos, ": ",
-                      why);
-    }
-
-    void skipWs()
-    {
-        while (pos < src.size() &&
-               std::isspace(static_cast<unsigned char>(src[pos])))
-            ++pos;
-    }
-
-    char peek()
-    {
-        skipWs();
-        if (pos >= src.size())
-            fail("unexpected end of input");
-        return src[pos];
-    }
-
-    void expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("expected '") + c + "', found '" +
-                 src[pos] + "'");
-        ++pos;
-    }
-
-    bool consume(char c)
-    {
-        if (peek() != c)
-            return false;
-        ++pos;
-        return true;
-    }
-
-    bool consumeWord(const char* word)
-    {
-        skipWs();
-        const std::size_t len = std::string(word).size();
-        if (src.compare(pos, len, word) != 0)
-            return false;
-        pos += len;
-        return true;
-    }
-
-    void expectKey(const char* key)
-    {
-        const auto name = parseString();
-        if (name != key)
-            fail("expected key \"" + std::string(key) + "\", found \"" +
-                 name + "\"");
-        expect(':');
-    }
-
-    std::string parseString()
-    {
-        expect('"');
-        std::string out;
-        while (pos < src.size() && src[pos] != '"') {
-            char c = src[pos++];
-            if (c == '\\') {
-                if (pos >= src.size())
-                    fail("unterminated escape");
-                const char esc = src[pos++];
-                switch (esc) {
-                  case '"':
-                    c = '"';
-                    break;
-                  case '\\':
-                    c = '\\';
-                    break;
-                  case 'n':
-                    c = '\n';
-                    break;
-                  case 't':
-                    c = '\t';
-                    break;
-                  default:
-                    fail("unsupported escape sequence");
-                }
-            }
-            out += c;
-        }
-        if (pos >= src.size())
-            fail("unterminated string");
-        ++pos; // closing quote
-        return out;
-    }
-
-    std::uint64_t parseU64()
-    {
-        skipWs();
-        const std::size_t begin = pos;
-        while (pos < src.size() &&
-               std::isdigit(static_cast<unsigned char>(src[pos])))
-            ++pos;
-        if (pos == begin)
-            fail("expected an unsigned integer");
-        return std::strtoull(src.substr(begin, pos - begin).c_str(),
-                             nullptr, 10);
-    }
-
-    /** A u64 or the literal null mapping to @p sentinel. */
-    std::size_t parseU64OrNull(std::size_t sentinel)
-    {
-        skipWs();
-        if (consumeWord("null"))
-            return sentinel;
-        return static_cast<std::size_t>(parseU64());
-    }
-
-    bool parseBool()
-    {
-        if (consumeWord("true"))
-            return true;
-        if (consumeWord("false"))
-            return false;
-        fail("expected a boolean");
-    }
-
-    double parseDouble()
-    {
-        skipWs();
-        const std::size_t begin = pos;
-        auto in_number = [this] {
-            const char c = src[pos];
-            return std::isdigit(static_cast<unsigned char>(c)) ||
-                   c == '-' || c == '+' || c == '.' || c == 'e' ||
-                   c == 'E';
-        };
-        while (pos < src.size() && in_number())
-            ++pos;
-        if (pos == begin)
-            fail("expected a number");
-        return std::strtod(src.substr(begin, pos - begin).c_str(),
-                           nullptr);
-    }
-
     std::vector<std::uint32_t> parseIndexArray()
     {
         std::vector<std::uint32_t> out;
@@ -363,7 +175,7 @@ class Parser
         expect(',');
         expectKey("faults");
         skipWs();
-        if (consumeWord("null")) {
+        if (consumeNull()) {
             file.hasFaults = false;
         } else {
             file.hasFaults = true;
@@ -407,9 +219,6 @@ class Parser
         expect('}');
         return file;
     }
-
-    const std::string& src;
-    std::size_t pos = 0;
 };
 
 } // namespace
@@ -436,17 +245,17 @@ toLintJson(const LintDocument& doc)
         bool first_finding = true;
         for (const auto& f : file.report.findings) {
             os << (first_finding ? "" : ", ") << "{\"message\": ";
-            writeString(os, f.message);
+            cj::writeString(os, f.message);
             os << ", \"op\": ";
-            writeOrNull(os, f.opIndex, kNoOpIndex);
+            cj::writeOrNull(os, f.opIndex, kNoOpIndex);
             os << ", \"pass\": ";
-            writeString(os, f.pass);
+            cj::writeString(os, f.pass);
             os << ", \"severity\": \"" << severityName(f.severity)
                << "\"}";
             first_finding = false;
         }
         os << "], \"infos\": " << infos << ", \"path\": ";
-        writeString(os, file.path);
+        cj::writeString(os, file.path);
         os << ", \"strict_clean\": "
            << (errors + warnings == 0 ? "true" : "false")
            << ", \"warnings\": " << warnings << '}';
@@ -460,7 +269,12 @@ toLintJson(const LintDocument& doc)
 LintDocument
 parseLintJson(const std::string& text)
 {
-    return Parser(text).parse();
+    try {
+        return Parser(text).parse();
+    } catch (const cj::ScanError& e) {
+        HETARCH_FATAL("lint report parse error at byte ", e.offset,
+                      ": ", e.reason);
+    }
 }
 
 } // namespace lint

@@ -1,11 +1,9 @@
 #include "lint/sched_json.hh"
 
-#include <cctype>
-#include <cstdio>
-#include <cstdlib>
 #include <sstream>
 
 #include "core/logging.hh"
+#include "core/strict_json.hh"
 
 namespace hetarch {
 namespace lint {
@@ -13,60 +11,16 @@ namespace sched {
 
 namespace {
 
-/** Emit a JSON string literal (labels and messages stay in ASCII). */
-void
-writeString(std::ostream& os, const std::string& s)
-{
-    os << '"';
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            os << "\\\"";
-            break;
-          case '\\':
-            os << "\\\\";
-            break;
-          case '\n':
-            os << "\\n";
-            break;
-          case '\t':
-            os << "\\t";
-            break;
-          default:
-            os << c;
-        }
-    }
-    os << '"';
-}
-
-/** Shortest round-trip decimal form of a double. */
-void
-writeDouble(std::ostream& os, double v)
-{
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    os << buf;
-}
-
-/** Op-index fields render their sentinel as null. */
-void
-writeOrNull(std::ostream& os, std::size_t v, std::size_t sentinel)
-{
-    if (v == sentinel)
-        os << "null";
-    else
-        os << v;
-}
+namespace cj = core::json;
 
 /**
- * Recursive-descent parser for the v1 sched document, in the same
- * strict style as the lint report parser: every deviation is fatal
- * with a byte offset.
+ * Recursive-descent parser for the v1 sched document on the shared
+ * strict scanner: every deviation is fatal with a byte offset.
  */
-class Parser
+class Parser : private cj::Scanner
 {
   public:
-    explicit Parser(const std::string& text) : src(text) {}
+    explicit Parser(const std::string& text) : Scanner(text) {}
 
     SchedDocument parse()
     {
@@ -86,144 +40,11 @@ class Parser
         if (schema != "hetarch-sched-v1")
             fail("unsupported sched report schema '" + schema + "'");
         expect('}');
-        skipWs();
-        if (pos != src.size())
-            fail("trailing content after sched document");
+        finish();
         return doc;
     }
 
   private:
-    [[noreturn]] void fail(const std::string& why) const
-    {
-        HETARCH_FATAL("sched report parse error at byte ", pos, ": ",
-                      why);
-    }
-
-    void skipWs()
-    {
-        while (pos < src.size() &&
-               std::isspace(static_cast<unsigned char>(src[pos])))
-            ++pos;
-    }
-
-    char peek()
-    {
-        skipWs();
-        if (pos >= src.size())
-            fail("unexpected end of input");
-        return src[pos];
-    }
-
-    void expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("expected '") + c + "', found '" +
-                 src[pos] + "'");
-        ++pos;
-    }
-
-    bool consume(char c)
-    {
-        if (peek() != c)
-            return false;
-        ++pos;
-        return true;
-    }
-
-    bool consumeWord(const char* word)
-    {
-        skipWs();
-        const std::size_t len = std::string(word).size();
-        if (src.compare(pos, len, word) != 0)
-            return false;
-        pos += len;
-        return true;
-    }
-
-    void expectKey(const char* key)
-    {
-        const auto name = parseString();
-        if (name != key)
-            fail("expected key \"" + std::string(key) + "\", found \"" +
-                 name + "\"");
-        expect(':');
-    }
-
-    std::string parseString()
-    {
-        expect('"');
-        std::string out;
-        while (pos < src.size() && src[pos] != '"') {
-            char c = src[pos++];
-            if (c == '\\') {
-                if (pos >= src.size())
-                    fail("unterminated escape");
-                const char esc = src[pos++];
-                switch (esc) {
-                  case '"':
-                    c = '"';
-                    break;
-                  case '\\':
-                    c = '\\';
-                    break;
-                  case 'n':
-                    c = '\n';
-                    break;
-                  case 't':
-                    c = '\t';
-                    break;
-                  default:
-                    fail("unsupported escape sequence");
-                }
-            }
-            out += c;
-        }
-        if (pos >= src.size())
-            fail("unterminated string");
-        ++pos; // closing quote
-        return out;
-    }
-
-    std::uint64_t parseU64()
-    {
-        skipWs();
-        const std::size_t begin = pos;
-        while (pos < src.size() &&
-               std::isdigit(static_cast<unsigned char>(src[pos])))
-            ++pos;
-        if (pos == begin)
-            fail("expected an unsigned integer");
-        return std::strtoull(src.substr(begin, pos - begin).c_str(),
-                             nullptr, 10);
-    }
-
-    /** A u64 or the literal null mapping to @p sentinel. */
-    std::size_t parseU64OrNull(std::size_t sentinel)
-    {
-        skipWs();
-        if (consumeWord("null"))
-            return sentinel;
-        return static_cast<std::size_t>(parseU64());
-    }
-
-    double parseDouble()
-    {
-        skipWs();
-        const std::size_t begin = pos;
-        auto in_number = [this] {
-            const char c = src[pos];
-            return std::isdigit(static_cast<unsigned char>(c)) ||
-                   c == '-' || c == '+' || c == '.' || c == 'e' ||
-                   c == 'E';
-        };
-        while (pos < src.size() && in_number())
-            ++pos;
-        if (pos == begin)
-            fail("expected a number");
-        return std::strtod(src.substr(begin, pos - begin).c_str(),
-                           nullptr);
-    }
-
     Severity parseSeverity()
     {
         const auto name = parseString();
@@ -326,9 +147,6 @@ class Parser
         expect('}');
         return file;
     }
-
-    const std::string& src;
-    std::size_t pos = 0;
 };
 
 } // namespace
@@ -343,18 +161,18 @@ toSchedJson(const SchedDocument& doc)
         const auto& a = file.analysis;
         os << (first ? "\n    " : ",\n    ");
         os << "{\"critical_path_ns\": ";
-        writeDouble(os, a.criticalPathNs);
+        cj::writeDouble(os, a.criticalPathNs);
         os << ", \"device\": ";
-        writeString(os, file.device);
+        cj::writeString(os, file.device);
         os << ", \"hazards\": [";
         bool first_inner = true;
         for (const auto& h : a.hazards) {
             os << (first_inner ? "" : ", ") << "{\"message\": ";
-            writeString(os, h.message);
+            cj::writeString(os, h.message);
             os << ", \"op\": ";
-            writeOrNull(os, h.opIndex, kNoOpIndex);
+            cj::writeOrNull(os, h.opIndex, kNoOpIndex);
             os << ", \"pass\": ";
-            writeString(os, h.pass);
+            cj::writeString(os, h.pass);
             os << ", \"severity\": \"" << severityName(h.severity)
                << "\"}";
             first_inner = false;
@@ -363,29 +181,29 @@ toSchedJson(const SchedDocument& doc)
         first_inner = true;
         for (const auto& b : a.observables) {
             os << (first_inner ? "" : ", ") << "{\"idle_bound\": ";
-            writeDouble(os, b.idleBound);
+            cj::writeDouble(os, b.idleBound);
             os << ", \"observable\": " << b.observable
                << ", \"weight\": " << b.weight << '}';
             first_inner = false;
         }
         os << "], \"path\": ";
-        writeString(os, file.path);
+        cj::writeString(os, file.path);
         os << ", \"qubits\": [";
         first_inner = true;
         for (const auto& tl : a.qubits) {
             os << (first_inner ? "" : ", ") << "{\"busy_ns\": ";
-            writeDouble(os, tl.busyNs);
+            cj::writeDouble(os, tl.busyNs);
             os << ", \"device\": ";
-            writeString(os, tl.device);
+            cj::writeString(os, tl.device);
             os << ", \"idle_ns\": ";
-            writeDouble(os, tl.idleNs);
+            cj::writeDouble(os, tl.idleNs);
             os << ", \"idle_windows\": " << tl.idleWindows
                << ", \"qubit\": " << tl.qubit << '}';
             first_inner = false;
         }
         os << "], \"timed_ops\": " << a.opsScheduled
            << ", \"total_idle_ns\": ";
-        writeDouble(os, a.totalIdleNs);
+        cj::writeDouble(os, a.totalIdleNs);
         os << '}';
         first = false;
     }
@@ -397,7 +215,12 @@ toSchedJson(const SchedDocument& doc)
 SchedDocument
 parseSchedJson(const std::string& text)
 {
-    return Parser(text).parse();
+    try {
+        return Parser(text).parse();
+    } catch (const cj::ScanError& e) {
+        HETARCH_FATAL("sched report parse error at byte ", e.offset,
+                      ": ", e.reason);
+    }
 }
 
 } // namespace sched

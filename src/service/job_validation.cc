@@ -198,6 +198,7 @@ validateAnalysis(const JobSpec& spec)
     static const std::vector<ParamRule> rules = {
         {"distance", false, true, 0, 1},
         {"timing", false, true, 0, 1},
+        {"flow", false, true, 0, 1},
     };
     Validation v = checkParams(spec, rules, {"circuit", "builder"});
     if (!v.ok)

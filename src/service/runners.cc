@@ -17,6 +17,7 @@
 #include "core/rng.hh"
 #include "distill/module_sim.hh"
 #include "dse/builder_registry.hh"
+#include "lint/dataflow.hh"
 #include "lint/faults.hh"
 #include "lint/lint.hh"
 #include "lint/schedule.hh"
@@ -198,6 +199,31 @@ runAnalysis(const JobSpec& spec, JobContext& ctx)
             circuit, timing, {});
         result.addReal("critical_path_ns", sched->criticalPathNs);
         result.addU64("hazard_errors", sched->hazardErrors());
+    }
+
+    if (spec.numberOr("flow", 0) != 0) {
+        if (ctx.cancelled())
+            return result;
+        const auto timing =
+            lint::sched::TimingModel::unit(circuit.numQubits());
+        lint::flow::FlowOptions options;
+        // The certified budget needs the fault structure; only compose
+        // it when the caller asked for distance analysis and the
+        // circuit survived lint (fault analysis asserts determinism).
+        std::shared_ptr<const lint::FaultAnalysis> faults;
+        if (spec.numberOr("distance", 0) != 0 && report.clean()) {
+            faults = qec::DecoderCache::instance().faultAnalysis(circuit, {});
+            options.faults = faults.get();
+            options.gateBudget = true;
+        }
+        const auto flow = lint::flow::FlowCache::instance().analysis(
+            circuit, timing, options);
+        result.addU64("flow_swaps", flow->swapCount);
+        result.addReal("flow_movement_ns", flow->movementNs);
+        result.addU64("flow_peak_storage", flow->peakStorageOccupancy);
+        result.addU64("flow_hazard_errors", flow->hazardErrors());
+        if (options.gateBudget)
+            result.addReal("flow_budget", flow->maxBudget());
     }
     return result;
 }

@@ -1,11 +1,11 @@
 #include "service/wire.hh"
 
 #include <cctype>
-#include <cerrno>
 #include <charconv>
-#include <cstdlib>
 #include <sstream>
 #include <string>
+
+#include "core/strict_json.hh"
 
 namespace hetarch {
 namespace service {
@@ -14,30 +14,7 @@ namespace {
 
 // --- writer -----------------------------------------------------------
 
-void
-writeString(std::ostream& os, const std::string& s)
-{
-    os << '"';
-    for (char c : s) {
-        switch (c) {
-        case '"':
-            os << "\\\"";
-            break;
-        case '\\':
-            os << "\\\\";
-            break;
-        case '\n':
-            os << "\\n";
-            break;
-        case '\t':
-            os << "\\t";
-            break;
-        default:
-            os << c;
-        }
-    }
-    os << '"';
-}
+using core::json::writeString;
 
 /**
  * Shortest round-trip form, always carrying a real marker ('.', 'e',
@@ -130,131 +107,16 @@ responseTypeName(ResponseType type)
 
 // --- strict scanner ---------------------------------------------------
 
-/** Parse failure carrying the diagnostic parse*Line() returns. */
-struct WireError
-{
-    std::string message;
-};
-
-class Scanner
+/**
+ * The shared strict scanner plus the wire dialect: number tokens are
+ * classified U64-vs-Real by shape, and job ids must be positive.
+ */
+class Scanner : public core::json::Scanner
 {
   public:
-    explicit Scanner(const std::string& text) : src(text) {}
-
-    [[noreturn]] void fail(const std::string& why) const
-    {
-        throw WireError{"offset " + std::to_string(pos) + ": " + why};
-    }
-
-    void skipWs()
-    {
-        while (pos < src.size() &&
-               std::isspace(static_cast<unsigned char>(src[pos])))
-            ++pos;
-    }
-
-    /** Next significant character without consuming it. */
-    char peek()
-    {
-        skipWs();
-        if (pos >= src.size())
-            fail("unexpected end of line");
-        return src[pos];
-    }
-
-    void expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("expected '") + c + "', found '" +
-                 src[pos] + "'");
-        ++pos;
-    }
-
-    bool consume(char c)
-    {
-        skipWs();
-        if (pos >= src.size() || src[pos] != c)
-            return false;
-        ++pos;
-        return true;
-    }
-
-    void expectKey(const char* key)
-    {
-        const std::string name = parseString();
-        if (name != key)
-            fail("expected key \"" + std::string(key) + "\", found \"" +
-                 name + "\"");
-        expect(':');
-    }
-
-    std::string parseString()
-    {
-        expect('"');
-        std::string out;
-        while (pos < src.size() && src[pos] != '"') {
-            char c = src[pos++];
-            if (c == '\\') {
-                if (pos >= src.size())
-                    fail("unterminated escape");
-                const char esc = src[pos++];
-                switch (esc) {
-                case '"':
-                    c = '"';
-                    break;
-                case '\\':
-                    c = '\\';
-                    break;
-                case 'n':
-                    c = '\n';
-                    break;
-                case 't':
-                    c = '\t';
-                    break;
-                default:
-                    fail("unsupported escape sequence");
-                }
-            }
-            out += c;
-        }
-        if (pos >= src.size())
-            fail("unterminated string");
-        ++pos; // closing quote
-        return out;
-    }
-
-    std::uint64_t parseU64()
-    {
-        skipWs();
-        const std::size_t begin = pos;
-        while (pos < src.size() &&
-               std::isdigit(static_cast<unsigned char>(src[pos])))
-            ++pos;
-        if (pos == begin)
-            fail("expected an unsigned integer");
-        if (pos - begin > 20)
-            fail("integer overflow");
-        errno = 0;
-        const std::uint64_t v = std::strtoull(
-            src.substr(begin, pos - begin).c_str(), nullptr, 10);
-        if (errno == ERANGE)
-            fail("integer overflow");
-        return v;
-    }
-
-    std::int64_t parseI64()
-    {
-        skipWs();
-        const bool negative = consume('-');
-        const std::uint64_t magnitude = parseU64();
-        const std::uint64_t limit =
-            negative ? (1ull << 63) : (1ull << 63) - 1;
-        if (magnitude > limit)
-            fail("integer overflow");
-        // Negate in unsigned arithmetic so INT64_MIN round-trips.
-        return static_cast<std::int64_t>(
-            negative ? 0 - magnitude : magnitude);
-    }
+    explicit Scanner(const std::string& text)
+        : core::json::Scanner(text)
+    {}
 
     /**
      * A JSON number token, classified by shape: digits only is U64,
@@ -296,30 +158,6 @@ class Scanner
                    : v.real;
     }
 
-    bool parseBool()
-    {
-        skipWs();
-        if (src.compare(pos, 4, "true") == 0) {
-            pos += 4;
-            return true;
-        }
-        if (src.compare(pos, 5, "false") == 0) {
-            pos += 5;
-            return false;
-        }
-        fail("expected true or false");
-    }
-
-    bool consumeNull()
-    {
-        skipWs();
-        if (src.compare(pos, 4, "null") == 0) {
-            pos += 4;
-            return true;
-        }
-        return false;
-    }
-
     JobId parseJobId()
     {
         const std::uint64_t id = parseU64();
@@ -327,18 +165,14 @@ class Scanner
             fail("job id must be positive");
         return id;
     }
-
-    void finish()
-    {
-        skipWs();
-        if (pos != src.size())
-            fail("trailing content after document");
-    }
-
-  private:
-    const std::string& src;
-    std::size_t pos = 0;
 };
+
+/** Format a scan failure as the diagnostic parse*Line() returns. */
+std::string
+scanDiagnostic(const core::json::ScanError& e)
+{
+    return "offset " + std::to_string(e.offset) + ": " + e.reason;
+}
 
 // --- request / response payloads --------------------------------------
 
@@ -582,8 +416,8 @@ parseRequestLine(const std::string& line, Request& out, std::string& error)
         sc.expect('}');
         sc.finish();
         return true;
-    } catch (const WireError& e) {
-        error = e.message;
+    } catch (const core::json::ScanError& e) {
+        error = scanDiagnostic(e);
         return false;
     }
 }
@@ -696,8 +530,8 @@ parseResponseLine(const std::string& line, Response& out,
         sc.expect('}');
         sc.finish();
         return true;
-    } catch (const WireError& e) {
-        error = e.message;
+    } catch (const core::json::ScanError& e) {
+        error = scanDiagnostic(e);
         return false;
     }
 }

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Worker-count invariance of the dataflow analyzer.  The
+ * per-observable budget fan-out runs on the exec engine; by the
+ * engine's determinism contract (size-only partition, pre-sized
+ * slots, ordered reduction) the full FlowAnalysis — residencies,
+ * pressure timelines, budgets, hazards — must be bit-identical at 1,
+ * 2, and 8 workers, and the deterministic obs counters the analyzer
+ * bumps must move by the same deltas.  Companion of
+ * sched_determinism_test.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "devices/device.hh"
+#include "exec/thread_pool.hh"
+#include "lint/dataflow.hh"
+#include "lint/faults.hh"
+#include "obs/obs.hh"
+#include "qec/css_circuit.hh"
+#include "qec/css_code.hh"
+#include "qec/surface_circuit.hh"
+#include "uec/assignment.hh"
+#include "uec/uec_circuit.hh"
+
+namespace hetarch {
+namespace lint {
+namespace flow {
+namespace {
+
+/** Restore the worker-count default even when an assertion throws. */
+struct ThreadCountGuard
+{
+    ~ThreadCountGuard() { exec::setThreadCount(0); }
+};
+
+std::vector<stab::Circuit>
+corpus()
+{
+    std::vector<stab::Circuit> circuits;
+    circuits.push_back(qec::surfaceMemoryZ(3, 3, qec::CircuitNoise{}));
+    circuits.push_back(qec::surfaceMemoryZ(5, 5, qec::CircuitNoise{}));
+    circuits.push_back(
+        qec::codeCapacityMemoryZ(qec::makeSteane(), 2, 0.01, 0.01));
+    const auto code = qec::makeSteane();
+    circuits.push_back(uec::uecMemoryZ(
+        code, uec::roundRobinAssignment(code), 2, uec::UecNoise{}));
+    return circuits;
+}
+
+TEST(FlowDeterminism, AnalysisBitIdenticalAtOneTwoEightWorkers)
+{
+    ThreadCountGuard guard;
+    auto& analyses = obs::counter("lint.flow.analyses");
+    auto& hazards = obs::counter("lint.flow.hazards");
+
+    for (const auto& circuit : corpus()) {
+        const auto faults = analyzeCircuitFaults(circuit);
+        const auto model = sched::TimingModel::uniform(
+            devices::fixedFrequencyTransmon(), circuit.numQubits());
+        FlowOptions options;
+        options.faults = &faults;
+        options.gateBudget = true;
+
+        exec::setThreadCount(1);
+        const auto base_a = analyses.load();
+        const auto base_h = hazards.load();
+        const auto serial = analyzeFlow(circuit, model, options);
+        const auto delta_a1 = analyses.load() - base_a;
+        const auto delta_h1 = hazards.load() - base_h;
+
+        for (unsigned workers : {2u, 8u}) {
+            exec::setThreadCount(workers);
+            const auto before_a = analyses.load();
+            const auto before_h = hazards.load();
+            const auto parallel = analyzeFlow(circuit, model, options);
+            EXPECT_TRUE(parallel == serial)
+                << "analysis diverged at " << workers << " workers";
+            EXPECT_EQ(analyses.load() - before_a, delta_a1)
+                << "analysis counter diverged at " << workers
+                << " workers";
+            EXPECT_EQ(hazards.load() - before_h, delta_h1)
+                << "hazard counter diverged at " << workers
+                << " workers";
+        }
+    }
+}
+
+TEST(FlowDeterminism, StableAcrossRepeatedRuns)
+{
+    // Same thread count, repeated runs: no dependence on allocation
+    // addresses, map iteration order, or scheduling.
+    const auto circuit = qec::surfaceMemoryZ(3, 3, qec::CircuitNoise{});
+    const auto model = sched::TimingModel::uniform(
+        devices::fluxTunableQubit(), circuit.numQubits());
+    const auto first = analyzeFlow(circuit, model);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_TRUE(analyzeFlow(circuit, model) == first);
+}
+
+TEST(FlowDeterminism, NestedInsideParallelForStillCorrect)
+{
+    // The engine serializes nested parallelFor; an analysis launched
+    // from inside a worker must still match the top-level result.
+    ThreadCountGuard guard;
+    exec::setThreadCount(4);
+    const auto circuit =
+        qec::codeCapacityMemoryZ(qec::makeRepetition(3), 2, 0.01, 0.01);
+    const auto model = sched::TimingModel::uniform(
+        devices::fixedFrequencyTransmon(), circuit.numQubits());
+    const auto outer = analyzeFlow(circuit, model);
+
+    std::vector<FlowAnalysis> nested(4);
+    exec::parallelFor(nested.size(), [&](std::size_t i) {
+        nested[i] = analyzeFlow(circuit, model);
+    });
+    for (const auto& a : nested)
+        EXPECT_TRUE(a == outer);
+}
+
+} // namespace
+} // namespace flow
+} // namespace lint
+} // namespace hetarch

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the hetarch-flow-v1 JSON schema: serialization with
+ * name-sorted keys, exact full-struct round-trips through the strict
+ * parser (unlike the sched document, nothing is omitted), and fatal
+ * rejection of malformed or schema-deviating documents.  Sibling of
+ * sched_json_test.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "devices/device.hh"
+#include "lint/dataflow.hh"
+#include "lint/faults.hh"
+#include "lint/flow_json.hh"
+#include "qec/surface_circuit.hh"
+
+namespace hetarch {
+namespace lint {
+namespace flow {
+namespace {
+
+FlowDocument
+sampleDocument()
+{
+    FlowDocument doc;
+
+    {
+        // A clean park/retrieve register: residencies and instances
+        // serialize non-empty, hazards empty.
+        stab::Circuit c(2);
+        c.reset(0);
+        c.x(0);
+        c.swap(0, 1);
+        c.swap(0, 1);
+        const auto m = c.measure(0);
+        c.detector({m});
+        const auto model = TimingModel::withStorage(
+            devices::fixedFrequencyTransmon(),
+            devices::multimodeResonator3D(), c.numQubits(), {1});
+        doc.files.push_back(
+            {"register.circ", model.name, analyzeFlow(c, model)});
+    }
+    {
+        // A hazardous unit with a certified budget: the surface d=3
+        // memory carries noise, so gate bounds are non-trivial.
+        const auto circuit =
+            qec::surfaceMemoryZ(3, 3, qec::CircuitNoise{});
+        const auto faults = analyzeCircuitFaults(circuit);
+        const auto model = TimingModel::uniform(
+            devices::fixedFrequencyTransmon(), circuit.numQubits());
+        FlowOptions options;
+        options.faults = &faults;
+        options.gateBudget = true;
+        doc.files.push_back({"builder:surface-d3", model.name,
+                             analyzeFlow(circuit, model, options)});
+    }
+    {
+        // An orphaning unit so hazards and orphaned residencies (null
+        // retrieve_op) serialize.
+        stab::Circuit c(2);
+        c.reset(0);
+        c.x(0);
+        c.swap(0, 1);
+        const auto m = c.measure(0);
+        c.detector({m});
+        const auto model = TimingModel::withStorage(
+            devices::fixedFrequencyTransmon(),
+            devices::multimodeResonator3D(), c.numQubits(), {1});
+        doc.files.push_back(
+            {"orphan.circ", model.name, analyzeFlow(c, model)});
+    }
+    {
+        // An empty-circuit unit: every array serializes empty.
+        doc.files.push_back({"empty.circ", "unit",
+                             analyzeFlow(stab::Circuit(0),
+                                         TimingModel::unit(0))});
+    }
+    return doc;
+}
+
+TEST(FlowJson, RoundTripsExactly)
+{
+    const auto doc = sampleDocument();
+    const auto text = toFlowJson(doc);
+    const auto parsed = parseFlowJson(text);
+
+    ASSERT_EQ(parsed.files.size(), doc.files.size());
+    for (std::size_t i = 0; i < doc.files.size(); ++i) {
+        EXPECT_EQ(parsed.files[i].path, doc.files[i].path);
+        EXPECT_EQ(parsed.files[i].device, doc.files[i].device);
+        // The flow document carries the whole analysis: the parsed
+        // struct is bit-identical to the original.
+        EXPECT_TRUE(parsed.files[i].analysis == doc.files[i].analysis)
+            << doc.files[i].path;
+    }
+    // Serialization is a pure function of the (parsed) document.
+    EXPECT_EQ(toFlowJson(parsed), text);
+}
+
+TEST(FlowJson, GoldenShapeIsStable)
+{
+    // Key order is part of the contract: name-sorted per object,
+    // schema last.
+    const auto doc = sampleDocument();
+    const auto text = toFlowJson(doc);
+
+    EXPECT_NE(text.find("\"schema\": \"hetarch-flow-v1\""),
+              std::string::npos);
+    EXPECT_LT(text.find("\"critical_path_ns\""), text.find("\"device\""));
+    EXPECT_LT(text.find("\"device\""), text.find("\"hazards\""));
+    EXPECT_LT(text.find("\"hazards\""), text.find("\"instances\""));
+    EXPECT_LT(text.find("\"instances\""), text.find("\"live_idle_ns\""));
+    EXPECT_LT(text.find("\"live_idle_ns\""),
+              text.find("\"live_idle_windows\""));
+    EXPECT_LT(text.find("\"live_idle_windows\""),
+              text.find("\"movement_ns\""));
+    EXPECT_LT(text.find("\"movement_ns\""), text.find("\"observables\""));
+    EXPECT_LT(text.find("\"observables\""), text.find("\"path\""));
+    EXPECT_LT(text.find("\"path\""), text.find("\"peak_storage\""));
+    // (instances objects also carry a scalar "residencies" count, so
+    // the top-level array is matched with its bracket.)
+    EXPECT_LT(text.find("\"peak_storage\""),
+              text.find("\"residencies\": ["));
+    EXPECT_LT(text.find("\"storage_qubit_ns\""), text.find("\"swaps\""));
+    EXPECT_LT(text.find("\"swaps\""), text.find("\"timed_ops\""));
+    // The orphaned residency serializes its sentinel as null.
+    EXPECT_NE(text.find("\"retrieve_op\": null"), std::string::npos);
+    EXPECT_NE(text.find("\"orphaned\": true"), std::string::npos);
+    EXPECT_NE(text.find("\"pass\": \"flow-orphan\""),
+              std::string::npos);
+}
+
+TEST(FlowJson, EmptyDocument)
+{
+    const FlowDocument empty;
+    const auto text = toFlowJson(empty);
+    const auto parsed = parseFlowJson(text);
+    EXPECT_TRUE(parsed.files.empty());
+    EXPECT_EQ(toFlowJson(parsed), text);
+}
+
+using FlowJsonDeathTest = ::testing::Test;
+
+TEST(FlowJsonDeathTest, MalformedDocumentsAreFatal)
+{
+    EXPECT_DEATH(parseFlowJson(""), "parse error at byte");
+    EXPECT_DEATH(parseFlowJson("{}"), "parse error at byte");
+    EXPECT_DEATH(parseFlowJson("{\"files\": []}"),
+                 "parse error at byte");
+    // Wrong schema string.
+    EXPECT_DEATH(parseFlowJson(
+                     "{\"files\": [], \"schema\": \"hetarch-sched-v1\"}"),
+                 "parse error at byte");
+    // Keys out of sorted order inside a file object.
+    const auto doc = toFlowJson(sampleDocument());
+    auto swapped = doc;
+    const auto pos = swapped.find("\"peak_storage\"");
+    ASSERT_NE(pos, std::string::npos);
+    swapped.replace(pos, 14, "\"xeak_storage\"");
+    EXPECT_DEATH(parseFlowJson(swapped), "parse error at byte");
+    // Trailing garbage after the document.
+    EXPECT_DEATH(parseFlowJson(doc + "x"), "parse error at byte");
+}
+
+} // namespace
+} // namespace flow
+} // namespace lint
+} // namespace hetarch

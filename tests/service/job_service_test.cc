@@ -14,7 +14,10 @@
 #include <vector>
 
 #include "core/logging.hh"
+#include "dse/builder_registry.hh"
+#include "lint/dataflow.hh"
 #include "obs/obs.hh"
+#include "qec/decoder_cache.hh"
 #include "qec/memory_experiment.hh"
 #include "qec/noise_model.hh"
 #include "qec/surface_circuit.hh"
@@ -182,6 +185,46 @@ TEST(JobService, SingleJobMatchesDirectApi)
     EXPECT_EQ(status.result.find("failures")->u64, direct.failures);
     EXPECT_EQ(status.result.find("shots")->u64, direct.shots);
     EXPECT_EQ(status.result.find("per_round")->real, direct.perRound());
+}
+
+TEST(JobService, AnalysisFlowFieldsMatchDirectApi)
+{
+    JobService jobs(manualConfig());
+    JobSpec spec;
+    spec.name = "flow";
+    spec.kind = JobKind::Analysis;
+    spec.add("builder", ParamValue::str("surface-d3"));
+    spec.add("distance", ParamValue::num(1));
+    spec.add("flow", ParamValue::num(1));
+    const SubmitOutcome outcome = jobs.submit(spec);
+    ASSERT_TRUE(outcome.accepted()) << outcome.error;
+    jobs.drain();
+
+    JobStatus status;
+    ASSERT_TRUE(jobs.status(outcome.id, status));
+    ASSERT_EQ(status.state, JobState::Done);
+
+    const auto circuit = dse::findBuilder("surface-d3")->make();
+    const auto faults =
+        qec::DecoderCache::instance().faultAnalysis(circuit, {});
+    lint::flow::FlowOptions options;
+    options.faults = faults.get();
+    options.gateBudget = true;
+    const auto direct = lint::flow::FlowCache::instance().analysis(
+        circuit, lint::sched::TimingModel::unit(circuit.numQubits()),
+        options);
+
+    EXPECT_EQ(status.result.find("flow_swaps")->u64, direct->swapCount);
+    EXPECT_EQ(status.result.find("flow_movement_ns")->real,
+              direct->movementNs);
+    EXPECT_EQ(status.result.find("flow_peak_storage")->u64,
+              direct->peakStorageOccupancy);
+    EXPECT_EQ(status.result.find("flow_hazard_errors")->u64,
+              direct->hazardErrors());
+    ASSERT_NE(status.result.find("flow_budget"), nullptr);
+    EXPECT_EQ(status.result.find("flow_budget")->real,
+              direct->maxBudget());
+    EXPECT_GT(status.result.find("flow_budget")->real, 0.0);
 }
 
 TEST(JobService, RejectionsDoNotConsumeIds)

@@ -102,6 +102,7 @@ batchSpecs()
     analysis.add("builder", ParamValue::str("surface-d3"));
     analysis.add("distance", ParamValue::num(1));
     analysis.add("timing", ParamValue::num(1));
+    analysis.add("flow", ParamValue::num(1));
     specs.push_back(analysis);
 
     // The victim: same shape as the memory job, cancelled while

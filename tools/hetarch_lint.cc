@@ -37,17 +37,37 @@
  *                       requires --timing)
  *   --scale-durations=X multiply every device duration by X (the
  *                       timing gate's negative self-check knob)
+ *   --flow              run the qubit-dataflow / storage-residency
+ *                       analyzer (lint/dataflow.hh): movement hazards,
+ *                       residency pressure, and certified end-to-end
+ *                       error budgets; hazards join the findings.  The
+ *                       timing model comes from the same --device /
+ *                       --storage-device / --storage-qubits /
+ *                       --scale-durations flags as --timing; with
+ *                       --distance on a clean unit the budgets compose
+ *                       the gate-error union bound at the certified
+ *                       weight
+ *   --stale-after=NS    staleness threshold for flow-stale-storage
+ *                       (default: the hosting device's T2; requires
+ *                       --flow)
+ *   --expect-peak-storage=N
+ *                       fail (exit 2) unless every analyzed unit's
+ *                       peak storage occupancy is exactly N (the flow
+ *                       gate's negative self-check knob; requires
+ *                       --flow)
  *   --metrics-out=FILE  write an obs metrics snapshot on exit
  *
  * With --timing --format=json the stable hetarch-sched-v1 document is
- * emitted instead of hetarch-lint-v1.
+ * emitted instead of hetarch-lint-v1; with --flow --format=json the
+ * hetarch-flow-v1 document takes precedence over both.
  *
  * Exit status (the contract scripts/check_lint_clean.sh pins):
  *   0  every unit is clean (no errors; with --strict, no warnings)
- *      and every --expect-distance / --expect-latency check passed
+ *      and every --expect-distance / --expect-latency /
+ *      --expect-peak-storage check passed
  *   1  usage error, unreadable file, or parse failure
  *   2  lint findings above the acceptance threshold, or a certified
- *      distance/latency differing from the expectation
+ *      distance/latency/peak-storage differing from the expectation
  */
 
 #include <algorithm>
@@ -63,7 +83,9 @@
 #include "core/logging.hh"
 #include "devices/device.hh"
 #include "dse/builder_registry.hh"
+#include "lint/dataflow.hh"
 #include "lint/faults.hh"
+#include "lint/flow_json.hh"
 #include "lint/lint.hh"
 #include "lint/report_json.hh"
 #include "lint/sched_json.hh"
@@ -98,6 +120,8 @@ usage()
            "[--storage-qubits=Q,...]\n"
            "                    [--expect-latency=NS] "
            "[--scale-durations=X]\n"
+           "                    [--flow] [--stale-after=NS]\n"
+           "                    [--expect-peak-storage=N]\n"
            "                    [--builders[=name,...]] "
            "[--list-builders]\n"
            "                    [--drop-detector=N] "
@@ -218,10 +242,14 @@ main(int argc, char** argv)
     bool have_drop = false;
     bool timing = false;
     bool have_expect_latency = false;
+    bool flow = false;
+    bool have_expect_peak = false;
     std::size_t expect_distance = 0;
     std::size_t drop_index = 0;
+    std::size_t expect_peak = 0;
     double expect_latency = 0.0;
     double scale_durations = 1.0;
+    double stale_after = 0.0;
     std::string device_name = "fixed-frequency-transmon";
     std::string storage_name = "3d-multimode-resonator";
     std::vector<std::uint32_t> storage_qubits;
@@ -284,6 +312,16 @@ main(int argc, char** argv)
             if (!parseDouble(value(), scale_durations) ||
                 scale_durations <= 0.0)
                 return usage();
+        } else if (arg == "--flow") {
+            flow = true;
+        } else if (arg.rfind("--stale-after=", 0) == 0) {
+            if (!parseDouble(value(), stale_after) ||
+                stale_after <= 0.0)
+                return usage();
+        } else if (arg.rfind("--expect-peak-storage=", 0) == 0) {
+            if (!parseSize(value(), expect_peak))
+                return usage();
+            have_expect_peak = true;
         } else if (arg == "--format=text") {
             json = false;
         } else if (arg == "--format=json") {
@@ -321,15 +359,25 @@ main(int argc, char** argv)
                      "--timing\n";
         return usage();
     }
+    if (have_expect_peak && !flow) {
+        std::cerr << "hetarch-lint: --expect-peak-storage requires "
+                     "--flow\n";
+        return usage();
+    }
+    if (stale_after > 0.0 && !flow) {
+        std::cerr << "hetarch-lint: --stale-after requires --flow\n";
+        return usage();
+    }
+    const bool need_model = timing || flow;
     devices::DeviceModel compute_dev;
     devices::DeviceModel storage_dev;
-    if (timing && device_name != "unit" &&
+    if (need_model && device_name != "unit" &&
         !findDevice(device_name, compute_dev)) {
         std::cerr << "hetarch-lint: unknown device '" << device_name
                   << "'\n";
         return usage();
     }
-    if (timing && !storage_qubits.empty() &&
+    if (need_model && !storage_qubits.empty() &&
         !findDevice(storage_name, storage_dev)) {
         std::cerr << "hetarch-lint: unknown storage device '"
                   << storage_name << "'\n";
@@ -338,6 +386,7 @@ main(int argc, char** argv)
 
     lint::LintDocument doc;
     lint::sched::SchedDocument sched_doc;
+    lint::flow::FlowDocument flow_doc;
     bool accepted = true;
     for (const auto& unit : units) {
         auto circ = loadUnit(unit);
@@ -360,7 +409,8 @@ main(int argc, char** argv)
         }
 
         std::shared_ptr<const lint::sched::ScheduleAnalysis> sched;
-        if (timing) {
+        std::shared_ptr<const lint::flow::FlowAnalysis> flow_a;
+        if (need_model) {
             // Validate before TimingModel::withStorage: its
             // out-of-range assert is an internal contract, but a bad
             // --storage-qubits index is a user error (exit 1).
@@ -384,14 +434,32 @@ main(int argc, char** argv)
             }
             if (scale_durations != 1.0)
                 model.scaleDurations(scale_durations);
-            lint::sched::SchedOptions sched_options;
-            sched_options.faults =
-                fault_analysis ? fault_analysis.get() : nullptr;
-            sched = lint::sched::ScheduleCache::instance().analysis(
-                circ, model, sched_options);
-            lint::sched::scheduleFindings(*sched, file.report);
-            sched_doc.files.push_back(
-                {unit.label, model.name, *sched});
+            if (timing) {
+                lint::sched::SchedOptions sched_options;
+                sched_options.faults =
+                    fault_analysis ? fault_analysis.get() : nullptr;
+                sched =
+                    lint::sched::ScheduleCache::instance().analysis(
+                        circ, model, sched_options);
+                lint::sched::scheduleFindings(*sched, file.report);
+                sched_doc.files.push_back(
+                    {unit.label, model.name, *sched});
+            }
+            if (flow) {
+                lint::flow::FlowOptions flow_options;
+                flow_options.faults =
+                    fault_analysis ? fault_analysis.get() : nullptr;
+                // The DEM behind the gate budget presumes
+                // deterministic detectors — same gate as --distance.
+                flow_options.gateBudget =
+                    distance && file.report.clean();
+                flow_options.staleAfterNs = stale_after;
+                flow_a = lint::flow::FlowCache::instance().analysis(
+                    circ, model, flow_options);
+                lint::flow::flowFindings(*flow_a, file.report);
+                flow_doc.files.push_back(
+                    {unit.label, model.name, *flow_a});
+            }
         }
         cFiles.add();
         cErrors.add(file.report.errorCount());
@@ -426,6 +494,14 @@ main(int argc, char** argv)
                 ok = false;
             }
         }
+        if (have_expect_peak && flow_a &&
+            flow_a->peakStorageOccupancy != expect_peak) {
+            std::cerr << "hetarch-lint: " << unit.label
+                      << ": peak storage occupancy "
+                      << flow_a->peakStorageOccupancy << ", expected "
+                      << expect_peak << "\n";
+            ok = false;
+        }
 
         if (!json) {
             std::cout << unit.label << ": " << (ok ? "clean" : "FAIL")
@@ -442,6 +518,13 @@ main(int argc, char** argv)
             if (sched)
                 std::cout << " latency=" << sched->criticalPathNs
                           << "ns";
+            if (flow_a) {
+                std::cout << " swaps=" << flow_a->swapCount
+                          << " peak-storage="
+                          << flow_a->peakStorageOccupancy;
+                if (!flow_a->observables.empty())
+                    std::cout << " budget=" << flow_a->maxBudget();
+            }
             std::cout << "\n";
             if (!file.report.findings.empty())
                 std::cout << file.report.toString();
@@ -449,10 +532,15 @@ main(int argc, char** argv)
         accepted = accepted && ok;
         doc.files.push_back(std::move(file));
     }
-    // --timing --format=json emits the sched document; the lint-v1
-    // schema stays exactly as its parser pins it.
-    if (json)
-        std::cout << (timing ? lint::sched::toSchedJson(sched_doc)
-                             : lint::toLintJson(doc));
+    // --flow --format=json emits the flow document, --timing the sched
+    // document; the lint-v1 schema stays exactly as its parser pins it.
+    if (json) {
+        if (flow)
+            std::cout << lint::flow::toFlowJson(flow_doc);
+        else if (timing)
+            std::cout << lint::sched::toSchedJson(sched_doc);
+        else
+            std::cout << lint::toLintJson(doc);
+    }
     return accepted ? 0 : 2;
 }
