@@ -49,6 +49,7 @@ int
 main(int argc, char** argv)
 {
     hetarch::bench::configure(argc, argv);
+    hetarch::bench::printRunHeader();
     using clock = std::chrono::steady_clock;
     std::cout << "\n=== Ablation: DEJMPS closed form vs exact DM ===\n";
 

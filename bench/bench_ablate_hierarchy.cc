@@ -51,6 +51,7 @@ int
 main(int argc, char** argv)
 {
     hetarch::bench::configure(argc, argv);
+    hetarch::bench::printRunHeader();
     std::cout << "\n=== Ablation: hierarchical vs joint simulation burden "
                  "===\n";
 

@@ -40,6 +40,7 @@ int
 main(int argc, char** argv)
 {
     hetarch::bench::configure(argc, argv);
+    hetarch::bench::printRunHeader();
     std::cout << "\n=== Ablation: DEJMPS vs BBPSSW distillation ===\n";
 
     TextTable ladder({"round", "F(DEJMPS)", "F(BBPSSW)"});

@@ -77,6 +77,26 @@ BM_FrameSamplerReference(benchmark::State& state)
 BENCHMARK(BM_FrameSamplerReference)->Arg(3)->Arg(5)->Arg(9)->Arg(13);
 
 void
+BM_FrameReplayBlock(benchmark::State& state)
+{
+    // Pure frame propagation (the vectorized replay pass) at a given
+    // block width; the noise tape is resolved once outside the loop.
+    const auto words = static_cast<std::size_t>(state.range(0));
+    const auto circ = qec::surfaceMemoryZ(9, 9, noiseModel());
+    const auto prog = stab::FrameProgram::compile(circ);
+    stab::FrameBlockScratch scratch;
+    Rng rng(3);
+    prog->resolveNoiseTape(scratch, words, rng);
+    for (auto _ : state) {
+        prog->replayBlock(scratch);
+        benchmark::DoNotOptimize(scratch.meas.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(words * 64));
+}
+BENCHMARK(BM_FrameReplayBlock)->Arg(1)->Arg(4)->Arg(8);
+
+void
 BM_TableauSampler(benchmark::State& state)
 {
     const auto d = static_cast<std::size_t>(state.range(0));
@@ -97,6 +117,7 @@ int
 main(int argc, char** argv)
 {
     hetarch::bench::configure(argc, argv);
+    hetarch::bench::printRunHeader();
     using clock = std::chrono::steady_clock;
     std::cout << "\n=== Ablation: frame sampler vs tableau simulator ===\n";
 
@@ -164,6 +185,75 @@ main(int argc, char** argv)
                   identical ? "yes" : "NO"});
     }
     p.print(std::cout);
+
+    std::cout << "\n=== Ablation: word-parallel blocks (W=8) vs 1-word "
+                 "blocks ===\n";
+    // Two arms per distance: "sample" is end-to-end sampleDetectors
+    // (sequential noise-tape resolution + vectorized replay), "replay"
+    // is the frame-propagation pass alone.  Samples are bit-identical
+    // at every width by the RNG-order invariant, so the speedup is a
+    // pure throughput delta.
+    TextTable w({"distance", "arm", "w=8(ms)", "w=1(ms)", "speedup",
+                 "bit-identical"});
+    const std::size_t saved_width = stab::frameBlockWords();
+    for (std::size_t d : {3ul, 5ul, 9ul, 13ul}) {
+        const auto circ = qec::surfaceMemoryZ(d, d, noiseModel());
+        const std::size_t shots = 2048;
+        stab::FrameSimulator frame(circ);
+
+        stab::setFrameBlockWords(8);
+        Rng rng_w(1);
+        const auto s0 = clock::now();
+        const auto wide = frame.sampleDetectors(shots, rng_w);
+        const auto s1 = clock::now();
+
+        stab::setFrameBlockWords(1);
+        Rng rng_n(1);
+        const auto n0 = clock::now();
+        const auto narrow = frame.sampleDetectors(shots, rng_n);
+        const auto n1 = clock::now();
+
+        const bool identical = wide.detWords == narrow.detWords &&
+                               wide.obsWords == narrow.obsWords;
+        const double w_ms =
+            std::chrono::duration<double, std::milli>(s1 - s0).count();
+        const double n_ms =
+            std::chrono::duration<double, std::milli>(n1 - n0).count();
+        w.addRow({std::to_string(d), "sample", formatFixed(w_ms, 2),
+                  formatFixed(n_ms, 2),
+                  formatFixed(n_ms / w_ms, 1) + "x",
+                  identical ? "yes" : "NO"});
+
+        // Propagation-only arm: replay a resolved tape, W words per
+        // walk vs one word per walk, equal shot totals.
+        const auto prog = stab::FrameProgram::compile(circ);
+        const std::size_t reps = 64;
+        stab::FrameBlockScratch blk;
+        Rng rng_b(1);
+        prog->resolveNoiseTape(blk, 8, rng_b);
+        const auto b0 = clock::now();
+        for (std::size_t r = 0; r < reps; ++r)
+            prog->replayBlock(blk);
+        const auto b1 = clock::now();
+
+        stab::FrameBlockScratch one;
+        Rng rng_o(1);
+        prog->resolveNoiseTape(one, 1, rng_o);
+        const auto o0 = clock::now();
+        for (std::size_t r = 0; r < reps * 8; ++r)
+            prog->replayBlock(one);
+        const auto o1 = clock::now();
+
+        const double b_ms =
+            std::chrono::duration<double, std::milli>(b1 - b0).count();
+        const double o_ms =
+            std::chrono::duration<double, std::milli>(o1 - o0).count();
+        w.addRow({std::to_string(d), "replay", formatFixed(b_ms, 2),
+                  formatFixed(o_ms, 2),
+                  formatFixed(o_ms / b_ms, 1) + "x", "-"});
+    }
+    stab::setFrameBlockWords(saved_width);
+    w.print(std::cout);
     std::cout.flush();
 
     hetarch::bench::exportMetrics();

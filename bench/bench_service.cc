@@ -195,6 +195,7 @@ int
 main(int argc, char** argv)
 {
     hetarch::bench::configure(argc, argv);
+    hetarch::bench::printRunHeader();
     const double shot_scale = hetarch::bench::runScale().shotScale;
 
     std::cout << "exec threads: " << exec::threadCount() << "\n";

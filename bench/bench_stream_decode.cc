@@ -119,6 +119,7 @@ int
 main(int argc, char** argv)
 {
     hetarch::bench::configure(argc, argv);
+    hetarch::bench::printRunHeader();
     obs::setTimingEnabled(true);
     const double shot_scale = hetarch::bench::runScale().shotScale;
     using clock = std::chrono::steady_clock;

@@ -94,6 +94,7 @@ int
 main(int argc, char** argv)
 {
     ::hetarch::bench::configure(argc, argv);
+    ::hetarch::bench::printRunHeader();
     std::cout << "exec threads: " << ::hetarch::exec::threadCount()
               << "\n";
     {

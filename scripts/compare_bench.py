@@ -37,6 +37,14 @@ TIMING_TOLERANCE = 0.5
 
 SCHEMA = "hetarch-obs-v1"
 
+# Machine-dependent counters: recorded for provenance (which SIMD
+# backend produced an artifact), excluded from exact comparison so a
+# baseline generated on an AVX2 host still compares clean on a
+# scalar-only or NEON runner.  Everything else stays exactly gated —
+# the pipelines' own counters are bit-identical across backends by the
+# scalar-fallback guarantee.
+MACHINE_DEPENDENT = {"stab.sampler.simd_width"}
+
 # Companion-counter rules: when the key counter appears in a snapshot,
 # every listed companion must appear too.  Exact comparison alone can't
 # catch instrumentation that silently vanishes from BOTH sides when a
@@ -68,6 +76,14 @@ REQUIRED_COMPANIONS = {
                                "service.jobs.failed",
                                "service.jobs.cancelled",
                                "service.jobs.rejected"),
+    # The shot-batched decoder's block accounting must stay live on
+    # every batch-decode path; dropping it silently would hide the
+    # word-block pipeline falling back to per-shot decoding.
+    "qec.decode.batch_blocks": ("qec.decode.batch_shots",
+                                "qec.decode.batch_dedup_hits"),
+    # The word-parallel sampler's noise-tape accounting must stay live
+    # wherever the packed sampler runs.
+    "stab.sampler.batches": ("stab.sampler.noise_words",),
 }
 
 
@@ -109,6 +125,8 @@ def compare_counters(name, baseline, current):
     base = baseline.get("counters", {})
     cur = current.get("counters", {})
     for counter in sorted(set(base) | set(cur)):
+        if counter in MACHINE_DEPENDENT:
+            continue
         if counter not in cur:
             failures.append(f"{name}: counter '{counter}' missing from "
                             f"current run (baseline={base[counter]})")
@@ -211,7 +229,13 @@ def self_test():
                      "qec.stream.windows": 64,
                      "qec.stream.committed_rounds": 448,
                      "qec.stream.lane_decodes": 3800,
-                     "qec.stream.carry_defects": 900},
+                     "qec.stream.carry_defects": 900,
+                     "qec.decode.batch_blocks": 16,
+                     "qec.decode.batch_shots": 4096,
+                     "qec.decode.batch_dedup_hits": 700,
+                     "stab.sampler.batches": 64,
+                     "stab.sampler.noise_words": 35840,
+                     "stab.sampler.simd_width": 4},
         "histograms": {},
         "spans": [],
     }
@@ -313,6 +337,37 @@ def self_test():
             del no_stream["counters"][key]
     checks.append(("stream rule dormant without key counter",
                    result(no_stream, no_stream, bench) == 0))
+
+    # And for the shot-batched decoder's block accounting.
+    no_batch = json.loads(json.dumps(metrics))
+    del no_batch["counters"]["qec.decode.batch_dedup_hits"]
+    checks.append(("batch decode companion dropped from both sides",
+                   result(no_batch, no_batch, bench) == 1))
+    no_batch_all = json.loads(json.dumps(metrics))
+    for key in list(no_batch_all["counters"]):
+        if key.startswith("qec.decode.batch_"):
+            del no_batch_all["counters"][key]
+    checks.append(("batch rule dormant without key counter",
+                   result(no_batch_all, no_batch_all, bench) == 0))
+
+    # And for the sampler's noise-tape accounting.
+    no_tape = json.loads(json.dumps(metrics))
+    del no_tape["counters"]["stab.sampler.noise_words"]
+    checks.append(("noise-word companion dropped from both sides",
+                   result(no_tape, no_tape, bench) == 1))
+
+    # Machine-dependent counters never gate: differing values and
+    # one-sided presence both compare clean.
+    other_width = json.loads(json.dumps(metrics))
+    other_width["counters"]["stab.sampler.simd_width"] = 1
+    checks.append(("differing simd_width is not gated",
+                   result(metrics, other_width, bench) == 0))
+    no_width = json.loads(json.dumps(metrics))
+    del no_width["counters"]["stab.sampler.simd_width"]
+    checks.append(("one-sided simd_width is not gated",
+                   result(metrics, no_width, bench) == 0))
+    checks.append(("one-sided simd_width is not gated (baseline)",
+                   result(no_width, metrics, bench) == 0))
 
     # A wrong schema tag must fail.
     bad_schema = json.loads(json.dumps(metrics))

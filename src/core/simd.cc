@@ -1,0 +1,55 @@
+#include "core/simd.hh"
+
+#if defined(HETARCH_SIMD_X86_DISPATCH)
+
+#include <immintrin.h>
+
+namespace hetarch {
+namespace simd {
+
+bool
+haveAvx2()
+{
+    // __builtin_cpu_supports caches its cpuid probe; the static keeps
+    // the call entirely out of the hot loops.
+    static const bool have = __builtin_cpu_supports("avx2");
+    return have;
+}
+
+__attribute__((target("avx2"))) void
+xorWordsAvx2(std::uint64_t* dst, const std::uint64_t* src, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i d = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(dst + i));
+        const __m256i s = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(src + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                            _mm256_xor_si256(d, s));
+    }
+    for (; i < n; ++i)
+        dst[i] ^= src[i];
+}
+
+__attribute__((target("avx2"))) void
+xorAccumulateAvx2(std::uint64_t* acc, const std::uint64_t* a,
+                  const std::uint64_t* b, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(a + i));
+        const __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(b + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i),
+                            _mm256_xor_si256(va, vb));
+    }
+    for (; i < n; ++i)
+        acc[i] = a[i] ^ b[i];
+}
+
+} // namespace simd
+} // namespace hetarch
+
+#endif // HETARCH_SIMD_X86_DISPATCH

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Portable word-block SIMD kernels for the packed pipeline.
+ *
+ * Every hot loop of the bit-packed sampler/decoder operates on rows of
+ * 64-bit words whose bit lanes are Monte-Carlo shots.  These helpers
+ * apply XOR/copy/swap/zero/popcount across a whole W-word row at once,
+ * using AVX2 (4 words per vector) or NEON (2 words per vector) when
+ * available and a plain scalar loop otherwise.
+ *
+ * Contract: every kernel computes the exact same bits on every
+ * backend — they are pure integer operations, so vectorization cannot
+ * change results, only throughput.  The scalar fallback is therefore a
+ * *guarantee*, not a degraded mode: building with -DHETARCH_SIMD=OFF
+ * (which defines HETARCH_SIMD_DISABLE) must reproduce every fixed-seed
+ * artifact bit for bit, and CI runs the packed/ablation suites that
+ * way.
+ *
+ * x86 dispatch is runtime: the AVX2 bodies are compiled with a
+ * per-function target attribute (no global -mavx2, so the binary still
+ * runs on baseline x86-64) and selected once via cpuid.  NEON is part
+ * of baseline AArch64, so it compiles unconditionally there.
+ */
+
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#if !defined(HETARCH_SIMD_DISABLE) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define HETARCH_SIMD_X86_DISPATCH 1
+#endif
+
+#if !defined(HETARCH_SIMD_DISABLE) && defined(__aarch64__) && \
+    defined(__ARM_NEON)
+#define HETARCH_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace hetarch {
+namespace simd {
+
+#if defined(HETARCH_SIMD_X86_DISPATCH)
+/** Cached cpuid probe; false when built with HETARCH_SIMD_DISABLE. */
+bool haveAvx2();
+// AVX2 bodies (simd.cc, per-function target attribute).  Callers go
+// through the inline wrappers below, which fall back to scalar.
+void xorWordsAvx2(std::uint64_t* dst, const std::uint64_t* src,
+                  std::size_t n);
+void xorAccumulateAvx2(std::uint64_t* acc, const std::uint64_t* a,
+                       const std::uint64_t* b, std::size_t n);
+#else
+inline bool
+haveAvx2()
+{
+    return false;
+}
+#endif
+
+/** Human-readable backend tag: "avx2", "neon", or "scalar". */
+inline const char*
+backendName()
+{
+#if defined(HETARCH_SIMD_NEON)
+    return "neon";
+#else
+    return haveAvx2() ? "avx2" : "scalar";
+#endif
+}
+
+/** 64-bit words processed per vector op (1 on the scalar fallback). */
+inline std::size_t
+vectorWords()
+{
+#if defined(HETARCH_SIMD_NEON)
+    return 2;
+#else
+    return haveAvx2() ? 4 : 1;
+#endif
+}
+
+/** dst[i] ^= src[i] for i in [0, n). */
+inline void
+xorWords(std::uint64_t* dst, const std::uint64_t* src, std::size_t n)
+{
+#if defined(HETARCH_SIMD_X86_DISPATCH)
+    if (haveAvx2() && n >= 4) {
+        xorWordsAvx2(dst, src, n);
+        return;
+    }
+#elif defined(HETARCH_SIMD_NEON)
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        vst1q_u64(dst + i,
+                  veorq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+    }
+    for (; i < n; ++i)
+        dst[i] ^= src[i];
+    return;
+#endif
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] ^= src[i];
+}
+
+/** acc[i] = a[i] ^ b[i] for i in [0, n) (three-address XOR). */
+inline void
+xorInto(std::uint64_t* acc, const std::uint64_t* a,
+        const std::uint64_t* b, std::size_t n)
+{
+#if defined(HETARCH_SIMD_X86_DISPATCH)
+    if (haveAvx2() && n >= 4) {
+        xorAccumulateAvx2(acc, a, b, n);
+        return;
+    }
+#elif defined(HETARCH_SIMD_NEON)
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2)
+        vst1q_u64(acc + i,
+                  veorq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+    for (; i < n; ++i)
+        acc[i] = a[i] ^ b[i];
+    return;
+#endif
+    for (std::size_t i = 0; i < n; ++i)
+        acc[i] = a[i] ^ b[i];
+}
+
+/** dst[i] = src[i] for i in [0, n). */
+inline void
+copyWords(std::uint64_t* dst, const std::uint64_t* src, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = src[i];
+}
+
+/** Exchange rows a and b word-wise. */
+inline void
+swapWords(std::uint64_t* a, std::uint64_t* b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t t = a[i];
+        a[i] = b[i];
+        b[i] = t;
+    }
+}
+
+/** dst[i] = 0 for i in [0, n). */
+inline void
+zeroWords(std::uint64_t* dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = 0;
+}
+
+/**
+ * Popcount of one packed word.  The single shared bit-counting
+ * primitive of the pipeline: both the reference interpreter and the
+ * block sampler count frame_flips through this call, so the two paths
+ * cannot drift apart in accounting.
+ */
+inline std::uint64_t
+popcountWord(std::uint64_t w)
+{
+    return static_cast<std::uint64_t>(std::popcount(w));
+}
+
+/** Popcount summed over a word row. */
+inline std::uint64_t
+popcountWords(const std::uint64_t* src, std::size_t n)
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        total += popcountWord(src[i]);
+    return total;
+}
+
+} // namespace simd
+} // namespace hetarch

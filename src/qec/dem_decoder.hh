@@ -55,6 +55,24 @@ class DemDecoder
                                std::vector<std::uint32_t>& residual,
                                std::vector<std::uint32_t>& next) const;
 
+    /**
+     * Decode a block of sparse syndromes, writing shot i's predicted
+     * observable mask to @p out[i].  Output-identical to per-shot
+     * decodeSparse() (each decode is a pure function of its fired
+     * list); shots are sorted by ascending syndrome weight then
+     * lexicographically so identical syndromes are decoded once and
+     * their masks reused.  Const and thread-safe: all scratch
+     * (@p residual, @p next, @p order) is caller-provided, so chunk
+     * workers can share one cached decoder.  Returns the number of
+     * duplicate-reuse skips.
+     */
+    std::size_t decodeBatch(std::span<const std::vector<std::uint32_t>>
+                                fired,
+                            std::span<std::uint32_t> out,
+                            std::vector<std::uint32_t>& residual,
+                            std::vector<std::uint32_t>& next,
+                            std::vector<std::uint32_t>& order) const;
+
   private:
     std::uint32_t decodeResidual(std::vector<std::uint32_t>& residual,
                                  std::vector<std::uint32_t>& next) const;

@@ -24,10 +24,27 @@ namespace {
 obs::Counter& cShotsDecoded = obs::counter("qec.decode.shots");
 obs::Counter& cLogicalFailures = obs::counter("qec.decode.logical_failures");
 obs::Counter& cTrivialShots = obs::counter("qec.decode.trivial_shots");
+// Shot-batched decode telemetry.  Blocks have the fixed
+// SlidingWindowDecoder::kDecodeBlockWords granularity and dedup hits
+// depend on the sampled syndromes alone, so all three are invariant
+// under worker count and sampler SIMD width.
+obs::Counter& cBatchBlocks = obs::counter("qec.decode.batch_blocks");
+obs::Counter& cBatchShots = obs::counter("qec.decode.batch_shots");
+obs::Counter& cBatchDedupHits =
+    obs::counter("qec.decode.batch_dedup_hits");
 obs::Counter& cShotsCompleted =
     obs::counter("exec.scheduler.shots_completed");
 obs::Histogram& hSyndromeWeight = obs::histogram("qec.syndrome_weight");
 obs::Histogram& hDecodeChunkNs = obs::histogram("qec.decode_chunk_ns");
+
+/** Publish one kernel's accumulated batch-decode stats. */
+void
+publishBatchStats(const SlidingWindowDecoder::Stats& st)
+{
+    cBatchBlocks.add(st.batchBlocks);
+    cBatchShots.add(st.batchShots);
+    cBatchDedupHits.add(st.dedupHits);
+}
 
 } // namespace
 
@@ -51,22 +68,18 @@ countLogicalFailures(const DecoderSetup& setup, DecoderKind decoder,
 
     // The decode kernel is local to the chunk: construction is cheap
     // (it only binds the shared graphs) and all per-decode arena state
-    // stays on this thread.  Whole-buffer mode replays the historical
-    // per-word-block loop exactly.
+    // stays on this thread.  The shot-batched buffer entry produces
+    // the exact failures / trivial counts / weight records of the
+    // historical per-word loop while amortizing the decoder arena over
+    // 256-shot blocks.
     SlidingWindowDecoder kernel(setup, decoder);
-    std::size_t failures = 0;
-    for (std::size_t w = 0; w < samples.numWords; ++w) {
-        const std::size_t lanes =
-            std::min<std::size_t>(64, samples.shots - w * 64);
-        kernel.beginBatch(lanes);
-        kernel.pushBufferColumn(samples, w);
-        failures += kernel.finishBatch();
-    }
+    const std::size_t failures = kernel.decodeBuffer(samples);
 
     hSyndromeWeight.merge(kernel.stats().syndromeWeights);
     cShotsDecoded.add(samples.shots);
     cLogicalFailures.add(failures);
     cTrivialShots.add(kernel.stats().trivialShots);
+    publishBatchStats(kernel.stats());
     return failures;
 }
 
@@ -91,21 +104,17 @@ runMemoryExperiment(const stab::Circuit& circuit, std::size_t shots,
     exec::parallelFor(sched.numChunks(), [&](std::size_t i) {
         const auto chunk = sched.chunk(i);
         Rng chunk_rng = exec::ShotScheduler::chunkRng(base, chunk.index);
-        // Stream the chunk round-by-round through the whole-buffer
-        // kernel instead of materializing a DetectorSamples buffer.
-        // RNG-consumption parity makes the sampled bits — and hence
-        // the failures and every data-dependent counter — identical
-        // to the historical sample-then-decode path.
-        stab::DetectorStream stream(setup->program, chunk.count);
+        // Sample the chunk with the word-parallel block sampler, then
+        // decode it through the shot-batched buffer entry.  The chunk
+        // buffer is bounded (<= kDefaultChunkShots shots, a few packed
+        // words per detector), and RNG-consumption parity makes the
+        // sampled bits — and hence the failures and every
+        // data-dependent counter — identical to the streamed
+        // round-by-round path at any worker count or SIMD width.
+        const stab::FrameSimulator frame(setup->program);
+        const auto samples = frame.sampleDetectors(chunk.count, chunk_rng);
         SlidingWindowDecoder kernel(*setup, decoder);
-        stab::SyndromeBlock block;
-        while (stream.next(chunk_rng, block)) {
-            if (block.slice == 0)
-                kernel.beginBatch(block.lanes);
-            kernel.pushBlock(block);
-            if (block.lastSliceOfBatch)
-                failures[i] += kernel.finishBatch();
-        }
+        failures[i] = kernel.decodeBuffer(samples);
         const auto& st = kernel.stats();
         hSyndromeWeight.merge(st.syndromeWeights);
         if (obs::timingEnabled())
@@ -113,6 +122,7 @@ runMemoryExperiment(const stab::Circuit& circuit, std::size_t shots,
         cShotsDecoded.add(chunk.count);
         cLogicalFailures.add(failures[i]);
         cTrivialShots.add(st.trivialShots);
+        publishBatchStats(st);
         cShotsCompleted.add(chunk.count);
     });
     for (auto f : failures)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <span>
 
 #include "core/logging.hh"
 
@@ -306,6 +307,116 @@ SlidingWindowDecoder::finishBatch()
     }
     acc.failures += failures;
     acc.shots += lanes;
+    if (timed)
+        acc.decodeNs += nowNs() - t0;
+    return failures;
+}
+
+std::size_t
+SlidingWindowDecoder::decodeBuffer(const stab::DetectorSamples& samples)
+{
+    HETARCH_ASSERT(!isWindowed,
+                   "decodeBuffer is the whole-buffer batch entry");
+    const bool timed = obs::timingEnabled();
+    const std::uint64_t t0 = timed ? nowNs() : 0;
+
+    const std::size_t block_cap = kDecodeBlockWords * 64;
+    bufFired.resize(block_cap);
+    projZ.resize(block_cap);
+    projX.resize(block_cap);
+    maskA.resize(block_cap);
+    maskB.resize(block_cap);
+
+    const std::size_t n_obs = samples.numObservables;
+    const std::uint32_t obs_mask =
+        n_obs >= 32 ? 0xffffffffu
+                    : (1u << static_cast<std::uint32_t>(n_obs)) - 1u;
+
+    std::size_t failures = 0;
+    for (std::size_t w0 = 0; w0 < samples.numWords;
+         w0 += kDecodeBlockWords) {
+        const std::size_t words =
+            std::min(kDecodeBlockWords, samples.numWords - w0);
+        const std::size_t block_shots =
+            std::min(words * 64, samples.shots - w0 * 64);
+
+        // One detector-major pass over the block's packed words pulls
+        // every shot's fired list (ascending detector ids) at once.
+        for (std::size_t s = 0; s < block_shots; ++s)
+            bufFired[s].clear();
+        for (std::size_t d = 0; d < samples.numDetectors; ++d) {
+            const std::uint64_t* row =
+                samples.detWords.data() + d * samples.numWords + w0;
+            for (std::size_t j = 0; j < words; ++j) {
+                std::uint64_t word = row[j];
+                while (word) {
+                    const auto l = static_cast<std::size_t>(
+                        std::countr_zero(word));
+                    word &= word - 1;
+                    bufFired[j * 64 + l].push_back(
+                        static_cast<std::uint32_t>(d));
+                }
+            }
+        }
+
+        ++acc.batchBlocks;
+        acc.batchShots += block_shots;
+        for (std::size_t s = 0; s < block_shots; ++s) {
+            acc.syndromeWeights.record(bufFired[s].size());
+            if (bufFired[s].empty())
+                ++acc.trivialShots;
+        }
+
+        const std::span<const std::vector<std::uint32_t>> lists(
+            bufFired.data(), block_shots);
+        if (kind == DecoderKind::GreedyDem) {
+            acc.dedupHits += setup.greedy->decodeBatch(
+                lists, std::span<std::uint32_t>(maskA.data(), block_shots),
+                residual, residualNext, batchOrder);
+            for (std::size_t s = 0; s < block_shots; ++s)
+                maskB[s] = 0;
+        } else {
+            // Project every shot onto both graphs, then decode each
+            // graph's syndromes as one weight-sorted batch.
+            for (std::size_t s = 0; s < block_shots; ++s) {
+                projZ[s].clear();
+                projX[s].clear();
+                if (bufFired[s].empty())
+                    continue;
+                if (setup.graphZ.numNodes())
+                    setup.graphZ.projectSparse(bufFired[s], projZ[s]);
+                if (setup.graphX.numNodes())
+                    setup.graphX.projectSparse(bufFired[s], projX[s]);
+            }
+            acc.dedupHits += decZ.decodeBatch(
+                std::span<const std::vector<std::uint32_t>>(projZ.data(),
+                                                            block_shots),
+                std::span<std::uint32_t>(maskA.data(), block_shots));
+            acc.dedupHits += decX.decodeBatch(
+                std::span<const std::vector<std::uint32_t>>(projX.data(),
+                                                            block_shots),
+                std::span<std::uint32_t>(maskB.data(), block_shots));
+        }
+
+        // Compare predictions against the packed observable words.
+        for (std::size_t j = 0; j < words; ++j) {
+            const std::size_t lanes_w =
+                std::min<std::size_t>(64, samples.shots - (w0 + j) * 64);
+            for (std::size_t l = 0; l < lanes_w; ++l) {
+                const std::uint32_t pred =
+                    maskA[j * 64 + l] ^ maskB[j * 64 + l];
+                std::uint32_t actual = 0;
+                for (std::size_t k = 0; k < n_obs && k < 32; ++k)
+                    actual |= static_cast<std::uint32_t>(
+                                  (samples.obsWord(k, w0 + j) >> l) & 1)
+                              << k;
+                if ((pred & obs_mask) != actual)
+                    ++failures;
+            }
+        }
+        acc.shots += block_shots;
+    }
+    acc.failures += failures;
     if (timed)
         acc.decodeNs += nowNs() - t0;
     return failures;

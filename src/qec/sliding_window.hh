@@ -92,7 +92,19 @@ class SlidingWindowDecoder
         std::uint64_t committedRounds = 0;
         std::uint64_t carryDefects = 0;  ///< defects carried forward
         std::uint64_t decodeNs = 0; ///< decode wall time (if timing on)
+        // Shot-batched buffer decode (decodeBuffer only).
+        std::uint64_t batchBlocks = 0; ///< word blocks decoded
+        std::uint64_t batchShots = 0;  ///< shots through decodeBuffer
+        std::uint64_t dedupHits = 0;   ///< duplicate-syndrome reuses
     };
+
+    /**
+     * Shots-per-block granularity of decodeBuffer(), in 64-shot words.
+     * Fixed (not tied to the sampler's configurable SIMD width) so the
+     * decoder's batching — and therefore its dedup telemetry — is
+     * invariant under HETARCH_SIMD_WIDTH and worker count alike.
+     */
+    static constexpr std::size_t kDecodeBlockWords = 4;
 
     SlidingWindowDecoder(const DecoderSetup& setup, DecoderKind kind,
                          const WindowConfig& config = {});
@@ -138,6 +150,25 @@ class SlidingWindowDecoder
      */
     std::size_t finishBatch();
 
+    /**
+     * Shot-batched whole-buffer decode: consume an entire packed
+     * sample buffer in kDecodeBlockWords-word blocks (up to 256 shots
+     * each) and return its total logical-failure count.
+     *
+     * Failures, trivial-shot counts and syndrome-weight records are
+     * identical to driving the kernel word-by-word through
+     * beginBatch()/pushBufferColumn()/finishBatch(): fired-detector
+     * extraction still scans detector-major packed words, and every
+     * shot's prediction still comes from the same sparse decoder calls
+     * (batching only reorders pure per-shot decodes and reuses masks
+     * of lexicographically identical syndromes — see
+     * UnionFindDecoder::decodeBatch).  On top, the block entry
+     * amortizes the decoder arena across up to 256 shots and fills the
+     * batch-decode stats (batchBlocks / batchShots / dedupHits).
+     * Whole-buffer mode only.
+     */
+    std::size_t decodeBuffer(const stab::DetectorSamples& samples);
+
   private:
     void decodeWindow(std::size_t window_end, std::size_t commit_end);
     void decodeWindowLane(std::size_t graph, std::size_t lane,
@@ -181,6 +212,16 @@ class SlidingWindowDecoder
     std::vector<std::uint32_t> keepBuf;
     std::vector<std::uint32_t> residual; ///< greedy scratch
     std::vector<std::uint32_t> residualNext;
+
+    // decodeBuffer block scratch: per-shot fired/projected lists and
+    // masks for one kDecodeBlockWords-word block (cleared, never
+    // shrunk).
+    std::vector<std::vector<std::uint32_t>> bufFired;
+    std::vector<std::vector<std::uint32_t>> projZ;
+    std::vector<std::vector<std::uint32_t>> projX;
+    std::vector<std::uint32_t> maskA;
+    std::vector<std::uint32_t> maskB;
+    std::vector<std::uint32_t> batchOrder; ///< greedy decodeBatch order
 };
 
 } // namespace qec

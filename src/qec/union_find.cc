@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <compare>
 #include <map>
 
 #include "core/logging.hh"
@@ -617,6 +618,52 @@ UnionFindDecoder::decode(const std::vector<std::uint8_t>& syndrome) const
         defect[boundary] = 0; // boundary absorbs anything
     }
     return correction;
+}
+
+std::size_t
+UnionFindDecoder::decodeBatch(
+    std::span<const std::vector<std::uint32_t>> fired,
+    std::span<std::uint32_t> out)
+{
+    HETARCH_ASSERT(out.size() >= fired.size(),
+                   "decodeBatch output span too small");
+    // Weight-0 shots take the fast path before the sort, so the sort
+    // only pays for the non-trivial minority at low noise.
+    auto& order = batchOrderBuf;
+    order.clear();
+    for (std::uint32_t i = 0; i < fired.size(); ++i) {
+        if (fired[i].empty())
+            out[i] = 0; // not counted as a dedup hit
+        else
+            order.push_back(i);
+    }
+    // Weight-ascending, then lexicographic so identical syndromes are
+    // adjacent, then shot index to keep the order deterministic.
+    std::sort(order.begin(), order.end(),
+              [&fired](std::uint32_t a, std::uint32_t b) {
+                  const auto& fa = fired[a];
+                  const auto& fb = fired[b];
+                  if (fa.size() != fb.size())
+                      return fa.size() < fb.size();
+                  const auto c = std::lexicographical_compare_three_way(
+                      fa.begin(), fa.end(), fb.begin(), fb.end());
+                  if (c != 0)
+                      return c < 0;
+                  return a < b;
+              });
+    std::size_t dedup_hits = 0;
+    for (std::size_t k = 0; k < order.size(); ++k) {
+        const auto shot = order[k];
+        if (k > 0 && fired[shot] == fired[order[k - 1]]) {
+            // decodeSparse is deterministic in its fired list, so an
+            // identical syndrome must produce an identical mask.
+            out[shot] = out[order[k - 1]];
+            ++dedup_hits;
+            continue;
+        }
+        out[shot] = decodeSparse(fired[shot]);
+    }
+    return dedup_hits;
 }
 
 } // namespace qec

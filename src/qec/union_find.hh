@@ -138,6 +138,26 @@ class UnionFindDecoder
                                std::vector<std::uint32_t>* applied_edges =
                                    nullptr);
 
+    /**
+     * Decode a block of sparse syndromes at once, writing the
+     * predicted observable mask of shot i to @p out[i].
+     *
+     * Output-identical to calling decodeSparse() per shot: each decode
+     * is a pure function of its fired list (the epoch-stamped arena
+     * isolates decodes from each other), so reordering and reusing
+     * results cannot change any prediction.  What batching buys is
+     * amortization — shots are processed in ascending syndrome-weight
+     * order (cheap trivial/unit syndromes first, keeping the arena's
+     * touched set small and hot), lexicographically equal neighbours
+     * reuse the previous shot's mask without re-decoding, and the
+     * arena warm-up is paid once per block instead of once per call
+     * site.  Returns the number of decodes skipped via duplicate
+     * reuse (telemetry: qec.decode.batch_dedup_hits).
+     */
+    std::size_t decodeBatch(std::span<const std::vector<std::uint32_t>>
+                                fired,
+                            std::span<std::uint32_t> out);
+
   private:
     void touchNode(std::size_t v);
     std::vector<std::pair<std::size_t, std::size_t>>&
@@ -174,6 +194,7 @@ class UnionFindDecoder
     std::vector<std::size_t> orderBuf;
     std::vector<std::int32_t> keepBuf;
     std::vector<std::int32_t> edgesNowBuf;
+    std::vector<std::uint32_t> batchOrderBuf; ///< decodeBatch shot order
 };
 
 } // namespace qec

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <mutex>
 #include <utility>
 
 #include "core/logging.hh"
+#include "core/simd.hh"
 #include "obs/obs.hh"
 
 namespace hetarch {
@@ -14,11 +16,15 @@ namespace {
 
 // Telemetry.  Flip counts are per 64-lane word (idle lanes of a final
 // partial batch included), so they are bit-identical for any chunking
-// of a shot budget and any worker count.
+// of a shot budget and any worker count.  noise_words counts resolved
+// noise-tape rows (tape slots x 64-shot batches) — a function of the
+// program and the shot budget alone, so it too is invariant under
+// worker count AND under the sampler's SIMD block width.
 obs::Counter& cSamplerCalls = obs::counter("stab.sampler.calls");
 obs::Counter& cSamplerShots = obs::counter("stab.sampler.shots");
 obs::Counter& cSamplerBatches = obs::counter("stab.sampler.batches");
 obs::Counter& cFrameFlips = obs::counter("stab.sampler.frame_flips");
+obs::Counter& cNoiseWords = obs::counter("stab.sampler.noise_words");
 
 /** Legacy interpreter: run the circuit once over a 64-shot batch. */
 void
@@ -78,13 +84,13 @@ runBatchReference(const Circuit& circ, FrameScratch& b, Rng& rng,
           case OpCode::X_ERROR: {
             const std::uint64_t err = rng.biasedWord(op.params[0]);
             b.x[op.targets[0]] ^= err;
-            flips += std::popcount(err);
+            flips += simd::popcountWord(err);
             break;
           }
           case OpCode::Z_ERROR: {
             const std::uint64_t err = rng.biasedWord(op.params[0]);
             b.z[op.targets[0]] ^= err;
-            flips += std::popcount(err);
+            flips += simd::popcountWord(err);
             break;
           }
           case OpCode::PAULI1: {
@@ -104,7 +110,7 @@ runBatchReference(const Circuit& circ, FrameScratch& b, Rng& rng,
             const std::uint64_t mz = err & ~pick_x & ~pick_y;
             b.x[op.targets[0]] ^= mx | my;
             b.z[op.targets[0]] ^= mz | my;
-            flips += std::popcount(err);
+            flips += simd::popcountWord(err);
             break;
           }
           case OpCode::DEPOL1: {
@@ -117,7 +123,7 @@ runBatchReference(const Circuit& circ, FrameScratch& b, Rng& rng,
             const std::uint64_t mz = err & ~pick_x & ~pick_y;
             b.x[op.targets[0]] ^= mx | my;
             b.z[op.targets[0]] ^= mz | my;
-            flips += std::popcount(err);
+            flips += simd::popcountWord(err);
             break;
           }
           case OpCode::DEPOL2: {
@@ -147,7 +153,7 @@ runBatchReference(const Circuit& circ, FrameScratch& b, Rng& rng,
             b.z[qa] ^= err & v1;
             b.x[qb] ^= err & v2;
             b.z[qb] ^= err & v3;
-            flips += std::popcount(err);
+            flips += simd::popcountWord(err);
             break;
           }
           case OpCode::DETECTOR:
@@ -263,6 +269,7 @@ DetectorStream::next(Rng& rng, SyndromeBlock& block)
             cSamplerShots.add(nShots);
             cSamplerBatches.add(nBatches);
             cFrameFlips.add(flips);
+            cNoiseWords.add(prog->tapeWords() * nBatches);
         }
         return false;
     }
@@ -317,22 +324,32 @@ FrameSimulator::sampleDetectors(std::size_t shots, Rng& rng) const
     std::uint64_t batches = 0;
     std::uint64_t flips = 0;
 
-    FrameScratch scratch;
-    for (std::size_t w = 0; w < out.numWords; ++w) {
-        const std::size_t lanes = std::min<std::size_t>(64, shots - w * 64);
-        flips += prog->runBatch(scratch, rng);
-        ++batches;
+    // Word-parallel blocks: up to frameBlockWords() 64-shot batches are
+    // propagated per program walk.  Noise is resolved word-by-word in
+    // the exact sequential RNG order (resolveNoiseTape), so samples are
+    // bit-identical at every block width — see DESIGN.md.
+    const std::size_t block =
+        std::min(frameBlockWords(), kMaxFrameBlockWords);
+    FrameBlockScratch scratch;
+    for (std::size_t w0 = 0; w0 < out.numWords; w0 += block) {
+        const std::size_t words =
+            std::min<std::size_t>(block, out.numWords - w0);
+        flips += prog->runBatchBlock(scratch, words, rng);
+        batches += words;
+        const std::size_t last_lanes =
+            std::min<std::size_t>(64, shots - (w0 + words - 1) * 64);
         const std::uint64_t mask =
-            lanes == 64 ? ~std::uint64_t{0}
-                        : (std::uint64_t{1} << lanes) - 1;
-        prog->foldAnnotations(scratch, mask, out.detWords.data() + w,
-                              out.numWords, out.obsWords.data() + w,
-                              out.numWords);
+            last_lanes == 64 ? ~std::uint64_t{0}
+                             : (std::uint64_t{1} << last_lanes) - 1;
+        prog->foldAnnotationsBlock(scratch, mask,
+                                   out.detWords.data() + w0, out.numWords,
+                                   out.obsWords.data() + w0, out.numWords);
     }
     cSamplerCalls.add();
     cSamplerShots.add(shots);
     cSamplerBatches.add(batches);
     cFrameFlips.add(flips);
+    cNoiseWords.add(prog->tapeWords() * batches);
     return out;
 }
 
@@ -386,7 +403,24 @@ FrameSimulator::sampleDetectorsReference(std::size_t shots, Rng& rng) const
     cSamplerShots.add(shots);
     cSamplerBatches.add(batches);
     cFrameFlips.add(flips);
+    // The reference interpreter draws the same noise words inline that
+    // the packed path resolves onto its tape; count them identically so
+    // the two paths stay counter-parity as well as bit-parity.
+    cNoiseWords.add(prog->tapeWords() * batches);
     return out;
+}
+
+void
+recordSimdTelemetry()
+{
+    // Machine-dependent by design (excluded from exact metric compare);
+    // recorded once per process, and only from the bench harness — the
+    // library paths never touch it, so per-job counter-delta snapshots
+    // stay machine-independent and deterministic.
+    static std::once_flag once;
+    std::call_once(once, [] {
+        obs::counter("stab.sampler.simd_width").add(simd::vectorWords());
+    });
 }
 
 std::vector<std::uint8_t>

@@ -221,5 +221,15 @@ class FrameSimulator
     std::shared_ptr<const FrameProgram> prog;
 };
 
+/**
+ * Record the detected SIMD backend width as the one-shot gauge counter
+ * `stab.sampler.simd_width` (64-bit words per vector op: 4 for AVX2, 2
+ * for NEON, 1 for the scalar fallback).  The value is machine-dependent
+ * by design, so compare_bench.py excludes it from exact comparison;
+ * call this from bench harnesses only, never from library paths, so
+ * deterministic counter-delta snapshots stay machine-independent.
+ */
+void recordSimdTelemetry();
+
 } // namespace stab
 } // namespace hetarch

@@ -1,10 +1,13 @@
 #include "stab/frame_program.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <cstdlib>
 #include <utility>
 
 #include "core/logging.hh"
+#include "core/simd.hh"
 #include "obs/obs.hh"
 
 namespace hetarch {
@@ -16,6 +19,26 @@ namespace {
 // DecoderCache exactly once per cached setup — so the count is a
 // function of the workload, not of scheduling.
 obs::Counter& cProgramCompiles = obs::counter("stab.sampler.program_compiles");
+
+/** Noise-tape slots an op consumes in block execution. */
+std::uint32_t
+tapeSlotsOf(FrameOpCode code)
+{
+    switch (code) {
+      case FrameOpCode::M:
+        return 1; // the collapse word
+      case FrameOpCode::XError:
+      case FrameOpCode::ZError:
+        return 1; // the error mask
+      case FrameOpCode::Pauli1:
+      case FrameOpCode::Depol1:
+        return 2; // resolved X-flip and Z-flip masks
+      case FrameOpCode::Depol2:
+        return 4; // err & v0..v3 (X_a, Z_a, X_b, Z_b masks)
+      default:
+        return 0;
+    }
+}
 
 /**
  * Interpret ops in [begin, end) over the frame words, delivering each
@@ -68,13 +91,13 @@ interpretOps(const FrameOp* op, const FrameOp* end, std::uint64_t* x,
           case FrameOpCode::XError: {
             const std::uint64_t err = rng.biasedWord(op->p0);
             x[op->a] ^= err;
-            flips += std::popcount(err);
+            flips += simd::popcountWord(err);
             break;
           }
           case FrameOpCode::ZError: {
             const std::uint64_t err = rng.biasedWord(op->p0);
             z[op->a] ^= err;
-            flips += std::popcount(err);
+            flips += simd::popcountWord(err);
             break;
           }
           case FrameOpCode::Pauli1: {
@@ -86,7 +109,7 @@ interpretOps(const FrameOp* op, const FrameOp* end, std::uint64_t* x,
             const std::uint64_t mz = err & ~pick_x & ~pick_y;
             x[op->a] ^= mx | my;
             z[op->a] ^= mz | my;
-            flips += std::popcount(err);
+            flips += simd::popcountWord(err);
             break;
           }
           case FrameOpCode::Depol1: {
@@ -98,7 +121,7 @@ interpretOps(const FrameOp* op, const FrameOp* end, std::uint64_t* x,
             const std::uint64_t mz = err & ~pick_x & ~pick_y;
             x[op->a] ^= mx | my;
             z[op->a] ^= mz | my;
-            flips += std::popcount(err);
+            flips += simd::popcountWord(err);
             break;
           }
           case FrameOpCode::Depol2: {
@@ -127,7 +150,7 @@ interpretOps(const FrameOp* op, const FrameOp* end, std::uint64_t* x,
             z[op->a] ^= err & v1;
             x[op->b] ^= err & v2;
             z[op->b] ^= err & v3;
-            flips += std::popcount(err);
+            flips += simd::popcountWord(err);
             break;
           }
         }
@@ -320,6 +343,21 @@ FrameProgram::compile(const Circuit& circuit, int depol2_retries)
     prog->lookback = look;
     prog->ringCapacity = std::bit_ceil(look);
 
+    // Noise-tape layout for block execution: assign every
+    // RNG-consuming op a contiguous slot range in stream order (the
+    // resolution order), and keep a dense copy of just those ops so
+    // the per-word resolution pass never dispatches pure Cliffords.
+    std::uint32_t slot = 0;
+    for (auto& f : prog->stream) {
+        const std::uint32_t slots = tapeSlotsOf(f.code);
+        if (slots == 0)
+            continue;
+        f.tape = slot;
+        slot += slots;
+        prog->rngOps.push_back(f);
+    }
+    prog->nTapeSlots = slot;
+
     cProgramCompiles.add();
     return prog;
 }
@@ -335,6 +373,229 @@ FrameProgram::runBatch(FrameScratch& scratch, Rng& rng) const
                         scratch.x.data(), scratch.z.data(), depol2Retries,
                         rng,
                         [&](std::uint64_t w) { scratch.meas.push_back(w); });
+}
+
+std::uint64_t
+FrameProgram::resolveNoiseTape(FrameBlockScratch& scratch,
+                               std::size_t words, Rng& rng) const
+{
+    HETARCH_ASSERT(words >= 1 && words <= kMaxFrameBlockWords,
+                   "block width ", words, " out of range");
+    scratch.words = words;
+    scratch.x.assign(nQubits * words, 0);
+    scratch.z.assign(nQubits * words, 0);
+    scratch.meas.assign(nMeas * words, 0);
+    scratch.tape.resize(nTapeSlots * words);
+    scratch.fold.resize(words);
+    if (words > 1)
+        scratch.stage.resize(nTapeSlots * words);
+
+    // Word-by-word, op-by-op: exactly the draw order W sequential
+    // runBatch calls consume.  No frame state is read — every branch
+    // below (including the DEPOL2 retry loop) depends only on drawn
+    // values, which is what makes the two-pass split sound.
+    //
+    // Each batch resolves into a batch-major staging row (contiguous
+    // writes); a single blocked transpose below produces the
+    // slot-major layout replayBlock consumes.  Writing slot-major
+    // directly would stride the tape by `words` words per slot — one
+    // cache line per write at width 8 — multiplying resolution write
+    // traffic by the width.  At width 1 the two layouts coincide, so
+    // the tape is written in place.
+    std::uint64_t flips = 0;
+    auto* tape = scratch.tape.data();
+    for (std::size_t w = 0; w < words; ++w) {
+        auto* row = words == 1 ? tape
+                               : scratch.stage.data() + w * nTapeSlots;
+        for (const auto& op : rngOps) {
+            auto* slot = row + op.tape;
+            switch (op.code) {
+              case FrameOpCode::M:
+                slot[0] = rng();
+                break;
+              case FrameOpCode::XError:
+              case FrameOpCode::ZError: {
+                const std::uint64_t err = rng.biasedWord(op.p0);
+                slot[0] = err;
+                flips += simd::popcountWord(err);
+                break;
+              }
+              case FrameOpCode::Pauli1:
+              case FrameOpCode::Depol1: {
+                const bool depol = op.code == FrameOpCode::Depol1;
+                const std::uint64_t err = rng.biasedWord(op.p0);
+                const std::uint64_t pick_x =
+                    rng.biasedWord(depol ? 1.0 / 3.0 : op.p1);
+                const std::uint64_t pick_y =
+                    rng.biasedWord(depol ? 0.5 : op.p2);
+                const std::uint64_t mx = err & pick_x;
+                const std::uint64_t my = err & ~pick_x & pick_y;
+                const std::uint64_t mz = err & ~pick_x & ~pick_y;
+                slot[0] = mx | my;
+                slot[1] = mz | my;
+                flips += simd::popcountWord(err);
+                break;
+              }
+              case FrameOpCode::Depol2: {
+                const std::uint64_t err = rng.biasedWord(op.p0);
+                if (!err) {
+                    // The interpreter breaks before any v-draw; zero
+                    // tape rows make the replay XORs no-ops.
+                    slot[0] = slot[1] = slot[2] = slot[3] = 0;
+                    break;
+                }
+                std::uint64_t v0 = rng(), v1 = rng(), v2 = rng(),
+                              v3 = rng();
+                for (int tries = 0; tries < depol2Retries; ++tries) {
+                    const std::uint64_t zero =
+                        err & ~(v0 | v1 | v2 | v3);
+                    if (!zero)
+                        break;
+                    const std::uint64_t r0 = rng(), r1 = rng(),
+                                        r2 = rng(), r3 = rng();
+                    v0 = (v0 & ~zero) | (r0 & zero);
+                    v1 = (v1 & ~zero) | (r1 & zero);
+                    v2 = (v2 & ~zero) | (r2 & zero);
+                    v3 = (v3 & ~zero) | (r3 & zero);
+                }
+                const std::uint64_t still = err & ~(v0 | v1 | v2 | v3);
+                v0 |= still;
+                slot[0] = err & v0;
+                slot[1] = err & v1;
+                slot[2] = err & v2;
+                slot[3] = err & v3;
+                flips += simd::popcountWord(err);
+                break;
+              }
+              default:
+                break; // zero-slot ops never land in rngOps
+            }
+        }
+    }
+
+    // stage[w * slots + s] -> tape[s * words + w].  Slot-outer order
+    // keeps the tape writes contiguous; the reads advance `words`
+    // sequential streams, one per batch row.
+    if (words > 1) {
+        const auto* stage = scratch.stage.data();
+        for (std::size_t s = 0; s < nTapeSlots; ++s)
+            for (std::size_t w = 0; w < words; ++w)
+                tape[s * words + w] = stage[w * nTapeSlots + s];
+    }
+    return flips;
+}
+
+void
+FrameProgram::replayBlock(FrameBlockScratch& scratch) const
+{
+    const std::size_t w = scratch.words;
+    HETARCH_DEBUG_ASSERT(w >= 1 && scratch.x.size() == nQubits * w,
+                         "replayBlock on an unprepared scratch");
+    auto* x = scratch.x.data();
+    auto* z = scratch.z.data();
+    auto* meas = scratch.meas.data();
+    const auto* tape = scratch.tape.data();
+    std::size_t m = 0;
+    for (const auto& op : stream) {
+        auto* xa = x + op.a * w;
+        auto* za = z + op.a * w;
+        switch (op.code) {
+          case FrameOpCode::H:
+            simd::swapWords(xa, za, w);
+            break;
+          case FrameOpCode::SGate:
+            simd::xorWords(za, xa, w);
+            break;
+          case FrameOpCode::CX:
+            simd::xorWords(x + op.b * w, xa, w);
+            simd::xorWords(za, z + op.b * w, w);
+            break;
+          case FrameOpCode::CZ:
+            simd::xorWords(za, x + op.b * w, w);
+            simd::xorWords(z + op.b * w, xa, w);
+            break;
+          case FrameOpCode::Swap:
+            simd::swapWords(xa, x + op.b * w, w);
+            simd::swapWords(za, z + op.b * w, w);
+            break;
+          case FrameOpCode::M:
+            simd::copyWords(meas + m * w, xa, w);
+            m += 1;
+            simd::xorWords(za, tape + op.tape * w, w);
+            break;
+          case FrameOpCode::R:
+            simd::zeroWords(xa, w);
+            simd::zeroWords(za, w);
+            break;
+          case FrameOpCode::MR:
+            simd::copyWords(meas + m * w, xa, w);
+            m += 1;
+            simd::zeroWords(xa, w);
+            simd::zeroWords(za, w);
+            break;
+          case FrameOpCode::XError:
+            simd::xorWords(xa, tape + op.tape * w, w);
+            break;
+          case FrameOpCode::ZError:
+            simd::xorWords(za, tape + op.tape * w, w);
+            break;
+          case FrameOpCode::Pauli1:
+          case FrameOpCode::Depol1:
+            simd::xorWords(xa, tape + op.tape * w, w);
+            simd::xorWords(za, tape + (op.tape + 1) * w, w);
+            break;
+          case FrameOpCode::Depol2:
+            simd::xorWords(xa, tape + op.tape * w, w);
+            simd::xorWords(za, tape + (op.tape + 1) * w, w);
+            simd::xorWords(x + op.b * w, tape + (op.tape + 2) * w, w);
+            simd::xorWords(z + op.b * w, tape + (op.tape + 3) * w, w);
+            break;
+        }
+    }
+    HETARCH_DEBUG_ASSERT(m == nMeas, "measurement count mismatch in "
+                                     "block replay");
+}
+
+std::uint64_t
+FrameProgram::runBatchBlock(FrameBlockScratch& scratch, std::size_t words,
+                            Rng& rng) const
+{
+    const std::uint64_t flips = resolveNoiseTape(scratch, words, rng);
+    replayBlock(scratch);
+    return flips;
+}
+
+void
+FrameProgram::foldAnnotationsBlock(FrameBlockScratch& scratch,
+                                   std::uint64_t last_word_mask,
+                                   std::uint64_t* det_words,
+                                   std::size_t det_stride,
+                                   std::uint64_t* obs_words,
+                                   std::size_t obs_stride) const
+{
+    const std::size_t w = scratch.words;
+    const auto* meas = scratch.meas.data();
+    auto* acc = scratch.fold.data();
+    const auto fold_row = [&](const std::uint32_t* begin,
+                              const std::uint32_t* end,
+                              std::uint64_t* out) {
+        if (begin == end) {
+            simd::zeroWords(acc, w);
+        } else {
+            simd::copyWords(acc, meas + *begin * w, w);
+            for (const auto* m = begin + 1; m != end; ++m)
+                simd::xorWords(acc, meas + *m * w, w);
+        }
+        acc[w - 1] &= last_word_mask;
+        for (std::size_t j = 0; j < w; ++j)
+            out[j] = acc[j];
+    };
+    for (std::size_t d = 0; d < nDets; ++d)
+        fold_row(detMeasBegin(d), detMeasEnd(d),
+                 det_words + d * det_stride);
+    for (std::size_t k = 0; k < nObs; ++k)
+        fold_row(obsMeasBegin(k), obsMeasEnd(k),
+                 obs_words + k * obs_stride);
 }
 
 void
@@ -408,6 +669,48 @@ FrameProgram::foldSlice(std::size_t s, const FrameStreamScratch& scratch,
     for (std::size_t e = info.obsBegin; e < info.obsEnd; ++e)
         obs_words[sliceObsId[e] * obs_stride] ^=
             ring[sliceObsMeas[e] & mask] & lane_mask;
+}
+
+namespace {
+
+std::size_t
+clampBlockWords(long words)
+{
+    if (words < 1)
+        return 1;
+    if (words > static_cast<long>(kMaxFrameBlockWords))
+        return kMaxFrameBlockWords;
+    return static_cast<std::size_t>(words);
+}
+
+std::atomic<std::size_t>&
+blockWordsState()
+{
+    // Default: the full 8-word block (512 shots), overridable once via
+    // the environment.  Atomic because TSan-covered tests flip the
+    // width around chunk-parallel experiments.
+    static std::atomic<std::size_t> state{[] {
+        if (const char* env = std::getenv("HETARCH_SIMD_WIDTH"))
+            return clampBlockWords(std::strtol(env, nullptr, 10));
+        return kMaxFrameBlockWords;
+    }()};
+    return state;
+}
+
+} // namespace
+
+std::size_t
+frameBlockWords()
+{
+    return blockWordsState().load(std::memory_order_relaxed);
+}
+
+void
+setFrameBlockWords(std::size_t words)
+{
+    blockWordsState().store(
+        clampBlockWords(static_cast<long>(words)),
+        std::memory_order_relaxed);
 }
 
 } // namespace stab

@@ -64,6 +64,13 @@ struct FrameOp
     FrameOpCode code;
     std::uint32_t a = 0;
     std::uint32_t b = 0;
+    /**
+     * First noise-tape slot of this op (block execution): the RNG
+     * resolution pass writes the op's drawn masks into tape rows
+     * [tape, tape + slots), and the vectorized replay pass XORs them
+     * into the frame.  Zero-slot ops (pure Cliffords, R) never read it.
+     */
+    std::uint32_t tape = 0;
     double p0 = 0.0;
     double p1 = 0.0;
     double p2 = 0.0;
@@ -75,6 +82,27 @@ struct FrameScratch
     std::vector<std::uint64_t> x;    ///< X-flip per qubit (bit = shot)
     std::vector<std::uint64_t> z;    ///< Z-flip per qubit
     std::vector<std::uint64_t> meas; ///< measurement flips, record order
+};
+
+/**
+ * Reusable per-thread frame state for W-word block batches (W x 64
+ * shots).  All rows are word-blocks: qubit q's X frame occupies
+ * x[q * words .. q * words + words), measurement record m occupies
+ * meas[m * words ..), and noise-tape slot t occupies tape[t * words ..).
+ * Word j of every row holds the same 64-shot lane group, so word-major
+ * slices of a block are bit-identical to W independent 64-shot batches.
+ */
+struct FrameBlockScratch
+{
+    std::size_t words = 0; ///< block width the buffers are sized for
+    std::vector<std::uint64_t> x;
+    std::vector<std::uint64_t> z;
+    std::vector<std::uint64_t> meas;
+    std::vector<std::uint64_t> tape; ///< resolved noise masks, slot-major
+    /// Batch-major resolution staging (transposed into `tape`; see
+    /// resolveNoiseTape) — untouched at width 1.
+    std::vector<std::uint64_t> stage;
+    std::vector<std::uint64_t> fold; ///< annotation-fold accumulator row
 };
 
 /**
@@ -180,6 +208,68 @@ class FrameProgram
                          std::size_t det_stride, std::uint64_t* obs_words,
                          std::size_t obs_stride) const;
 
+    // --- word-block (SIMD) execution --------------------------------
+    //
+    // runBatchBlock() executes W consecutive 64-shot batches at once
+    // and is bit-identical to W sequential runBatch() calls on the
+    // same generator, including the generator's post-state.  The
+    // equivalence rests on two facts:
+    //
+    //   1. RNG consumption is *frame-independent*: every draw site —
+    //      including the DEPOL2 rejection retries, which depend only on
+    //      previously drawn values — consumes the stream without
+    //      looking at x/z.  So the resolution pass can draw word w's
+    //      entire noise tape before word w+1's (the exact sequential
+    //      order runBatch uses) while deferring all frame updates.
+    //   2. Frame propagation is bitwise per lane: with the draws fixed
+    //      on the tape, replaying the op stream over W-word rows
+    //      computes each word exactly as the 1-word interpreter would.
+    //
+    // The two passes are exposed separately so benches can time the
+    // vectorized replay (frame propagation) apart from the RNG work,
+    // and tests can pin the tape/replay split directly.
+
+    /** Noise-tape slots per 64-shot batch (rows of the tape buffer). */
+    std::size_t tapeWords() const { return nTapeSlots; }
+
+    /**
+     * Pass 1: size @p scratch for a @p words-word block and resolve
+     * the whole block's noise tape, drawing word-by-word in the exact
+     * sequential runBatch order.  Frame and measurement rows are
+     * zeroed.  Returns the applied error-lane popcount over all words
+     * (the frame_flips contribution, identical to the sum of W
+     * runBatch returns).
+     */
+    std::uint64_t resolveNoiseTape(FrameBlockScratch& scratch,
+                                   std::size_t words, Rng& rng) const;
+
+    /**
+     * Pass 2: replay the op stream over the W-word frame rows, XORing
+     * the resolved tape at every noise site and recording measurement
+     * rows.  Requires a scratch prepared by resolveNoiseTape (or, for
+     * replay-only benchmarking, a re-zeroed frame with the tape kept).
+     */
+    void replayBlock(FrameBlockScratch& scratch) const;
+
+    /** resolveNoiseTape + replayBlock; returns the flip popcount. */
+    std::uint64_t runBatchBlock(FrameBlockScratch& scratch,
+                                std::size_t words, Rng& rng) const;
+
+    /**
+     * XOR-fold a block's measurement rows into W packed words per
+     * detector/observable: detector d's word j lands in
+     * @p det_words[d * det_stride + j], observable k's in
+     * @p obs_words[k * obs_stride + j].  @p last_word_mask masks the
+     * block's final word (idle lanes of a trailing partial batch);
+     * earlier words are always full.
+     */
+    void foldAnnotationsBlock(FrameBlockScratch& scratch,
+                              std::uint64_t last_word_mask,
+                              std::uint64_t* det_words,
+                              std::size_t det_stride,
+                              std::uint64_t* obs_words,
+                              std::size_t obs_stride) const;
+
     // --- streaming (sliced) execution -------------------------------
     //
     // Running beginStream() then runSlice(0..numSlices()-1) consumes
@@ -239,6 +329,9 @@ class FrameProgram
     std::size_t nObs = 0;
     int depol2Retries = kDepol2Retries;
     std::vector<FrameOp> stream;
+    /** RNG-consuming ops only (tape slots assigned), resolution order. */
+    std::vector<FrameOp> rngOps;
+    std::size_t nTapeSlots = 0;
     std::vector<std::uint32_t> detOffsets; ///< size nDets + 1
     std::vector<std::uint32_t> detMeas;
     std::vector<std::uint32_t> obsOffsets; ///< size nObs + 1
@@ -250,6 +343,21 @@ class FrameProgram
     std::size_t lookback = 0;
     std::size_t ringCapacity = 1;
 };
+
+/** Hard cap on the sampler's block width (512 shots per block). */
+inline constexpr std::size_t kMaxFrameBlockWords = 8;
+
+/**
+ * Process-wide sampler block width in 64-bit words (1..8; default 8 =
+ * 512 shots per block, overridable via the HETARCH_SIMD_WIDTH
+ * environment variable).  Results are bit-identical at every width —
+ * the width only trades dispatch amortization against scratch size —
+ * which the lane/word-permutation tests pin at {1, 4, 8}.
+ */
+std::size_t frameBlockWords();
+
+/** Override the block width (clamped to [1, kMaxFrameBlockWords]). */
+void setFrameBlockWords(std::size_t words);
 
 } // namespace stab
 } // namespace hetarch
